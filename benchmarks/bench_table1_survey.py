@@ -1,0 +1,23 @@
+"""Table I — the state of calibration practice in 114 SimGrid publications."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import table1_survey
+from repro.analysis.survey import PAPER_COUNTS
+
+
+def test_table1_survey(benchmark, publish):
+    result = run_once(benchmark, table1_survey)
+    publish(result)
+
+    # The aggregation of the encoded dataset must reproduce the paper's counts.
+    assert result.cell("# Publications that only include simulation results", "Count") == (
+        PAPER_COUNTS["simulation_only"]
+    )
+    assert result.cell(
+        "# Publications that include both simulation and real-world results", "Count"
+    ) == PAPER_COUNTS["with_real_world"]
+    assert result.cell("    Calibration performed and documented", "Count") == (
+        PAPER_COUNTS["calibration_documented"]
+    )
+    assert result.cell("Total publications examined", "Count") == PAPER_COUNTS["total"]

@@ -1,0 +1,17 @@
+"""Table II / Figure 1 — the four platform configurations and the topology."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import table2_platforms
+
+
+def test_table2_platforms(benchmark, publish):
+    result = run_once(benchmark, table2_platforms)
+    publish(result)
+
+    assert result.cell("SCFN", "RAM page cache") == "disabled"
+    assert result.cell("FCFN", "RAM page cache") == "enabled"
+    assert result.cell("SCSN", "WAN interface") == "1.00 Gbps"
+    assert result.cell("SCFN", "WAN interface") == "10.00 Gbps"
+    # Figure 1 rendering is attached to the notes.
+    assert "calibration parameters" in result.notes

@@ -1,0 +1,45 @@
+"""Table III — MRE of HUMAN / RANDOM / GRID / GDFIX on the four platforms.
+
+Expected shape (paper, Section IV.C.1): the automated methods are on par
+with the manual calibration on the SC platforms and dramatically better on
+the FC platforms, where the manual 1 GBps page-cache assumption inflates
+the error; GRID is the weakest automated method.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import table3_simulation_accuracy
+
+
+def _mre(result, method, platform):
+    return result.extra["mre"][(method, platform)]
+
+
+def test_table3_simulation_accuracy(benchmark, publish, ground_truth_generator):
+    result = run_once(
+        benchmark,
+        table3_simulation_accuracy,
+        generator=ground_truth_generator,
+    )
+    publish(result)
+
+    human_fcfn = _mre(result, "human", "FCFN")
+    human_fcsn = _mre(result, "human", "FCSN")
+    for method in ("random", "gdfix"):
+        # On the fast-cache platforms the automated methods must beat the
+        # manual calibration (the paper reports >150-point improvements; the
+        # margin here depends on the scaled-down budget).
+        assert _mre(result, method, "FCFN") < human_fcfn
+        assert _mre(result, method, "FCSN") < human_fcsn
+    # The gradient-descent calibration, which converges fastest at small
+    # budgets, must beat the manual calibration by a wide margin.
+    assert _mre(result, "gdfix", "FCFN") < human_fcfn / 2
+    assert _mre(result, "gdfix", "FCSN") < human_fcsn / 2
+
+    # On the slow-cache platforms everything is limited by the HDD behaviour
+    # the simulator does not model, so HUMAN and the automated methods are
+    # comparable (within a factor of two of each other).
+    for platform in ("SCFN", "SCSN"):
+        human = _mre(result, "human", platform)
+        for method in ("random", "gdfix"):
+            assert _mre(result, method, platform) < 2.0 * human

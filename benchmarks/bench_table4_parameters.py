@@ -1,0 +1,33 @@
+"""Table IV — calibrated parameter values for platform SCSN.
+
+Expected shape (paper, Section IV.C.2): every calibration method computes
+nearly the same value for the disk bandwidth (the bottleneck resource on
+SCSN) while the non-bottleneck parameters (LAN, WAN, core speed) scatter
+over orders of magnitude.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import table4_calibrated_parameters
+
+
+def test_table4_calibrated_parameters(benchmark, publish, ground_truth_generator):
+    result = run_once(
+        benchmark,
+        table4_calibrated_parameters,
+        generator=ground_truth_generator,
+    )
+    publish(result)
+
+    values = result.extra["values"]
+    disks = [values[m]["disk_bandwidth"] for m in ("human", "random", "gdfix")]
+    # Bottleneck parameter: the methods agree within a factor ~2.
+    assert max(disks) / min(disks) < 2.5
+
+    # Non-bottleneck parameters: at least one of them scatters by more than
+    # an order of magnitude across the automated methods.
+    spreads = []
+    for name in ("lan_bandwidth", "wan_bandwidth", "core_speed"):
+        automated = [values[m][name] for m in ("random", "grid", "gdfix")]
+        spreads.append(max(automated) / min(automated))
+    assert max(spreads) > 10.0

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Compare every calibration algorithm on one platform.
+
+The paper deliberately restricts itself to three simple algorithms (GRID,
+RANDOM, gradient descent) and leaves "Machine Learning algorithms" such as
+Bayesian optimization to future work.  The reproduction implements that
+future work; this example runs the full roster — the paper's trio plus
+Latin hypercube, Sobol, Nelder-Mead, pattern search, coordinate descent,
+simulated annealing, differential evolution, CMA-ES, TPE and GP-based
+Bayesian optimization — under the same evaluation budget and prints a
+leaderboard against the HUMAN manual calibration.
+
+Run it with:  python examples/algorithm_comparison.py [--evaluations 150]
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import EvaluationBudget
+from repro.hepsim import CaseStudyProblem, GroundTruthGenerator, Scenario
+from repro.hepsim.scenario import REDUCED_ICD_VALUES
+
+ALGORITHMS = (
+    "grid", "random", "gdfix", "gddyn",          # the paper's algorithms
+    "lhs", "sobol", "coordinate", "pattern",      # simple extensions
+    "nelder-mead", "annealing", "de", "cmaes",    # classic optimizers
+    "tpe", "bayesian",                            # model-based (future work)
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--platform", default="FCSN",
+                        choices=("SCFN", "FCFN", "SCSN", "FCSN"))
+    parser.add_argument("--evaluations", type=int, default=150,
+                        help="simulator invocations per algorithm")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    scenario = Scenario.calib(args.platform, icd_values=REDUCED_ICD_VALUES)
+    problem = CaseStudyProblem.create(scenario, generator=GroundTruthGenerator())
+
+    rows = [("HUMAN", problem.evaluate(problem.human_values()), 0, 0.0)]
+    for algorithm in ALGORITHMS:
+        result = problem.calibrate(
+            algorithm=algorithm, budget=EvaluationBudget(args.evaluations), seed=args.seed
+        )
+        rows.append((algorithm.upper(), result.best_value, result.evaluations, result.elapsed))
+        print(f"  {algorithm:12s} done: MRE {result.best_value:6.2f}%  ({result.elapsed:.1f} s)")
+
+    rows.sort(key=lambda r: r[1])
+    print(f"\nLeaderboard for platform {args.platform} "
+          f"({args.evaluations} simulator invocations each):")
+    print(f"{'rank':>4s}  {'method':14s} {'MRE':>8s} {'evals':>6s} {'time':>8s}")
+    for rank, (name, mre, evals, elapsed) in enumerate(rows, start=1):
+        print(f"{rank:4d}  {name:14s} {mre:7.2f}% {evals:6d} {elapsed:7.1f}s")
+
+    print("\nExpected shape: every automated method beats HUMAN; the simple methods "
+          "are already competitive because the search space has only a handful of "
+          "dimensions (the paper's own conclusion).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""How far does a calibration generalise beyond its ground-truth workload?
+
+Section IV.C.2 warns that a calibration computed from a workload with one
+bottleneck "is only valid for simulating the execution of workloads with
+the same ratio of compute to data volumes as the ground-truth workload".
+This example measures that: the simulator is calibrated on the base
+workload, then the calibrated values, the HUMAN values and the hidden true
+values are scored against ground truth generated for workloads whose
+per-byte compute volume is scaled by several factors.
+
+Run it with:  python examples/generalization_study.py [--factors 0.25 1 4]
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import EvaluationBudget
+from repro.hepsim import GroundTruthGenerator, generalization_study
+from repro.hepsim.scenario import REDUCED_ICD_VALUES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--platform", default="FCSN",
+                        choices=("SCFN", "FCFN", "SCSN", "FCSN"))
+    parser.add_argument("--factors", type=float, nargs="+", default=[0.25, 1.0, 4.0],
+                        help="compute-to-data ratio factors to evaluate")
+    parser.add_argument("--algorithm", default="random")
+    parser.add_argument("--evaluations", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    study = generalization_study(
+        platform=args.platform,
+        factors=tuple(args.factors),
+        algorithm=args.algorithm,
+        budget=EvaluationBudget(args.evaluations),
+        icd_values=REDUCED_ICD_VALUES,
+        seed=args.seed,
+        generator=GroundTruthGenerator(),
+        scale="calib",
+    )
+
+    print(f"calibrated on platform {args.platform} at ratio x1 with "
+          f"{args.algorithm.upper()} ({args.evaluations} evaluations)\n")
+    print(f"{'ratio':>8s} {'calibrated':>12s} {'HUMAN':>10s} {'true values':>12s}")
+    for factor, calibrated, human, true in study.summary_rows():
+        print(f"{'x' + format(factor, 'g'):>8s} {calibrated:11.2f}% {human:9.2f}% {true:11.2f}%")
+
+    print(f"\nlargest degradation at ratio x{study.worst_factor():g}")
+    print("Expected shape: the automated calibration is best at x1 and degrades away "
+          "from it (non-bottleneck parameters were never constrained), while the true "
+          "values stay accurate at every ratio — the paper's generalisability caveat.")
+
+
+if __name__ == "__main__":
+    main()

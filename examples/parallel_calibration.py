@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Parallel candidate evaluation: the paper's one-simulation-per-core protocol.
+
+In the paper "each algorithm executes one simulation on each core of a
+dedicated ... 40-core CPU".  This example shows the same protocol with the
+:class:`~repro.core.parallel.ParallelCalibrator`: batches of candidate
+calibrations drawn from a space-filling design are evaluated concurrently
+in worker processes, and the number of evaluations that fit into a fixed
+wall-clock budget grows with the worker count.
+
+Run it with:  python examples/parallel_calibration.py [--seconds 10 --workers 1 2 4]
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import ParallelCalibrator, TimeBudget
+from repro.hepsim import CaseStudyProblem, GroundTruthGenerator, Scenario
+from repro.hepsim.scenario import REDUCED_ICD_VALUES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--platform", default="FCSN",
+                        choices=("SCFN", "FCFN", "SCSN", "FCSN"))
+    parser.add_argument("--seconds", type=float, default=10.0,
+                        help="wall-clock budget per run")
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--sampler", default="lhs", choices=("uniform", "lhs", "sobol", "halton"))
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    scenario = Scenario.calib(args.platform, icd_values=REDUCED_ICD_VALUES)
+    problem = CaseStudyProblem.create(scenario, generator=GroundTruthGenerator())
+    human_mre = problem.evaluate(problem.human_values())
+    print(f"platform {args.platform}; HUMAN MRE = {human_mre:.2f}%; "
+          f"budget {args.seconds:g} s per run; sampler {args.sampler}\n")
+
+    print(f"{'workers':>7s} {'evaluations':>12s} {'best MRE':>10s} {'elapsed':>9s}")
+    for workers in args.workers:
+        calibrator = ParallelCalibrator(
+            problem.space,
+            problem.objective,          # picklable CaseStudyObjective
+            sampler=args.sampler,
+            workers=workers,
+            mode="process" if workers > 1 else "serial",
+            budget=TimeBudget(args.seconds),
+            seed=args.seed,
+        )
+        result = calibrator.run()
+        print(f"{workers:7d} {result.evaluations:12d} {result.best_value:9.2f}% "
+              f"{result.elapsed:8.1f}s")
+
+    print("\nMore workers evaluate more candidates in the same wall-clock time, "
+          "which is exactly why the paper's protocol dedicates one core per "
+          "simulation; the best MRE should not get worse as workers increase.")
+
+
+if __name__ == "__main__":
+    main()

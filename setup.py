@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that legacy editable installs (``pip install -e .``) work on environments
+whose setuptools/pip cannot build PEP 660 editable wheels offline.
+"""
+
+from setuptools import setup
+
+setup()

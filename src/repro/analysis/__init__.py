@@ -1,0 +1,47 @@
+"""Reproduction of the paper's tables and figures.
+
+* :mod:`repro.analysis.survey` — the Table I literature-survey dataset;
+* :mod:`repro.analysis.tables` — plain-text table rendering;
+* :mod:`repro.analysis.figures` — ASCII rendering of series (Figure 2);
+* :mod:`repro.analysis.experiments` — one function per table/figure of the
+  paper's evaluation section, each returning an
+  :class:`~repro.analysis.tables.ExperimentResult` that the benchmark
+  harness and the examples print.
+"""
+
+from repro.analysis.experiments import (
+    figure2_convergence,
+    table1_survey,
+    table2_platforms,
+    table3_simulation_accuracy,
+    table4_calibrated_parameters,
+    table5_icd_subsets,
+    table6_speed_accuracy,
+)
+from repro.analysis.extensions import (
+    ablation_accuracy_metrics,
+    ablation_reference_noise,
+    generalization_experiment,
+    parallel_scaling_experiment,
+)
+from repro.analysis.report import collect_results, render_report, write_report
+from repro.analysis.tables import ExperimentResult, render_table
+
+__all__ = [
+    "ExperimentResult",
+    "ablation_accuracy_metrics",
+    "ablation_reference_noise",
+    "collect_results",
+    "figure2_convergence",
+    "generalization_experiment",
+    "parallel_scaling_experiment",
+    "render_report",
+    "render_table",
+    "write_report",
+    "table1_survey",
+    "table2_platforms",
+    "table3_simulation_accuracy",
+    "table4_calibrated_parameters",
+    "table5_icd_subsets",
+    "table6_speed_accuracy",
+]

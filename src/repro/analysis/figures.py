@@ -1,0 +1,72 @@
+"""ASCII rendering of convergence figures (Figure 2)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["render_series", "sample_series"]
+
+
+def sample_series(
+    series: Sequence[Tuple[float, float]], times: Sequence[float]
+) -> List[float]:
+    """Sample a best-so-far step function at the given times.
+
+    ``series`` is a list of (time, best value) points as produced by
+    :meth:`repro.core.history.CalibrationHistory.best_over_time`; the value
+    at time ``t`` is the last best value achieved at or before ``t``
+    (``nan`` before the first evaluation completed).
+    """
+    sampled: List[float] = []
+    for t in times:
+        value = float("nan")
+        for when, best in series:
+            if when <= t:
+                value = best
+            else:
+                break
+        sampled.append(value)
+    return sampled
+
+
+def render_series(
+    named_series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 72,
+    height: int = 18,
+) -> str:
+    """Render several best-so-far curves as an ASCII plot.
+
+    The x axis is wall-clock time (seconds), the y axis the objective value
+    (e.g. mean absolute simulation error), both linear, as in Figure 2.
+    """
+    if not named_series:
+        raise ValueError("nothing to plot")
+    max_time = max((s[-1][0] for s in named_series.values() if s), default=0.0)
+    max_value = max((max(v for _, v in s) for s in named_series.values() if s), default=0.0)
+    if max_time <= 0 or max_value <= 0:
+        return "(empty figure: no completed evaluations)"
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = {}
+    for index, (name, series) in enumerate(sorted(named_series.items())):
+        marker = name[0].upper() if name else "?"
+        if marker in markers.values():
+            marker = str(index)
+        markers[name] = marker
+        times = [max_time * i / (width - 1) for i in range(width)]
+        values = sample_series(series, times)
+        for x, value in enumerate(values):
+            if value != value:  # NaN: nothing evaluated yet
+                continue
+            y = int(round((value / max_value) * (height - 1)))
+            y = height - 1 - min(max(y, 0), height - 1)
+            grid[y][x] = marker
+
+    lines = [f"{max_value:10.1f} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{0.0:10.1f} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + "0" + " " * (width - 8) + f"{max_time:.0f} s")
+    legend = "   ".join(f"{marker} = {name}" for name, marker in markers.items())
+    lines.append("  " + legend)
+    return "\n".join(lines)

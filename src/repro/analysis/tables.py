@@ -1,0 +1,80 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ExperimentResult", "render_table"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a list of rows as a fixed-width text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines = [fmt(str_headers), separator]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """The outcome of one table/figure reproduction.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (``"table3"``, ``"figure2"``, ...).
+    title:
+        Human-readable title (matches the paper's caption).
+    headers / rows:
+        Tabular data (rows of stringifiable cells).
+    notes:
+        Free-form commentary (e.g. which budget was used, what to compare
+        against the paper).
+    extra:
+        Optional machine-readable payload (per-series data for figures,
+        raw calibration results, ...).
+    """
+
+    name: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    notes: str = ""
+    extra: Optional[Dict[str, object]] = None
+
+    def to_text(self) -> str:
+        parts = [f"== {self.name}: {self.title} =="]
+        parts.append(render_table(self.headers, self.rows))
+        if self.notes:
+            parts.append("")
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def cell(self, row_key: str, column: str) -> object:
+        """Look up a cell by the value of the first column and a header name."""
+        try:
+            col_index = self.headers.index(column)
+        except ValueError:
+            raise KeyError(f"unknown column {column!r}; headers: {self.headers}") from None
+        for row in self.rows:
+            if str(row[0]) == row_key:
+                return row[col_index]
+        raise KeyError(f"no row starting with {row_key!r}")
+
+    def column(self, column: str) -> List[object]:
+        col_index = self.headers.index(column)
+        return [row[col_index] for row in self.rows]

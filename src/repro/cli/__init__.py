@@ -1,0 +1,17 @@
+"""Command-line interface.
+
+``repro`` (installed via the ``repro`` console script, or run with
+``python -m repro.cli.main``) exposes the case study end to end:
+
+* ``repro list`` — available calibration algorithms and accuracy metrics;
+* ``repro calibrate`` — calibrate the case-study simulator on one platform;
+* ``repro simulate`` — run the simulator once with a chosen calibration;
+* ``repro experiment`` — reproduce one (or all) of the paper's tables and
+  figures, or one of the extension experiments;
+* ``repro report`` — aggregate the benchmark harness outputs into a single
+  Markdown report.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

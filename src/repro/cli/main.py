@@ -1,0 +1,251 @@
+"""``repro`` command-line entry point.
+
+The CLI wraps the same public API the examples use, so every command here
+is a one-liner away from being a library call; it exists so that the case
+study can be exercised without writing any Python (the audience the paper
+has in mind is domain scientists, not simulator developers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core import ALGORITHMS, EvaluationBudget, TimeBudget
+from repro.core.metrics import METRICS
+from repro.hepsim import CaseStudyProblem, GroundTruthGenerator, Scenario
+from repro.hepsim.scenario import PAPER_ICD_VALUES, REDUCED_ICD_VALUES
+
+__all__ = ["build_parser", "main"]
+
+
+# ---------------------------------------------------------------------- #
+# helpers
+# ---------------------------------------------------------------------- #
+def _parse_icds(text: Optional[str]) -> Optional[List[float]]:
+    if not text:
+        return None
+    try:
+        return [float(part) for part in text.split(",") if part.strip() != ""]
+    except ValueError as exc:
+        raise SystemExit(f"invalid ICD list {text!r}; expected comma-separated numbers") from exc
+
+
+def _scenario(platform: str, scale: str, icds: Optional[Sequence[float]]) -> Scenario:
+    factory = {
+        "paper": Scenario.paper,
+        "bench": Scenario.bench,
+        "calib": Scenario.calib,
+        "tiny": Scenario.tiny,
+    }[scale]
+    scenario = factory(platform)
+    if icds:
+        scenario = scenario.with_icds(tuple(icds))
+    return scenario
+
+
+def _budget(args: argparse.Namespace):
+    if getattr(args, "seconds", None):
+        return TimeBudget(args.seconds)
+    return EvaluationBudget(getattr(args, "evaluations", 100) or 100)
+
+
+# ---------------------------------------------------------------------- #
+# sub-commands
+# ---------------------------------------------------------------------- #
+def cmd_list(args: argparse.Namespace) -> int:
+    print("calibration algorithms:")
+    for name in sorted(ALGORITHMS):
+        print(f"  {name}")
+    print("accuracy metrics:")
+    for name in sorted(METRICS):
+        print(f"  {name}")
+    print("platforms: SCFN FCFN SCSN FCSN   (Table II)")
+    print("scenario scales: paper bench calib tiny")
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.core.reporting import calibration_report
+    from repro.core.serialization import save_result
+
+    scenario = _scenario(args.platform, args.scale, _parse_icds(args.icds))
+    generator = GroundTruthGenerator()
+    problem = CaseStudyProblem.create(scenario, generator=generator, metric=args.metric)
+    result = problem.calibrate(algorithm=args.algorithm, budget=_budget(args), seed=args.seed)
+    values = problem.calibrated_values(result)
+
+    print(f"platform           : {args.platform} ({scenario.config.description})")
+    print(f"algorithm          : {result.algorithm}")
+    print(f"budget             : {result.budget_description}")
+    print(f"evaluations        : {result.evaluations}")
+    print(f"elapsed            : {result.elapsed:.1f} s")
+    print(f"best {args.metric.upper():14s}: {result.best_value:.2f}")
+    print("calibrated values  :")
+    for name, value in values.to_dict().items():
+        print(f"  {name:22s} {value:.4g}")
+    if args.compare:
+        human = problem.evaluate(problem.human_values())
+        true = problem.evaluate(problem.true_values())
+        print(f"HUMAN {args.metric.upper():13s}: {human:.2f}")
+        print(f"true-values {args.metric.upper():7s}: {true:.2f}")
+    if args.report:
+        print()
+        print(calibration_report(result, problem.space, objective_name=args.metric.upper()))
+    if args.save:
+        path = save_result(result, args.save)
+        print(f"result saved to    : {path}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    scenario = _scenario(args.platform, args.scale, _parse_icds(args.icds))
+    generator = GroundTruthGenerator()
+    problem = CaseStudyProblem.create(scenario, generator=generator)
+    if args.values == "human":
+        values = problem.human_values()
+    elif args.values == "true":
+        values = problem.true_values()
+    else:
+        raise SystemExit(f"unknown calibration {args.values!r}; expected 'human' or 'true'")
+    mre = problem.evaluate(values)
+    trace = problem.objective.simulate(values.to_dict())
+    print(f"platform  : {args.platform}")
+    print(f"values    : {args.values}")
+    print(f"MRE       : {mre:.2f}%")
+    print("per-ICD average job times (simulated vs ground truth):")
+    for icd in scenario.icd_values:
+        for node in scenario.node_names:
+            sim = trace.average_job_time(node, icd)
+            ref = problem.ground_truth.average_job_time(node, icd)
+            print(f"  ICD {icd:4.1f}  {node:8s}  sim {sim:9.1f} s   truth {ref:9.1f} s")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import collect_results, render_report, write_report
+
+    if args.output:
+        path = write_report(args.results_dir, args.output)
+        print(f"report written to {path}")
+    else:
+        print(render_report(collect_results(args.results_dir)))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    # Imported lazily: the experiment module pulls in the whole case study.
+    from repro.analysis import (
+        ablation_accuracy_metrics,
+        ablation_reference_noise,
+        figure2_convergence,
+        generalization_experiment,
+        parallel_scaling_experiment,
+        table1_survey,
+        table2_platforms,
+        table3_simulation_accuracy,
+        table4_calibrated_parameters,
+        table5_icd_subsets,
+        table6_speed_accuracy,
+    )
+
+    registry: Dict[str, Callable[[], object]] = {
+        "table1": table1_survey,
+        "table2": table2_platforms,
+        "table3": lambda: table3_simulation_accuracy(
+            budget_evaluations=args.evaluations, scale=args.scale, seed=args.seed
+        ),
+        "table4": lambda: table4_calibrated_parameters(
+            budget_evaluations=args.evaluations, scale=args.scale, seed=args.seed
+        ),
+        "table5": lambda: table5_icd_subsets(
+            budget_seconds=args.seconds, scale=args.scale, seed=args.seed
+        ),
+        "table6": lambda: table6_speed_accuracy(
+            budget_seconds=args.seconds, scale=args.scale, seed=args.seed
+        ),
+        "figure2": lambda: figure2_convergence(
+            budget_seconds=args.seconds, scale=args.scale, seed=args.seed
+        ),
+        "generalization": lambda: generalization_experiment(
+            budget_evaluations=args.evaluations, scale=args.scale, seed=args.seed
+        ),
+        "metrics": lambda: ablation_accuracy_metrics(
+            budget_evaluations=args.evaluations, scale=args.scale, seed=args.seed
+        ),
+        "noise": lambda: ablation_reference_noise(
+            budget_evaluations=args.evaluations, scale=args.scale, seed=args.seed
+        ),
+        "parallel": lambda: parallel_scaling_experiment(
+            budget_seconds=args.seconds, scale=args.scale, seed=args.seed
+        ),
+    }
+    names = list(registry) if args.name == "all" else [args.name]
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        raise SystemExit(f"unknown experiment(s) {unknown}; available: {sorted(registry)} or 'all'")
+    for name in names:
+        result = registry[name]()
+        print(result.to_text())
+        print()
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# parser
+# ---------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Automated calibration of PDC simulators — IPDPS 2024 case-study reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list algorithms, metrics and platforms")
+    p_list.set_defaults(func=cmd_list)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--platform", default="FCSN", choices=["SCFN", "FCFN", "SCSN", "FCSN"])
+    common.add_argument("--scale", default="calib", choices=["paper", "bench", "calib", "tiny"])
+    common.add_argument("--icds", default=None, help="comma-separated ICD values (default: scenario grid)")
+    common.add_argument("--seed", type=int, default=1)
+
+    p_cal = sub.add_parser("calibrate", parents=[common], help="calibrate the case-study simulator")
+    p_cal.add_argument("--algorithm", default="random")
+    p_cal.add_argument("--metric", default="mre", choices=sorted(METRICS))
+    p_cal.add_argument("--evaluations", type=int, default=200, help="evaluation budget")
+    p_cal.add_argument("--seconds", type=float, default=None, help="time budget (overrides --evaluations)")
+    p_cal.add_argument("--compare", action="store_true", help="also score the HUMAN and true calibrations")
+    p_cal.add_argument("--report", action="store_true", help="print a convergence report")
+    p_cal.add_argument("--save", default=None, metavar="PATH", help="write the result (with history) to a JSON file")
+    p_cal.set_defaults(func=cmd_calibrate)
+
+    p_sim = sub.add_parser("simulate", parents=[common], help="run the simulator with a known calibration")
+    p_sim.add_argument("--values", default="human", choices=["human", "true"])
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_exp = sub.add_parser("experiment", parents=[common], help="reproduce a table/figure or extension study")
+    p_exp.add_argument("name", help="table1..table6, figure2, generalization, metrics, noise, parallel, or 'all'")
+    p_exp.add_argument("--evaluations", type=int, default=None)
+    p_exp.add_argument("--seconds", type=float, default=None)
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_rep = sub.add_parser("report", help="aggregate benchmarks/results/ into one Markdown report")
+    p_rep.add_argument("--results-dir", default="benchmarks/results",
+                       help="directory holding the per-experiment .txt outputs")
+    p_rep.add_argument("--output", default=None, metavar="PATH",
+                       help="write the report to a file instead of stdout")
+    p_rep.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Simulated annealing (extension).
+
+A classic black-box optimiser, included because the paper positions its
+three algorithms as representatives of "simple" approaches and leaves more
+sophisticated ones to future work.  The neighbourhood is a Gaussian step
+in the normalised (log2) unit cube whose width shrinks with the
+temperature; the acceptance rule is Metropolis on the objective value
+(MRE percentage points).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.algorithms.base import CalibrationAlgorithm, register
+from repro.core.evaluation import Objective
+from repro.core.parameters import ParameterSpace
+
+__all__ = ["SimulatedAnnealing"]
+
+
+@register("annealing")
+class SimulatedAnnealing(CalibrationAlgorithm):
+    """Metropolis simulated annealing in the unit cube."""
+
+    name = "annealing"
+
+    def __init__(
+        self,
+        initial_temperature: float = 25.0,
+        cooling_rate: float = 0.97,
+        min_temperature: float = 1e-3,
+        step_scale: float = 0.25,
+        restarts_forever: bool = True,
+    ) -> None:
+        if not 0.0 < cooling_rate < 1.0:
+            raise ValueError("cooling rate must be in (0, 1)")
+        self.initial_temperature = float(initial_temperature)
+        self.cooling_rate = float(cooling_rate)
+        self.min_temperature = float(min_temperature)
+        self.step_scale = float(step_scale)
+        self.restarts_forever = bool(restarts_forever)
+
+    def _anneal_once(
+        self, objective: Objective, space: ParameterSpace, rng: np.random.Generator
+    ) -> None:
+        x = space.sample_unit(rng)
+        fx = objective.evaluate_unit(x)
+        temperature = self.initial_temperature
+        while temperature > self.min_temperature:
+            scale = self.step_scale * max(temperature / self.initial_temperature, 0.05)
+            candidate = np.clip(x + rng.normal(0.0, scale, size=x.size), 0.0, 1.0)
+            value = objective.evaluate_unit(candidate)
+            delta = value - fx
+            if delta <= 0 or rng.uniform() < math.exp(-delta / temperature):
+                x, fx = candidate, value
+            temperature *= self.cooling_rate
+
+    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
+        while True:
+            self._anneal_once(objective, space, rng)
+            if not self.restarts_forever:
+                break

@@ -1,0 +1,74 @@
+"""Algorithm base class and registry.
+
+An algorithm's :meth:`~CalibrationAlgorithm.run` method receives the
+budget-aware :class:`~repro.core.evaluation.Objective`, the
+:class:`~repro.core.parameters.ParameterSpace` and a seeded random number
+generator, and simply explores until the objective raises
+:class:`~repro.core.evaluation.BudgetExhausted` (or it decides it is
+done).  This mirrors the paper's setting: the algorithms are plain loops
+bounded by the calibration time budget.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Type, Union
+
+import numpy as np
+
+from repro.core.evaluation import Objective
+from repro.core.parameters import ParameterSpace
+
+__all__ = ["CalibrationAlgorithm", "ALGORITHMS", "register", "get_algorithm"]
+
+
+class CalibrationAlgorithm:
+    """Base class for calibration algorithms."""
+
+    #: registry name; subclasses must override it
+    name: str = "abstract"
+
+    def run(
+        self, objective: Objective, space: ParameterSpace, rng: np.random.Generator
+    ) -> None:  # pragma: no cover - interface
+        """Explore the parameter space until the budget is exhausted."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} ({self.name})>"
+
+
+#: name -> factory registry.  Factories take no arguments and return a
+#: default-configured algorithm instance.
+ALGORITHMS: Dict[str, Callable[[], CalibrationAlgorithm]] = {}
+
+
+def register(name: str) -> Callable[[Type[CalibrationAlgorithm]], Type[CalibrationAlgorithm]]:
+    """Class decorator registering an algorithm under ``name``."""
+
+    def decorator(cls: Type[CalibrationAlgorithm]) -> Type[CalibrationAlgorithm]:
+        ALGORITHMS[name.lower()] = cls
+        return cls
+
+    return decorator
+
+
+def get_algorithm(spec: Union[str, CalibrationAlgorithm]) -> CalibrationAlgorithm:
+    """Instantiate an algorithm from its registry name (case-insensitive).
+
+    A few aliases are accepted for readability of the experiment scripts:
+    ``"gdfix"``/``"gddyn"`` select the fixed-/dynamic-step gradient descent.
+    """
+    if isinstance(spec, CalibrationAlgorithm):
+        return spec
+    key = spec.lower()
+    aliases = {
+        "gd": "gdfix",
+        "gradient": "gdfix",
+        "bo": "bayesian",
+    }
+    key = aliases.get(key, key)
+    try:
+        factory = ALGORITHMS[key]
+    except KeyError:
+        raise KeyError(f"unknown algorithm {spec!r}; available: {sorted(ALGORITHMS)}") from None
+    return factory()

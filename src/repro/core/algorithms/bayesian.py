@@ -1,0 +1,137 @@
+"""Bayesian optimization (the paper's "future work" algorithm).
+
+Section V of the paper singles out Bayesian Optimization as "an attractive
+proposition as it is highly effective for optimizing black-box functions
+that are relatively expensive to evaluate, such as simulation accuracy
+metrics".  This is a compact, dependency-free implementation:
+
+* surrogate: Gaussian-process regression with a squared-exponential
+  (RBF) kernel on the normalised unit cube, observation noise jitter, and
+  standardised targets (log-transformed, since MRE values span orders of
+  magnitude);
+* acquisition: Expected Improvement, maximised by evaluating a large
+  random candidate set (cheap compared to a simulator invocation);
+* initial design: a small Latin-hypercube batch.
+
+The implementation keeps the fitted covariance matrix small by capping the
+number of points used to condition the GP (the most recent + the best
+ones), so its per-iteration cost stays bounded even for long runs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.algorithms.base import CalibrationAlgorithm, register
+from repro.core.evaluation import Objective
+from repro.core.parameters import ParameterSpace
+
+__all__ = ["BayesianOptimization"]
+
+
+def _rbf_kernel(a: np.ndarray, b: np.ndarray, length_scale: float) -> np.ndarray:
+    """Squared-exponential kernel matrix between two point sets."""
+    sq_dists = np.sum(a**2, axis=1)[:, None] + np.sum(b**2, axis=1)[None, :] - 2.0 * a @ b.T
+    return np.exp(-0.5 * np.maximum(sq_dists, 0.0) / length_scale**2)
+
+
+@register("bayesian")
+class BayesianOptimization(CalibrationAlgorithm):
+    """GP + Expected Improvement Bayesian optimization."""
+
+    name = "bayesian"
+
+    def __init__(
+        self,
+        initial_samples: int = 12,
+        candidates_per_iteration: int = 512,
+        length_scale: float = 0.2,
+        noise: float = 1e-6,
+        max_conditioning_points: int = 128,
+        exploration: float = 0.01,
+        max_iterations: int = 1_000_000,
+    ) -> None:
+        self.initial_samples = int(initial_samples)
+        self.candidates_per_iteration = int(candidates_per_iteration)
+        self.length_scale = float(length_scale)
+        self.noise = float(noise)
+        self.max_conditioning_points = int(max_conditioning_points)
+        self.exploration = float(exploration)
+        self.max_iterations = int(max_iterations)
+
+    # ------------------------------------------------------------------ #
+    # surrogate
+    # ------------------------------------------------------------------ #
+    def _select_conditioning(self, xs: List[np.ndarray], ys: List[float]):
+        """Cap the number of GP conditioning points: keep the best half and
+        the most recent half of the allowance."""
+        n = len(xs)
+        cap = self.max_conditioning_points
+        if n <= cap:
+            return np.array(xs), np.array(ys)
+        order = np.argsort(ys)
+        best = list(order[: cap // 2])
+        recent = list(range(n - cap // 2, n))
+        keep = sorted(set(best + recent))
+        return np.array([xs[i] for i in keep]), np.array([ys[i] for i in keep])
+
+    def _posterior(self, x_train: np.ndarray, y_train: np.ndarray, candidates: np.ndarray):
+        """GP posterior mean and standard deviation at the candidate points."""
+        # Standardise the (log) targets for numerical stability.
+        y = np.log1p(np.maximum(y_train, 0.0))
+        mean, std = float(np.mean(y)), float(np.std(y)) or 1.0
+        y_norm = (y - mean) / std
+
+        k_train = _rbf_kernel(x_train, x_train, self.length_scale)
+        k_train[np.diag_indices_from(k_train)] += self.noise
+        k_cross = _rbf_kernel(x_train, candidates, self.length_scale)
+        try:
+            chol = np.linalg.cholesky(k_train)
+        except np.linalg.LinAlgError:
+            k_train[np.diag_indices_from(k_train)] += 1e-4
+            chol = np.linalg.cholesky(k_train)
+        alpha = np.linalg.solve(chol.T, np.linalg.solve(chol, y_norm))
+        mu = k_cross.T @ alpha
+        v = np.linalg.solve(chol, k_cross)
+        var = np.maximum(1.0 - np.sum(v**2, axis=0), 1e-12)
+        return mu * std + mean, np.sqrt(var) * std
+
+    @staticmethod
+    def _expected_improvement(mu: np.ndarray, sigma: np.ndarray, best: float, xi: float):
+        """EI for minimisation."""
+        from scipy.stats import norm
+
+        improvement = best - mu - xi
+        z = improvement / sigma
+        return improvement * norm.cdf(z) + sigma * norm.pdf(z)
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
+        dimension = space.dimension
+        xs: List[np.ndarray] = []
+        ys: List[float] = []
+
+        # Initial space-filling design (Latin hypercube).
+        n0 = max(self.initial_samples, dimension + 1)
+        design = np.empty((n0, dimension))
+        for d in range(dimension):
+            design[:, d] = (rng.permutation(n0) + rng.uniform(0, 1, size=n0)) / n0
+        for row in design:
+            value = objective.evaluate_unit(row)
+            xs.append(np.asarray(row, dtype=float))
+            ys.append(value)
+
+        for _ in range(self.max_iterations):
+            x_train, y_train = self._select_conditioning(xs, ys)
+            candidates = rng.uniform(0.0, 1.0, size=(self.candidates_per_iteration, dimension))
+            mu, sigma = self._posterior(x_train, y_train, candidates)
+            best = float(np.log1p(max(min(ys), 0.0)))
+            ei = self._expected_improvement(mu, sigma, best, self.exploration)
+            pick = candidates[int(np.argmax(ei))]
+            value = objective.evaluate_unit(pick)
+            xs.append(np.asarray(pick, dtype=float))
+            ys.append(value)

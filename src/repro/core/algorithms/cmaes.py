@@ -1,0 +1,130 @@
+"""A compact Covariance-Matrix-Adaptation Evolution Strategy (extension).
+
+This is the standard (mu/mu_w, lambda)-CMA-ES of Hansen, implemented
+directly from the tutorial equations with no external dependency: a
+multivariate Gaussian search distribution whose mean, step size (via
+cumulative step-size adaptation) and covariance matrix (rank-one plus
+rank-mu updates) are adapted from the best ``mu`` samples of every
+generation.
+
+CMA-ES represents the "serious black-box optimizer" end of the design
+space the paper sketches between simple searches and Bayesian
+optimization; the extension benchmark compares it against both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms.base import CalibrationAlgorithm, register
+from repro.core.evaluation import Objective
+from repro.core.parameters import ParameterSpace
+
+__all__ = ["CMAES"]
+
+
+@register("cmaes")
+class CMAES(CalibrationAlgorithm):
+    """(mu/mu_w, lambda)-CMA-ES on the normalised unit cube, with restarts."""
+
+    name = "cmaes"
+
+    def __init__(
+        self,
+        population_size: int = 0,
+        initial_sigma: float = 0.3,
+        max_generations_per_restart: int = 200,
+        stagnation_tolerance: float = 1e-4,
+        max_restarts: int = 10_000_000,
+    ) -> None:
+        if initial_sigma <= 0:
+            raise ValueError("the initial step size must be positive")
+        self.population_size = int(population_size)
+        self.initial_sigma = float(initial_sigma)
+        self.max_generations_per_restart = int(max_generations_per_restart)
+        self.stagnation_tolerance = float(stagnation_tolerance)
+        self.max_restarts = int(max_restarts)
+
+    # ------------------------------------------------------------------ #
+    # one restart
+    # ------------------------------------------------------------------ #
+    def _restart(
+        self, objective: Objective, space: ParameterSpace, rng: np.random.Generator
+    ) -> None:
+        d = space.dimension
+        lam = self.population_size or (4 + int(3 * np.log(d)))
+        mu = lam // 2
+
+        # Recombination weights and effective selection mass.
+        raw = np.log(mu + 0.5) - np.log(np.arange(1, mu + 1))
+        weights = raw / raw.sum()
+        mu_eff = 1.0 / float(np.sum(weights**2))
+
+        # Strategy constants (Hansen's tutorial defaults).
+        c_sigma = (mu_eff + 2.0) / (d + mu_eff + 5.0)
+        d_sigma = 1.0 + 2.0 * max(0.0, np.sqrt((mu_eff - 1.0) / (d + 1.0)) - 1.0) + c_sigma
+        c_c = (4.0 + mu_eff / d) / (d + 4.0 + 2.0 * mu_eff / d)
+        c_1 = 2.0 / ((d + 1.3) ** 2 + mu_eff)
+        c_mu = min(1.0 - c_1, 2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((d + 2.0) ** 2 + mu_eff))
+        chi_d = np.sqrt(d) * (1.0 - 1.0 / (4.0 * d) + 1.0 / (21.0 * d**2))
+
+        mean = space.sample_unit(rng)
+        sigma = self.initial_sigma
+        covariance = np.eye(d)
+        path_sigma = np.zeros(d)
+        path_c = np.zeros(d)
+        previous_best = np.inf
+
+        for generation in range(self.max_generations_per_restart):
+            eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+            eigenvalues = np.maximum(eigenvalues, 1e-20)
+            sqrt_cov = eigenvectors @ np.diag(np.sqrt(eigenvalues)) @ eigenvectors.T
+            inv_sqrt_cov = eigenvectors @ np.diag(1.0 / np.sqrt(eigenvalues)) @ eigenvectors.T
+
+            # Sample and evaluate one generation.
+            normals = rng.standard_normal((lam, d))
+            candidates = mean + sigma * normals @ sqrt_cov.T
+            clipped = np.clip(candidates, 0.0, 1.0)
+            values = np.array([objective.evaluate_unit(x) for x in clipped])
+
+            order = np.argsort(values)
+            selected = candidates[order[:mu]]
+            best_value = float(values[order[0]])
+
+            old_mean = mean
+            mean = weights @ selected
+            mean = np.clip(mean, 0.0, 1.0)
+
+            # Step-size adaptation.
+            shift = (mean - old_mean) / sigma
+            path_sigma = (1.0 - c_sigma) * path_sigma + np.sqrt(
+                c_sigma * (2.0 - c_sigma) * mu_eff
+            ) * inv_sqrt_cov @ shift
+            sigma *= np.exp((c_sigma / d_sigma) * (np.linalg.norm(path_sigma) / chi_d - 1.0))
+            sigma = float(np.clip(sigma, 1e-8, 1.0))
+
+            # Covariance adaptation (rank-one + rank-mu).
+            h_sigma = float(
+                np.linalg.norm(path_sigma)
+                / np.sqrt(1.0 - (1.0 - c_sigma) ** (2 * (generation + 1)))
+                < (1.4 + 2.0 / (d + 1.0)) * chi_d
+            )
+            path_c = (1.0 - c_c) * path_c + h_sigma * np.sqrt(
+                c_c * (2.0 - c_c) * mu_eff
+            ) * shift
+            artifacts = (selected - old_mean) / sigma
+            rank_mu = sum(w * np.outer(y, y) for w, y in zip(weights, artifacts))
+            covariance = (
+                (1.0 - c_1 - c_mu) * covariance
+                + c_1 * (np.outer(path_c, path_c) + (1.0 - h_sigma) * c_c * (2.0 - c_c) * covariance)
+                + c_mu * rank_mu
+            )
+            covariance = (covariance + covariance.T) / 2.0  # keep it symmetric
+
+            if abs(previous_best - best_value) < self.stagnation_tolerance and sigma < 1e-3:
+                return  # converged: the caller restarts
+            previous_best = best_value
+
+    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
+        for _ in range(self.max_restarts):
+            self._restart(objective, space, rng)

@@ -1,0 +1,74 @@
+"""Cyclic coordinate descent (extension).
+
+Not evaluated in the paper, but a natural "simple algorithm" to compare
+against: starting from a random point, repeatedly sweep over the
+dimensions; for each dimension perform a golden-section-style shrinking
+search along that axis while keeping the other coordinates fixed.  When a
+full sweep improves the objective by less than ``epsilon``, restart from a
+new random point (same restart logic as the paper's gradient descent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms.base import CalibrationAlgorithm, register
+from repro.core.evaluation import Objective
+from repro.core.parameters import ParameterSpace
+
+__all__ = ["CoordinateDescent"]
+
+
+@register("coordinate")
+class CoordinateDescent(CalibrationAlgorithm):
+    """Cyclic per-dimension line search with random restarts."""
+
+    name = "coordinate"
+
+    def __init__(
+        self,
+        points_per_axis: int = 5,
+        refinements: int = 3,
+        epsilon: float = 1e-2,
+        max_restarts: int = 10_000_000,
+    ) -> None:
+        if points_per_axis < 3:
+            raise ValueError("need at least 3 points per axis")
+        self.points_per_axis = int(points_per_axis)
+        self.refinements = int(refinements)
+        self.epsilon = float(epsilon)
+        self.max_restarts = int(max_restarts)
+
+    def _axis_search(
+        self, objective: Objective, x: np.ndarray, fx: float, axis: int
+    ) -> tuple:
+        """Shrinking grid search along one axis; returns (x, fx)."""
+        low, high = 0.0, 1.0
+        best_x, best_fx = np.array(x, copy=True), fx
+        for _ in range(self.refinements):
+            candidates = np.linspace(low, high, self.points_per_axis)
+            values = []
+            for c in candidates:
+                probe = np.array(best_x, copy=True)
+                probe[axis] = c
+                values.append(objective.evaluate_unit(probe))
+            best_idx = int(np.argmin(values))
+            if values[best_idx] < best_fx:
+                best_fx = values[best_idx]
+                best_x[axis] = candidates[best_idx]
+            # Shrink the bracket around the best candidate.
+            width = (high - low) / (self.points_per_axis - 1)
+            low = max(0.0, candidates[best_idx] - width)
+            high = min(1.0, candidates[best_idx] + width)
+        return best_x, best_fx
+
+    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
+        for _ in range(self.max_restarts):
+            x = space.sample_unit(rng)
+            fx = objective.evaluate_unit(x)
+            while True:
+                before = fx
+                for axis in range(space.dimension):
+                    x, fx = self._axis_search(objective, x, fx, axis)
+                if before - fx < self.epsilon:
+                    break

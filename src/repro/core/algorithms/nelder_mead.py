@@ -1,0 +1,120 @@
+"""Nelder-Mead downhill simplex (extension).
+
+A derivative-free local search that maintains a simplex of ``d + 1``
+points in the normalised (log2) parameter cube and iteratively reflects,
+expands, contracts or shrinks it towards lower objective values.  Like the
+paper's gradient descent, it is restarted from a fresh random simplex when
+it converges, so that the whole budget is spent even on multi-modal
+objectives.
+
+Nelder-Mead is a natural next step above the paper's simple algorithms:
+it needs no gradient estimate (one evaluation per probe instead of one per
+dimension) and copes well with the "mostly flat along non-bottleneck
+dimensions" landscape that Section IV.C.2 describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms.base import CalibrationAlgorithm, register
+from repro.core.evaluation import Objective
+from repro.core.parameters import ParameterSpace
+
+__all__ = ["NelderMead"]
+
+
+@register("nelder-mead")
+class NelderMead(CalibrationAlgorithm):
+    """Box-constrained Nelder-Mead simplex with random restarts."""
+
+    name = "nelder-mead"
+
+    def __init__(
+        self,
+        reflection: float = 1.0,
+        expansion: float = 2.0,
+        contraction: float = 0.5,
+        shrink: float = 0.5,
+        initial_size: float = 0.25,
+        tolerance: float = 1e-3,
+        max_iterations_per_restart: int = 200,
+        max_restarts: int = 10_000_000,
+    ) -> None:
+        if not (reflection > 0 and expansion > 1 and 0 < contraction < 1 and 0 < shrink < 1):
+            raise ValueError("invalid Nelder-Mead coefficients")
+        self.reflection = float(reflection)
+        self.expansion = float(expansion)
+        self.contraction = float(contraction)
+        self.shrink = float(shrink)
+        self.initial_size = float(initial_size)
+        self.tolerance = float(tolerance)
+        self.max_iterations_per_restart = int(max_iterations_per_restart)
+        self.max_restarts = int(max_restarts)
+
+    # ------------------------------------------------------------------ #
+    # building blocks
+    # ------------------------------------------------------------------ #
+    def _initial_simplex(
+        self, space: ParameterSpace, rng: np.random.Generator
+    ) -> np.ndarray:
+        """A random point plus one offset vertex per dimension."""
+        d = space.dimension
+        origin = space.sample_unit(rng)
+        vertices = [origin]
+        for i in range(d):
+            vertex = np.array(origin, copy=True)
+            offset = self.initial_size if vertex[i] + self.initial_size <= 1.0 else -self.initial_size
+            vertex[i] = min(max(vertex[i] + offset, 0.0), 1.0)
+            vertices.append(vertex)
+        return np.array(vertices)
+
+    @staticmethod
+    def _clip(x: np.ndarray) -> np.ndarray:
+        return np.clip(x, 0.0, 1.0)
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def _restart(
+        self, objective: Objective, space: ParameterSpace, rng: np.random.Generator
+    ) -> None:
+        simplex = self._initial_simplex(space, rng)
+        values = np.array([objective.evaluate_unit(v) for v in simplex])
+
+        for _ in range(self.max_iterations_per_restart):
+            order = np.argsort(values)
+            simplex, values = simplex[order], values[order]
+            best, worst = values[0], values[-1]
+            if worst - best < self.tolerance:
+                return  # converged: caller restarts from a new random simplex
+
+            centroid = simplex[:-1].mean(axis=0)
+            reflected = self._clip(centroid + self.reflection * (centroid - simplex[-1]))
+            f_reflected = objective.evaluate_unit(reflected)
+
+            if f_reflected < values[0]:
+                expanded = self._clip(centroid + self.expansion * (reflected - centroid))
+                f_expanded = objective.evaluate_unit(expanded)
+                if f_expanded < f_reflected:
+                    simplex[-1], values[-1] = expanded, f_expanded
+                else:
+                    simplex[-1], values[-1] = reflected, f_reflected
+            elif f_reflected < values[-2]:
+                simplex[-1], values[-1] = reflected, f_reflected
+            else:
+                contracted = self._clip(centroid + self.contraction * (simplex[-1] - centroid))
+                f_contracted = objective.evaluate_unit(contracted)
+                if f_contracted < values[-1]:
+                    simplex[-1], values[-1] = contracted, f_contracted
+                else:
+                    # Shrink every vertex towards the best one.
+                    for i in range(1, len(simplex)):
+                        simplex[i] = self._clip(
+                            simplex[0] + self.shrink * (simplex[i] - simplex[0])
+                        )
+                        values[i] = objective.evaluate_unit(simplex[i])
+
+    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
+        for _ in range(self.max_restarts):
+            self._restart(objective, space, rng)

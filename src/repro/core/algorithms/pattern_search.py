@@ -1,0 +1,101 @@
+"""Hooke-Jeeves pattern search (extension).
+
+A classic direct search: starting from a base point, exploratory moves
+probe ``+/- step`` along every (log2-scaled) dimension and keep any
+improvement; a successful exploration is followed by a pattern move that
+doubles down in the improving direction; failures halve the step size.
+When the step size drops below a threshold the search restarts from a new
+random base point, so the whole calibration budget is consumed.
+
+Pattern search sits between the paper's gradient descent (which needs
+``d`` probes just to estimate a gradient and can be defeated by the flat
+non-bottleneck dimensions) and random search: it is monotone, requires no
+line search and handles flat dimensions gracefully (their probes simply
+never improve).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms.base import CalibrationAlgorithm, register
+from repro.core.evaluation import Objective
+from repro.core.parameters import ParameterSpace
+
+__all__ = ["PatternSearch"]
+
+
+@register("pattern")
+class PatternSearch(CalibrationAlgorithm):
+    """Hooke-Jeeves direct pattern search with random restarts."""
+
+    name = "pattern"
+
+    def __init__(
+        self,
+        initial_step: float = 0.25,
+        step_reduction: float = 0.5,
+        min_step: float = 1e-3,
+        max_restarts: int = 10_000_000,
+    ) -> None:
+        if not 0.0 < step_reduction < 1.0:
+            raise ValueError("the step reduction factor must be in (0, 1)")
+        if initial_step <= 0 or min_step <= 0:
+            raise ValueError("step sizes must be positive")
+        self.initial_step = float(initial_step)
+        self.step_reduction = float(step_reduction)
+        self.min_step = float(min_step)
+        self.max_restarts = int(max_restarts)
+
+    # ------------------------------------------------------------------ #
+    # building blocks
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _clip(x: np.ndarray) -> np.ndarray:
+        return np.clip(x, 0.0, 1.0)
+
+    def _explore(
+        self, objective: Objective, base: np.ndarray, f_base: float, step: float
+    ) -> tuple:
+        """Probe +/- step along every dimension, keeping improvements."""
+        current = np.array(base, copy=True)
+        f_current = f_base
+        for i in range(current.size):
+            for direction in (+1.0, -1.0):
+                probe = np.array(current, copy=True)
+                probe[i] = min(max(probe[i] + direction * step, 0.0), 1.0)
+                if probe[i] == current[i]:
+                    continue
+                f_probe = objective.evaluate_unit(probe)
+                if f_probe < f_current:
+                    current, f_current = probe, f_probe
+                    break  # accept the first improving direction on this axis
+        return current, f_current
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def _restart(
+        self, objective: Objective, space: ParameterSpace, rng: np.random.Generator
+    ) -> None:
+        base = space.sample_unit(rng)
+        f_base = objective.evaluate_unit(base)
+        step = self.initial_step
+
+        while step >= self.min_step:
+            candidate, f_candidate = self._explore(objective, base, f_base, step)
+            if f_candidate < f_base:
+                # Pattern move: jump again in the same direction, then explore
+                # around the landing point.
+                pattern = self._clip(candidate + (candidate - base))
+                f_pattern = objective.evaluate_unit(pattern)
+                if f_pattern < f_candidate:
+                    base, f_base = pattern, f_pattern
+                else:
+                    base, f_base = candidate, f_candidate
+            else:
+                step *= self.step_reduction
+
+    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
+        for _ in range(self.max_restarts):
+            self._restart(objective, space, rng)

@@ -1,0 +1,31 @@
+"""Random search (RANDOM in the paper).
+
+"This algorithm simply evaluates sets of random parameter values, where
+each value is sampled uniformly in its parameter range" — with the log2
+representation of Section III.A, uniform sampling of the normalised
+coordinate is log-uniform sampling of the parameter value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms.base import CalibrationAlgorithm, register
+from repro.core.evaluation import Objective
+from repro.core.parameters import ParameterSpace
+
+__all__ = ["RandomSearch"]
+
+
+@register("random")
+class RandomSearch(CalibrationAlgorithm):
+    """Uniform random sampling of the (log-scaled) parameter space."""
+
+    name = "random"
+
+    def __init__(self, max_iterations: int = 10_000_000) -> None:
+        self.max_iterations = int(max_iterations)
+
+    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
+        for _ in range(self.max_iterations):
+            objective.evaluate_unit(space.sample_unit(rng))

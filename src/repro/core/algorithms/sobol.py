@@ -1,0 +1,47 @@
+"""Scrambled Sobol quasi-random search (extension).
+
+A drop-in replacement for RANDOM that samples the normalised (log2)
+parameter cube along a scrambled Sobol low-discrepancy sequence instead of
+uniformly at random.  Low-discrepancy sequences cover the cube more evenly
+for the same number of points, which matters when the budget only affords
+a few hundred simulator invocations; the ablation benchmark quantifies the
+effect against plain random search and Latin hypercube sampling.
+
+The sequence comes from :mod:`scipy.stats.qmc`; the generator is
+re-scrambled from the calibration seed so that, like every other
+algorithm, the search is fully reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import qmc
+
+from repro.core.algorithms.base import CalibrationAlgorithm, register
+from repro.core.evaluation import Objective
+from repro.core.parameters import ParameterSpace
+
+__all__ = ["SobolSearch"]
+
+
+@register("sobol")
+class SobolSearch(CalibrationAlgorithm):
+    """Scrambled Sobol sequence sampling of the parameter space."""
+
+    name = "sobol"
+
+    def __init__(self, batch_size: int = 64, max_batches: int = 1_000_000) -> None:
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1")
+        self.batch_size = int(batch_size)
+        self.max_batches = int(max_batches)
+
+    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
+        sampler = qmc.Sobol(d=space.dimension, scramble=True, seed=rng)
+        for _ in range(self.max_batches):
+            # Sobol sequences are balanced in blocks of powers of two; draw
+            # whole blocks and feed them to the objective one point at a time
+            # so that the budget can cut a block short.
+            batch = sampler.random(self.batch_size)
+            for row in batch:
+                objective.evaluate_unit(row)

@@ -1,0 +1,94 @@
+"""Calibration budgets.
+
+The paper bounds the calibration procedure by a wall-clock time ``T``
+(rather than a number of simulator invocations, because the simulation
+time itself depends on the parameter values — Section III.A).  The
+framework supports both, and their combination:
+
+* :class:`TimeBudget` — stop after ``seconds`` of wall-clock time;
+* :class:`EvaluationBudget` — stop after ``max_evaluations`` simulator
+  invocations (cache hits do not count);
+* :class:`CombinedBudget` — stop when any of several budgets is exhausted.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+__all__ = ["Budget", "TimeBudget", "EvaluationBudget", "CombinedBudget"]
+
+
+class Budget:
+    """Base class; a budget is started once and then queried repeatedly."""
+
+    def start(self) -> None:
+        """Mark the beginning of the calibration run."""
+
+    def exhausted(self, evaluations: int) -> bool:  # pragma: no cover - interface
+        """Whether the calibration must stop (called before each evaluation)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class TimeBudget(Budget):
+    """Stop after a fixed amount of wall-clock time (the paper's bound T)."""
+
+    def __init__(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise ValueError(f"the time budget must be positive, got {seconds}")
+        self.seconds = float(seconds)
+        self._start: Optional[float] = None
+
+    def start(self) -> None:
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        if self._start is None:
+            return 0.0
+        return time.perf_counter() - self._start
+
+    def exhausted(self, evaluations: int) -> bool:
+        if self._start is None:
+            self.start()
+        return self.elapsed >= self.seconds
+
+    def describe(self) -> str:
+        return f"time budget T = {self.seconds:g} s"
+
+
+class EvaluationBudget(Budget):
+    """Stop after a fixed number of simulator invocations."""
+
+    def __init__(self, max_evaluations: int) -> None:
+        if max_evaluations <= 0:
+            raise ValueError(f"the evaluation budget must be positive, got {max_evaluations}")
+        self.max_evaluations = int(max_evaluations)
+
+    def exhausted(self, evaluations: int) -> bool:
+        return evaluations >= self.max_evaluations
+
+    def describe(self) -> str:
+        return f"evaluation budget N = {self.max_evaluations}"
+
+
+class CombinedBudget(Budget):
+    """Exhausted as soon as any of its member budgets is exhausted."""
+
+    def __init__(self, budgets: Sequence[Budget]) -> None:
+        if not budgets:
+            raise ValueError("a combined budget needs at least one member")
+        self.budgets = list(budgets)
+
+    def start(self) -> None:
+        for budget in self.budgets:
+            budget.start()
+
+    def exhausted(self, evaluations: int) -> bool:
+        return any(b.exhausted(evaluations) for b in self.budgets)
+
+    def describe(self) -> str:
+        return " and ".join(b.describe() for b in self.budgets)

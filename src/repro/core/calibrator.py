@@ -1,0 +1,94 @@
+"""The calibrator: glue between an objective, a budget and an algorithm.
+
+Typical use (this is what :mod:`repro.hepsim.calibration` does for the
+case study):
+
+.. code-block:: python
+
+    space = ParameterSpace([...])
+    objective_fn = lambda values: simulate_and_compute_mre(values)
+    calibrator = Calibrator(space, objective_fn,
+                            algorithm="random",
+                            budget=EvaluationBudget(500),
+                            seed=0)
+    result = calibrator.run()
+    result.best_values   # the calibrated parameter values
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.algorithms import CalibrationAlgorithm, get_algorithm
+from repro.core.budget import Budget, CombinedBudget, EvaluationBudget
+from repro.core.evaluation import BudgetExhausted, Objective
+from repro.core.parameters import ParameterSpace
+from repro.core.result import CalibrationResult
+from repro.core.stopping import StoppingBudget, StoppingCriterion
+
+__all__ = ["Calibrator"]
+
+
+class Calibrator:
+    """Runs one calibration: an algorithm exploring a parameter space under
+    a budget, minimising a simulator-accuracy objective.
+
+    An optional early-stopping criterion (see :mod:`repro.core.stopping`)
+    can be supplied; the run then ends at whichever of the budget or the
+    criterion triggers first.
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        objective_function: Callable[[Dict[str, float]], float],
+        algorithm: Union[str, CalibrationAlgorithm] = "random",
+        budget: Optional[Budget] = None,
+        seed: int = 0,
+        cache: bool = True,
+        stopping: Optional[StoppingCriterion] = None,
+    ) -> None:
+        self.space = space
+        self.algorithm = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+        self.budget = budget if budget is not None else EvaluationBudget(100)
+        self.seed = seed
+        effective_budget = self.budget
+        if stopping is not None:
+            stopper = StoppingBudget(stopping)
+            effective_budget = CombinedBudget([self.budget, stopper])
+            self._stopper: Optional[StoppingBudget] = stopper
+        else:
+            self._stopper = None
+        self.objective = Objective(objective_function, space, budget=effective_budget, cache=cache)
+        if self._stopper is not None:
+            self._stopper.bind(self.objective.history)
+
+    def run(self) -> CalibrationResult:
+        """Run the calibration until the budget is exhausted (or the
+        algorithm decides it is done) and return the best point found."""
+        # All algorithms use the same seeded pseudo-random number generator,
+        # as in the paper's experimental protocol.
+        rng = np.random.default_rng(self.seed)
+        self.objective.start()
+        try:
+            self.algorithm.run(self.objective, self.space, rng)
+        except BudgetExhausted:
+            pass
+        best = self.objective.best
+        if best is None:
+            raise RuntimeError(
+                "the budget was exhausted before a single evaluation completed; "
+                "increase the budget"
+            )
+        return CalibrationResult(
+            algorithm=self.algorithm.name,
+            best_values=dict(best.values),
+            best_value=best.value,
+            evaluations=self.objective.evaluation_count,
+            elapsed=self.objective.elapsed,
+            history=self.objective.history,
+            budget_description=self.budget.describe(),
+            seed=self.seed,
+        )

@@ -1,0 +1,204 @@
+"""Cross-validation of calibrations across ground-truth scenarios.
+
+Section IV.C.3 of the paper calibrates with *subsets* of the available
+ground-truth scenarios (the ICD values) and evaluates the result against
+the full set, asking how little ground truth suffices.  This module
+generalises that protocol into standard cross-validation machinery:
+
+* a *scenario key* identifies one ground-truth execution scenario (an ICD
+  value in the case study, but any hashable key works);
+* a *problem builder* maps a set of training keys to an objective function
+  that measures accuracy against those scenarios only;
+* an *evaluator* scores a calibrated parameter set against an arbitrary
+  set of (held-out) keys.
+
+:func:`cross_validate` then runs one calibration per fold and reports the
+train and test scores, from which generalisation gaps are immediately
+visible (e.g. the catastrophic single-extreme-ICD folds of Table V).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import statistics
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.budget import Budget, EvaluationBudget
+from repro.core.calibrator import Calibrator
+from repro.core.parameters import ParameterSpace
+
+__all__ = [
+    "Fold",
+    "FoldResult",
+    "CrossValidationResult",
+    "k_fold_splits",
+    "leave_one_out_splits",
+    "subset_splits",
+    "cross_validate",
+]
+
+Key = Hashable
+ProblemBuilder = Callable[[Sequence[Key]], Callable[[Dict[str, float]], float]]
+Evaluator = Callable[[Dict[str, float], Sequence[Key]], float]
+
+
+@dataclasses.dataclass(frozen=True)
+class Fold:
+    """One train/test split of the scenario keys."""
+
+    train: Tuple[Key, ...]
+    test: Tuple[Key, ...]
+
+    def __post_init__(self) -> None:
+        if not self.train:
+            raise ValueError("a fold needs at least one training scenario")
+        overlap = set(self.train) & set(self.test)
+        if overlap:
+            raise ValueError(f"train and test scenarios overlap: {sorted(map(str, overlap))}")
+
+
+@dataclasses.dataclass(frozen=True)
+class FoldResult:
+    """Scores of the calibration computed on one fold."""
+
+    fold: Fold
+    train_score: float
+    test_score: float
+    best_values: Dict[str, float]
+    evaluations: int
+
+    @property
+    def generalization_gap(self) -> float:
+        """Test score minus train score (positive = worse on held-out data)."""
+        return self.test_score - self.train_score
+
+
+@dataclasses.dataclass
+class CrossValidationResult:
+    """Aggregate of all fold results."""
+
+    folds: List[FoldResult]
+
+    @property
+    def train_scores(self) -> List[float]:
+        return [f.train_score for f in self.folds]
+
+    @property
+    def test_scores(self) -> List[float]:
+        return [f.test_score for f in self.folds]
+
+    def summary(self) -> Dict[str, float]:
+        """Best / median / worst test score plus the mean generalisation gap
+        (the same best/median/worst framing as the paper's Table V)."""
+        tests = self.test_scores
+        return {
+            "best": min(tests),
+            "median": statistics.median(tests),
+            "worst": max(tests),
+            "mean_gap": statistics.mean(f.generalization_gap for f in self.folds),
+        }
+
+
+# ---------------------------------------------------------------------- #
+# split generators
+# ---------------------------------------------------------------------- #
+def k_fold_splits(keys: Sequence[Key], k: int, seed: int = 0) -> List[Fold]:
+    """Shuffle the keys and split them into ``k`` folds; each fold trains on
+    the other ``k-1`` folds and tests on its own."""
+    keys = list(keys)
+    if k < 2:
+        raise ValueError("k-fold cross-validation needs k >= 2")
+    if k > len(keys):
+        raise ValueError(f"cannot split {len(keys)} scenarios into {k} folds")
+    rng = np.random.default_rng(seed)
+    shuffled = [keys[i] for i in rng.permutation(len(keys))]
+    chunks = [shuffled[i::k] for i in range(k)]
+    folds = []
+    for i, test in enumerate(chunks):
+        train = [key for j, chunk in enumerate(chunks) if j != i for key in chunk]
+        folds.append(Fold(tuple(train), tuple(test)))
+    return folds
+
+
+def leave_one_out_splits(keys: Sequence[Key]) -> List[Fold]:
+    """One fold per key: train on all the others, test on that one."""
+    keys = list(keys)
+    if len(keys) < 2:
+        raise ValueError("leave-one-out needs at least 2 scenarios")
+    return [
+        Fold(tuple(k for k in keys if k != held_out), (held_out,)) for held_out in keys
+    ]
+
+
+def subset_splits(
+    keys: Sequence[Key], subset_size: int, test_keys: Optional[Sequence[Key]] = None
+) -> List[Fold]:
+    """The paper's Table V protocol: train on every subset of ``subset_size``
+    keys, test on ``test_keys`` (default: all keys not in the subset)."""
+    keys = list(keys)
+    if not 1 <= subset_size <= len(keys):
+        raise ValueError(f"subset size must be in [1, {len(keys)}]")
+    folds = []
+    for subset in itertools.combinations(keys, subset_size):
+        if test_keys is not None:
+            test = tuple(k for k in test_keys if k not in subset)
+        else:
+            test = tuple(k for k in keys if k not in subset)
+        if not test:
+            # Training on everything: test on the full set (degenerate fold).
+            test = tuple(keys)
+        folds.append(Fold(tuple(subset), test))
+    return folds
+
+
+# ---------------------------------------------------------------------- #
+# the cross-validation driver
+# ---------------------------------------------------------------------- #
+def cross_validate(
+    builder: ProblemBuilder,
+    evaluator: Evaluator,
+    folds: Sequence[Fold],
+    space: ParameterSpace,
+    algorithm: str = "random",
+    budget: Optional[Union[Budget, int]] = None,
+    seed: int = 0,
+) -> CrossValidationResult:
+    """Calibrate once per fold and score the result on the held-out scenarios.
+
+    Parameters
+    ----------
+    builder:
+        Maps the fold's training keys to an objective function.
+    evaluator:
+        Maps (calibrated values, test keys) to a held-out score.
+    folds:
+        Train/test splits, e.g. from :func:`k_fold_splits`.
+    space, algorithm, budget, seed:
+        Passed to the underlying :class:`~repro.core.calibrator.Calibrator`;
+        an integer budget is interpreted as an evaluation count.  Every fold
+        gets the same budget (the paper's fixed-T protocol).
+    """
+    if budget is None:
+        budget = EvaluationBudget(100)
+    results: List[FoldResult] = []
+    for fold in folds:
+        fold_budget = EvaluationBudget(budget) if isinstance(budget, int) else budget
+        objective = builder(fold.train)
+        calibrator = Calibrator(
+            space, objective, algorithm=algorithm, budget=fold_budget, seed=seed
+        )
+        outcome = calibrator.run()
+        test_score = float(evaluator(dict(outcome.best_values), fold.test))
+        results.append(
+            FoldResult(
+                fold=fold,
+                train_score=outcome.best_value,
+                test_score=test_score,
+                best_values=dict(outcome.best_values),
+                evaluations=outcome.evaluations,
+            )
+        )
+    return CrossValidationResult(results)

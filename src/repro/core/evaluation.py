@@ -1,0 +1,140 @@
+"""Objective-function wrapper: evaluation records, caching, budget checks.
+
+Algorithms never call the user's simulator directly; they go through an
+:class:`Objective`, which
+
+* enforces the calibration budget (raising :class:`BudgetExhausted` when
+  it runs out, which the :class:`~repro.core.calibrator.Calibrator`
+  catches — this lets the algorithms be written as straightforward loops,
+  exactly as described in the paper);
+* caches results so that re-visited points (e.g. shared grid corners) do
+  not consume budget;
+* records every evaluation (parameters, value, wall-clock timestamps) in a
+  :class:`~repro.core.history.CalibrationHistory`, from which the Figure 2
+  convergence curves are produced.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.budget import Budget
+from repro.core.history import CalibrationHistory, Evaluation
+from repro.core.parameters import ParameterSpace
+
+__all__ = ["BudgetExhausted", "Evaluation", "Objective"]
+
+
+class BudgetExhausted(Exception):
+    """Raised by :meth:`Objective.evaluate` when the budget has run out."""
+
+
+class Objective:
+    """Budget-aware, caching wrapper around a simulator accuracy function.
+
+    Parameters
+    ----------
+    function:
+        Callable mapping a parameter-value dictionary to an accuracy value
+        (lower is better; the case study uses the MRE in percent).
+    space:
+        The parameter space (used to convert between value dictionaries and
+        normalised unit-cube coordinates).
+    budget:
+        Optional budget; when it is exhausted, :meth:`evaluate` raises
+        :class:`BudgetExhausted`.
+    cache:
+        Whether to memoise evaluations (keyed on rounded unit coordinates).
+    """
+
+    #: number of decimals used for the cache key in unit coordinates
+    CACHE_DECIMALS = 9
+
+    def __init__(
+        self,
+        function: Callable[[Dict[str, float]], float],
+        space: ParameterSpace,
+        budget: Optional[Budget] = None,
+        cache: bool = True,
+    ) -> None:
+        self.function = function
+        self.space = space
+        self.budget = budget
+        self.history = CalibrationHistory()
+        self._cache_enabled = cache
+        self._cache: Dict[Tuple[float, ...], float] = {}
+        self._start_time = time.perf_counter()
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Reset the clock (called by the calibrator right before running)."""
+        self._start_time = time.perf_counter()
+        self._started = True
+        if self.budget is not None:
+            self.budget.start()
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds since the calibration started."""
+        return time.perf_counter() - self._start_time
+
+    @property
+    def evaluation_count(self) -> int:
+        """Number of actual simulator invocations performed (cache misses)."""
+        return len(self.history)
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def _cache_key(self, unit: np.ndarray) -> Tuple[float, ...]:
+        return tuple(np.round(unit, self.CACHE_DECIMALS))
+
+    def evaluate(self, values: Mapping[str, float]) -> float:
+        """Evaluate the objective for a parameter-value dictionary."""
+        if not self._started:
+            self.start()
+        unit = self.space.to_unit_array(values)
+        key = self._cache_key(unit)
+        if self._cache_enabled and key in self._cache:
+            return self._cache[key]
+        if self.budget is not None and self.budget.exhausted(self.evaluation_count):
+            raise BudgetExhausted(self.budget.describe())
+        started_at = self.elapsed
+        value = float(self.function(dict(values)))
+        finished_at = self.elapsed
+        self.history.record(
+            Evaluation(
+                index=self.evaluation_count,
+                values=dict(values),
+                unit=tuple(float(u) for u in unit),
+                value=value,
+                started_at=started_at,
+                finished_at=finished_at,
+            )
+        )
+        if self._cache_enabled:
+            self._cache[key] = value
+        return value
+
+    def evaluate_unit(self, x: Sequence[float]) -> float:
+        """Evaluate the objective at normalised unit-cube coordinates."""
+        return self.evaluate(self.space.from_unit_array(self.space.clip_unit(x)))
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+    @property
+    def best(self) -> Optional[Evaluation]:
+        return self.history.best
+
+    def best_values(self) -> Dict[str, float]:
+        best = self.history.best
+        if best is None:
+            raise ValueError("no evaluation has been performed yet")
+        return dict(best.values)

@@ -1,0 +1,109 @@
+"""Evaluation history and convergence traces.
+
+Every simulator invocation performed during a calibration is recorded as
+an :class:`Evaluation`; the :class:`CalibrationHistory` aggregates them
+and produces the best-so-far convergence curves (against evaluation count
+or against wall-clock time) used by Figure 2 and by the time-bound
+analysis of Section IV.C.5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Evaluation", "CalibrationHistory"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Evaluation:
+    """One simulator invocation."""
+
+    index: int
+    values: Dict[str, float]
+    unit: Tuple[float, ...]
+    value: float
+    started_at: float
+    finished_at: float
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock duration of the invocation, in seconds."""
+        return self.finished_at - self.started_at
+
+
+class CalibrationHistory:
+    """Ordered list of evaluations plus convenience aggregations."""
+
+    def __init__(self) -> None:
+        self._evaluations: List[Evaluation] = []
+        self._best: Optional[Evaluation] = None
+
+    # ------------------------------------------------------------------ #
+    # population
+    # ------------------------------------------------------------------ #
+    def record(self, evaluation: Evaluation) -> None:
+        self._evaluations.append(evaluation)
+        if self._best is None or evaluation.value < self._best.value:
+            self._best = evaluation
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._evaluations)
+
+    def __iter__(self):
+        return iter(self._evaluations)
+
+    def __getitem__(self, index: int) -> Evaluation:
+        return self._evaluations[index]
+
+    @property
+    def evaluations(self) -> List[Evaluation]:
+        return list(self._evaluations)
+
+    @property
+    def best(self) -> Optional[Evaluation]:
+        """The evaluation with the lowest objective value so far."""
+        return self._best
+
+    @property
+    def total_evaluation_time(self) -> float:
+        """Total wall-clock time spent inside the simulator."""
+        return sum(e.duration for e in self._evaluations)
+
+    # ------------------------------------------------------------------ #
+    # convergence curves
+    # ------------------------------------------------------------------ #
+    def best_so_far(self) -> List[float]:
+        """Best objective value after each evaluation (non-increasing)."""
+        curve: List[float] = []
+        best = float("inf")
+        for evaluation in self._evaluations:
+            best = min(best, evaluation.value)
+            curve.append(best)
+        return curve
+
+    def best_over_time(self) -> List[Tuple[float, float]]:
+        """(wall-clock time, best value so far) pairs — Figure 2's series."""
+        series: List[Tuple[float, float]] = []
+        best = float("inf")
+        for evaluation in self._evaluations:
+            best = min(best, evaluation.value)
+            series.append((evaluation.finished_at, best))
+        return series
+
+    def best_at_time(self, elapsed: float) -> Optional[float]:
+        """Best value found within the first ``elapsed`` seconds."""
+        best: Optional[float] = None
+        for evaluation in self._evaluations:
+            if evaluation.finished_at > elapsed:
+                break
+            if best is None or evaluation.value < best:
+                best = evaluation.value
+        return best
+
+    def value_curve(self) -> List[float]:
+        """Raw objective values in evaluation order."""
+        return [e.value for e in self._evaluations]

@@ -1,0 +1,110 @@
+"""Simulation accuracy metrics.
+
+All metrics compare a *reference* (ground truth) metric dictionary with a
+*candidate* (simulated) one; both map arbitrary hashable keys — in the
+case study, ``(node name, ICD value)`` pairs — to non-negative quantities
+(average job execution times in seconds).
+
+The paper's headline metric is the Mean Relative Error in percent
+(:func:`mean_relative_error`); Figure 2 uses the mean *absolute* error
+(:func:`mean_absolute_error`); the other metrics support the "richer
+accuracy metric" discussion of Section IV.C.2 and the extension
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, Mapping
+
+__all__ = [
+    "mean_relative_error",
+    "mean_absolute_error",
+    "max_relative_error",
+    "root_mean_squared_error",
+    "mean_absolute_percentage_error",
+    "METRICS",
+    "get_metric",
+]
+
+MetricDict = Mapping[Hashable, float]
+MetricFunction = Callable[[MetricDict, MetricDict], float]
+
+
+def _check_keys(reference: MetricDict, candidate: MetricDict) -> None:
+    if not reference:
+        raise ValueError("the reference metric dictionary is empty")
+    missing = set(reference) - set(candidate)
+    if missing:
+        raise KeyError(f"candidate is missing metrics for keys: {sorted(missing, key=str)[:5]} ...")
+
+
+def mean_relative_error(reference: MetricDict, candidate: MetricDict) -> float:
+    """Mean Relative Error in percent (the paper's accuracy metric).
+
+    ``MRE = 100/n * sum_k |candidate[k] - reference[k]| / reference[k]``.
+    Reference entries equal to zero are skipped (they carry no relative
+    information); if every entry is zero a ``ValueError`` is raised.
+    """
+    _check_keys(reference, candidate)
+    total = 0.0
+    count = 0
+    for key, ref in reference.items():
+        if ref == 0:
+            continue
+        total += abs(candidate[key] - ref) / abs(ref)
+        count += 1
+    if count == 0:
+        raise ValueError("all reference values are zero; the MRE is undefined")
+    return 100.0 * total / count
+
+
+def mean_absolute_error(reference: MetricDict, candidate: MetricDict) -> float:
+    """Mean absolute error, in the reference's units (Figure 2's metric)."""
+    _check_keys(reference, candidate)
+    return sum(abs(candidate[k] - v) for k, v in reference.items()) / len(reference)
+
+
+def max_relative_error(reference: MetricDict, candidate: MetricDict) -> float:
+    """Worst-case relative error in percent."""
+    _check_keys(reference, candidate)
+    worst = 0.0
+    seen = False
+    for key, ref in reference.items():
+        if ref == 0:
+            continue
+        worst = max(worst, abs(candidate[key] - ref) / abs(ref))
+        seen = True
+    if not seen:
+        raise ValueError("all reference values are zero; the relative error is undefined")
+    return 100.0 * worst
+
+
+def root_mean_squared_error(reference: MetricDict, candidate: MetricDict) -> float:
+    """Root mean squared error, in the reference's units."""
+    _check_keys(reference, candidate)
+    total = sum((candidate[k] - v) ** 2 for k, v in reference.items())
+    return math.sqrt(total / len(reference))
+
+
+def mean_absolute_percentage_error(reference: MetricDict, candidate: MetricDict) -> float:
+    """Alias for :func:`mean_relative_error` under its other common name."""
+    return mean_relative_error(reference, candidate)
+
+
+#: Registry used by the experiment harness to select a metric by name.
+METRICS: Dict[str, MetricFunction] = {
+    "mre": mean_relative_error,
+    "mae": mean_absolute_error,
+    "max_re": max_relative_error,
+    "rmse": root_mean_squared_error,
+    "mape": mean_absolute_percentage_error,
+}
+
+
+def get_metric(name: str) -> MetricFunction:
+    """Look up a metric by name (``mre``, ``mae``, ``max_re``, ``rmse``)."""
+    try:
+        return METRICS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown metric {name!r}; available: {sorted(METRICS)}") from None

@@ -1,0 +1,191 @@
+"""Parallel objective evaluation.
+
+In the paper's experimental protocol "each algorithm executes one
+simulation on each core of a dedicated 2.5 GHz Intel Xeon Gold 6248
+40-core CPU": candidate parameter sets are evaluated concurrently, one
+simulator invocation per core.  This module provides that capability for
+the batch-style algorithms (random, Latin hypercube, Sobol and grid
+designs are embarrassingly parallel):
+
+* :class:`ParallelEvaluator` — evaluates a batch of parameter-value
+  dictionaries with a process pool (or a thread pool, or serially) and
+  records every evaluation in a :class:`~repro.core.history.CalibrationHistory`;
+* :class:`ParallelCalibrator` — repeatedly draws sampling batches,
+  evaluates them in parallel and stops when the budget is exhausted,
+  returning the same :class:`~repro.core.result.CalibrationResult` as the
+  sequential :class:`~repro.core.calibrator.Calibrator`.
+
+Process-based execution requires the objective function to be picklable —
+a plain function, or a callable object such as the case study's
+:class:`repro.hepsim.calibration.CaseStudyObjective` (closures will not
+work).  Thread-based execution accepts any callable but only pays off when
+the objective releases the GIL; the default ``"process"`` mode matches the
+paper's protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.budget import Budget, EvaluationBudget
+from repro.core.history import CalibrationHistory, Evaluation
+from repro.core.parameters import ParameterSpace
+from repro.core.result import CalibrationResult
+from repro.core.sampling import get_sampler
+
+__all__ = ["ParallelEvaluator", "ParallelCalibrator"]
+
+ObjectiveFunction = Callable[[Dict[str, float]], float]
+
+
+class ParallelEvaluator:
+    """Evaluates batches of candidate calibrations concurrently."""
+
+    def __init__(
+        self,
+        function: ObjectiveFunction,
+        space: ParameterSpace,
+        workers: int = 4,
+        mode: str = "process",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("the number of workers must be at least 1")
+        if mode not in ("process", "thread", "serial"):
+            raise ValueError(f"unknown execution mode {mode!r}")
+        self.function = function
+        self.space = space
+        self.workers = int(workers)
+        self.mode = mode
+        self.history = CalibrationHistory()
+        self._start_time = time.perf_counter()
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def _make_executor(self) -> Optional[Executor]:
+        if self.mode == "process":
+            return ProcessPoolExecutor(max_workers=self.workers)
+        if self.mode == "thread":
+            return ThreadPoolExecutor(max_workers=self.workers)
+        return None
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds since the evaluator was created (or reset)."""
+        return time.perf_counter() - self._start_time
+
+    def reset_clock(self) -> None:
+        self._start_time = time.perf_counter()
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate_batch(self, batch: Sequence[Dict[str, float]]) -> List[float]:
+        """Evaluate every candidate of ``batch`` and record the results.
+
+        The whole batch is submitted at once; results are recorded in batch
+        order (so histories remain deterministic regardless of completion
+        order).
+        """
+        if not batch:
+            return []
+        started_at = self.elapsed
+        executor = self._make_executor()
+        if executor is None:
+            values = [float(self.function(dict(candidate))) for candidate in batch]
+        else:
+            with executor:
+                values = [float(v) for v in executor.map(self.function, [dict(c) for c in batch])]
+        finished_at = self.elapsed
+        for candidate, value in zip(batch, values):
+            unit = self.space.to_unit_array(candidate)
+            self.history.record(
+                Evaluation(
+                    index=len(self.history),
+                    values=dict(candidate),
+                    unit=tuple(float(u) for u in unit),
+                    value=value,
+                    started_at=started_at,
+                    finished_at=finished_at,
+                )
+            )
+        return values
+
+
+class ParallelCalibrator:
+    """Budget-bounded parallel calibration with a space-filling sampler.
+
+    Parameters
+    ----------
+    space, objective_function:
+        As for :class:`~repro.core.calibrator.Calibrator`.
+    sampler:
+        Name of the sampling design drawn for every batch (``"uniform"``,
+        ``"lhs"``, ``"sobol"``, ``"halton"``).
+    workers, mode:
+        Concurrency settings, see :class:`ParallelEvaluator`.
+    batch_size:
+        Candidates per batch; defaults to the number of workers, which is
+        exactly the paper's "one simulation per core" protocol.
+    budget:
+        Evaluation- or time-based budget; checked between batches.
+    seed:
+        Seed for the batch sampler.
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        objective_function: ObjectiveFunction,
+        sampler: str = "lhs",
+        workers: int = 4,
+        mode: str = "process",
+        batch_size: Optional[int] = None,
+        budget: Optional[Budget] = None,
+        seed: int = 0,
+    ) -> None:
+        self.space = space
+        self.sampler_name = sampler
+        self.sampler = get_sampler(sampler)
+        self.evaluator = ParallelEvaluator(objective_function, space, workers=workers, mode=mode)
+        self.batch_size = int(workers) if batch_size is None else int(batch_size)
+        if self.batch_size < 1:
+            raise ValueError("the batch size must be at least 1")
+        self.budget = budget if budget is not None else EvaluationBudget(100)
+        self.seed = seed
+
+    def run(self) -> CalibrationResult:
+        """Draw and evaluate batches until the budget is exhausted."""
+        rng = np.random.default_rng(self.seed)
+        self.budget.start()
+        self.evaluator.reset_clock()
+        history = self.evaluator.history
+
+        while not self.budget.exhausted(len(history)):
+            design = self.sampler(self.space.dimension, self.batch_size, rng)
+            batch = [self.space.from_unit_array(row) for row in design]
+            # Trim the final batch when an evaluation budget would overshoot.
+            if isinstance(self.budget, EvaluationBudget):
+                remaining = self.budget.max_evaluations - len(history)
+                batch = batch[: max(remaining, 0)]
+            if not batch:
+                break
+            self.evaluator.evaluate_batch(batch)
+
+        best = history.best
+        if best is None:
+            raise RuntimeError("the budget was exhausted before a single evaluation completed")
+        return CalibrationResult(
+            algorithm=f"parallel-{self.sampler_name}",
+            best_values=dict(best.values),
+            best_value=best.value,
+            evaluations=len(history),
+            elapsed=self.evaluator.elapsed,
+            history=history,
+            budget_description=self.budget.describe(),
+            seed=self.seed,
+        )

@@ -1,0 +1,51 @@
+"""Calibration results."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.core.history import CalibrationHistory
+
+__all__ = ["CalibrationResult"]
+
+
+@dataclasses.dataclass
+class CalibrationResult:
+    """The outcome of one calibration run.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the algorithm that produced the result (``"random"``,
+        ``"grid"``, ``"gdfix"``, ...).
+    best_values:
+        The calibrated parameter values (the point with the lowest
+        objective value encountered during the run).
+    best_value:
+        The objective value (e.g. MRE in percent) at ``best_values``.
+    evaluations:
+        Number of simulator invocations actually performed.
+    elapsed:
+        Wall-clock duration of the calibration, in seconds.
+    history:
+        The full evaluation history (used for the Figure 2 curves).
+    budget_description:
+        Human-readable description of the budget that bounded the run.
+    """
+
+    algorithm: str
+    best_values: Dict[str, float]
+    best_value: float
+    evaluations: int
+    elapsed: float
+    history: CalibrationHistory
+    budget_description: str = ""
+    seed: Optional[int] = None
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.algorithm}: best objective {self.best_value:.2f} after "
+            f"{self.evaluations} evaluations in {self.elapsed:.1f} s"
+        )

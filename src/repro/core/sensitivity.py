@@ -1,0 +1,189 @@
+"""Parameter sensitivity analysis.
+
+Section IV.C.2 of the paper observes that the calibrated simulator's
+accuracy is driven almost entirely by the parameters of the *bottleneck*
+resource: "parameter values pertaining to other resources have little
+impact on the simulated execution", which is why the algorithms agree on
+the disk bandwidth for SCSN but scatter wildly on the WAN bandwidth.
+
+This module quantifies that observation:
+
+* :func:`one_at_a_time` sweeps each parameter across its range while all
+  others are held at a base point and reports the spread of the objective
+  along each dimension;
+* :func:`morris_elementary_effects` runs the Morris screening method
+  (random one-step trajectories) and reports, per parameter, the mean and
+  standard deviation of the absolute elementary effects — the standard
+  cheap global-sensitivity screen;
+* :func:`rank_parameters` turns either result into a sorted
+  bottleneck-first ranking.
+
+Both analyses work on any objective callable and any
+:class:`~repro.core.parameters.ParameterSpace`; the bottleneck-analysis
+example and the generalization experiment use them on the case study.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.parameters import ParameterSpace
+
+__all__ = [
+    "SensitivityResult",
+    "one_at_a_time",
+    "morris_elementary_effects",
+    "rank_parameters",
+]
+
+ObjectiveFunction = Callable[[Dict[str, float]], float]
+
+
+@dataclasses.dataclass(frozen=True)
+class SensitivityResult:
+    """Per-parameter sensitivity indices.
+
+    Attributes
+    ----------
+    method:
+        ``"oat"`` (one-at-a-time) or ``"morris"``.
+    indices:
+        Parameter name -> sensitivity index.  For OAT this is the spread
+        (max - min) of the objective along the sweep; for Morris it is the
+        mean absolute elementary effect (``mu*``).
+    spreads:
+        Parameter name -> auxiliary dispersion measure (OAT: standard
+        deviation along the sweep; Morris: standard deviation of the
+        elementary effects, i.e. the interaction/nonlinearity indicator).
+    evaluations:
+        Number of objective evaluations performed.
+    """
+
+    method: str
+    indices: Dict[str, float]
+    spreads: Dict[str, float]
+    evaluations: int
+
+    def ranking(self) -> List[str]:
+        """Parameter names sorted from most to least influential."""
+        return sorted(self.indices, key=lambda name: self.indices[name], reverse=True)
+
+    def normalized(self) -> Dict[str, float]:
+        """Indices rescaled so that the largest equals 1 (all zero if flat)."""
+        peak = max(self.indices.values(), default=0.0)
+        if peak == 0:
+            return {name: 0.0 for name in self.indices}
+        return {name: value / peak for name, value in self.indices.items()}
+
+
+def one_at_a_time(
+    objective: ObjectiveFunction,
+    space: ParameterSpace,
+    base: Optional[Mapping[str, float]] = None,
+    levels: int = 9,
+    span: Optional[float] = None,
+) -> SensitivityResult:
+    """One-at-a-time sweep: vary each parameter over ``levels`` evenly spaced
+    values (in its search scale) while the others stay at ``base``.
+
+    A large spread along a dimension means the parameter matters for the
+    objective at this base point (a bottleneck-resource parameter in the
+    case study); a flat sweep means it does not.
+
+    ``span`` restricts the sweep to a window of ``+/- span`` (in normalised
+    search coordinates, so a span of 0.25 covers a quarter of the log2
+    range in each direction) around the base value.  Without it the sweep
+    covers the full parameter range, which measures global rather than
+    local influence — every bandwidth parameter looks influential when
+    pushed to 1 MB/s, so local windows are usually what bottleneck
+    analysis wants.
+    """
+    if levels < 3:
+        raise ValueError("an OAT sweep needs at least 3 levels")
+    if span is not None and not 0.0 < span <= 1.0:
+        raise ValueError("the sweep span must be in (0, 1]")
+    base_values = dict(base) if base is not None else space.center()
+    base_values = space.clip_values({**space.center(), **base_values})
+
+    indices: Dict[str, float] = {}
+    spreads: Dict[str, float] = {}
+    evaluations = 0
+    for parameter in space:
+        if span is None:
+            sweep_values = parameter.grid(levels)
+        else:
+            center = parameter.to_unit(base_values[parameter.name])
+            low, high = max(center - span, 0.0), min(center + span, 1.0)
+            sweep_values = [
+                parameter.from_unit(low + (high - low) * i / (levels - 1)) for i in range(levels)
+            ]
+        sweep: List[float] = []
+        for value in sweep_values:
+            candidate = dict(base_values)
+            candidate[parameter.name] = value
+            sweep.append(float(objective(candidate)))
+            evaluations += 1
+        indices[parameter.name] = max(sweep) - min(sweep)
+        spreads[parameter.name] = float(np.std(sweep))
+    return SensitivityResult("oat", indices, spreads, evaluations)
+
+
+def morris_elementary_effects(
+    objective: ObjectiveFunction,
+    space: ParameterSpace,
+    trajectories: int = 8,
+    delta: float = 0.25,
+    seed: int = 0,
+) -> SensitivityResult:
+    """Morris screening: random one-step trajectories through the unit cube.
+
+    Each trajectory starts at a random point and perturbs one randomly
+    ordered dimension at a time by ``+/- delta``; the absolute change of the
+    objective per unit step is one *elementary effect* for that dimension.
+    ``mu*`` (the mean absolute effect) measures overall influence and the
+    standard deviation flags nonlinearity / interactions.
+    """
+    if trajectories < 2:
+        raise ValueError("Morris screening needs at least 2 trajectories")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    effects: Dict[str, List[float]] = {name: [] for name in space.names}
+    evaluations = 0
+
+    for _ in range(trajectories):
+        point = space.sample_unit(rng)
+        value = float(objective(space.from_unit_array(point)))
+        evaluations += 1
+        for dim in rng.permutation(space.dimension):
+            step = np.array(point, copy=True)
+            direction = 1.0 if step[dim] + delta <= 1.0 else -1.0
+            step[dim] = min(max(step[dim] + direction * delta, 0.0), 1.0)
+            actual = abs(step[dim] - point[dim])
+            if actual == 0.0:
+                continue
+            next_value = float(objective(space.from_unit_array(step)))
+            evaluations += 1
+            effects[space.names[dim]].append(abs(next_value - value) / actual)
+            point, value = step, next_value
+
+    indices = {name: float(np.mean(vals)) if vals else 0.0 for name, vals in effects.items()}
+    spreads = {name: float(np.std(vals)) if vals else 0.0 for name, vals in effects.items()}
+    return SensitivityResult("morris", indices, spreads, evaluations)
+
+
+def rank_parameters(
+    result: SensitivityResult, threshold: float = 0.1
+) -> Dict[str, Sequence[str]]:
+    """Split parameters into influential ("bottleneck") and negligible sets.
+
+    A parameter is influential when its normalised index is at least
+    ``threshold`` of the largest index.
+    """
+    normalized = result.normalized()
+    influential = [n for n in result.ranking() if normalized[n] >= threshold]
+    negligible = [n for n in result.ranking() if normalized[n] < threshold]
+    return {"influential": influential, "negligible": negligible}

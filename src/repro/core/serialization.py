@@ -1,0 +1,102 @@
+"""Persistence of calibration results.
+
+A calibration worth 6 hours of compute (the paper's budget) is worth
+writing to disk: this module serialises
+:class:`~repro.core.result.CalibrationResult` objects — including their
+full evaluation history, from which the Figure 2 convergence curves are
+rebuilt — to a stable JSON document, and loads them back.
+
+The format is versioned and deliberately simple (plain lists and dicts) so
+that results can also be consumed by external tooling (pandas, plotting
+scripts) without importing this library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.history import CalibrationHistory, Evaluation
+from repro.core.result import CalibrationResult
+
+__all__ = [
+    "FORMAT_VERSION",
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
+]
+
+#: Bumped whenever the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: CalibrationResult) -> Dict:
+    """Convert a result (and its history) to JSON-compatible primitives."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "algorithm": result.algorithm,
+        "best_values": dict(result.best_values),
+        "best_value": result.best_value,
+        "evaluations": result.evaluations,
+        "elapsed": result.elapsed,
+        "budget_description": result.budget_description,
+        "seed": result.seed,
+        "history": [
+            {
+                "index": e.index,
+                "values": dict(e.values),
+                "unit": list(e.unit),
+                "value": e.value,
+                "started_at": e.started_at,
+                "finished_at": e.finished_at,
+            }
+            for e in result.history
+        ],
+    }
+
+
+def result_from_dict(data: Dict) -> CalibrationResult:
+    """Rebuild a :class:`CalibrationResult` from :func:`result_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported calibration-result format version {version!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    history = CalibrationHistory()
+    for entry in data.get("history", []):
+        history.record(
+            Evaluation(
+                index=int(entry["index"]),
+                values={k: float(v) for k, v in entry["values"].items()},
+                unit=tuple(float(u) for u in entry["unit"]),
+                value=float(entry["value"]),
+                started_at=float(entry["started_at"]),
+                finished_at=float(entry["finished_at"]),
+            )
+        )
+    return CalibrationResult(
+        algorithm=str(data["algorithm"]),
+        best_values={k: float(v) for k, v in data["best_values"].items()},
+        best_value=float(data["best_value"]),
+        evaluations=int(data["evaluations"]),
+        elapsed=float(data["elapsed"]),
+        history=history,
+        budget_description=str(data.get("budget_description", "")),
+        seed=data.get("seed"),
+    )
+
+
+def save_result(result: CalibrationResult, path: Union[str, Path], indent: int = 2) -> Path:
+    """Write a result to ``path`` as JSON and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result), indent=indent) + "\n")
+    return path
+
+
+def load_result(path: Union[str, Path]) -> CalibrationResult:
+    """Read a result previously written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))

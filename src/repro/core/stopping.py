@@ -1,0 +1,135 @@
+"""Early-stopping criteria for calibration runs.
+
+The paper bounds every calibration by a wall-clock time ``T`` and notes
+(Section IV.C.5) that the error curves flatten well before the bound: a
+shorter ``T`` "would have produced only marginally higher errors".  The
+criteria in this module capture exactly that observation so that a
+calibration can stop as soon as continuing is unlikely to pay off:
+
+* :class:`TargetValueStopper` — stop once the objective reaches a
+  user-defined target (e.g. "an MRE below 5% is good enough");
+* :class:`NoImprovementStopper` — stop after ``patience`` consecutive
+  evaluations without improving the best value by at least ``min_delta``;
+* :class:`RelativePlateauStopper` — stop when the best value has improved
+  by less than a relative fraction over a sliding window.
+
+A criterion is attached to a :class:`~repro.core.calibrator.Calibrator`
+via its ``stopping=`` argument; under the hood it is combined with the
+budget, so the run stops at whichever comes first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.budget import Budget
+from repro.core.history import CalibrationHistory
+
+__all__ = [
+    "StoppingCriterion",
+    "TargetValueStopper",
+    "NoImprovementStopper",
+    "RelativePlateauStopper",
+    "StoppingBudget",
+]
+
+
+class StoppingCriterion:
+    """Base class: decides, from the evaluation history, whether to stop."""
+
+    def should_stop(self, history: CalibrationHistory) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class TargetValueStopper(StoppingCriterion):
+    """Stop as soon as the best objective value reaches ``target``."""
+
+    def __init__(self, target: float) -> None:
+        self.target = float(target)
+
+    def should_stop(self, history: CalibrationHistory) -> bool:
+        best = history.best
+        return best is not None and best.value <= self.target
+
+    def describe(self) -> str:
+        return f"stop at objective <= {self.target:g}"
+
+
+class NoImprovementStopper(StoppingCriterion):
+    """Stop after ``patience`` evaluations without a ``min_delta`` improvement."""
+
+    def __init__(self, patience: int = 50, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError("patience must be at least 1")
+        if min_delta < 0:
+            raise ValueError("min_delta must be non-negative")
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+
+    def should_stop(self, history: CalibrationHistory) -> bool:
+        evaluations = history.evaluations
+        if len(evaluations) <= self.patience:
+            return False
+        # Best value achieved up to (and including) the cut-off point...
+        cutoff = len(evaluations) - self.patience
+        best_before = min(e.value for e in evaluations[:cutoff])
+        # ...compared with the best achieved since.
+        best_since = min(e.value for e in evaluations[cutoff:])
+        return best_since > best_before - self.min_delta
+
+    def describe(self) -> str:
+        return f"stop after {self.patience} evaluations without {self.min_delta:g} improvement"
+
+
+class RelativePlateauStopper(StoppingCriterion):
+    """Stop when the best value improved by less than ``fraction`` (relative)
+    over the last ``window`` evaluations."""
+
+    def __init__(self, window: int = 100, fraction: float = 0.01) -> None:
+        if window < 2:
+            raise ValueError("the window must cover at least 2 evaluations")
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("the plateau fraction must be in (0, 1)")
+        self.window = int(window)
+        self.fraction = float(fraction)
+
+    def should_stop(self, history: CalibrationHistory) -> bool:
+        curve = history.best_so_far()
+        if len(curve) <= self.window:
+            return False
+        previous = curve[-self.window - 1]
+        current = curve[-1]
+        if previous == 0:
+            return current == 0
+        return (previous - current) / abs(previous) < self.fraction
+
+    def describe(self) -> str:
+        return f"stop when the best value improves < {100 * self.fraction:g}% over {self.window} evaluations"
+
+
+class StoppingBudget(Budget):
+    """Adapter that lets a :class:`StoppingCriterion` act as a budget.
+
+    The :class:`~repro.core.calibrator.Calibrator` binds the objective's
+    history to the adapter right before the run starts, so the criterion
+    sees every completed evaluation.
+    """
+
+    def __init__(self, criterion: StoppingCriterion) -> None:
+        self.criterion = criterion
+        self._history: Optional[CalibrationHistory] = None
+
+    def bind(self, history: CalibrationHistory) -> None:
+        """Attach the evaluation history the criterion should watch."""
+        self._history = history
+
+    def exhausted(self, evaluations: int) -> bool:
+        if self._history is None:
+            return False
+        return self.criterion.should_stop(self._history)
+
+    def describe(self) -> str:
+        return self.criterion.describe()

@@ -1,0 +1,111 @@
+"""Accuracy / simulation-speed trade-off analysis.
+
+Section IV.C.4 of the paper shows that, because the calibration is
+automated, a user can sweep the simulation granularity (the XRootD block
+size ``B`` and storage buffer size ``b``), re-calibrate at every
+granularity, and pick whatever point of the accuracy-vs-speed design space
+suits them — something that would be "prohibitively labor-intensive" to do
+manually.  This module provides the small amount of machinery that turns a
+set of (simulation time, accuracy) measurements into that design-space
+view:
+
+* :class:`TradeoffPoint` — one calibrated configuration;
+* :func:`pareto_front` — the non-dominated subset (faster *and* more
+  accurate than every alternative it dominates);
+* :func:`knee_point` — the point closest to the utopia corner after
+  normalisation, a reasonable automatic "pick one for me" rule;
+* :func:`dominated_fraction` — how much of the design space the front
+  dominates (a scalar summary used by the trade-off benchmark).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["TradeoffPoint", "pareto_front", "knee_point", "dominated_fraction"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of the accuracy-vs-speed design space.
+
+    Attributes
+    ----------
+    label:
+        Human-readable identifier (e.g. ``"B=1e8, b=1e6"``).
+    simulation_time:
+        Wall-clock cost of one simulator invocation at this configuration,
+        in seconds (lower is better).
+    accuracy_error:
+        The accuracy metric achieved after calibration (e.g. MRE in
+        percent; lower is better).
+    metadata:
+        Optional free-form payload (calibrated values, evaluation counts).
+    """
+
+    label: str
+    simulation_time: float
+    accuracy_error: float
+    metadata: Optional[Dict[str, object]] = None
+
+    def dominates(self, other: "TradeoffPoint") -> bool:
+        """True when this point is at least as good on both axes and strictly
+        better on at least one."""
+        not_worse = (
+            self.simulation_time <= other.simulation_time
+            and self.accuracy_error <= other.accuracy_error
+        )
+        strictly_better = (
+            self.simulation_time < other.simulation_time
+            or self.accuracy_error < other.accuracy_error
+        )
+        return not_worse and strictly_better
+
+
+def pareto_front(points: Sequence[TradeoffPoint]) -> List[TradeoffPoint]:
+    """The non-dominated subset, sorted by increasing simulation time."""
+    front = [
+        p
+        for p in points
+        if not any(other.dominates(p) for other in points if other is not p)
+    ]
+    return sorted(front, key=lambda p: (p.simulation_time, p.accuracy_error))
+
+
+def knee_point(points: Sequence[TradeoffPoint]) -> Optional[TradeoffPoint]:
+    """The Pareto point closest (in normalised Euclidean distance) to the
+    utopia corner (fastest simulation, lowest error).
+
+    Returns ``None`` for an empty input; with a single point, that point.
+    """
+    front = pareto_front(points)
+    if not front:
+        return None
+    times = [p.simulation_time for p in front]
+    errors = [p.accuracy_error for p in front]
+    t_span = max(times) - min(times) or 1.0
+    e_span = max(errors) - min(errors) or 1.0
+
+    def distance(p: TradeoffPoint) -> float:
+        t = (p.simulation_time - min(times)) / t_span
+        e = (p.accuracy_error - min(errors)) / e_span
+        return math.hypot(t, e)
+
+    return min(front, key=distance)
+
+
+def dominated_fraction(points: Sequence[TradeoffPoint]) -> float:
+    """Fraction of the points that are dominated by at least one other point.
+
+    0.0 means every configuration is Pareto-optimal (a pure trade-off);
+    values close to 1.0 mean most configurations are simply worse than the
+    front and can be discarded.
+    """
+    if not points:
+        return 0.0
+    dominated = sum(
+        1 for p in points if any(other.dominates(p) for other in points if other is not p)
+    )
+    return dominated / len(points)

@@ -1,0 +1,140 @@
+"""The HUMAN calibration: the domain scientist's incremental manual procedure.
+
+Section IV.B of the paper documents how the second author calibrated the
+simulator by hand:
+
+1. the compute-node core speed was calibrated from the FCFN ground truth
+   (the configuration with the least network and I/O overhead);
+2. the external (WAN) bandwidth was calibrated from the slow-network
+   ground truth, and the fast-network value was assumed to be 10x that;
+3. the HDD cache bandwidth was calibrated from SCFN, matching the average
+   of the ground-truth data;
+4. the internal (LAN) bandwidth was *assumed* to be 10 Gbps and the Linux
+   page-cache speed was *assumed* to be 1 GBps — the paper identifies this
+   last assumption as the likely cause of the very large HUMAN error on
+   the FC platforms.
+
+This module implements that procedure as code so that its characteristic
+behaviour is reproduced mechanistically rather than hard-coded: each step
+looks only at ground-truth averages (never at the hidden true parameter
+values) and applies the same back-of-the-envelope reasoning the paper
+describes.  The only deviation, documented in DESIGN.md §3, is that the
+WAN bandwidth is estimated from the FCSN ground truth at ICD 0 (the
+configuration in which the WAN is unambiguously the bottleneck of our
+reference system) rather than from SCSN.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hepsim.groundtruth import GroundTruthGenerator
+from repro.hepsim.platforms import CalibrationValues
+from repro.hepsim.scenario import Scenario
+from repro.hepsim.units import GBps, gbps
+
+__all__ = ["human_calibration", "HUMAN_ASSUMED_PAGE_CACHE", "HUMAN_ASSUMED_LAN"]
+
+#: The value the domain scientist assumed for the Linux page-cache speed.
+HUMAN_ASSUMED_PAGE_CACHE = GBps(1)
+
+#: The value the domain scientist assumed for the internal (LAN) bandwidth.
+HUMAN_ASSUMED_LAN = gbps(10)
+
+
+def _jobs_per_node(scenario: Scenario) -> Dict[str, int]:
+    """How many jobs each node runs (one job per core, cores fill up)."""
+    per_node = {node.name: 0 for node in scenario.nodes}
+    remaining = scenario.workload.n_jobs
+    # Greedy most-free-cores-first placement, mirroring the FCFS scheduler.
+    free = {node.name: node.cores for node in scenario.nodes}
+    order = [node.name for node in scenario.nodes]
+    while remaining > 0:
+        target = max(order, key=lambda n: free[n] - per_node[n])
+        per_node[target] += 1
+        remaining -= 1
+    return per_node
+
+
+def _estimate_core_speed(generator: GroundTruthGenerator, scenario: Scenario) -> float:
+    """Step 1: core speed from FCFN at full caching (I/O overhead minimal).
+
+    The scientist reasons: at ICD 1.0 on FCFN everything is served from the
+    page cache, so the average job time is essentially the compute time,
+    and ``core speed = compute volume / job time``.
+    """
+    fcfn = generator.get(scenario.with_platform("FCFN").with_icds([1.0]))
+    workload = scenario.workload
+    compute_volume = workload.mean_input_bytes_per_job * workload.flops_per_byte.value
+    times = [fcfn.average_job_time(node, 1.0) for node in fcfn.node_names]
+    avg_time = sum(times) / len(times)
+    return compute_volume / avg_time
+
+
+def _estimate_wan_bandwidth(generator: GroundTruthGenerator, scenario: Scenario) -> float:
+    """Step 2: WAN bandwidth from the slow-network ground truth at ICD 0.
+
+    At ICD 0 every byte crosses the WAN; the scientist divides the total
+    transferred volume by the average job time (all jobs run concurrently
+    and share the WAN, so the aggregate throughput is the WAN bandwidth).
+    """
+    fcsn = generator.get(scenario.with_platform("FCSN").with_icds([0.0]))
+    workload = scenario.workload
+    times = [fcsn.average_job_time(node, 0.0) for node in fcsn.node_names]
+    avg_time = sum(times) / len(times)
+    total_bytes = workload.n_jobs * workload.mean_input_bytes_per_job
+    return total_bytes / avg_time
+
+
+def _estimate_disk_bandwidth(generator: GroundTruthGenerator, scenario: Scenario) -> float:
+    """Step 3: HDD cache bandwidth from SCFN, matched to the ground-truth
+    average.
+
+    At ICD 1.0 on SCFN every byte is read from the node-local HDD; on a
+    node running ``n`` jobs concurrently the aggregate HDD throughput is
+    ``n * bytes_per_job / job time``.  The scientist averages this estimate
+    over the nodes (the paper notes the calibration was performed "to match
+    the simulated data to the average of the ground-truth data").
+    """
+    scfn = generator.get(scenario.with_platform("SCFN").with_icds([1.0]))
+    workload = scenario.workload
+    per_node_jobs = _jobs_per_node(scenario)
+    estimates = []
+    for node in scfn.node_names:
+        jobs_here = per_node_jobs.get(node, 0)
+        if jobs_here == 0:
+            continue
+        avg_time = scfn.average_job_time(node, 1.0)
+        estimates.append(jobs_here * workload.mean_input_bytes_per_job / avg_time)
+    return sum(estimates) / len(estimates)
+
+
+def human_calibration(
+    generator: GroundTruthGenerator,
+    scenario: Scenario,
+    platform_name: str,
+) -> CalibrationValues:
+    """Run the incremental manual procedure and return the HUMAN calibration
+    for one platform configuration.
+
+    ``scenario`` fixes the workload and site size; ``platform_name`` selects
+    which Table II configuration the returned values are meant for (only
+    the WAN bandwidth depends on it: fast-network platforms get 10x the
+    slow-network estimate, as in the paper).
+    """
+    core_speed = _estimate_core_speed(generator, scenario)
+    wan_slow = _estimate_wan_bandwidth(generator, scenario)
+    disk = _estimate_disk_bandwidth(generator, scenario)
+
+    if platform_name not in ("SCFN", "FCFN", "SCSN", "FCSN"):
+        raise ValueError(f"unknown platform {platform_name!r}")
+    fast_network = platform_name.endswith("FN")
+    wan = wan_slow * 10.0 if fast_network else wan_slow
+
+    return CalibrationValues(
+        core_speed=core_speed,
+        disk_bandwidth=disk,
+        lan_bandwidth=HUMAN_ASSUMED_LAN,
+        wan_bandwidth=wan,
+        page_cache_bandwidth=HUMAN_ASSUMED_PAGE_CACHE,
+    )

@@ -1,0 +1,165 @@
+"""Activities: units of simulated work that progress on resources.
+
+An activity carries a total *amount* of work (flops, bytes) and a set of
+resource usages.  The engine assigns each running activity a *rate*
+(work/s) through max-min fair sharing; the activity completes when its
+remaining work reaches zero.  Activities may also carry a *latency*
+phase (used for network communications): the activity first waits for
+``latency`` seconds without consuming resource capacity and only then
+enters the fluid-sharing phase.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.simgrid.errors import InvalidStateError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simgrid.engine import SimulationEngine
+    from repro.simgrid.resources import Resource
+
+_activity_counter = itertools.count()
+
+
+class ActivityState(enum.Enum):
+    """Lifecycle states of an :class:`Activity`."""
+
+    NEW = "new"
+    LATENCY = "latency"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELED = "canceled"
+
+
+class Activity:
+    """A unit of simulated work.
+
+    Parameters
+    ----------
+    name:
+        Label used in traces and debugging output.
+    amount:
+        Total amount of work (>= 0).  A zero-amount activity completes as
+        soon as its latency phase (if any) has elapsed.
+    usages:
+        Mapping of :class:`~repro.simgrid.resources.Resource` to usage weight.
+        A weight of 1.0 means the activity consumes capacity equal to its
+        rate on that resource; other weights scale the consumption.
+    rate_cap:
+        Optional upper bound on the activity's rate (e.g. the per-core speed
+        of a host, or an application-level bandwidth cap).
+    latency:
+        Optional startup latency in seconds (network round-trip, disk seek,
+        service overhead) spent before the fluid phase starts.
+    """
+
+    __slots__ = (
+        "name",
+        "amount",
+        "remaining",
+        "usages",
+        "rate_cap",
+        "latency",
+        "state",
+        "rate",
+        "start_time",
+        "finish_time",
+        "uid",
+        "_engine",
+        "_waiters",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        amount: float,
+        usages: Dict["Resource", float],
+        rate_cap: Optional[float] = None,
+        latency: float = 0.0,
+    ) -> None:
+        if amount < 0:
+            raise InvalidStateError(f"activity {name!r} has negative amount {amount}")
+        if latency < 0:
+            raise InvalidStateError(f"activity {name!r} has negative latency {latency}")
+        if rate_cap is not None and rate_cap <= 0:
+            raise InvalidStateError(f"activity {name!r} has non-positive rate cap {rate_cap}")
+        self.name = name
+        self.amount = float(amount)
+        self.remaining = float(amount)
+        self.usages = dict(usages)
+        self.rate_cap = rate_cap
+        self.latency = float(latency)
+        self.state = ActivityState.NEW
+        self.rate = 0.0
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.uid = next(_activity_counter)
+        self._engine: Optional["SimulationEngine"] = None
+        self._waiters: list = []
+
+    # ------------------------------------------------------------------ #
+    # state queries
+    # ------------------------------------------------------------------ #
+    @property
+    def is_done(self) -> bool:
+        return self.state is ActivityState.DONE
+
+    @property
+    def is_canceled(self) -> bool:
+        return self.state is ActivityState.CANCELED
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.state in (ActivityState.DONE, ActivityState.CANCELED)
+
+    @property
+    def is_pending(self) -> bool:
+        return self.state in (ActivityState.NEW, ActivityState.LATENCY, ActivityState.RUNNING)
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the work already performed, in [0, 1]."""
+        if self.amount <= 0:
+            return 1.0 if self.is_done else 0.0
+        return 1.0 - self.remaining / self.amount
+
+    def duration(self) -> float:
+        """Wall-clock (simulated) duration, only meaningful once done."""
+        if self.start_time is None or self.finish_time is None:
+            raise InvalidStateError(f"activity {self.name!r} has not completed yet")
+        return self.finish_time - self.start_time
+
+    # ------------------------------------------------------------------ #
+    # engine-facing hooks
+    # ------------------------------------------------------------------ #
+    def _bind(self, engine: "SimulationEngine") -> None:
+        if self._engine is not None and self._engine is not engine:
+            raise InvalidStateError(f"activity {self.name!r} is already bound to another engine")
+        self._engine = engine
+
+    def add_waiter(self, waiter) -> None:
+        """Register a callback ``waiter(activity)`` invoked on termination."""
+        if self.is_terminated:
+            waiter(self)
+        else:
+            self._waiters.append(waiter)
+
+    def _notify_waiters(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(self)
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<Activity {self.name!r} state={self.state.value} "
+            f"remaining={self.remaining:g}/{self.amount:g}>"
+        )

@@ -1,0 +1,309 @@
+"""The discrete-event engine driving the fluid simulation model.
+
+The engine interleaves two kinds of events:
+
+* *timers* — callbacks scheduled at an absolute simulated time (process
+  wake-ups, activity latency phases, timeouts);
+* *activity completions* — derived from the fluid model: whenever the set
+  of running activities changes, the max-min sharing solver recomputes
+  every activity's rate, and the next completion is the activity with the
+  smallest ``remaining / rate``.
+
+The main loop advances the clock to the earliest of those two, updates the
+remaining work of all running activities, fires whatever completed, and
+repeats until no work is left.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.simgrid.activity import Activity, ActivityState
+from repro.simgrid.errors import DeadlockError, InvalidStateError, SimulationError
+from repro.simgrid.process import Process
+from repro.simgrid.sharing import solve_max_min
+
+__all__ = ["SimulationEngine"]
+
+_REL_EPSILON = 1e-9
+
+
+class SimulationEngine:
+    """Event loop, clock and activity scheduler.
+
+    A typical simulation:
+
+    >>> engine = SimulationEngine()
+    >>> host = Host(engine, "node", speed=1e9, cores=4)      # doctest: +SKIP
+    >>> def main():                                           # doctest: +SKIP
+    ...     yield host.exec_async("work", 2e9)
+    >>> engine.add_process(main(), "main")                    # doctest: +SKIP
+    >>> engine.run()                                          # doctest: +SKIP
+    >>> engine.now                                            # doctest: +SKIP
+    2.0
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._timers: List[tuple] = []
+        self._timer_seq = itertools.count()
+        self._active: Set[Activity] = set()
+        self._rates_dirty = True
+        self._processes: List[Process] = []
+        self._alive_processes = 0
+        self._failures: List[tuple] = []
+        self._completed_activities = 0
+        self._sharing_updates = 0
+        self._observers: List[object] = []
+
+    # ------------------------------------------------------------------ #
+    # observers
+    # ------------------------------------------------------------------ #
+    def add_observer(self, observer: object) -> None:
+        """Register an observer notified of activity lifecycle events.
+
+        An observer may implement ``on_activity_start(activity, now)`` and/or
+        ``on_activity_end(activity, now)``; missing methods are ignored.  See
+        :class:`repro.simgrid.tracing.ActivityTracer` for the main user.
+        """
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: object) -> None:
+        """Unregister a previously added observer (no-op if absent)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def _notify_observers(self, event: str, activity: Activity) -> None:
+        for observer in self._observers:
+            handler = getattr(observer, event, None)
+            if handler is not None:
+                handler(activity, self._now)
+
+    # ------------------------------------------------------------------ #
+    # clock and statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def completed_activity_count(self) -> int:
+        """Number of activities completed so far (a proxy for event count)."""
+        return self._completed_activities
+
+    @property
+    def sharing_update_count(self) -> int:
+        """Number of times the max-min solver ran (simulation cost proxy)."""
+        return self._sharing_updates
+
+    # ------------------------------------------------------------------ #
+    # timers
+    # ------------------------------------------------------------------ #
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise InvalidStateError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._timers, (self._now + delay, next(self._timer_seq), callback))
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise InvalidStateError(f"cannot schedule in the past (when={when}, now={self._now})")
+        heapq.heappush(self._timers, (when, next(self._timer_seq), callback))
+
+    # ------------------------------------------------------------------ #
+    # processes
+    # ------------------------------------------------------------------ #
+    def add_process(self, generator, name: str = "process") -> Process:
+        """Register a simulated process and schedule its first step at the
+        current simulated time."""
+        process = Process(self, generator, name)
+        self._processes.append(process)
+        self._alive_processes += 1
+        self.schedule(0.0, lambda: process._step(None))
+        return process
+
+    def _process_finished(self, process: Process) -> None:
+        self._alive_processes -= 1
+
+    def _record_failure(self, process: Process, exc: BaseException) -> None:
+        self._failures.append((process, exc))
+
+    # ------------------------------------------------------------------ #
+    # activities
+    # ------------------------------------------------------------------ #
+    def start_activity(self, activity: Activity) -> Activity:
+        """Start an activity.  If it has a latency, it first sits in the
+        LATENCY state for that long, then joins the fluid model."""
+        if activity.state is not ActivityState.NEW:
+            raise InvalidStateError(f"activity {activity.name!r} already started")
+        activity._bind(self)
+        activity.start_time = self._now
+        if self._observers:
+            self._notify_observers("on_activity_start", activity)
+        if activity.latency > 0:
+            activity.state = ActivityState.LATENCY
+            self.schedule(activity.latency, lambda: self._enter_fluid_phase(activity))
+        else:
+            self._enter_fluid_phase(activity)
+        return activity
+
+    def ensure_started(self, activity: Activity) -> Activity:
+        """Start the activity if it has not been started yet."""
+        if activity.state is ActivityState.NEW:
+            self.start_activity(activity)
+        return activity
+
+    def _enter_fluid_phase(self, activity: Activity) -> None:
+        if activity.state is ActivityState.CANCELED:
+            return
+        if activity.remaining <= 0:
+            # Zero-work activity: complete right away (still asynchronously so
+            # that waiters registered in the same step are notified).
+            activity.state = ActivityState.RUNNING
+            self._complete_activity(activity)
+            return
+        activity.state = ActivityState.RUNNING
+        self._active.add(activity)
+        for resource, usage in activity.usages.items():
+            resource._accumulate_usage(self._now)
+            resource._register(activity, usage)
+        self._rates_dirty = True
+
+    def cancel_activity(self, activity: Activity) -> None:
+        """Cancel a pending activity; waiters receive an
+        :class:`~repro.simgrid.errors.ActivityCanceledError`."""
+        if activity.is_terminated:
+            return
+        if activity in self._active:
+            self._active.discard(activity)
+            for resource in activity.usages:
+                resource._accumulate_usage(self._now)
+                resource._unregister(activity)
+            self._rates_dirty = True
+        activity.state = ActivityState.CANCELED
+        activity.finish_time = self._now
+        if self._observers:
+            self._notify_observers("on_activity_end", activity)
+        activity._notify_waiters()
+
+    def _complete_activity(self, activity: Activity) -> None:
+        if activity in self._active:
+            self._active.discard(activity)
+            for resource in activity.usages:
+                resource._accumulate_usage(self._now)
+                resource._unregister(activity)
+            self._rates_dirty = True
+        activity.state = ActivityState.DONE
+        activity.finish_time = self._now
+        activity.remaining = 0.0
+        activity.rate = 0.0
+        self._completed_activities += 1
+        if self._observers:
+            self._notify_observers("on_activity_end", activity)
+        activity._notify_waiters()
+
+    # ------------------------------------------------------------------ #
+    # fluid model
+    # ------------------------------------------------------------------ #
+    def _update_rates(self) -> None:
+        rates = solve_max_min(self._active)
+        for activity, rate in rates.items():
+            activity.rate = rate
+        self._rates_dirty = False
+        self._sharing_updates += 1
+
+    def _next_completion_delay(self) -> float:
+        """Smallest ``remaining / rate`` over running activities (inf if none)."""
+        delay = math.inf
+        for activity in self._active:
+            if activity.rate <= 0:
+                continue
+            candidate = activity.remaining / activity.rate
+            if candidate < delay:
+                delay = candidate
+        return delay
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation until no event remains (or until the given
+        simulated time).  Returns the final simulated time.
+
+        Raises
+        ------
+        SimulationError
+            If a simulated process raised an exception.
+        DeadlockError
+            If processes remain alive but no event can ever wake them.
+        """
+        while True:
+            if self._failures:
+                process, exc = self._failures[0]
+                raise SimulationError(f"process {process.name!r} failed: {exc!r}") from exc
+
+            if self._rates_dirty and self._active:
+                self._update_rates()
+            elif self._rates_dirty:
+                self._rates_dirty = False
+
+            next_timer = self._timers[0][0] if self._timers else math.inf
+            completion_delay = self._next_completion_delay()
+            next_completion = self._now + completion_delay if completion_delay < math.inf else math.inf
+            next_event = min(next_timer, next_completion)
+
+            if next_event is math.inf or next_event == math.inf:
+                if self._alive_processes > 0:
+                    raise DeadlockError(
+                        f"{self._alive_processes} process(es) still alive but no pending event"
+                    )
+                break
+
+            if until is not None and next_event > until:
+                self._advance_to(until)
+                return self._now
+
+            self._advance_to(next_event)
+
+            # Fire completions: anything whose remaining work is (numerically)
+            # zero, or whose remaining time at its current rate is below the
+            # clock's floating-point resolution.  The second clause matters
+            # when activity rates differ by many orders of magnitude late in a
+            # long simulation: the next completion delay can then be smaller
+            # than one ULP of the clock, and without it the loop would advance
+            # by zero time forever (observed with extreme calibration
+            # candidates — e.g. a multi-GB/s page cache next to a ~6 MB/s WAN).
+            clock_resolution = max(abs(self._now), 1.0) * 1e-12
+            completed = [
+                a
+                for a in self._active
+                if a.remaining <= _REL_EPSILON * max(a.amount, 1.0)
+                or (a.rate > 0.0 and a.remaining <= a.rate * clock_resolution)
+            ]
+            for activity in sorted(completed, key=lambda a: a.uid):
+                self._complete_activity(activity)
+
+            # Fire timers due at (or before) the new clock value.
+            while self._timers and self._timers[0][0] <= self._now + 1e-15:
+                _, _, callback = heapq.heappop(self._timers)
+                callback()
+
+        if self._failures:
+            process, exc = self._failures[0]
+            raise SimulationError(f"process {process.name!r} failed: {exc!r}") from exc
+        return self._now
+
+    def _advance_to(self, when: float) -> None:
+        dt = when - self._now
+        if dt < 0:
+            raise InvalidStateError("clock cannot go backwards")
+        if dt > 0:
+            for activity in self._active:
+                if activity.rate > 0:
+                    activity.remaining = max(activity.remaining - activity.rate * dt, 0.0)
+            self._now = when

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the simulation substrate."""
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulation substrate."""
+
+
+class PlatformError(SimulationError):
+    """Raised for inconsistent platform descriptions (unknown hosts, missing
+    routes, non-positive capacities, ...)."""
+
+
+class ActivityCanceledError(SimulationError):
+    """Raised inside a simulated process that was waiting on an activity that
+    has been canceled."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the engine detects that simulated processes are still alive
+    but no event can ever wake them up again."""
+
+
+class InvalidStateError(SimulationError):
+    """Raised when an operation is attempted on an activity or process in a
+    state that does not permit it (e.g. starting an activity twice)."""

@@ -1,0 +1,115 @@
+"""Max-min fair sharing solver.
+
+Given a set of running activities, each using one or more resources with a
+usage weight and possibly a per-activity rate cap, compute the rate of each
+activity under max-min fairness (progressive filling):
+
+1. All activities start unassigned with rate 0.
+2. Repeatedly find the tightest constraint — either a resource whose
+   remaining capacity divided by the total weight of its unassigned
+   activities is minimal, or an unassigned activity whose rate cap is
+   smaller than every such fair share.
+3. Freeze the corresponding activities at that rate, subtract their
+   consumption from every resource they use, and iterate.
+
+This is the same fluid model SimGrid uses for network flows ("LV08"-style
+sharing without the RTT cross-traffic factors) and for CPU sharing on
+multicore hosts.  The solver is written for small platforms (tens of
+resources, hundreds of concurrent activities), which is what the paper's
+case study requires; it is exact, deterministic and allocation-free in the
+common path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.simgrid.activity import Activity
+from repro.simgrid.resources import Resource
+
+__all__ = ["solve_max_min"]
+
+_EPSILON = 1e-12
+
+
+def solve_max_min(activities: Iterable[Activity]) -> Dict[Activity, float]:
+    """Compute max-min fair rates for ``activities``.
+
+    Returns a mapping from each activity to its rate in work units per
+    second.  Activities with no resource usage are only limited by their
+    rate cap (infinite rate if they have none — callers normally give such
+    activities an amount of zero).
+    """
+    pending: List[Activity] = [a for a in activities]
+    rates: Dict[Activity, float] = {}
+
+    # Remaining capacity of every resource involved.
+    remaining: Dict[Resource, float] = {}
+    users: Dict[Resource, List[Activity]] = {}
+    for activity in pending:
+        for resource, usage in activity.usages.items():
+            if usage <= 0:
+                continue
+            if resource not in remaining:
+                remaining[resource] = resource.capacity
+                users[resource] = []
+            users[resource].append(activity)
+
+    unassigned = set(pending)
+
+    # Activities that use no resource at all: rate is only bounded by cap.
+    for activity in pending:
+        if not any(usage > 0 for usage in activity.usages.values()):
+            rates[activity] = activity.rate_cap if activity.rate_cap is not None else float("inf")
+            unassigned.discard(activity)
+
+    while unassigned:
+        # Find the tightest bottleneck among resources...
+        bottleneck_share = float("inf")
+        bottleneck_resource = None
+        for resource, capacity_left in remaining.items():
+            weight = 0.0
+            for activity in users[resource]:
+                if activity in unassigned:
+                    weight += activity.usages[resource]
+            if weight <= 0:
+                continue
+            share = capacity_left / weight
+            if share < bottleneck_share - _EPSILON:
+                bottleneck_share = share
+                bottleneck_resource = resource
+
+        # ... and among the rate caps of unassigned activities.
+        capped_activity = None
+        for activity in unassigned:
+            cap = activity.rate_cap
+            if cap is not None and cap < bottleneck_share - _EPSILON:
+                bottleneck_share = cap
+                capped_activity = activity
+                bottleneck_resource = None
+
+        if capped_activity is not None:
+            # A single activity saturates its own cap before any resource
+            # saturates: freeze it and charge its consumption.
+            frozen = [capped_activity]
+        elif bottleneck_resource is not None:
+            frozen = [a for a in users[bottleneck_resource] if a in unassigned]
+        else:
+            # No constraint applies (can only happen with infinite caps and
+            # zero-usage activities, which were handled above).
+            for activity in unassigned:
+                rates[activity] = float("inf")
+            break
+
+        for activity in frozen:
+            rate = bottleneck_share
+            if activity.rate_cap is not None:
+                rate = min(rate, activity.rate_cap)
+            rates[activity] = max(rate, 0.0)
+            unassigned.discard(activity)
+            for resource, usage in activity.usages.items():
+                if usage <= 0 or resource not in remaining:
+                    continue
+                remaining[resource] = max(remaining[resource] - rate * usage, 0.0)
+
+    return rates

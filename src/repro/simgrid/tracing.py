@@ -1,0 +1,169 @@
+"""Activity-level tracing.
+
+The calibration problem of the paper compares *execution traces*: logs of
+time-stamped execution events.  The case-study simulator builds its job
+traces at the WRENCH service level, but a finer level of observability —
+every computation, communication and I/O operation with its start and end
+times and the resources it used — is useful for debugging simulators, for
+richer accuracy metrics (Section IV.C.2 suggests comparing the start/end
+times of all data transfers, I/O operations and computations), and for
+visualising executions.
+
+:class:`ActivityTracer` is an engine observer (see
+:meth:`repro.simgrid.engine.SimulationEngine.add_observer`) that records
+one :class:`TraceRecord` per activity and can render a simple ASCII Gantt
+chart or export the timeline as JSON-compatible dictionaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.simgrid.activity import Activity
+
+__all__ = ["TraceRecord", "ActivityTracer"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One traced activity."""
+
+    name: str
+    kind: str
+    amount: float
+    start: float
+    end: float
+    resources: tuple
+    canceled: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "amount": self.amount,
+            "start": self.start,
+            "end": self.end,
+            "resources": list(self.resources),
+            "canceled": self.canceled,
+        }
+
+
+def _classify(activity: Activity) -> str:
+    """Best-effort activity classification from its resource names."""
+    names = " ".join(resource.name for resource in activity.usages)
+    if ".cpu" in names:
+        return "compute"
+    if ".bw" in names:
+        return "network"
+    if ".io" in names or "disk" in names:
+        return "disk"
+    if ".mem" in names or "memory" in names:
+        return "memory"
+    return "other"
+
+
+class ActivityTracer:
+    """Engine observer recording every activity's lifetime.
+
+    Parameters
+    ----------
+    keep_zero_work:
+        Whether to record zero-amount activities (loopback transfers,
+        cache hits modelled as instantaneous); they are skipped by default
+        to keep traces compact.
+    """
+
+    def __init__(self, keep_zero_work: bool = False) -> None:
+        self.keep_zero_work = keep_zero_work
+        self.records: List[TraceRecord] = []
+        self._open: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # observer protocol
+    # ------------------------------------------------------------------ #
+    def on_activity_start(self, activity: Activity, now: float) -> None:
+        self._open[activity.uid] = now
+
+    def on_activity_end(self, activity: Activity, now: float) -> None:
+        start = self._open.pop(activity.uid, activity.start_time or now)
+        if activity.amount == 0 and not self.keep_zero_work:
+            return
+        self.records.append(
+            TraceRecord(
+                name=activity.name,
+                kind=_classify(activity),
+                amount=activity.amount,
+                start=start,
+                end=now,
+                resources=tuple(resource.name for resource in activity.usages),
+                canceled=activity.is_canceled,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def by_kind(self, kind: str) -> List[TraceRecord]:
+        """All records of one kind (``"compute"``, ``"network"``, ``"disk"``...)."""
+        return [r for r in self.records if r.kind == kind]
+
+    def busy_time(self, kind: Optional[str] = None) -> float:
+        """Total (possibly overlapping) activity time, optionally per kind."""
+        records = self.records if kind is None else self.by_kind(kind)
+        return sum(r.duration for r in records)
+
+    def makespan(self) -> float:
+        """Time between the earliest start and the latest end."""
+        if not self.records:
+            return 0.0
+        return max(r.end for r in self.records) - min(r.start for r in self.records)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [r.to_dict() for r in self.records]
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dicts(), indent=indent)
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+    def gantt(self, width: int = 60, max_rows: int = 40) -> str:
+        """A plain-text Gantt chart of the traced activities.
+
+        Each row is one activity; the bar spans its start..end interval
+        scaled to ``width`` columns.  Only the first ``max_rows`` records
+        are shown (traces can be long).
+        """
+        if not self.records:
+            return "(no traced activities)"
+        records = sorted(self.records, key=lambda r: (r.start, r.end))[:max_rows]
+        horizon = max(r.end for r in self.records) or 1.0
+        label_width = min(max(len(r.name) for r in records), 32)
+        lines = []
+        for record in records:
+            begin = int(width * record.start / horizon)
+            end = max(int(width * record.end / horizon), begin + 1)
+            bar = " " * begin + "#" * (end - begin)
+            label = record.name[:label_width].ljust(label_width)
+            lines.append(f"{label} |{bar.ljust(width)}| {record.start:8.2f}-{record.end:8.2f}s")
+        if len(self.records) > max_rows:
+            lines.append(f"... ({len(self.records) - max_rows} more activities)")
+        return "\n".join(lines)
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate statistics per activity kind (count and busy time)."""
+        stats: Dict[str, float] = {}
+        for kind in sorted({r.kind for r in self.records}):
+            stats[f"{kind}_count"] = float(len(self.by_kind(kind)))
+            stats[f"{kind}_busy_time"] = self.busy_time(kind)
+        stats["makespan"] = self.makespan()
+        return stats

@@ -1,0 +1,127 @@
+"""Service-level monitoring counters.
+
+Ground-truth traces in the paper are "logs of time-stamped execution
+events"; on the simulation side the equivalent observability comes from
+per-service counters and time series.  :class:`ServiceMonitor` is a small
+registry of named counters, gauges and event series that the service layer
+(and user simulators built on it) can update at will; it is deliberately
+schema-free so that custom simulators can define their own metrics without
+touching the library.
+
+Typical use::
+
+    monitor = ServiceMonitor()
+    monitor.increment("remote_reads")
+    monitor.add("bytes_from_remote", file.size)
+    monitor.observe("job_wait_time", engine.now - submit_time)
+    monitor.record_event("job_start", engine.now, job=job.name)
+
+and at the end of the run ``monitor.summary()`` gives counts, totals and
+basic statistics that can be compared across simulator configurations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from typing import Dict, List, Optional
+
+__all__ = ["MonitorEvent", "ServiceMonitor"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MonitorEvent:
+    """One time-stamped, labelled event."""
+
+    name: str
+    time: float
+    attributes: Dict[str, object]
+
+
+class ServiceMonitor:
+    """Counters, observations and time-stamped events for one simulation."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._observations: Dict[str, List[float]] = {}
+        self._events: List[MonitorEvent] = []
+
+    # ------------------------------------------------------------------ #
+    # counters
+    # ------------------------------------------------------------------ #
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to the counter ``name`` (creating it at 0)."""
+        self._counters[name] = self._counters.get(name, 0.0) + float(amount)
+
+    def add(self, name: str, amount: float) -> None:
+        """Alias of :meth:`increment` that reads better for byte counts."""
+        self.increment(name, amount)
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    # ------------------------------------------------------------------ #
+    # observations (distributions)
+    # ------------------------------------------------------------------ #
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of the distribution ``name``."""
+        self._observations.setdefault(name, []).append(float(value))
+
+    def observations(self, name: str) -> List[float]:
+        return list(self._observations.get(name, ()))
+
+    def statistics(self, name: str) -> Dict[str, float]:
+        """count / mean / min / max / stdev of one observation series."""
+        samples = self._observations.get(name)
+        if not samples:
+            return {"count": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0, "stdev": 0.0}
+        return {
+            "count": float(len(samples)),
+            "mean": statistics.fmean(samples),
+            "min": min(samples),
+            "max": max(samples),
+            "stdev": statistics.pstdev(samples),
+        }
+
+    # ------------------------------------------------------------------ #
+    # events
+    # ------------------------------------------------------------------ #
+    def record_event(self, name: str, time: float, **attributes: object) -> None:
+        """Append a time-stamped event with free-form attributes."""
+        self._events.append(MonitorEvent(name, float(time), dict(attributes)))
+
+    def events(self, name: Optional[str] = None) -> List[MonitorEvent]:
+        """All events, optionally filtered by name, in recording order."""
+        if name is None:
+            return list(self._events)
+        return [e for e in self._events if e.name == name]
+
+    # ------------------------------------------------------------------ #
+    # aggregation
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "ServiceMonitor") -> None:
+        """Fold another monitor's data into this one (counters add up)."""
+        for name, value in other._counters.items():
+            self.increment(name, value)
+        for name, samples in other._observations.items():
+            self._observations.setdefault(name, []).extend(samples)
+        self._events.extend(other._events)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary of every counter plus per-observation means."""
+        summary = dict(self._counters)
+        for name in self._observations:
+            summary[f"{name}_mean"] = self.statistics(name)["mean"]
+            summary[f"{name}_count"] = self.statistics(name)["count"]
+        summary["event_count"] = float(len(self._events))
+        return summary
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._observations.clear()
+        self._events.clear()

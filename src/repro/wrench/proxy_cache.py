@@ -1,0 +1,164 @@
+"""XRootD-style proxy cache storage service.
+
+The paper's case study motivates its simulator with the need to "compare
+different cache deployment options": XRootD, deployed on WLCG, "makes it
+possible to deploy data caches (called 'proxy storage services') that can
+perform in-memory or on-disk caching".  The calibratable simulator only
+models node-local caches; this service models the site-level proxy that
+sits between the compute site and the remote storage:
+
+* a proxy holds a bounded number of bytes on its backing disk;
+* a read for a cached file is served locally (a disk read at the proxy);
+* a read for an uncached file is streamed from the origin storage service
+  through the proxy (pipelined, like every other transfer), written to the
+  proxy's disk, and evicts least-recently-used files if space is needed;
+* files larger than the capacity bypass the cache entirely.
+
+The service exposes hit/miss/eviction counters so that cache-deployment
+studies (one of the paper's stated objectives) can report cache
+efficiency alongside job performance.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.simgrid.errors import SimulationError
+from repro.wrench.files import DataFile, FileRegistry
+from repro.wrench.storage import SimpleStorageService
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simgrid.disk import Disk
+    from repro.simgrid.host import Host
+    from repro.simgrid.platform import Platform
+
+__all__ = ["ProxyCacheService"]
+
+
+class ProxyCacheService(SimpleStorageService):
+    """A capacity-bounded, LRU-evicting proxy in front of an origin service.
+
+    Parameters
+    ----------
+    name, host, disk, buffer_size, registry:
+        As for :class:`~repro.wrench.storage.SimpleStorageService`.
+    origin:
+        The storage service holding the authoritative copies.
+    capacity:
+        Maximum number of bytes the proxy may hold; ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        host: "Host",
+        disk: "Disk",
+        origin: SimpleStorageService,
+        capacity: Optional[float] = None,
+        buffer_size: float = 1e6,
+        registry: Optional[FileRegistry] = None,
+    ) -> None:
+        super().__init__(name, host, disk, buffer_size=buffer_size, registry=registry)
+        if capacity is not None and capacity <= 0:
+            raise SimulationError(f"proxy {name!r} needs a positive capacity (or None)")
+        self.origin = origin
+        self.capacity = float(capacity) if capacity is not None else None
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bypasses = 0
+        self._lru: "OrderedDict[DataFile, None]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # cache bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    def cached_bytes(self) -> float:
+        return sum(f.size for f in self._lru)
+
+    def add_file(self, file: DataFile) -> None:
+        """Record a cached copy (evicting LRU entries to make room)."""
+        if self.capacity is not None and file.size > self.capacity:
+            self.bypasses += 1
+            return
+        self._make_room(file.size)
+        super().add_file(file)
+        self._lru[file] = None
+        self._lru.move_to_end(file)
+
+    def delete_file(self, file: DataFile) -> None:
+        super().delete_file(file)
+        self._lru.pop(file, None)
+
+    def _make_room(self, needed: float) -> None:
+        if self.capacity is None:
+            return
+        while self._lru and self.cached_bytes + needed > self.capacity:
+            victim, _ = self._lru.popitem(last=False)
+            super().delete_file(victim)
+            self.evictions += 1
+
+    def _touch(self, file: DataFile) -> None:
+        if file in self._lru:
+            self._lru.move_to_end(file)
+
+    # ------------------------------------------------------------------ #
+    # the proxied read path
+    # ------------------------------------------------------------------ #
+    def fetch_file(self, file: DataFile, platform: "Platform", cache_write: bool = True):
+        """Generator: obtain ``file`` through the proxy.
+
+        On a hit the file is read from the proxy's disk; on a miss it is
+        streamed from the origin (and optionally written to the proxy disk,
+        populating the cache).  Returns ``True`` on a hit, ``False`` on a
+        miss.
+        """
+        if self.has_file(file):
+            self.hits += 1
+            self._touch(file)
+            yield from self.read_file(file)
+            return True
+
+        self.misses += 1
+        if not self.origin.has_file(file):
+            raise SimulationError(
+                f"origin {self.origin.name!r} does not hold {file.name!r}; "
+                "the proxy cannot fetch it"
+            )
+        oversized = self.capacity is not None and file.size > self.capacity
+        write_locally = cache_write and not oversized
+        if oversized:
+            self.bypasses += 1
+        yield from self.origin.stream_to(
+            self,
+            f"fetch:{file.name}",
+            file.size,
+            platform,
+            write_at_destination=write_locally,
+        )
+        if write_locally:
+            self.add_file(file)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from the cache (0 when unused)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def statistics(self) -> Dict[str, float]:
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "bypasses": float(self.bypasses),
+            "hit_rate": self.hit_rate,
+            "cached_bytes": self.cached_bytes,
+        }

@@ -1,0 +1,99 @@
+"""Simulation facade: wires services onto a platform and runs workloads.
+
+This is the equivalent of WRENCH's ``Simulation`` object: it owns the
+platform (and therefore the discrete-event engine), a file registry, the
+storage and compute services, and a scheduler, and exposes a single
+``run()`` entry point that executes the submitted workload and returns the
+job results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.simgrid.disk import Disk
+from repro.simgrid.host import Host
+from repro.simgrid.memory import Memory
+from repro.simgrid.platform import Platform
+from repro.wrench.compute import BareMetalComputeService
+from repro.wrench.files import DataFile, FileRegistry
+from repro.wrench.jobs import Job, JobResult, JobSpec
+from repro.wrench.scheduler import FCFSScheduler
+from repro.wrench.storage import PageCache, SimpleStorageService
+
+
+class Simulation:
+    """Container for one simulated execution."""
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+        self.engine = platform.engine
+        self.registry = FileRegistry()
+        self.storage_services: Dict[str, SimpleStorageService] = {}
+        self.page_caches: Dict[str, PageCache] = {}
+        self.compute_services: Dict[str, BareMetalComputeService] = {}
+        self.scheduler: Optional[FCFSScheduler] = None
+
+    # ------------------------------------------------------------------ #
+    # service creation
+    # ------------------------------------------------------------------ #
+    def add_storage_service(
+        self, name: str, host: Host, disk: Disk, buffer_size: float = 1e6
+    ) -> SimpleStorageService:
+        service = SimpleStorageService(name, host, disk, buffer_size, registry=self.registry)
+        self.storage_services[name] = service
+        return service
+
+    def add_page_cache(self, name: str, host: Host, memory: Memory, enabled: bool = True) -> PageCache:
+        cache = PageCache(name, host, memory, registry=self.registry, enabled=enabled)
+        self.page_caches[name] = cache
+        return cache
+
+    def add_compute_service(self, name: str, host: Host) -> BareMetalComputeService:
+        service = BareMetalComputeService(name, host)
+        self.compute_services[name] = service
+        return service
+
+    def create_scheduler(self, services: Optional[Sequence[BareMetalComputeService]] = None) -> FCFSScheduler:
+        services = list(services) if services is not None else list(self.compute_services.values())
+        self.scheduler = FCFSScheduler(services)
+        return self.scheduler
+
+    # ------------------------------------------------------------------ #
+    # data staging
+    # ------------------------------------------------------------------ #
+    def stage_file(self, file: DataFile, storage_name: str) -> None:
+        """Place a file on a storage service before the simulation starts."""
+        self.storage_services[storage_name].add_file(file)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def submit_workload(
+        self,
+        specs: Sequence[JobSpec],
+        body_factory: Callable[[Job], Callable],
+    ) -> List[Job]:
+        """Submit every job of a workload through the scheduler."""
+        if self.scheduler is None:
+            self.create_scheduler()
+        assert self.scheduler is not None
+        return self.scheduler.submit_all(specs, body_factory)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation to completion; returns the final simulated time."""
+        return self.engine.run(until=until)
+
+    def job_results(self) -> List[JobResult]:
+        """Results of every completed job, in completion order."""
+        results: List[JobResult] = []
+        for service in self.compute_services.values():
+            for job in service.completed_jobs:
+                results.append(job.to_result())
+        results.sort(key=lambda r: (r.end_time, r.name))
+        return results
+
+    @property
+    def event_count(self) -> int:
+        """Number of completed activities (proxy for simulation cost)."""
+        return self.engine.completed_activity_count

@@ -1,0 +1,233 @@
+"""Storage services.
+
+Two concrete services are provided:
+
+* :class:`SimpleStorageService` — a disk-backed storage service.  Remote
+  reads are streamed through the service's internal buffer of size ``b``
+  (the paper's *buffer size* parameter): every chunk of ``b`` bytes is
+  simultaneously read from the source disk, pushed across the network
+  route and written to the destination disk, which reproduces the
+  pipelined behaviour (and the event-count blow-up for small ``b``) that
+  the paper discusses in Section IV.C.4.
+* :class:`PageCache` — a RAM-backed storage area standing in for the Linux
+  page cache; reads are served at memory bandwidth.
+
+All data-movement methods are generator helpers designed to be composed
+with ``yield from`` inside simulated processes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable, Optional, Set
+
+from repro.simgrid.errors import SimulationError
+from repro.simgrid.process import AllOf
+from repro.wrench.files import DataFile, FileRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simgrid.disk import Disk
+    from repro.simgrid.host import Host
+    from repro.simgrid.memory import Memory
+    from repro.simgrid.platform import Platform
+
+
+class StorageService:
+    """Base class: a named service attached to a host that holds files."""
+
+    def __init__(self, name: str, host: "Host", registry: Optional[FileRegistry] = None) -> None:
+        self.name = str(name)
+        self.host = host
+        self.registry = registry
+        self._files: Set[DataFile] = set()
+
+    # ------------------------------------------------------------------ #
+    # file bookkeeping
+    # ------------------------------------------------------------------ #
+    def add_file(self, file: DataFile) -> None:
+        """Declare that the service holds ``file`` (no simulated time passes)."""
+        self._files.add(file)
+        if self.registry is not None:
+            self.registry.add_entry(file, self)
+
+    def delete_file(self, file: DataFile) -> None:
+        self._files.discard(file)
+        if self.registry is not None:
+            self.registry.remove_entry(file, self)
+
+    def has_file(self, file: DataFile) -> bool:
+        return file in self._files
+
+    @property
+    def files(self) -> Set[DataFile]:
+        return set(self._files)
+
+    @property
+    def stored_bytes(self) -> float:
+        return sum(f.size for f in self._files)
+
+    # ------------------------------------------------------------------ #
+    # abstract I/O
+    # ------------------------------------------------------------------ #
+    def read_amount(self, label: str, amount: float):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def write_amount(self, label: str, amount: float):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def read_file(self, file: DataFile):
+        """Generator: read a whole file that the service holds."""
+        if not self.has_file(file):
+            raise SimulationError(f"storage {self.name!r} does not hold {file.name!r}")
+        result = yield from self.read_amount(f"read:{file.name}", file.size)
+        return result
+
+    def write_file(self, file: DataFile):
+        """Generator: write a whole file and record it as held."""
+        result = yield from self.write_amount(f"write:{file.name}", file.size)
+        self.add_file(file)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} {self.name!r} on {self.host.name!r}>"
+
+
+class SimpleStorageService(StorageService):
+    """Disk-backed storage service with a pipelining buffer of ``buffer_size``
+    bytes (the paper's ``b`` parameter)."""
+
+    def __init__(
+        self,
+        name: str,
+        host: "Host",
+        disk: "Disk",
+        buffer_size: float = 1e6,
+        registry: Optional[FileRegistry] = None,
+    ) -> None:
+        super().__init__(name, host, registry)
+        if buffer_size <= 0:
+            raise SimulationError(f"storage {name!r} needs a positive buffer size")
+        self.disk = disk
+        self.buffer_size = float(buffer_size)
+
+    # ------------------------------------------------------------------ #
+    # local I/O
+    # ------------------------------------------------------------------ #
+    def read_amount(self, label: str, amount: float):
+        """Generator: read ``amount`` bytes from the backing disk."""
+        if amount <= 0:
+            return 0.0
+        activity = self.disk.read_async(f"{self.name}:{label}", amount)
+        yield activity
+        return amount
+
+    def write_amount(self, label: str, amount: float):
+        """Generator: write ``amount`` bytes to the backing disk."""
+        if amount <= 0:
+            return 0.0
+        activity = self.disk.write_async(f"{self.name}:{label}", amount)
+        yield activity
+        return amount
+
+    # ------------------------------------------------------------------ #
+    # remote transfers
+    # ------------------------------------------------------------------ #
+    def chunk_sizes(self, amount: float, other_buffer: Optional[float] = None) -> Iterable[float]:
+        """Split ``amount`` bytes into pipeline chunks.
+
+        The effective chunk size is the smaller of this service's buffer and
+        the peer's buffer, as in production storage stacks where the slowest
+        buffer throttles the pipeline.
+        """
+        chunk = self.buffer_size if other_buffer is None else min(self.buffer_size, other_buffer)
+        n_full = int(math.floor(amount / chunk + 1e-12))
+        for _ in range(n_full):
+            yield chunk
+        rest = amount - n_full * chunk
+        if rest > 1e-9:
+            yield rest
+
+    def stream_to(
+        self,
+        destination: "SimpleStorageService",
+        label: str,
+        amount: float,
+        platform: "Platform",
+        write_at_destination: bool = True,
+    ):
+        """Generator: stream ``amount`` bytes to another storage service.
+
+        Each pipeline chunk performs a source-disk read, a network transfer
+        along the platform route and (optionally) a destination-disk write,
+        all three concurrently — the fluid-model equivalent of a fully
+        pipelined store-and-forward transfer.  Returns the number of chunks.
+        """
+        if amount <= 0:
+            return 0
+        chunks = 0
+        for chunk in self.chunk_sizes(amount, destination.buffer_size):
+            stages = [self.disk.read_async(f"{self.name}:{label}:read", chunk)]
+            comm = platform.transfer_async(
+                f"{self.name}->{destination.name}:{label}", chunk, self.host, destination.host
+            )
+            stages.append(comm)
+            if write_at_destination:
+                stages.append(
+                    destination.disk.write_async(f"{destination.name}:{label}:write", chunk)
+                )
+            yield AllOf(stages)
+            chunks += 1
+        return chunks
+
+    def stream_file_to(
+        self,
+        destination: "SimpleStorageService",
+        file: DataFile,
+        platform: "Platform",
+        register: bool = True,
+    ):
+        """Generator: copy a whole file to another service (pipelined)."""
+        if not self.has_file(file):
+            raise SimulationError(f"storage {self.name!r} does not hold {file.name!r}")
+        chunks = yield from self.stream_to(destination, f"copy:{file.name}", file.size, platform)
+        if register:
+            destination.add_file(file)
+        return chunks
+
+
+class PageCache(StorageService):
+    """RAM-backed storage (the Linux page cache).
+
+    The case study's FC platforms enable it: reads of locally cached files
+    are then served from RAM instead of the HDD.  Its bandwidth is one of
+    the calibrated parameters (the one the paper's HUMAN calibration gets
+    wrong by an order of magnitude).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        host: "Host",
+        memory: "Memory",
+        registry: Optional[FileRegistry] = None,
+        enabled: bool = True,
+    ) -> None:
+        super().__init__(name, host, registry)
+        self.memory = memory
+        self.enabled = bool(enabled)
+
+    def read_amount(self, label: str, amount: float):
+        """Generator: read ``amount`` bytes from RAM."""
+        if amount <= 0:
+            return 0.0
+        activity = self.memory.read_async(f"{self.name}:{label}", amount)
+        yield activity
+        return amount
+
+    def write_amount(self, label: str, amount: float):
+        """Generator: write ``amount`` bytes to RAM."""
+        if amount <= 0:
+            return 0.0
+        activity = self.memory.write_async(f"{self.name}:{label}", amount)
+        yield activity
+        return amount

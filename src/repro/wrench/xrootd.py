@@ -1,0 +1,171 @@
+"""XRootD-style redirector (data federation) service.
+
+On WLCG, XRootD federates many storage endpoints behind redirectors: a
+client asks the redirector for a file, the redirector locates a replica
+(possibly at another site) and the client reads from whichever endpoint is
+selected.  The case-study platform collapses this to a single remote
+storage site, but cache-deployment studies — the paper's motivating use
+case — need the federated form: several sites holding replicas, a
+selection policy, and optional proxy caches in front of the client.
+
+:class:`Redirector` implements exactly that on top of the service layer:
+
+* endpoints register with the redirector (directly or via a shared
+  :class:`~repro.wrench.files.FileRegistry`);
+* :meth:`Redirector.locate` returns the endpoints holding a file, ordered
+  by the selection policy (registration order, fewest network hops from
+  the client, or highest route bottleneck bandwidth);
+* :meth:`Redirector.read_file` performs the read from the selected
+  endpoint — through a proxy cache when one is supplied — and counts
+  local/remote/failed lookups so federation efficiency can be reported.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.simgrid.errors import SimulationError
+from repro.wrench.files import DataFile, FileRegistry
+from repro.wrench.proxy_cache import ProxyCacheService
+from repro.wrench.storage import SimpleStorageService
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simgrid.host import Host
+    from repro.simgrid.platform import Platform
+
+__all__ = ["Redirector"]
+
+#: Supported replica-selection policies.
+POLICIES = ("registration", "hops", "bandwidth")
+
+
+class Redirector:
+    """Locates file replicas across federated storage endpoints.
+
+    Parameters
+    ----------
+    name:
+        Service name (used in error messages and traces).
+    platform:
+        The platform whose route table is consulted by the ``hops`` and
+        ``bandwidth`` selection policies.
+    registry:
+        Optional shared file registry; when given, replica lookups consult
+        it in addition to the explicitly registered endpoints.
+    policy:
+        Default replica-selection policy.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        platform: "Platform",
+        registry: Optional[FileRegistry] = None,
+        policy: str = "hops",
+    ) -> None:
+        if policy not in POLICIES:
+            raise SimulationError(f"unknown selection policy {policy!r}; expected one of {POLICIES}")
+        self.name = str(name)
+        self.platform = platform
+        self.registry = registry
+        self.policy = policy
+        self.endpoints: List[SimpleStorageService] = []
+        self.local_reads = 0
+        self.remote_reads = 0
+        self.failed_lookups = 0
+
+    # ------------------------------------------------------------------ #
+    # endpoint management
+    # ------------------------------------------------------------------ #
+    def register_endpoint(self, endpoint: SimpleStorageService) -> None:
+        """Add a storage endpoint to the federation (idempotent)."""
+        if endpoint not in self.endpoints:
+            self.endpoints.append(endpoint)
+
+    def _candidate_endpoints(self, file: DataFile) -> List[SimpleStorageService]:
+        holders = [endpoint for endpoint in self.endpoints if endpoint.has_file(file)]
+        if self.registry is not None:
+            for service in self.registry.lookup(file):
+                if isinstance(service, SimpleStorageService) and service not in holders:
+                    holders.append(service)
+        return holders
+
+    # ------------------------------------------------------------------ #
+    # replica selection
+    # ------------------------------------------------------------------ #
+    def _route_metrics(self, client: "Host", endpoint: SimpleStorageService) -> Dict[str, float]:
+        if endpoint.host.name == client.name:
+            return {"hops": 0.0, "bandwidth": float("inf")}
+        if not self.platform.has_route(client, endpoint.host):
+            return {"hops": float("inf"), "bandwidth": 0.0}
+        links = self.platform.route(client, endpoint.host)
+        return {
+            "hops": float(len(links)),
+            "bandwidth": min(link.bandwidth for link in links) if links else float("inf"),
+        }
+
+    def locate(
+        self, file: DataFile, client: "Host", policy: Optional[str] = None
+    ) -> List[SimpleStorageService]:
+        """Endpoints holding ``file``, best-first according to the policy."""
+        policy = policy or self.policy
+        if policy not in POLICIES:
+            raise SimulationError(f"unknown selection policy {policy!r}; expected one of {POLICIES}")
+        holders = self._candidate_endpoints(file)
+        if policy == "registration" or not holders:
+            return holders
+        metrics = {endpoint.name: self._route_metrics(client, endpoint) for endpoint in holders}
+        if policy == "hops":
+            return sorted(holders, key=lambda e: (metrics[e.name]["hops"], e.name))
+        return sorted(holders, key=lambda e: (-metrics[e.name]["bandwidth"], e.name))
+
+    # ------------------------------------------------------------------ #
+    # federated reads
+    # ------------------------------------------------------------------ #
+    def read_file(
+        self,
+        file: DataFile,
+        client_storage: SimpleStorageService,
+        proxy: Optional[ProxyCacheService] = None,
+        policy: Optional[str] = None,
+    ):
+        """Generator: read ``file`` from the best replica.
+
+        When the selected replica already sits on the client's host the read
+        is local; otherwise the file is streamed over the platform route —
+        through ``proxy`` if one is given (populating its cache), directly
+        into ``client_storage`` otherwise.  Returns the endpoint served from.
+        """
+        candidates = self.locate(file, client_storage.host, policy=policy)
+        if not candidates:
+            self.failed_lookups += 1
+            raise SimulationError(
+                f"redirector {self.name!r}: no endpoint of the federation holds {file.name!r}"
+            )
+        source = candidates[0]
+        if source.host.name == client_storage.host.name:
+            self.local_reads += 1
+            yield from source.read_file(file)
+            return source
+
+        self.remote_reads += 1
+        if proxy is not None:
+            yield from proxy.fetch_file(file, self.platform)
+        else:
+            yield from source.stream_to(
+                client_storage, f"federated:{file.name}", file.size, self.platform
+            )
+        return source
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def statistics(self) -> Dict[str, float]:
+        total = self.local_reads + self.remote_reads
+        return {
+            "endpoints": float(len(self.endpoints)),
+            "local_reads": float(self.local_reads),
+            "remote_reads": float(self.remote_reads),
+            "failed_lookups": float(self.failed_lookups),
+            "local_fraction": self.local_reads / total if total else 0.0,
+        }

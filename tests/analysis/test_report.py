@@ -1,0 +1,61 @@
+"""The aggregate reproduction-report generator."""
+
+import pytest
+
+from repro.analysis.report import DEFAULT_ORDER, collect_results, render_report, write_report
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    (directory / "table3.txt").write_text("== table3: MRE ==\nHUMAN | 23%\n")
+    (directory / "table1.txt").write_text("== table1: survey ==\nTotal | 114\n")
+    (directory / "custom_extra.txt").write_text("== custom: something else ==\nrow\n")
+    (directory / "notes.json").write_text("{}")  # non-.txt files are ignored
+    return directory
+
+
+class TestCollectResults:
+    def test_reads_only_txt_files(self, results_dir):
+        collected = collect_results(results_dir)
+        assert set(collected) == {"table1", "table3", "custom_extra"}
+        assert "114" in collected["table1"]
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert collect_results(tmp_path / "does-not-exist") == {}
+
+
+class TestRenderReport:
+    def test_orders_paper_experiments_first(self, results_dir):
+        text = render_report(collect_results(results_dir), generated_at="2026-06-14")
+        table1_pos = text.index("Table I")
+        table3_pos = text.index("Table III")
+        extra_pos = text.index("custom_extra")
+        assert table1_pos < table3_pos < extra_pos
+        assert "2026-06-14" in text
+        assert "```" in text
+
+    def test_known_experiments_get_titles(self, results_dir):
+        text = render_report(collect_results(results_dir))
+        assert "## Table III — MRE per calibration method and platform" in text
+        # Unknown experiments fall back to their file stem.
+        assert "## custom_extra" in text
+
+    def test_empty_results(self):
+        text = render_report({})
+        assert "No experiment outputs found" in text
+
+    def test_default_order_covers_all_paper_tables(self):
+        for name in ("table1", "table2", "table3", "table4", "table5", "table6", "figure2"):
+            assert name in DEFAULT_ORDER
+
+
+class TestWriteReport:
+    def test_writes_markdown_file(self, results_dir, tmp_path):
+        output = tmp_path / "nested" / "REPORT.md"
+        path = write_report(results_dir, output)
+        assert path == output
+        content = output.read_text()
+        assert content.startswith("# Reproduction report")
+        assert "table3" in content or "Table III" in content

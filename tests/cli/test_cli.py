@@ -1,0 +1,124 @@
+"""The ``repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_calibrate_defaults(self):
+        args = build_parser().parse_args(["calibrate"])
+        assert args.platform == "FCSN"
+        assert args.algorithm == "random"
+        assert args.metric == "mre"
+        assert args.evaluations == 200
+
+    def test_experiment_accepts_a_name(self):
+        args = build_parser().parse_args(["experiment", "table3", "--scale", "tiny"])
+        assert args.name == "table3"
+        assert args.scale == "tiny"
+
+    def test_invalid_platform_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["calibrate", "--platform", "MOON"])
+
+
+class TestListCommand:
+    def test_lists_algorithms_and_metrics(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for token in ("random", "grid", "gdfix", "bayesian", "mre", "rmse", "SCFN"):
+            assert token in out
+
+
+class TestCalibrateCommand:
+    def test_tiny_calibration_with_comparison(self, capsys):
+        code = main([
+            "calibrate", "--platform", "SCSN", "--scale", "tiny",
+            "--icds", "0.0,1.0", "--algorithm", "random",
+            "--evaluations", "15", "--seed", "3", "--compare",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best MRE" in out
+        assert "HUMAN" in out
+        assert "disk_bandwidth" in out
+
+    def test_invalid_icds_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["calibrate", "--icds", "zero,one", "--scale", "tiny"])
+
+
+class TestSimulateCommand:
+    def test_simulate_with_true_values(self, capsys):
+        code = main([
+            "simulate", "--platform", "FCSN", "--scale", "tiny",
+            "--icds", "0.0,1.0", "--values", "true",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MRE" in out
+        assert "ICD  0.0" in out or "ICD 0.0" in out.replace("  ", " ")
+
+
+class TestExperimentCommand:
+    def test_table1_needs_no_simulation(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "114" in out  # the survey total
+
+    def test_table2_prints_the_platform_table(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        for platform in ("SCFN", "FCFN", "SCSN", "FCSN"):
+            assert platform in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table99"])
+
+
+class TestCalibrateReportAndSave:
+    def test_report_and_save_options(self, capsys, tmp_path):
+        out_path = tmp_path / "result.json"
+        code = main([
+            "calibrate", "--platform", "FCSN", "--scale", "tiny",
+            "--icds", "0.0,1.0", "--algorithm", "lhs",
+            "--evaluations", "12", "--seed", "2",
+            "--report", "--save", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Calibration report" in out
+        assert "sparkline" in out
+        assert out_path.exists()
+
+        from repro.core import load_result
+
+        loaded = load_result(out_path)
+        assert loaded.evaluations == 12
+        assert loaded.algorithm == "lhs"
+
+
+class TestReportCommand:
+    def test_report_from_a_results_directory(self, capsys, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table2.txt").write_text("== table2 ==\nSCFN | disabled\n")
+        assert main(["report", "--results-dir", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "Reproduction report" in out
+        assert "SCFN" in out
+
+    def test_report_written_to_a_file(self, capsys, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "figure2.txt").write_text("== figure2 ==\ncurve\n")
+        output = tmp_path / "REPORT.md"
+        assert main(["report", "--results-dir", str(results), "--output", str(output)]) == 0
+        assert output.exists()
+        assert "figure2" in output.read_text() or "Figure 2" in output.read_text()

@@ -1,0 +1,114 @@
+"""Accuracy metrics: exact values and invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    get_metric,
+    max_relative_error,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_relative_error,
+    root_mean_squared_error,
+)
+
+
+REFERENCE = {("n1", 0.0): 100.0, ("n1", 1.0): 50.0, ("n2", 0.0): 200.0}
+
+
+class TestExactValues:
+    def test_identical_dicts_have_zero_error(self):
+        for metric in (mean_relative_error, mean_absolute_error, max_relative_error,
+                       root_mean_squared_error):
+            assert metric(REFERENCE, dict(REFERENCE)) == pytest.approx(0.0)
+
+    def test_mre_known_value(self):
+        candidate = {("n1", 0.0): 110.0, ("n1", 1.0): 40.0, ("n2", 0.0): 200.0}
+        # relative errors: 10%, 20%, 0% -> mean 10%
+        assert mean_relative_error(REFERENCE, candidate) == pytest.approx(10.0)
+
+    def test_mae_known_value(self):
+        candidate = {("n1", 0.0): 110.0, ("n1", 1.0): 40.0, ("n2", 0.0): 230.0}
+        assert mean_absolute_error(REFERENCE, candidate) == pytest.approx((10 + 10 + 30) / 3)
+
+    def test_max_relative_error_known_value(self):
+        candidate = {("n1", 0.0): 150.0, ("n1", 1.0): 50.0, ("n2", 0.0): 210.0}
+        assert max_relative_error(REFERENCE, candidate) == pytest.approx(50.0)
+
+    def test_rmse_known_value(self):
+        candidate = {k: v + 3.0 for k, v in REFERENCE.items()}
+        assert root_mean_squared_error(REFERENCE, candidate) == pytest.approx(3.0)
+
+    def test_mape_is_alias_of_mre(self):
+        candidate = {k: v * 1.25 for k, v in REFERENCE.items()}
+        assert mean_absolute_percentage_error(REFERENCE, candidate) == pytest.approx(
+            mean_relative_error(REFERENCE, candidate)
+        )
+
+    def test_zero_reference_entries_are_skipped(self):
+        reference = {"a": 0.0, "b": 100.0}
+        candidate = {"a": 50.0, "b": 150.0}
+        assert mean_relative_error(reference, candidate) == pytest.approx(50.0)
+
+    def test_all_zero_reference_raises(self):
+        with pytest.raises(ValueError):
+            mean_relative_error({"a": 0.0}, {"a": 1.0})
+        with pytest.raises(ValueError):
+            max_relative_error({"a": 0.0}, {"a": 1.0})
+
+    def test_missing_candidate_key_raises(self):
+        with pytest.raises(KeyError):
+            mean_relative_error(REFERENCE, {("n1", 0.0): 100.0})
+
+    def test_empty_reference_raises(self):
+        with pytest.raises(ValueError):
+            mean_relative_error({}, {})
+
+    def test_registry_lookup(self):
+        assert get_metric("MRE") is mean_relative_error
+        assert get_metric("mae") is mean_absolute_error
+        with pytest.raises(KeyError):
+            get_metric("nope")
+
+
+metric_dicts = st.dictionaries(
+    keys=st.text(min_size=1, max_size=5),
+    values=st.floats(min_value=0.1, max_value=1e6),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(metric_dicts, st.floats(min_value=0.1, max_value=10.0))
+    def test_scaling_candidate_gives_expected_mre(self, reference, factor):
+        candidate = {k: v * factor for k, v in reference.items()}
+        expected = abs(factor - 1.0) * 100.0
+        assert mean_relative_error(reference, candidate) == pytest.approx(expected, rel=1e-6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(metric_dicts)
+    def test_metrics_are_nonnegative_and_zero_on_identity(self, reference):
+        candidate = dict(reference)
+        assert mean_relative_error(reference, candidate) == pytest.approx(0.0)
+        assert mean_absolute_error(reference, candidate) == pytest.approx(0.0)
+        assert root_mean_squared_error(reference, candidate) == pytest.approx(0.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(metric_dicts, metric_dicts)
+    def test_nonnegative_for_arbitrary_candidates(self, reference, other):
+        candidate = {k: other.get(k, 1.0) for k in reference}
+        assert mean_relative_error(reference, candidate) >= 0.0
+        assert mean_absolute_error(reference, candidate) >= 0.0
+        assert max_relative_error(reference, candidate) >= mean_relative_error(
+            reference, candidate
+        ) - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(metric_dicts)
+    def test_mae_bounded_by_max_deviation(self, reference):
+        candidate = {k: v * 1.5 for k, v in reference.items()}
+        max_dev = max(abs(candidate[k] - v) for k, v in reference.items())
+        assert mean_absolute_error(reference, candidate) <= max_dev + 1e-9

@@ -1,0 +1,134 @@
+"""Experimental-design samplers (repro.core.sampling)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Parameter, ParameterSpace
+from repro.core.sampling import (
+    SAMPLERS,
+    design_to_values,
+    full_factorial_design,
+    get_sampler,
+    halton_design,
+    latin_hypercube_design,
+    sobol_design,
+    star_design,
+    uniform_design,
+)
+
+
+class TestRegistry:
+    def test_all_samplers_registered(self):
+        assert set(SAMPLERS) == {"uniform", "lhs", "sobol", "halton"}
+
+    def test_get_sampler_is_case_insensitive(self):
+        assert get_sampler("LHS") is latin_hypercube_design
+
+    def test_get_sampler_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_sampler("dragonfly")
+
+
+class TestRandomDesigns:
+    @pytest.mark.parametrize("sampler", [uniform_design, latin_hypercube_design,
+                                         sobol_design, halton_design])
+    def test_shape_and_bounds(self, sampler):
+        rng = np.random.default_rng(0)
+        design = sampler(4, 33, rng)
+        assert design.shape == (33, 4)
+        assert np.all(design >= 0.0) and np.all(design <= 1.0)
+
+    @pytest.mark.parametrize("sampler", [uniform_design, latin_hypercube_design,
+                                         sobol_design, halton_design])
+    def test_invalid_arguments(self, sampler):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sampler(0, 10, rng)
+        with pytest.raises(ValueError):
+            sampler(2, 0, rng)
+
+    def test_lhs_stratification(self):
+        """A Latin hypercube with n points must place exactly one point in
+        each of the n equal-width strata of every dimension."""
+        rng = np.random.default_rng(42)
+        n = 16
+        design = latin_hypercube_design(3, n, rng)
+        for dim in range(3):
+            strata = np.floor(design[:, dim] * n).astype(int)
+            strata = np.clip(strata, 0, n - 1)
+            assert sorted(strata) == list(range(n))
+
+    def test_sobol_better_spread_than_worst_case(self):
+        """The scrambled Sobol design must not collapse points together:
+        its minimum pairwise distance should exceed a loose threshold."""
+        rng = np.random.default_rng(7)
+        design = sobol_design(2, 32, rng)
+        distances = [
+            np.linalg.norm(design[i] - design[j])
+            for i in range(len(design))
+            for j in range(i + 1, len(design))
+        ]
+        assert min(distances) > 1e-3
+
+
+class TestDeterministicDesigns:
+    def test_full_factorial_counts_and_corners(self):
+        design = full_factorial_design(3, 3)
+        assert design.shape == (27, 3)
+        corners = {tuple(row) for row in design if set(row) <= {0.0, 1.0}}
+        assert len(corners) == 8
+
+    def test_full_factorial_needs_two_levels(self):
+        with pytest.raises(ValueError):
+            full_factorial_design(2, 1)
+
+    def test_star_design_structure(self):
+        center = np.array([0.5, 0.9])
+        design = star_design(center, 0.2)
+        assert design.shape == (5, 2)
+        assert np.allclose(design[0], center)
+        # One coordinate moved per non-center point, clipped to the box.
+        for point in design[1:]:
+            moved = np.abs(point - center) > 1e-12
+            assert moved.sum() == 1
+            assert np.all(point <= 1.0) and np.all(point >= 0.0)
+
+    def test_star_design_validation(self):
+        with pytest.raises(ValueError):
+            star_design(np.array([[0.5, 0.5]]), 0.1)
+        with pytest.raises(ValueError):
+            star_design(np.array([0.5]), 0.0)
+
+
+class TestDesignToValues:
+    def test_roundtrip_through_parameter_space(self):
+        space = ParameterSpace([Parameter("a", 2**10, 2**20), Parameter("b", 1.0, 100.0, scale="linear")])
+        rng = np.random.default_rng(3)
+        design = uniform_design(2, 5, rng)
+        values = design_to_values(space, design)
+        assert len(values) == 5
+        for row, mapping in zip(design, values):
+            assert set(mapping) == {"a", "b"}
+            back = space.to_unit_array(mapping)
+            assert np.allclose(back, row, atol=1e-9)
+
+
+class TestHypothesisProperties:
+    @given(dimension=st.integers(1, 5), n=st.integers(2, 40), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_lhs_always_stratified(self, dimension, n, seed):
+        design = latin_hypercube_design(dimension, n, np.random.default_rng(seed))
+        assert design.shape == (n, dimension)
+        for dim in range(dimension):
+            strata = np.clip(np.floor(design[:, dim] * n).astype(int), 0, n - 1)
+            assert sorted(strata) == list(range(n))
+
+    @given(levels=st.integers(2, 5), dimension=st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_factorial_size(self, levels, dimension):
+        design = full_factorial_design(dimension, levels)
+        assert design.shape == (levels**dimension, dimension)
+        # Every row is unique.
+        assert len({tuple(r) for r in design}) == len(design)

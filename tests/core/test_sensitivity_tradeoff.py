@@ -1,0 +1,162 @@
+"""Sensitivity analysis (OAT / Morris) and the accuracy-speed trade-off helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Parameter,
+    ParameterSpace,
+    TradeoffPoint,
+    dominated_fraction,
+    knee_point,
+    morris_elementary_effects,
+    one_at_a_time,
+    pareto_front,
+    rank_parameters,
+)
+
+
+def make_space():
+    return ParameterSpace(
+        [
+            Parameter("heavy", 2**10, 2**30),
+            Parameter("light", 2**10, 2**30),
+            Parameter("flat", 2**10, 2**30),
+        ]
+    )
+
+
+def anisotropic_objective(space):
+    """Strong dependence on 'heavy', weak on 'light', none on 'flat'."""
+
+    def objective(values):
+        unit = space.to_unit_array(values)
+        return 100.0 * (unit[0] - 0.5) ** 2 + 1.0 * (unit[1] - 0.5) ** 2
+
+    return objective
+
+
+class TestOneAtATime:
+    def test_ranks_parameters_by_influence(self):
+        space = make_space()
+        result = one_at_a_time(anisotropic_objective(space), space, levels=5)
+        assert result.ranking() == ["heavy", "light", "flat"]
+        assert result.indices["flat"] == pytest.approx(0.0, abs=1e-12)
+        assert result.evaluations == 3 * 5
+
+    def test_normalized_peaks_at_one(self):
+        space = make_space()
+        result = one_at_a_time(anisotropic_objective(space), space, levels=5)
+        normalized = result.normalized()
+        assert normalized["heavy"] == pytest.approx(1.0)
+        assert 0.0 <= normalized["light"] < 0.1
+
+    def test_span_restricts_the_sweep(self):
+        space = make_space()
+        seen = []
+
+        def recording(values):
+            seen.append(space.to_unit_array(values)[0])
+            return 0.0
+
+        base = space.from_unit_array([0.5, 0.5, 0.5])
+        one_at_a_time(recording, space, base=base, levels=5, span=0.1)
+        # Coordinates probed for the first parameter stay within +/- 0.1.
+        first_param_probes = seen[:5]
+        assert all(0.4 - 1e-9 <= c <= 0.6 + 1e-9 for c in first_param_probes)
+
+    def test_validation(self):
+        space = make_space()
+        with pytest.raises(ValueError):
+            one_at_a_time(lambda v: 0.0, space, levels=2)
+        with pytest.raises(ValueError):
+            one_at_a_time(lambda v: 0.0, space, span=0.0)
+
+
+class TestMorris:
+    def test_identifies_the_flat_parameter(self):
+        space = make_space()
+        result = morris_elementary_effects(anisotropic_objective(space), space,
+                                           trajectories=6, seed=2)
+        assert result.indices["flat"] == pytest.approx(0.0, abs=1e-12)
+        assert result.indices["heavy"] > result.indices["light"]
+        assert result.method == "morris"
+
+    def test_is_deterministic_for_a_seed(self):
+        space = make_space()
+        a = morris_elementary_effects(anisotropic_objective(space), space, trajectories=4, seed=9)
+        b = morris_elementary_effects(anisotropic_objective(space), space, trajectories=4, seed=9)
+        assert a.indices == b.indices
+
+    def test_validation(self):
+        space = make_space()
+        with pytest.raises(ValueError):
+            morris_elementary_effects(lambda v: 0.0, space, trajectories=1)
+        with pytest.raises(ValueError):
+            morris_elementary_effects(lambda v: 0.0, space, delta=1.5)
+
+
+class TestRanking:
+    def test_rank_parameters_splits_on_threshold(self):
+        space = make_space()
+        result = one_at_a_time(anisotropic_objective(space), space, levels=5)
+        groups = rank_parameters(result, threshold=0.1)
+        assert groups["influential"] == ["heavy"]
+        assert set(groups["negligible"]) == {"light", "flat"}
+
+
+class TestParetoFront:
+    def test_front_excludes_dominated_points(self):
+        points = [
+            TradeoffPoint("fast-bad", 1.0, 20.0),
+            TradeoffPoint("slow-good", 10.0, 2.0),
+            TradeoffPoint("dominated", 12.0, 25.0),
+            TradeoffPoint("balanced", 5.0, 5.0),
+        ]
+        front = pareto_front(points)
+        labels = [p.label for p in front]
+        assert "dominated" not in labels
+        assert labels == ["fast-bad", "balanced", "slow-good"]
+
+    def test_duplicate_points_survive(self):
+        twin_a = TradeoffPoint("a", 1.0, 1.0)
+        twin_b = TradeoffPoint("b", 1.0, 1.0)
+        assert len(pareto_front([twin_a, twin_b])) == 2
+
+    def test_knee_point_prefers_the_corner(self):
+        points = [
+            TradeoffPoint("extreme-time", 100.0, 1.0),
+            TradeoffPoint("extreme-error", 1.0, 100.0),
+            TradeoffPoint("knee", 5.0, 5.0),
+        ]
+        assert knee_point(points).label == "knee"
+
+    def test_knee_point_empty_and_single(self):
+        assert knee_point([]) is None
+        single = TradeoffPoint("only", 1.0, 1.0)
+        assert knee_point([single]) is single
+
+    def test_dominated_fraction(self):
+        points = [
+            TradeoffPoint("a", 1.0, 1.0),
+            TradeoffPoint("b", 2.0, 2.0),
+            TradeoffPoint("c", 3.0, 3.0),
+            TradeoffPoint("d", 0.5, 4.0),
+        ]
+        assert dominated_fraction(points) == pytest.approx(0.5)
+        assert dominated_fraction([]) == 0.0
+
+    @given(st.lists(st.tuples(st.floats(0.1, 100), st.floats(0.1, 100)), min_size=1, max_size=25))
+    @settings(max_examples=50, deadline=None)
+    def test_front_members_are_mutually_non_dominating(self, raw):
+        points = [TradeoffPoint(f"p{i}", t, e) for i, (t, e) in enumerate(raw)]
+        front = pareto_front(points)
+        assert front  # at least one point always survives
+        for a in front:
+            assert not any(b.dominates(a) for b in front if b is not a)
+        # Every excluded point is dominated by some front member.
+        excluded = [p for p in points if p not in front]
+        for p in excluded:
+            assert any(f.dominates(p) for f in front)

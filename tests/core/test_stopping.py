@@ -1,0 +1,135 @@
+"""Early-stopping criteria and their integration with the Calibrator."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Calibrator,
+    EvaluationBudget,
+    NoImprovementStopper,
+    Parameter,
+    ParameterSpace,
+    RelativePlateauStopper,
+    TargetValueStopper,
+)
+from repro.core.history import CalibrationHistory, Evaluation
+from repro.core.stopping import StoppingBudget
+
+
+def make_history(values):
+    history = CalibrationHistory()
+    for i, value in enumerate(values):
+        history.record(
+            Evaluation(index=i, values={"x": float(i)}, unit=(0.0,), value=float(value),
+                       started_at=float(i), finished_at=float(i) + 0.5)
+        )
+    return history
+
+
+class TestTargetValueStopper:
+    def test_stops_when_target_reached(self):
+        stopper = TargetValueStopper(5.0)
+        assert not stopper.should_stop(make_history([10.0, 7.0]))
+        assert stopper.should_stop(make_history([10.0, 5.0]))
+        assert stopper.should_stop(make_history([10.0, 3.0, 8.0]))
+
+    def test_empty_history_never_stops(self):
+        assert not TargetValueStopper(5.0).should_stop(CalibrationHistory())
+
+    def test_describe_mentions_target(self):
+        assert "5" in TargetValueStopper(5.0).describe()
+
+
+class TestNoImprovementStopper:
+    def test_requires_patience_evaluations_beyond_best(self):
+        stopper = NoImprovementStopper(patience=3)
+        # Best value keeps improving: never stop.
+        assert not stopper.should_stop(make_history([10, 9, 8, 7, 6]))
+        # Improvement happened within the last 3 evaluations: keep going.
+        assert not stopper.should_stop(make_history([10, 10, 10, 9]))
+        # 3 evaluations since anything beat the early best: stop.
+        assert stopper.should_stop(make_history([5, 9, 8, 7]))
+
+    def test_min_delta_counts_only_meaningful_improvements(self):
+        stopper = NoImprovementStopper(patience=2, min_delta=1.0)
+        # The late values improve by less than min_delta: stop.
+        assert stopper.should_stop(make_history([5.0, 4.9, 4.8]))
+        # A genuine improvement within the window: continue.
+        assert not stopper.should_stop(make_history([5.0, 4.9, 3.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoImprovementStopper(patience=0)
+        with pytest.raises(ValueError):
+            NoImprovementStopper(min_delta=-1)
+
+
+class TestRelativePlateauStopper:
+    def test_stops_on_flat_window(self):
+        stopper = RelativePlateauStopper(window=3, fraction=0.05)
+        improving = make_history([100, 80, 60, 40, 20])
+        assert not stopper.should_stop(improving)
+        flat = make_history([100, 50, 49.9, 49.8, 49.7])
+        assert stopper.should_stop(flat)
+
+    def test_short_history_never_stops(self):
+        stopper = RelativePlateauStopper(window=10, fraction=0.01)
+        assert not stopper.should_stop(make_history([100, 99]))
+
+    def test_zero_best_value_edge_case(self):
+        stopper = RelativePlateauStopper(window=2, fraction=0.5)
+        assert stopper.should_stop(make_history([0.0, 0.0, 0.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RelativePlateauStopper(window=1)
+        with pytest.raises(ValueError):
+            RelativePlateauStopper(fraction=1.5)
+
+
+class TestStoppingBudgetAdapter:
+    def test_unbound_adapter_never_exhausts(self):
+        budget = StoppingBudget(TargetValueStopper(1.0))
+        assert not budget.exhausted(100)
+
+    def test_bound_adapter_follows_criterion(self):
+        budget = StoppingBudget(TargetValueStopper(1.0))
+        history = make_history([5.0, 0.5])
+        budget.bind(history)
+        assert budget.exhausted(2)
+        assert "1" in budget.describe()
+
+
+class TestCalibratorIntegration:
+    def make_space(self):
+        return ParameterSpace([Parameter("a", 2**10, 2**30), Parameter("b", 2**10, 2**30)])
+
+    def objective(self, space):
+        def fn(values):
+            unit = space.to_unit_array(values)
+            return float(np.sum((unit - 0.4) ** 2)) * 100.0
+        return fn
+
+    def test_target_stopper_cuts_the_run_short(self):
+        space = self.make_space()
+        unlimited = Calibrator(space, self.objective(space), "random",
+                               EvaluationBudget(500), seed=3).run()
+        stopped = Calibrator(space, self.objective(space), "random",
+                             EvaluationBudget(500), seed=3,
+                             stopping=TargetValueStopper(unlimited.best_value * 4 + 1.0)).run()
+        assert stopped.evaluations < unlimited.evaluations
+        assert stopped.best_value <= unlimited.best_value * 4 + 1.0
+
+    def test_no_improvement_stopper_bounds_wasted_evaluations(self):
+        space = self.make_space()
+        result = Calibrator(space, self.objective(space), "random",
+                            EvaluationBudget(2000), seed=1,
+                            stopping=NoImprovementStopper(patience=25)).run()
+        assert result.evaluations < 2000
+
+    def test_budget_still_applies_without_stopping(self):
+        space = self.make_space()
+        result = Calibrator(space, self.objective(space), "random",
+                            EvaluationBudget(30), seed=1,
+                            stopping=TargetValueStopper(-1.0)).run()
+        assert result.evaluations == 30

@@ -1,0 +1,129 @@
+"""End-to-end integration tests: the whole pipeline on small scenarios.
+
+These tests exercise the complete stack — ground-truth generation, the
+HUMAN procedure, the calibration framework driving the case-study
+simulator — and check the paper's qualitative claims at a very small scale
+(they are the fast counterpart of the benchmark harness, which runs the
+same experiments at larger budgets).
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ablation_extension_algorithms,
+    table3_simulation_accuracy,
+)
+from repro.core import EvaluationBudget, TimeBudget
+from repro.hepsim.calibration import CaseStudyProblem
+from repro.hepsim.groundtruth import GroundTruthGenerator
+from repro.hepsim.scenario import Scenario
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return GroundTruthGenerator(use_disk_cache=False)
+
+
+@pytest.fixture(scope="module")
+def fcsn_problem():
+    # The calib scale (with its shipped ground-truth cache) keeps the
+    # case-study phenomenology strong enough for claim-level assertions
+    # while one objective evaluation stays in the tens of milliseconds.
+    scenario = Scenario.calib("FCSN", icd_values=(0.0, 0.5, 1.0))
+    return CaseStudyProblem.create(scenario, generator=GroundTruthGenerator())
+
+
+class TestFastCachePlatformClaims:
+    def test_automated_calibration_beats_human_on_fc_platform(self, fcsn_problem):
+        """The paper's headline claim, at test scale: an automated
+        calibration with a small budget already beats the manual one on a
+        fast-cache platform."""
+        human_mre = fcsn_problem.evaluate(fcsn_problem.human_values())
+        result = fcsn_problem.calibrate(
+            algorithm="gdfix", budget=EvaluationBudget(200), seed=2
+        )
+        assert result.best_value < human_mre
+
+    def test_calibrated_page_cache_is_much_faster_than_human_assumption(self, fcsn_problem):
+        """Section IV.C.1: the automated methods find page-cache values about
+        an order of magnitude above the manual 1 GBps assumption."""
+        result = fcsn_problem.calibrate(
+            algorithm="gdfix", budget=EvaluationBudget(200), seed=2
+        )
+        values = fcsn_problem.calibrated_values(result)
+        human = fcsn_problem.human_values()
+        if result.best_value < 15.0:
+            assert values.page_cache_bandwidth > 3.0 * human.page_cache_bandwidth
+
+    def test_time_budget_produces_nonincreasing_convergence(self, fcsn_problem):
+        result = fcsn_problem.calibrate(
+            algorithm="random", budget=TimeBudget(2.0), seed=0
+        )
+        curve = [v for _, v in result.history.best_over_time()]
+        assert curve, "no evaluation completed within the time budget"
+        assert all(curve[i + 1] <= curve[i] + 1e-9 for i in range(len(curve) - 1))
+
+
+class TestSlowCachePlatformClaims:
+    def test_human_and_automated_are_comparable_on_sc_platform(self):
+        """On the slow-cache platforms the HDD behaviour the simulator does
+        not model limits everyone: automated calibration is on par with the
+        manual one (within a small factor), not dramatically better."""
+        scenario = Scenario.calib("SCSN", icd_values=(0.0, 0.5, 1.0))
+        problem = CaseStudyProblem.create(scenario, generator=GroundTruthGenerator())
+        human_mre = problem.evaluate(problem.human_values())
+        result = problem.calibrate(algorithm="gdfix", budget=EvaluationBudget(200), seed=2)
+        assert result.best_value < 2.5 * human_mre
+
+    def test_bottleneck_parameter_agreement(self, generator):
+        """Table IV's shape: two different algorithms agree on the disk
+        bandwidth (the SC bottleneck) within a small factor."""
+        scenario = Scenario.tiny("SCSN", icd_values=(0.0, 0.5, 1.0))
+        problem = CaseStudyProblem.create(scenario, generator=generator)
+        disks = []
+        for algorithm in ("random", "gdfix"):
+            result = problem.calibrate(
+                algorithm=algorithm, budget=EvaluationBudget(150), seed=3
+            )
+            disks.append(problem.calibrated_values(result).disk_bandwidth)
+        assert max(disks) / min(disks) < 4.0
+
+
+class TestExperimentHarness:
+    def test_table3_smoke_at_tiny_scale(self, generator):
+        result = table3_simulation_accuracy(
+            platforms=("FCSN",),
+            methods=("human", "random"),
+            icd_values=(0.0, 1.0),
+            budget_evaluations=25,
+            generator=generator,
+            scale="tiny",
+        )
+        assert result.headers == ["Method", "FCSN"]
+        assert len(result.rows) == 2
+        assert result.extra["mre"][("random", "FCSN")] >= 0
+
+    def test_extension_algorithms_smoke(self, generator):
+        result = ablation_extension_algorithms(
+            platform="FCSN",
+            algorithms=("random", "lhs"),
+            icd_values=(0.0, 1.0),
+            budget_evaluations=15,
+            generator=generator,
+            scale="tiny",
+        )
+        assert set(result.extra) == {"random", "lhs", "human"}
+
+
+class TestFullSiteSmoke:
+    def test_calib_scale_ground_truth_is_cached_in_package_data(self):
+        """The shipped ground-truth cache loads without regenerating (fast)."""
+        generator = GroundTruthGenerator()
+        scenario = Scenario.calib("FCSN", icd_values=(0.0, 1.0))
+        import time
+
+        start = time.perf_counter()
+        trace = generator.get(scenario)
+        elapsed = time.perf_counter() - start
+        assert trace.average_job_time("node3", 0.0) > trace.average_job_time("node3", 1.0)
+        assert elapsed < 2.0, "expected the shipped JSON cache to be used"

@@ -1,0 +1,76 @@
+"""Numerical robustness of the discrete-event engine.
+
+Regression tests for floating-point starvation: when activity rates differ
+by many orders of magnitude late in a long simulation, the next completion
+delay can be smaller than one ULP of the simulated clock.  The engine must
+still make progress (it force-completes activities whose remaining time is
+below the clock resolution) — without this, extreme calibration candidates
+(e.g. a multi-GB/s page cache next to a ~6 MB/s WAN) hang the simulator.
+"""
+
+import signal
+
+import pytest
+
+from repro.simgrid import Platform, SimulationEngine
+from repro.simgrid.process import Timeout
+
+
+class _Watchdog:
+    """Fail the test (instead of hanging the suite) if the block runs too long."""
+
+    def __init__(self, seconds: int) -> None:
+        self.seconds = seconds
+
+    def __enter__(self):
+        def handler(signum, frame):
+            raise TimeoutError(f"engine failed to make progress within {self.seconds}s")
+
+        self._previous = signal.signal(signal.SIGALRM, handler)
+        signal.alarm(self.seconds)
+        return self
+
+    def __exit__(self, *exc):
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, self._previous)
+        return False
+
+
+class TestClockResolutionCompletion:
+    def test_sub_ulp_activity_late_in_a_long_simulation(self):
+        """An activity whose duration is below the clock's floating-point
+        resolution must still complete when started at a large simulated
+        time."""
+        platform = Platform("numerics")
+        fast_host = platform.add_host("fast", 1e10, cores=1)
+
+        def process():
+            yield Timeout(1e6)                      # advance the clock far
+            yield fast_host.exec_async("tiny", 1e-5)  # ~1e-15 s of work
+
+        platform.engine.add_process(process(), "main")
+        with _Watchdog(20):
+            platform.engine.run()
+        assert platform.engine.now >= 1e6
+
+    def test_extreme_rate_disparity_between_concurrent_activities(self):
+        """A very slow bulk activity and a stream of very fast small ones
+        must coexist without starving the event loop."""
+        platform = Platform("disparity")
+        slow_host = platform.add_host("slow", 1e3, cores=1)
+        fast_host = platform.add_host("fast", 1e11, cores=1)
+
+        def bulk():
+            yield slow_host.exec_async("bulk", 2e9)  # 2e6 simulated seconds
+
+        def chatter():
+            for i in range(50):
+                yield Timeout(4e4)
+                yield fast_host.exec_async(f"blip{i}", 1e-3)
+
+        platform.engine.add_process(bulk(), "bulk")
+        platform.engine.add_process(chatter(), "chatter")
+        with _Watchdog(30):
+            platform.engine.run()
+        assert platform.engine.now == pytest.approx(2e6, rel=1e-3)
+        assert platform.engine.completed_activity_count == 51

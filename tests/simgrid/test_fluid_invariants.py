@@ -1,0 +1,166 @@
+"""Analytic invariants of the fluid model, checked end to end.
+
+The SimGrid-style fluid model has closed-form answers for simple workloads;
+these property-based tests drive the whole stack (platform, activities,
+engine, max-min sharing) and compare against them:
+
+* a single computation of ``W`` flops on an idle host takes ``W / speed``;
+* ``n <= cores`` identical computations run at full speed; ``n`` identical
+  computations on one core serialise perfectly under fair sharing (they all
+  finish together at ``n`` times the solo duration);
+* a transfer of ``S`` bytes over a link takes ``latency + S / bandwidth``;
+* bandwidth sharing conserves work: however many flows share a link, the
+  last completion time equals ``total bytes / bandwidth`` (plus latency),
+  and a flow can never finish earlier than its fair share allows.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simgrid import Platform
+
+
+def run_engine(platform):
+    platform.engine.run()
+    return platform.engine.now
+
+
+class TestComputeInvariants:
+    @given(
+        flops=st.floats(1e6, 1e12),
+        speed=st.floats(1e6, 1e11),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_single_exec_duration(self, flops, speed):
+        platform = Platform("solo")
+        host = platform.add_host("h", speed, cores=2)
+
+        def process():
+            yield host.exec_async("work", flops)
+
+        platform.engine.add_process(process(), "p")
+        assert run_engine(platform) == pytest.approx(flops / speed, rel=1e-6)
+
+    @given(n=st.integers(1, 6), cores=st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_identical_concurrent_execs_share_fairly(self, n, cores):
+        speed, flops = 1e9, 2e9
+        platform = Platform("shared")
+        host = platform.add_host("h", speed, cores=cores)
+
+        def process(i):
+            yield host.exec_async(f"work{i}", flops)
+
+        for i in range(n):
+            platform.engine.add_process(process(i), f"p{i}")
+        elapsed = run_engine(platform)
+        # With fair sharing of `cores * speed` capacity and a per-task cap of
+        # one core, n identical tasks all finish together.
+        expected = (flops / speed) * max(1.0, n / cores)
+        assert elapsed == pytest.approx(expected, rel=1e-6)
+
+
+class TestNetworkInvariants:
+    @given(
+        size=st.floats(1e5, 1e11),
+        bandwidth=st.floats(1e6, 1e10),
+        latency=st.floats(0.0, 0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_single_transfer_duration(self, size, bandwidth, latency):
+        platform = Platform("net")
+        a = platform.add_host("a", 1e9)
+        b = platform.add_host("b", 1e9)
+        link = platform.add_link("l", bandwidth, latency=latency)
+        platform.add_route(a, b, [link])
+
+        def process():
+            yield platform.transfer_async("move", size, a, b)
+
+        platform.engine.add_process(process(), "p")
+        assert run_engine(platform) == pytest.approx(latency + size / bandwidth, rel=1e-6)
+
+    @given(sizes=st.lists(st.floats(1e6, 1e9), min_size=2, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_bandwidth_sharing_conserves_work(self, sizes):
+        bandwidth = 1e8
+        platform = Platform("sharing")
+        a = platform.add_host("a", 1e9)
+        b = platform.add_host("b", 1e9)
+        link = platform.add_link("l", bandwidth, latency=0.0)
+        platform.add_route(a, b, [link])
+        finish_times = {}
+
+        def process(i, size):
+            yield platform.transfer_async(f"flow{i}", size, a, b)
+            finish_times[i] = platform.engine.now
+
+        for i, size in enumerate(sizes):
+            platform.engine.add_process(process(i, size), f"p{i}")
+        elapsed = run_engine(platform)
+
+        # Work conservation: the link is never idle while work remains, so
+        # the last flow finishes exactly when the total volume has moved.
+        assert elapsed == pytest.approx(sum(sizes) / bandwidth, rel=1e-6)
+        # No flow can beat its best case (alone on the link) nor finish while
+        # more than its fair share of the time would still be needed.
+        for i, size in enumerate(sizes):
+            assert finish_times[i] >= size / bandwidth - 1e-9
+            assert finish_times[i] <= elapsed + 1e-9
+
+    def test_two_flow_crossover_times(self):
+        """Analytic check of the classic two-flow case: equal rates until the
+        small flow ends, then the big one gets the whole link."""
+        bandwidth, small, big = 1e8, 2e8, 6e8
+        platform = Platform("two-flows")
+        a = platform.add_host("a", 1e9)
+        b = platform.add_host("b", 1e9)
+        link = platform.add_link("l", bandwidth, latency=0.0)
+        platform.add_route(a, b, [link])
+        finish = {}
+
+        def process(name, size):
+            yield platform.transfer_async(name, size, a, b)
+            finish[name] = platform.engine.now
+
+        platform.engine.add_process(process("small", small), "ps")
+        platform.engine.add_process(process("big", big), "pb")
+        run_engine(platform)
+        assert finish["small"] == pytest.approx(2 * small / bandwidth, rel=1e-6)
+        assert finish["big"] == pytest.approx((small + big) / bandwidth, rel=1e-6)
+
+
+class TestDiskInvariants:
+    @given(
+        size=st.floats(1e5, 1e10),
+        read_bw=st.floats(1e6, 1e9),
+        latency=st.floats(0.0, 0.05),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_single_read_duration(self, size, read_bw, latency):
+        platform = Platform("disk")
+        host = platform.add_host("h", 1e9)
+        disk = platform.add_disk(host, "d", read_bw, read_latency=latency)
+
+        def process():
+            yield disk.read_async("load", size)
+
+        platform.engine.add_process(process(), "p")
+        assert run_engine(platform) == pytest.approx(latency + size / read_bw, rel=1e-6)
+
+    def test_mixed_read_write_share_the_device(self):
+        """A read and a write issued together share the device capacity and
+        finish no earlier than work conservation allows."""
+        platform = Platform("mixed")
+        host = platform.add_host("h", 1e9)
+        disk = platform.add_disk(host, "d", read_bandwidth=1e8, write_bandwidth=1e8)
+
+        def process():
+            from repro.simgrid.process import AllOf
+
+            yield AllOf([disk.read_async("r", 3e8), disk.write_async("w", 3e8)])
+
+        platform.engine.add_process(process(), "p")
+        elapsed = run_engine(platform)
+        assert elapsed == pytest.approx(6e8 / 1e8, rel=1e-6)

@@ -1,0 +1,182 @@
+"""Simulated processes: timeouts, combinators, joins, composition."""
+
+import pytest
+
+from repro.simgrid import AllOf, AnyOf, SimulationEngine, Timeout
+from repro.simgrid.activity import Activity
+from repro.simgrid.errors import InvalidStateError, SimulationError
+from repro.simgrid.resources import Resource
+
+
+def test_timeout_advances_clock():
+    engine = SimulationEngine()
+    seen = {}
+
+    def proc():
+        yield Timeout(3.0)
+        seen["t"] = engine.now
+
+    engine.add_process(proc(), "p")
+    engine.run()
+    assert seen["t"] == pytest.approx(3.0)
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(InvalidStateError):
+        Timeout(-1.0)
+
+
+def test_yield_none_resumes_at_same_time():
+    engine = SimulationEngine()
+    times = []
+
+    def proc():
+        times.append(engine.now)
+        yield None
+        times.append(engine.now)
+
+    engine.add_process(proc(), "p")
+    engine.run()
+    assert times == [0.0, 0.0]
+
+
+def test_allof_waits_for_all_activities():
+    engine = SimulationEngine()
+    r1, r2 = Resource("r1", 10.0), Resource("r2", 10.0)
+    end = {}
+
+    def proc():
+        a = Activity("short", 10.0, {r1: 1.0})
+        b = Activity("long", 50.0, {r2: 1.0})
+        yield AllOf([a, b])
+        end["t"] = engine.now
+        assert a.is_done and b.is_done
+
+    engine.add_process(proc(), "p")
+    engine.run()
+    assert end["t"] == pytest.approx(5.0)
+
+
+def test_allof_with_timeout_member():
+    engine = SimulationEngine()
+    r = Resource("r", 10.0)
+    end = {}
+
+    def proc():
+        yield AllOf([Activity("a", 10.0, {r: 1.0}), Timeout(7.0)])
+        end["t"] = engine.now
+
+    engine.add_process(proc(), "p")
+    engine.run()
+    assert end["t"] == pytest.approx(7.0)
+
+
+def test_allof_empty_completes_immediately():
+    engine = SimulationEngine()
+    end = {}
+
+    def proc():
+        yield AllOf([])
+        end["t"] = engine.now
+
+    engine.add_process(proc(), "p")
+    engine.run()
+    assert end["t"] == pytest.approx(0.0)
+
+
+def test_anyof_returns_first_completion():
+    engine = SimulationEngine()
+    r1, r2 = Resource("r1", 10.0), Resource("r2", 10.0)
+    seen = {}
+
+    def proc():
+        fast = Activity("fast", 10.0, {r1: 1.0})
+        slow = Activity("slow", 100.0, {r2: 1.0})
+        winner = yield AnyOf([fast, slow])
+        seen["winner"] = winner.name
+        seen["t"] = engine.now
+
+    engine.add_process(proc(), "p")
+    engine.run()
+    assert seen["winner"] == "fast"
+    assert seen["t"] == pytest.approx(1.0)
+
+
+def test_process_join_returns_result():
+    engine = SimulationEngine()
+    results = {}
+
+    def worker():
+        yield Timeout(2.0)
+        return 42
+
+    def main():
+        child = engine.add_process(worker(), "worker")
+        finished = yield child
+        results["value"] = finished.result
+        results["t"] = engine.now
+
+    engine.add_process(main(), "main")
+    engine.run()
+    assert results["value"] == 42
+    assert results["t"] == pytest.approx(2.0)
+
+
+def test_yield_from_subroutine_composition():
+    engine = SimulationEngine()
+    r = Resource("disk", 10.0)
+    log = []
+
+    def read(amount):
+        yield Activity("read", amount, {r: 1.0})
+        return amount
+
+    def main():
+        got = yield from read(50.0)
+        log.append((got, engine.now))
+        got = yield from read(20.0)
+        log.append((got, engine.now))
+
+    engine.add_process(main(), "main")
+    engine.run()
+    assert log == [(50.0, pytest.approx(5.0)), (20.0, pytest.approx(7.0))]
+
+
+def test_yielding_garbage_fails_the_process():
+    engine = SimulationEngine()
+
+    def proc():
+        yield "not a waitable"
+
+    engine.add_process(proc(), "p")
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_many_concurrent_processes_complete():
+    engine = SimulationEngine()
+    r = Resource("cpu", 100.0)
+    finished = []
+
+    def proc(i):
+        yield Activity(f"w{i}", 100.0, {r: 1.0})
+        finished.append(i)
+
+    for i in range(20):
+        engine.add_process(proc(i), f"p{i}")
+    engine.run()
+    assert sorted(finished) == list(range(20))
+    # 20 concurrent activities of 100 units on a 100-unit/s resource.
+    assert engine.now == pytest.approx(20.0)
+
+
+def test_process_result_without_return_is_none():
+    engine = SimulationEngine()
+
+    def proc():
+        yield Timeout(1.0)
+
+    process = engine.add_process(proc(), "p")
+    engine.run()
+    assert process.finished
+    assert process.result is None

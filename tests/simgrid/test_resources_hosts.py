@@ -1,0 +1,237 @@
+"""Hosts, links, disks, memories and platform descriptions."""
+
+import pytest
+
+from repro.simgrid import Platform, SimulationEngine
+from repro.simgrid.disk import Disk
+from repro.simgrid.errors import PlatformError
+from repro.simgrid.host import Host
+from repro.simgrid.link import Link
+from repro.simgrid.memory import Memory
+from repro.simgrid.network import communicate
+from repro.simgrid.resources import Resource
+
+
+class TestResource:
+    def test_positive_capacity_required(self):
+        with pytest.raises(PlatformError):
+            Resource("bad", 0.0)
+        with pytest.raises(PlatformError):
+            Resource("bad", -5.0)
+
+    def test_set_capacity(self):
+        r = Resource("r", 10.0)
+        r.set_capacity(20.0)
+        assert r.capacity == 20.0
+        with pytest.raises(PlatformError):
+            r.set_capacity(0.0)
+
+
+class TestHost:
+    def test_cpu_capacity_is_speed_times_cores(self):
+        host = Host(SimulationEngine(), "h", speed=2e9, cores=4)
+        assert host.cpu.capacity == pytest.approx(8e9)
+
+    def test_exec_rate_capped_at_one_core(self):
+        engine = SimulationEngine()
+        host = Host(engine, "h", speed=1e9, cores=4)
+        done = {}
+
+        def proc():
+            yield host.exec_async("solo", 2e9)
+            done["t"] = engine.now
+
+        engine.add_process(proc(), "p")
+        engine.run()
+        # A single task cannot use more than one core: 2e9 / 1e9 = 2 s.
+        assert done["t"] == pytest.approx(2.0)
+
+    def test_parallel_task_uses_multiple_cores(self):
+        engine = SimulationEngine()
+        host = Host(engine, "h", speed=1e9, cores=4)
+        done = {}
+
+        def proc():
+            yield host.exec_async("par", 2e9, parallelism=2)
+            done["t"] = engine.now
+
+        engine.add_process(proc(), "p")
+        engine.run()
+        assert done["t"] == pytest.approx(1.0)
+
+    def test_oversubscription_shares_cores(self):
+        engine = SimulationEngine()
+        host = Host(engine, "h", speed=1e9, cores=2)
+        times = {}
+
+        def proc(i):
+            yield host.exec_async(f"t{i}", 1e9)
+            times[i] = engine.now
+
+        for i in range(4):
+            engine.add_process(proc(i), f"p{i}")
+        engine.run()
+        # 4 x 1e9 flops on 2e9 flop/s total capacity = 2 s for all.
+        assert all(t == pytest.approx(2.0) for t in times.values())
+
+    def test_set_speed_updates_cpu_capacity(self):
+        host = Host(SimulationEngine(), "h", speed=1e9, cores=2)
+        host.set_speed(3e9)
+        assert host.speed == 3e9
+        assert host.cpu.capacity == pytest.approx(6e9)
+
+    def test_invalid_host_parameters(self):
+        engine = SimulationEngine()
+        with pytest.raises(PlatformError):
+            Host(engine, "h", speed=0.0)
+        with pytest.raises(PlatformError):
+            Host(engine, "h", speed=1e9, cores=0)
+        host = Host(engine, "h", speed=1e9)
+        with pytest.raises(PlatformError):
+            host.exec_async("bad", 1.0, parallelism=0)
+
+
+class TestDiskAndMemory:
+    def test_disk_read_write_bandwidths(self):
+        engine = SimulationEngine()
+        disk = Disk(engine, "hdd", read_bandwidth=100.0, write_bandwidth=50.0)
+        times = {}
+
+        def proc():
+            yield disk.read_async("r", 1000.0)
+            times["read"] = engine.now
+            yield disk.write_async("w", 1000.0)
+            times["write"] = engine.now
+
+        engine.add_process(proc(), "p")
+        engine.run()
+        assert times["read"] == pytest.approx(10.0)
+        assert times["write"] == pytest.approx(30.0)
+
+    def test_disk_seek_latency(self):
+        engine = SimulationEngine()
+        disk = Disk(engine, "hdd", read_bandwidth=100.0, read_latency=0.5)
+        done = {}
+
+        def proc():
+            yield disk.read_async("r", 100.0)
+            done["t"] = engine.now
+
+        engine.add_process(proc(), "p")
+        engine.run()
+        assert done["t"] == pytest.approx(1.5)
+
+    def test_disk_set_bandwidth(self):
+        disk = Disk(SimulationEngine(), "hdd", read_bandwidth=100.0)
+        disk.set_bandwidth(200.0)
+        assert disk.read_bandwidth == 200.0
+        assert disk.write_bandwidth == 200.0
+        with pytest.raises(PlatformError):
+            disk.set_bandwidth(-1.0)
+
+    def test_memory_faster_than_disk(self):
+        engine = SimulationEngine()
+        memory = Memory(engine, "ram", bandwidth=1e9)
+        done = {}
+
+        def proc():
+            yield memory.read_async("r", 1e9)
+            done["t"] = engine.now
+
+        engine.add_process(proc(), "p")
+        engine.run()
+        assert done["t"] == pytest.approx(1.0)
+
+    def test_memory_requires_positive_bandwidth(self):
+        with pytest.raises(PlatformError):
+            Memory(SimulationEngine(), "ram", bandwidth=0.0)
+
+
+class TestLinkAndRoutes:
+    def test_link_properties(self):
+        link = Link(SimulationEngine(), "l", bandwidth=1e8, latency=0.01)
+        assert link.bandwidth == 1e8
+        link.set_bandwidth(2e8)
+        assert link.bandwidth == 2e8
+        link.set_latency(0.02)
+        assert link.latency == 0.02
+        with pytest.raises(PlatformError):
+            link.set_latency(-1.0)
+
+    def test_communicate_requires_links(self):
+        with pytest.raises(PlatformError):
+            communicate("c", 100.0, [])
+
+    def test_multi_link_route_latency_and_bottleneck(self):
+        engine = SimulationEngine()
+        fast = Link(engine, "fast", bandwidth=1e9, latency=0.1)
+        slow = Link(engine, "slow", bandwidth=1e8, latency=0.2)
+        done = {}
+
+        def proc():
+            yield communicate("c", 1e8, [fast, slow])
+            done["t"] = engine.now
+
+        engine.add_process(proc(), "p")
+        engine.run()
+        # latency 0.3 s + 1e8 bytes at the 1e8 B/s bottleneck = 1.3 s.
+        assert done["t"] == pytest.approx(1.3)
+
+
+class TestPlatform:
+    def test_duplicate_names_rejected(self):
+        p = Platform("p")
+        p.add_host("h", 1e9)
+        with pytest.raises(PlatformError):
+            p.add_host("h", 1e9)
+        p.add_link("l", 1e8)
+        with pytest.raises(PlatformError):
+            p.add_link("l", 1e8)
+
+    def test_route_lookup_and_symmetry(self):
+        p = Platform("p")
+        a = p.add_host("a", 1e9)
+        b = p.add_host("b", 1e9)
+        link = p.add_link("ab", 1e8)
+        p.add_route(a, b, [link])
+        assert p.route(a, b) == [link]
+        assert p.route(b, a) == [link]
+        assert p.route(a, a) == []
+        assert p.has_route(a, b)
+
+    def test_missing_route_raises(self):
+        p = Platform("p")
+        a = p.add_host("a", 1e9)
+        b = p.add_host("b", 1e9)
+        with pytest.raises(PlatformError):
+            p.route(a, b)
+
+    def test_loopback_transfer_is_instantaneous(self):
+        p = Platform("p")
+        a = p.add_host("a", 1e9)
+        done = {}
+
+        def proc():
+            yield p.transfer_async("self", 1e9, a, a)
+            done["t"] = p.engine.now
+
+        p.engine.add_process(proc(), "p")
+        p.engine.run()
+        assert done["t"] == pytest.approx(0.0)
+
+    def test_summary_mentions_all_elements(self):
+        p = Platform("site")
+        h = p.add_host("n1", 1e9, cores=4)
+        p.add_disk(h, "hdd", 1e8)
+        p.add_memory(h, "ram", 1e10)
+        p.add_link("wan", 1e8, 0.01)
+        text = p.summary()
+        for token in ("site", "n1", "hdd", "ram", "wan"):
+            assert token in text
+
+    def test_host_by_name(self):
+        p = Platform("p")
+        h = p.add_host("a", 1e9)
+        assert p.host_by_name("a") is h
+        with pytest.raises(PlatformError):
+            p.host_by_name("missing")

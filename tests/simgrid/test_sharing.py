@@ -1,0 +1,168 @@
+"""Max-min fair sharing solver: exact cases and invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simgrid.activity import Activity
+from repro.simgrid.resources import Resource
+from repro.simgrid.sharing import solve_max_min
+
+
+def make_activity(name, usages, cap=None, amount=100.0):
+    return Activity(name, amount, usages, rate_cap=cap)
+
+
+class TestExactCases:
+    def test_single_activity_single_resource(self):
+        r = Resource("r", 100.0)
+        a = make_activity("a", {r: 1.0})
+        assert solve_max_min([a])[a] == pytest.approx(100.0)
+
+    def test_rate_cap_limits_single_activity(self):
+        r = Resource("r", 100.0)
+        a = make_activity("a", {r: 1.0}, cap=30.0)
+        assert solve_max_min([a])[a] == pytest.approx(30.0)
+
+    def test_equal_split_between_two_activities(self):
+        r = Resource("r", 100.0)
+        a = make_activity("a", {r: 1.0})
+        b = make_activity("b", {r: 1.0})
+        rates = solve_max_min([a, b])
+        assert rates[a] == pytest.approx(50.0)
+        assert rates[b] == pytest.approx(50.0)
+
+    def test_capped_activity_frees_capacity_for_the_other(self):
+        r = Resource("r", 100.0)
+        a = make_activity("a", {r: 1.0}, cap=20.0)
+        b = make_activity("b", {r: 1.0})
+        rates = solve_max_min([a, b])
+        assert rates[a] == pytest.approx(20.0)
+        assert rates[b] == pytest.approx(80.0)
+
+    def test_bottleneck_link_on_multi_resource_flow(self):
+        fast = Resource("fast", 1000.0)
+        slow = Resource("slow", 10.0)
+        flow = make_activity("flow", {fast: 1.0, slow: 1.0})
+        assert solve_max_min([flow])[flow] == pytest.approx(10.0)
+
+    def test_two_flows_sharing_only_one_link(self):
+        shared = Resource("shared", 100.0)
+        private_a = Resource("pa", 1000.0)
+        private_b = Resource("pb", 30.0)
+        a = make_activity("a", {shared: 1.0, private_a: 1.0})
+        b = make_activity("b", {shared: 1.0, private_b: 1.0})
+        rates = solve_max_min([a, b])
+        # b is limited to 30 by its private link; a picks up the slack.
+        assert rates[b] == pytest.approx(30.0)
+        assert rates[a] == pytest.approx(70.0)
+
+    def test_usage_weights_scale_consumption(self):
+        r = Resource("r", 90.0)
+        heavy = make_activity("heavy", {r: 2.0})
+        light = make_activity("light", {r: 1.0})
+        rates = solve_max_min([heavy, light])
+        # Max-min equalises the rates; consumption is rate * usage.
+        assert rates[heavy] == pytest.approx(30.0)
+        assert rates[light] == pytest.approx(30.0)
+
+    def test_activity_without_resources_gets_cap(self):
+        a = make_activity("a", {}, cap=5.0)
+        assert solve_max_min([a])[a] == pytest.approx(5.0)
+
+    def test_activity_without_resources_or_cap_is_unbounded(self):
+        a = make_activity("a", {})
+        assert math.isinf(solve_max_min([a])[a])
+
+    def test_empty_input(self):
+        assert solve_max_min([]) == {}
+
+    def test_three_flows_two_links_classic_maxmin(self):
+        # Classic example: l1 capacity 1 shared by f0 and f1; l2 capacity 2
+        # shared by f0 and f2.  Max-min allocation: f0=f1=0.5, f2=1.5.
+        l1 = Resource("l1", 1.0)
+        l2 = Resource("l2", 2.0)
+        f0 = make_activity("f0", {l1: 1.0, l2: 1.0})
+        f1 = make_activity("f1", {l1: 1.0})
+        f2 = make_activity("f2", {l2: 1.0})
+        rates = solve_max_min([f0, f1, f2])
+        assert rates[f0] == pytest.approx(0.5)
+        assert rates[f1] == pytest.approx(0.5)
+        assert rates[f2] == pytest.approx(1.5)
+
+
+@st.composite
+def sharing_problems(draw):
+    n_resources = draw(st.integers(min_value=1, max_value=5))
+    resources = [
+        Resource(f"r{i}", draw(st.floats(min_value=1.0, max_value=1e6)))
+        for i in range(n_resources)
+    ]
+    n_activities = draw(st.integers(min_value=1, max_value=12))
+    activities = []
+    for i in range(n_activities):
+        used = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_resources - 1),
+                min_size=1,
+                max_size=n_resources,
+                unique=True,
+            )
+        )
+        cap = draw(st.one_of(st.none(), st.floats(min_value=0.5, max_value=1e6)))
+        activities.append(make_activity(f"a{i}", {resources[j]: 1.0 for j in used}, cap=cap))
+    return resources, activities
+
+
+class TestInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(sharing_problems())
+    def test_capacities_never_exceeded(self, problem):
+        resources, activities = problem
+        rates = solve_max_min(activities)
+        for resource in resources:
+            consumed = sum(
+                rates[a] * a.usages.get(resource, 0.0) for a in activities
+            )
+            assert consumed <= resource.capacity * (1.0 + 1e-6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(sharing_problems())
+    def test_caps_respected_and_rates_nonnegative(self, problem):
+        _, activities = problem
+        rates = solve_max_min(activities)
+        for activity in activities:
+            assert rates[activity] >= 0.0
+            if activity.rate_cap is not None:
+                assert rates[activity] <= activity.rate_cap * (1.0 + 1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(sharing_problems())
+    def test_no_starvation(self, problem):
+        """Every activity that uses at least one resource gets a positive rate."""
+        _, activities = problem
+        rates = solve_max_min(activities)
+        for activity in activities:
+            assert rates[activity] > 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(sharing_problems())
+    def test_every_activity_has_a_saturated_constraint(self, problem):
+        """Max-min property: each activity is limited by its cap or by at
+        least one saturated resource it uses."""
+        resources, activities = problem
+        rates = solve_max_min(activities)
+        consumed = {
+            r: sum(rates[a] * a.usages.get(r, 0.0) for a in activities) for r in resources
+        }
+        for activity in activities:
+            at_cap = (
+                activity.rate_cap is not None
+                and rates[activity] >= activity.rate_cap * (1 - 1e-6)
+            )
+            saturated = any(
+                consumed[r] >= r.capacity * (1 - 1e-6) for r in activity.usages
+            )
+            assert at_cap or saturated

@@ -1,0 +1,179 @@
+"""XRootD-style proxy cache service and the service monitor."""
+
+import pytest
+
+from repro.simgrid import Platform, SimulationError
+from repro.wrench import DataFile, FileRegistry, ProxyCacheService, ServiceMonitor, SimpleStorageService
+
+
+def build_cache_platform(capacity=None, buffer_size=10e6):
+    platform = Platform("cache")
+    storage_host = platform.add_host("storage", 1e9, cores=2)
+    edge_host = platform.add_host("edge", 1e9, cores=2)
+    origin_disk = platform.add_disk(storage_host, "origin_disk", 2e8)
+    proxy_disk = platform.add_disk(edge_host, "proxy_disk", 2e8)
+    wan = platform.add_link("wan", 1e8, latency=0.0)
+    platform.add_route(storage_host, edge_host, [wan])
+    registry = FileRegistry()
+    origin = SimpleStorageService("origin", storage_host, origin_disk,
+                                  buffer_size=buffer_size, registry=registry)
+    proxy = ProxyCacheService("proxy", edge_host, proxy_disk, origin, capacity=capacity,
+                              buffer_size=buffer_size, registry=registry)
+    return platform, origin, proxy
+
+
+def run_fetches(platform, proxy, files):
+    outcomes = []
+
+    def client():
+        for file in files:
+            hit = yield from proxy.fetch_file(file, platform)
+            outcomes.append(hit)
+
+    platform.engine.add_process(client(), "client")
+    platform.engine.run()
+    return outcomes
+
+
+class TestProxyCacheService:
+    def test_miss_then_hit(self):
+        platform, origin, proxy = build_cache_platform(capacity=None)
+        file = DataFile("data", 1e8)
+        origin.add_file(file)
+        outcomes = run_fetches(platform, proxy, [file, file])
+        assert outcomes == [False, True]
+        assert proxy.hits == 1 and proxy.misses == 1
+        assert proxy.hit_rate == pytest.approx(0.5)
+        assert proxy.has_file(file)
+
+    def test_hit_is_faster_than_miss(self):
+        file = DataFile("data", 2e8)
+
+        platform_miss, origin_miss, proxy_miss = build_cache_platform()
+        origin_miss.add_file(file)
+        run_fetches(platform_miss, proxy_miss, [file])
+        miss_time = platform_miss.engine.now
+
+        platform_hit, origin_hit, proxy_hit = build_cache_platform()
+        origin_hit.add_file(file)
+        proxy_hit.add_file(file)  # pre-populated cache
+        run_fetches(platform_hit, proxy_hit, [file])
+        hit_time = platform_hit.engine.now
+
+        assert hit_time < miss_time
+
+    def test_lru_eviction_under_capacity_pressure(self):
+        platform, origin, proxy = build_cache_platform(capacity=2.5e8)
+        files = [DataFile(f"f{i}", 1e8) for i in range(4)]
+        for file in files:
+            origin.add_file(file)
+        # Access f0, f1, f2 (evicts f0), then f0 again (miss) and f2 (hit).
+        outcomes = run_fetches(platform, proxy, [files[0], files[1], files[2], files[0], files[2]])
+        assert outcomes == [False, False, False, False, True]
+        assert proxy.evictions >= 1
+        assert proxy.cached_bytes <= 2.5e8
+
+    def test_recently_used_files_survive_eviction(self):
+        platform, origin, proxy = build_cache_platform(capacity=2.5e8)
+        a, b, c = (DataFile(name, 1e8) for name in ("a", "b", "c"))
+        for file in (a, b, c):
+            origin.add_file(file)
+        # a, b cached; touching a makes b the LRU victim when c arrives.
+        run_fetches(platform, proxy, [a, b, a, c])
+        assert proxy.has_file(a)
+        assert proxy.has_file(c)
+        assert not proxy.has_file(b)
+
+    def test_oversized_files_bypass_the_cache(self):
+        platform, origin, proxy = build_cache_platform(capacity=1e8)
+        big = DataFile("big", 5e8)
+        origin.add_file(big)
+        outcomes = run_fetches(platform, proxy, [big, big])
+        assert outcomes == [False, False]  # never cached, so never a hit
+        assert proxy.bypasses >= 1
+        assert not proxy.has_file(big)
+
+    def test_missing_origin_file_raises(self):
+        platform, _, proxy = build_cache_platform()
+        orphan = DataFile("orphan", 1e6)
+
+        def client():
+            yield from proxy.fetch_file(orphan, platform)
+
+        platform.engine.add_process(client(), "client")
+        with pytest.raises(SimulationError, match="does not hold"):
+            platform.engine.run()
+
+    def test_statistics_keys(self):
+        _, _, proxy = build_cache_platform()
+        stats = proxy.statistics()
+        assert set(stats) == {"hits", "misses", "evictions", "bypasses", "hit_rate", "cached_bytes"}
+        assert stats["hit_rate"] == 0.0
+
+    def test_capacity_validation(self):
+        platform, origin, _ = build_cache_platform()
+        with pytest.raises(SimulationError):
+            ProxyCacheService("bad", origin.host, origin.disk, origin, capacity=0)
+
+    def test_delete_file_clears_lru_entry(self):
+        platform, origin, proxy = build_cache_platform(capacity=3e8)
+        file = DataFile("data", 1e8)
+        origin.add_file(file)
+        run_fetches(platform, proxy, [file])
+        proxy.delete_file(file)
+        assert not proxy.has_file(file)
+        assert proxy.cached_bytes == 0.0
+
+
+class TestServiceMonitor:
+    def test_counters_accumulate(self):
+        monitor = ServiceMonitor()
+        monitor.increment("reads")
+        monitor.increment("reads", 2)
+        monitor.add("bytes", 1e6)
+        assert monitor.counter("reads") == 3
+        assert monitor.counter("bytes") == 1e6
+        assert monitor.counter("never-set") == 0.0
+
+    def test_observations_statistics(self):
+        monitor = ServiceMonitor()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            monitor.observe("latency", value)
+        stats = monitor.statistics("latency")
+        assert stats["count"] == 4
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["min"] == 1.0 and stats["max"] == 4.0
+        assert monitor.statistics("unknown")["count"] == 0.0
+
+    def test_events_filtering(self):
+        monitor = ServiceMonitor()
+        monitor.record_event("job_start", 1.0, job="j1")
+        monitor.record_event("job_end", 5.0, job="j1")
+        monitor.record_event("job_start", 2.0, job="j2")
+        assert len(monitor.events()) == 3
+        starts = monitor.events("job_start")
+        assert len(starts) == 2
+        assert starts[0].attributes["job"] == "j1"
+
+    def test_merge_combines_everything(self):
+        a, b = ServiceMonitor(), ServiceMonitor()
+        a.increment("x", 1)
+        b.increment("x", 2)
+        b.observe("t", 3.0)
+        b.record_event("e", 1.0)
+        a.merge(b)
+        assert a.counter("x") == 3
+        assert a.statistics("t")["count"] == 1
+        assert len(a.events("e")) == 1
+
+    def test_summary_and_reset(self):
+        monitor = ServiceMonitor()
+        monitor.increment("jobs", 5)
+        monitor.observe("wait", 2.0)
+        monitor.record_event("done", 1.0)
+        summary = monitor.summary()
+        assert summary["jobs"] == 5
+        assert summary["wait_mean"] == 2.0
+        assert summary["event_count"] == 1
+        monitor.reset()
+        assert monitor.summary()["event_count"] == 0

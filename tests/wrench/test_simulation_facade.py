@@ -1,0 +1,123 @@
+"""The Simulation facade: wiring services, staging data, running workloads."""
+
+import pytest
+
+from repro.simgrid import Platform
+from repro.wrench import DataFile, JobSpec, Simulation
+from repro.wrench.jobs import average_execution_time, group_by_node, makespan
+
+
+def build_simulation():
+    """Two compute nodes reading from a remote storage host over one link."""
+    platform = Platform("facade")
+    storage_host = platform.add_host("storage", 1e9, cores=2)
+    node1 = platform.add_host("node1", 1e9, cores=2)
+    node2 = platform.add_host("node2", 1e9, cores=4)
+    remote_disk = platform.add_disk(storage_host, "remote_disk", 2e8)
+    local1 = platform.add_disk(node1, "node1_disk", 2e8)
+    ram1 = platform.add_memory(node1, "node1_ram", 5e9)
+    wan = platform.add_link("wan", 1.25e8, latency=0.001)
+    platform.add_route(node1, storage_host, [wan])
+    platform.add_route(node2, storage_host, [wan])
+
+    simulation = Simulation(platform)
+    remote = simulation.add_storage_service("remote", storage_host, remote_disk, buffer_size=10e6)
+    simulation.add_storage_service("node1_cache", node1, local1, buffer_size=10e6)
+    simulation.add_page_cache("node1_pc", node1, ram1)
+    simulation.add_compute_service("cs1", node1)
+    simulation.add_compute_service("cs2", node2)
+    return platform, simulation, remote
+
+
+def make_specs(count, file_size=5e7, flops_per_byte=2.0):
+    return [
+        JobSpec(
+            name=f"job{i:02d}",
+            input_files=(DataFile(f"in{i:02d}", file_size),),
+            flops_per_byte=flops_per_byte,
+            output_file=DataFile(f"out{i:02d}", 1e6),
+        )
+        for i in range(count)
+    ]
+
+
+def body_factory_for(simulation, remote):
+    """Jobs stream their input from the remote service, then compute."""
+
+    def factory(job):
+        def body(job_obj, host):
+            for file in job_obj.spec.input_files:
+                yield from remote.read_file(file)
+                job_obj.bytes_from_remote += file.size
+            yield host.exec_async(f"{job_obj.name}:compute", job_obj.spec.total_flops)
+
+        return body
+
+    return factory
+
+
+class TestSimulationFacade:
+    def test_end_to_end_workload_execution(self):
+        platform, simulation, remote = build_simulation()
+        specs = make_specs(6)
+        for spec in specs:
+            for file in spec.input_files:
+                simulation.stage_file(file, "remote")
+
+        jobs = simulation.submit_workload(specs, body_factory_for(simulation, remote))
+        final_time = simulation.run()
+
+        assert len(jobs) == 6
+        results = simulation.job_results()
+        assert len(results) == 6
+        assert final_time > 0
+        assert simulation.event_count > 0
+        # Every job read its input remotely and finished after it started.
+        for result in results:
+            assert result.end_time >= result.start_time >= result.submit_time
+            assert result.bytes_from_remote == pytest.approx(5e7)
+
+    def test_scheduler_balances_by_free_cores(self):
+        platform, simulation, remote = build_simulation()
+        specs = make_specs(6)
+        for spec in specs:
+            for file in spec.input_files:
+                simulation.stage_file(file, "remote")
+        simulation.submit_workload(specs, body_factory_for(simulation, remote))
+        simulation.run()
+
+        by_node = group_by_node(simulation.job_results())
+        # node2 has twice the cores of node1, so it receives more jobs.
+        assert len(by_node["node2"]) == 4
+        assert len(by_node["node1"]) == 2
+
+    def test_registry_tracks_staged_files(self):
+        platform, simulation, remote = build_simulation()
+        file = DataFile("staged", 1e7)
+        simulation.stage_file(file, "remote")
+        assert simulation.registry.holds(file, remote)
+
+    def test_job_result_aggregations(self):
+        platform, simulation, remote = build_simulation()
+        specs = make_specs(4)
+        for spec in specs:
+            for file in spec.input_files:
+                simulation.stage_file(file, "remote")
+        simulation.submit_workload(specs, body_factory_for(simulation, remote))
+        simulation.run()
+        results = simulation.job_results()
+        assert average_execution_time(results) > 0
+        assert makespan(results) == pytest.approx(
+            max(r.end_time for r in results) - min(r.start_time for r in results)
+        )
+
+    def test_run_until_stops_the_clock(self):
+        platform, simulation, remote = build_simulation()
+        specs = make_specs(2, file_size=5e8)  # long jobs
+        for spec in specs:
+            for file in spec.input_files:
+                simulation.stage_file(file, "remote")
+        simulation.submit_workload(specs, body_factory_for(simulation, remote))
+        stopped_at = simulation.run(until=0.5)
+        assert stopped_at == pytest.approx(0.5)
+        assert simulation.job_results() == []  # nothing finished yet

@@ -1,0 +1,151 @@
+"""The XRootD-style redirector (federated replica location and reads)."""
+
+import pytest
+
+from repro.simgrid import Platform, SimulationError
+from repro.wrench import DataFile, FileRegistry, ProxyCacheService, Redirector, SimpleStorageService
+
+
+def build_federation():
+    """A client site plus two storage sites: one nearby (fast), one far (slow)."""
+    platform = Platform("federation")
+    client_host = platform.add_host("client", 1e9, cores=2)
+    near_host = platform.add_host("near", 1e9, cores=2)
+    far_host = platform.add_host("far", 1e9, cores=2)
+
+    client_disk = platform.add_disk(client_host, "client_disk", 2e8)
+    near_disk = platform.add_disk(near_host, "near_disk", 2e8)
+    far_disk = platform.add_disk(far_host, "far_disk", 2e8)
+
+    lan = platform.add_link("lan", 1e9, latency=0.001)
+    wan1 = platform.add_link("wan1", 1e8, latency=0.02)
+    wan2 = platform.add_link("wan2", 1e7, latency=0.05)
+    platform.add_route(client_host, near_host, [lan])
+    platform.add_route(client_host, far_host, [wan1, wan2])
+
+    registry = FileRegistry()
+    client_storage = SimpleStorageService("client_storage", client_host, client_disk,
+                                          buffer_size=10e6, registry=registry)
+    near = SimpleStorageService("near_storage", near_host, near_disk,
+                                buffer_size=10e6, registry=registry)
+    far = SimpleStorageService("far_storage", far_host, far_disk,
+                               buffer_size=10e6, registry=registry)
+    redirector = Redirector("redirector", platform, registry=registry)
+    redirector.register_endpoint(near)
+    redirector.register_endpoint(far)
+    redirector.register_endpoint(client_storage)
+    return platform, redirector, client_storage, near, far
+
+
+def run(platform, generator):
+    outcome = {}
+
+    def process():
+        outcome["served_by"] = yield from generator
+    platform.engine.add_process(process(), "client")
+    platform.engine.run()
+    return outcome.get("served_by")
+
+
+class TestReplicaSelection:
+    def test_prefers_local_replica(self):
+        platform, redirector, client_storage, near, far = build_federation()
+        file = DataFile("data", 1e8)
+        for storage in (client_storage, near, far):
+            storage.add_file(file)
+        ranked = redirector.locate(file, client_storage.host)
+        assert ranked[0] is client_storage
+
+    def test_hops_policy_prefers_the_near_site(self):
+        platform, redirector, client_storage, near, far = build_federation()
+        file = DataFile("data", 1e8)
+        near.add_file(file)
+        far.add_file(file)
+        ranked = redirector.locate(file, client_storage.host, policy="hops")
+        assert ranked[0] is near
+
+    def test_bandwidth_policy_ranks_by_route_bottleneck(self):
+        platform, redirector, client_storage, near, far = build_federation()
+        file = DataFile("data", 1e8)
+        near.add_file(file)
+        far.add_file(file)
+        ranked = redirector.locate(file, client_storage.host, policy="bandwidth")
+        assert [e.name for e in ranked] == ["near_storage", "far_storage"]
+
+    def test_registry_lookup_finds_unregistered_holders(self):
+        platform, redirector, client_storage, near, far = build_federation()
+        extra_host = platform.add_host("extra", 1e9)
+        extra_disk = platform.add_disk(extra_host, "extra_disk", 1e8)
+        platform.add_route(client_storage.host, extra_host, [platform.links["lan"]])
+        extra = SimpleStorageService("extra_storage", extra_host, extra_disk,
+                                     registry=redirector.registry)
+        file = DataFile("only-on-extra", 1e7)
+        extra.add_file(file)  # never register_endpoint'ed, found via the registry
+        ranked = redirector.locate(file, client_storage.host)
+        assert [e.name for e in ranked] == ["extra_storage"]
+
+    def test_unknown_policy_rejected(self):
+        platform, redirector, client_storage, *_ = build_federation()
+        with pytest.raises(SimulationError):
+            redirector.locate(DataFile("x", 1.0), client_storage.host, policy="astrology")
+        with pytest.raises(SimulationError):
+            Redirector("bad", platform, policy="astrology")
+
+
+class TestFederatedReads:
+    def test_local_read_counts_as_local(self):
+        platform, redirector, client_storage, near, far = build_federation()
+        file = DataFile("data", 1e8)
+        client_storage.add_file(file)
+        served = run(platform, redirector.read_file(file, client_storage))
+        assert served is client_storage
+        assert redirector.local_reads == 1 and redirector.remote_reads == 0
+
+    def test_remote_read_streams_from_the_selected_site(self):
+        platform, redirector, client_storage, near, far = build_federation()
+        file = DataFile("data", 2e8)
+        near.add_file(file)
+        served = run(platform, redirector.read_file(file, client_storage))
+        assert served is near
+        assert redirector.remote_reads == 1
+        assert platform.engine.now > 0.0
+
+    def test_remote_read_through_a_proxy_populates_the_cache(self):
+        platform, redirector, client_storage, near, far = build_federation()
+        proxy_disk = platform.add_disk(client_storage.host, "proxy_disk", 2e8)
+        file = DataFile("data", 1e8)
+        near.add_file(file)
+        proxy = ProxyCacheService("proxy", client_storage.host, proxy_disk, near, capacity=5e8)
+        served = run(platform, redirector.read_file(file, client_storage, proxy=proxy))
+        assert served is near
+        assert proxy.has_file(file)
+        assert proxy.misses == 1
+
+    def test_missing_file_raises_and_is_counted(self):
+        platform, redirector, client_storage, *_ = build_federation()
+        missing = DataFile("missing", 1e6)
+
+        def process():
+            yield from redirector.read_file(missing, client_storage)
+
+        platform.engine.add_process(process(), "client")
+        with pytest.raises(SimulationError, match="no endpoint"):
+            platform.engine.run()
+        assert redirector.failed_lookups == 1
+
+    def test_statistics_summary(self):
+        platform, redirector, client_storage, near, far = build_federation()
+        file_local, file_remote = DataFile("l", 1e7), DataFile("r", 1e7)
+        client_storage.add_file(file_local)
+        near.add_file(file_remote)
+
+        def process():
+            yield from redirector.read_file(file_local, client_storage)
+            yield from redirector.read_file(file_remote, client_storage)
+
+        platform.engine.add_process(process(), "client")
+        platform.engine.run()
+        stats = redirector.statistics()
+        assert stats["local_reads"] == 1 and stats["remote_reads"] == 1
+        assert stats["local_fraction"] == pytest.approx(0.5)
+        assert stats["endpoints"] == 3
