@@ -1,0 +1,49 @@
+"""Extension — calibration-service throughput on a warm shared store.
+
+The service (:mod:`repro.service`) keeps a persistent, content-addressed
+store of simulation evaluations shared across jobs, so a re-submitted
+calibration answers its simulator invocations from work already paid for.
+This benchmark submits the same job twice through a
+:class:`~repro.service.server.CalibrationServer` and compares wall-clocks.
+
+Expected shape: the warm-store job performs zero simulator invocations,
+completes in no more than half the cold job's wall-clock (in practice
+orders of magnitude less), and both jobs reproduce a plain
+``Calibrator.run()`` with the same seed byte for byte.
+"""
+
+import json
+
+from conftest import run_once
+
+from repro.analysis.extensions import service_throughput_experiment
+
+
+def test_service_throughput(benchmark, publish, ground_truth_generator):
+    result = run_once(
+        benchmark,
+        service_throughput_experiment,
+        generator=ground_truth_generator,
+    )
+    publish(result)
+
+    detail = result.extra
+    plain, cold, warm = detail["plain"], detail["cold"], detail["warm"]
+
+    # The cold job fills the store; the warm job re-pays for nothing.
+    assert cold["cache_hits"] == 0
+    assert warm["evaluations"] == 0
+    assert warm["cache_hits"] == cold["evaluations"] > 0
+
+    # Byte-identical results: service jobs == plain Calibrator, same seed.
+    for run in (cold, warm):
+        assert json.dumps(run["best_values"], sort_keys=True) == json.dumps(
+            plain["best_values"], sort_keys=True
+        )
+        assert run["best"] == plain["best"]
+
+    # The acceptance bar: warm wall-clock <= half the cold wall-clock.
+    assert warm["elapsed"] <= 0.5 * cold["elapsed"], (
+        f"warm store job took {warm['elapsed']:.3f}s vs cold {cold['elapsed']:.3f}s"
+    )
+    assert detail["speedup"]["warm_vs_cold"] >= 2.0

@@ -23,6 +23,7 @@ from repro.analysis.extensions import (
     ablation_reference_noise,
     generalization_experiment,
     parallel_scaling_experiment,
+    service_throughput_experiment,
 )
 from repro.analysis.report import collect_results, render_report, write_report
 from repro.analysis.tables import ExperimentResult, render_table
@@ -37,6 +38,7 @@ __all__ = [
     "parallel_scaling_experiment",
     "render_report",
     "render_table",
+    "service_throughput_experiment",
     "write_report",
     "table1_survey",
     "table2_platforms",

@@ -17,7 +17,13 @@ them alongside the paper's own tables:
 * :func:`parallel_scaling_experiment` — the paper evaluates candidates on
   a 40-core node; this experiment measures how the number of parallel
   workers changes the number of evaluations (and the accuracy) affordable
-  within a fixed wall-clock budget.
+  within a fixed wall-clock budget;
+* :func:`service_throughput_experiment` — the calibration service keeps a
+  shared evaluation store across jobs (:mod:`repro.service`); this
+  experiment submits the same calibration twice and measures how much of
+  the second job's wall-clock the warm store saves, verifying that both
+  jobs reproduce a plain :class:`~repro.core.calibrator.Calibrator` run
+  exactly.
 
 Every function returns an :class:`~repro.analysis.tables.ExperimentResult`
 and accepts the same ``scale`` / budget overrides as the table
@@ -48,6 +54,7 @@ __all__ = [
     "ablation_accuracy_metrics",
     "ablation_reference_noise",
     "parallel_scaling_experiment",
+    "service_throughput_experiment",
 ]
 
 
@@ -271,6 +278,92 @@ def parallel_scaling_experiment(
         notes=(
             f"Every run gets the same wall-clock budget of {budget_seconds:g} s; more workers "
             "should complete more evaluations and therefore reach a lower (or equal) MRE."
+        ),
+        extra=detail,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# calibration-service throughput (shared evaluation store)
+# ---------------------------------------------------------------------- #
+def service_throughput_experiment(
+    platform: str = "FCSN",
+    algorithm: str = "random",
+    icd_values: Sequence[float] = REDUCED_ICD_VALUES,
+    budget_evaluations: Optional[int] = None,
+    seed: int = 1,
+    generator: Optional[GroundTruthGenerator] = None,
+    scale: str = "calib",
+) -> ExperimentResult:
+    """Submit the same calibration twice through the service.
+
+    The first (cold) job pays for every simulator invocation and fills the
+    shared :class:`~repro.service.store.EvaluationStore`; the second (warm)
+    job answers every evaluation from the store.  Both must reproduce a
+    plain :class:`~repro.core.calibrator.Calibrator` run with the same seed
+    exactly, and the warm job should complete in a small fraction of the
+    cold job's wall-clock (the ``speedup`` entry of ``extra``).
+    """
+    from repro.core.calibrator import Calibrator
+    from repro.service import CalibrationRequest, CalibrationServer, InMemoryStore
+
+    budget_evaluations = budget_evaluations or default_evaluation_budget()
+    generator = generator or GroundTruthGenerator()
+    problem = _make_problem(platform, icd_values, generator, scale)
+
+    plain = Calibrator(
+        problem.space,
+        problem.objective,
+        algorithm=algorithm,
+        budget=EvaluationBudget(budget_evaluations),
+        seed=seed,
+    ).run()
+
+    def request() -> CalibrationRequest:
+        return CalibrationRequest(
+            space=problem.space,
+            objective=problem.objective,
+            fingerprint=problem.fingerprint(),
+            algorithm=algorithm,
+            budget=EvaluationBudget(budget_evaluations),
+            seed=seed,
+        )
+
+    with CalibrationServer(store=InMemoryStore(), workers=1) as server:
+        cold = server.submit(request())
+        cold.wait()
+        warm = server.submit(request())
+        warm.wait()
+
+    rows = []
+    detail: Dict[str, Dict[str, float]] = {}
+    for label, evaluations, cache_hits, best, elapsed in [
+        ("plain", plain.evaluations, 0, plain.best_value, plain.elapsed),
+        ("cold job", cold.evaluations, cold.cache_hits, cold.result.best_value, cold.elapsed),
+        ("warm job", warm.evaluations, warm.cache_hits, warm.result.best_value, warm.elapsed),
+    ]:
+        rows.append([label, evaluations, cache_hits, f"{best:.2f}%", f"{elapsed:.2f} s"])
+        detail[label.split()[0]] = {
+            "evaluations": float(evaluations),
+            "cache_hits": float(cache_hits),
+            "best": float(best),
+            "elapsed": float(elapsed),
+            "best_values": {k: float(v) for k, v in (
+                plain.best_values if label == "plain" else
+                (cold if label == "cold job" else warm).result.best_values
+            ).items()},
+        }
+    detail["speedup"] = {
+        "warm_vs_cold": (cold.elapsed / warm.elapsed) if warm.elapsed > 0 else float("inf")
+    }
+    return ExperimentResult(
+        name="service_throughput",
+        title=f"Calibration service: warm shared store vs cold ({platform}, {algorithm})",
+        headers=["Run", "Simulations", "Cache hits", "Best MRE", "Elapsed"],
+        rows=rows,
+        notes=(
+            f"Identical jobs (seed {seed}, N = {budget_evaluations}); the warm job re-pays "
+            "for nothing and must match the plain calibrator byte for byte."
         ),
         extra=detail,
     )

@@ -123,6 +123,126 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import JobSpool
+
+    spool = JobSpool(args.serve_dir)
+    spec = {
+        "platform": args.platform,
+        "scale": args.scale,
+        "icds": _parse_icds(args.icds),
+        "algorithm": args.algorithm,
+        "metric": args.metric,
+        "evaluations": args.evaluations,
+        "seconds": args.seconds,
+        "seed": args.seed,
+    }
+    job_id = spool.submit(spec)
+    print(f"submitted {job_id} ({args.algorithm} on {args.platform}/{args.scale}) "
+          f"to {spool.root}")
+    print(f"run the queue with: repro serve --serve-dir {spool.root}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.service import CalibrationServer, CaseStudyRequestFactory, JobSpool, open_store
+
+    spool = JobSpool(args.serve_dir)
+    store_path = args.store if args.store is not None else str(spool.default_store_path)
+    store = open_store(None if store_path == ":memory:" else store_path)
+    factory = CaseStudyRequestFactory()
+
+    def on_event(job, event):
+        if event.kind != "submitted":
+            print(f"[{event.kind:9s}] {event.message}")
+
+    processed = 0
+    with CalibrationServer(store=store, workers=args.workers, on_event=on_event) as server:
+        first_scan = True
+        while True:
+            # The first scan also re-runs jobs a crashed server left behind
+            # in "running"; later scans only pick up fresh submissions (the
+            # running ones are ours).
+            pending = spool.runnable() if first_scan else spool.pending()
+            first_scan = False
+            jobs = []
+            for job_id in pending:
+                spec = spool.load(job_id)
+                try:
+                    request = factory.request(spec)
+                except Exception as exc:
+                    spool.update(job_id, status="failed", error=f"{type(exc).__name__}: {exc}")
+                    print(f"[failed   ] {job_id}: {exc}")
+                    continue
+                spool.update(job_id, status="running")
+                jobs.append(server.submit(request, job_id=job_id))
+            for job in jobs:
+                job.wait()
+                processed += 1
+                record = job.to_dict()
+                if job.result is not None:
+                    spool.write_result(job.id, job.result)
+                spool.update(
+                    job.id,
+                    status=record["status"],
+                    best_value=record.get("best_value"),
+                    evaluations=record["evaluations"],
+                    cache_hits=record["cache_hits"],
+                    elapsed=record["elapsed"],
+                    error=record.get("error"),
+                )
+            if args.poll is None:
+                break
+            try:
+                _time.sleep(args.poll)
+            except KeyboardInterrupt:  # pragma: no cover - interactive only
+                break
+    stats = store.stats()
+    print(f"served {processed} job(s); store: {stats['entries']} evaluations, "
+          f"{stats['hits']} hits / {stats['misses']} misses this run")
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import JobSpool
+
+    spool = JobSpool(args.serve_dir)
+    records = spool.statuses()
+    if args.job:
+        records = [r for r in records if r.get("id") == args.job]
+        if not records:
+            raise SystemExit(f"unknown job {args.job!r} in {spool.root}")
+    if not records:
+        print(f"no jobs in {spool.root}")
+        return 0
+    header = f"{'job':10s} {'status':8s} {'algorithm':12s} {'platform':8s} " \
+             f"{'best':>10s} {'evals':>6s} {'hits':>6s} {'elapsed':>8s}"
+    print(header)
+    print("-" * len(header))
+    for record in records:
+        best = record.get("best_value")
+        elapsed = record.get("elapsed")
+        if record.get("status") != "done":
+            # Before completion the spec's "evaluations" is the requested
+            # budget, not work performed — don't show it as progress.
+            record = {**record, "evaluations": "-", "cache_hits": "-"}
+        print(
+            f"{record.get('id', '?'):10s} "
+            f"{record.get('status', '?'):8s} "
+            f"{record.get('algorithm', '?'):12s} "
+            f"{record.get('platform', '?'):8s} "
+            f"{(f'{best:.4g}' if best is not None else '-'):>10s} "
+            f"{record.get('evaluations', '-')!s:>6s} "
+            f"{record.get('cache_hits', '-')!s:>6s} "
+            f"{(f'{elapsed:.1f}s' if elapsed is not None else '-'):>8s}"
+        )
+        if record.get("error"):
+            print(f"  error: {record['error']}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import collect_results, render_report, write_report
 
@@ -142,6 +262,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         figure2_convergence,
         generalization_experiment,
         parallel_scaling_experiment,
+        service_throughput_experiment,
         table1_survey,
         table2_platforms,
         table3_simulation_accuracy,
@@ -180,6 +301,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         "parallel": lambda: parallel_scaling_experiment(
             budget_seconds=args.seconds, scale=args.scale, seed=args.seed
         ),
+        "service": lambda: service_throughput_experiment(
+            budget_evaluations=args.evaluations, scale=args.scale, seed=args.seed
+        ),
     }
     names = list(registry) if args.name == "all" else [args.name]
     unknown = [n for n in names if n not in registry]
@@ -195,10 +319,37 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------- #
 # parser
 # ---------------------------------------------------------------------- #
+SERVICE_EPILOG = """\
+calibration service:
+  The service subsystem (repro.service) runs calibrations as jobs over a
+  shared, persistent evaluation store, so repeated or concurrent jobs on
+  the same scenario reuse each other's simulations instead of re-paying
+  for them.  Workflow:
+
+    repro submit --serve-dir runs/ --platform FCSN --scale calib \\
+                 --algorithm lhs --evaluations 200 --seed 1
+    repro serve  --serve-dir runs/            # drain the queue and exit
+    repro status --serve-dir runs/            # job table incl. cache hits
+
+  `serve` keeps the shared store in <serve-dir>/store.jsonl by default
+  (--store PATH selects another file; a .db/.sqlite suffix selects the
+  SQLite backend, ':memory:' disables persistence).  A re-submitted job
+  with an --evaluations budget reproduces the cold run's result exactly
+  on a warm store while answering its evaluations from it (see `repro
+  status`'s hits column); jobs with a --seconds budget reuse stored
+  points too, but explore further instead of replaying exactly.  --poll
+  SECONDS turns `serve` into a long-lived daemon.
+  Results land in <serve-dir>/results/ as JSON plus a per-evaluation
+  .history.jsonl (CalibrationHistory.to_jsonl).
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Automated calibration of PDC simulators — IPDPS 2024 case-study reproduction",
+        epilog=SERVICE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -226,10 +377,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.set_defaults(func=cmd_simulate)
 
     p_exp = sub.add_parser("experiment", parents=[common], help="reproduce a table/figure or extension study")
-    p_exp.add_argument("name", help="table1..table6, figure2, generalization, metrics, noise, parallel, or 'all'")
+    p_exp.add_argument("name", help="table1..table6, figure2, generalization, metrics, noise, "
+                                    "parallel, service, or 'all'")
     p_exp.add_argument("--evaluations", type=int, default=None)
     p_exp.add_argument("--seconds", type=float, default=None)
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_sub = sub.add_parser("submit", parents=[common],
+                           help="queue a calibration job for the service")
+    p_sub.add_argument("--serve-dir", default="service", metavar="DIR",
+                       help="service spool directory (created if missing)")
+    p_sub.add_argument("--algorithm", default="random")
+    p_sub.add_argument("--metric", default="mre", choices=sorted(METRICS))
+    p_sub.add_argument("--evaluations", type=int, default=100, help="evaluation budget")
+    p_sub.add_argument("--seconds", type=float, default=None,
+                       help="time budget (overrides --evaluations)")
+    p_sub.set_defaults(func=cmd_submit)
+
+    p_srv = sub.add_parser("serve", help="run queued calibration jobs over the shared store")
+    p_srv.add_argument("--serve-dir", default="service", metavar="DIR",
+                       help="service spool directory")
+    p_srv.add_argument("--store", default=None, metavar="PATH",
+                       help="evaluation store file (.jsonl or .db/.sqlite; "
+                            "':memory:' for no persistence; default DIR/store.jsonl)")
+    p_srv.add_argument("--workers", type=int, default=2, help="concurrent jobs")
+    p_srv.add_argument("--poll", type=float, default=None, metavar="SECONDS",
+                       help="keep serving, re-scanning the queue every SECONDS "
+                            "(default: drain once and exit)")
+    p_srv.set_defaults(func=cmd_serve)
+
+    p_sta = sub.add_parser("status", help="show the status of service jobs")
+    p_sta.add_argument("--serve-dir", default="service", metavar="DIR",
+                       help="service spool directory")
+    p_sta.add_argument("--job", default=None, metavar="ID", help="show one job only")
+    p_sta.set_defaults(func=cmd_status)
 
     p_rep = sub.add_parser("report", help="aggregate benchmarks/results/ into one Markdown report")
     p_rep.add_argument("--results-dir", default="benchmarks/results",

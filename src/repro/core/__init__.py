@@ -42,7 +42,13 @@ from repro.core.crossvalidation import (
     leave_one_out_splits,
     subset_splits,
 )
-from repro.core.evaluation import BudgetExhausted, Evaluation, Objective
+from repro.core.evaluation import (
+    BudgetExhausted,
+    CacheBackend,
+    DictCache,
+    Evaluation,
+    Objective,
+)
 from repro.core.history import CalibrationHistory
 from repro.core.metrics import (
     max_relative_error,
@@ -54,7 +60,12 @@ from repro.core.parallel import ParallelCalibrator, ParallelEvaluator
 from repro.core.parameters import Parameter, ParameterSpace
 from repro.core.reporting import calibration_report, convergence_sparkline
 from repro.core.result import CalibrationResult
-from repro.core.serialization import load_result, save_result
+from repro.core.serialization import (
+    load_history_jsonl,
+    load_result,
+    save_history_jsonl,
+    save_result,
+)
 from repro.core.sensitivity import (
     SensitivityResult,
     morris_elementary_effects,
@@ -75,6 +86,7 @@ __all__ = [
     "Budget",
     "BudgetExhausted",
     "CMAES",
+    "CacheBackend",
     "CalibrationAlgorithm",
     "CalibrationHistory",
     "CalibrationResult",
@@ -82,6 +94,7 @@ __all__ = [
     "CombinedBudget",
     "CoordinateDescent",
     "CrossValidationResult",
+    "DictCache",
     "DifferentialEvolution",
     "Evaluation",
     "EvaluationBudget",
@@ -116,6 +129,7 @@ __all__ = [
     "k_fold_splits",
     "knee_point",
     "leave_one_out_splits",
+    "load_history_jsonl",
     "load_result",
     "max_relative_error",
     "mean_absolute_error",
@@ -125,6 +139,7 @@ __all__ = [
     "pareto_front",
     "rank_parameters",
     "root_mean_squared_error",
+    "save_history_jsonl",
     "save_result",
     "subset_splits",
 ]

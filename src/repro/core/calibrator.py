@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.algorithms import CalibrationAlgorithm, get_algorithm
 from repro.core.budget import Budget, CombinedBudget, EvaluationBudget
-from repro.core.evaluation import BudgetExhausted, Objective
+from repro.core.evaluation import BudgetExhausted, CacheBackend, Objective
 from repro.core.parameters import ParameterSpace
 from repro.core.result import CalibrationResult
 from repro.core.stopping import StoppingBudget, StoppingCriterion
@@ -47,8 +47,10 @@ class Calibrator:
         algorithm: Union[str, CalibrationAlgorithm] = "random",
         budget: Optional[Budget] = None,
         seed: int = 0,
-        cache: bool = True,
+        cache: Union[bool, CacheBackend] = True,
         stopping: Optional[StoppingCriterion] = None,
+        record_cache_hits: bool = False,
+        count_cache_hits: bool = False,
     ) -> None:
         self.space = space
         self.algorithm = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
@@ -61,7 +63,14 @@ class Calibrator:
             self._stopper: Optional[StoppingBudget] = stopper
         else:
             self._stopper = None
-        self.objective = Objective(objective_function, space, budget=effective_budget, cache=cache)
+        self.objective = Objective(
+            objective_function,
+            space,
+            budget=effective_budget,
+            cache=cache,
+            record_cache_hits=record_cache_hits,
+            count_cache_hits=count_cache_hits,
+        )
         if self._stopper is not None:
             self._stopper.bind(self.objective.history)
 

@@ -12,12 +12,18 @@ Algorithms never call the user's simulator directly; they go through an
 * records every evaluation (parameters, value, wall-clock timestamps) in a
   :class:`~repro.core.history.CalibrationHistory`, from which the Figure 2
   convergence curves are produced.
+
+The cache is pluggable: by default it is a per-objective in-memory
+dictionary (:class:`DictCache`), but any object implementing the
+:class:`CacheBackend` interface can be supplied — notably the
+store-backed cache of :mod:`repro.service`, which shares evaluations
+across calibration jobs and across processes.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -25,11 +31,51 @@ from repro.core.budget import Budget
 from repro.core.history import CalibrationHistory, Evaluation
 from repro.core.parameters import ParameterSpace
 
-__all__ = ["BudgetExhausted", "Evaluation", "Objective"]
+__all__ = ["BudgetExhausted", "CacheBackend", "DictCache", "Evaluation", "Objective"]
+
+CacheKey = Tuple[float, ...]
 
 
 class BudgetExhausted(Exception):
     """Raised by :meth:`Objective.evaluate` when the budget has run out."""
+
+
+class CacheBackend:
+    """Interface for pluggable evaluation caches.
+
+    ``key`` is the objective's canonical unit-cube key (a tuple of rounded
+    normalised coordinates); ``values`` is the raw parameter-value mapping.
+    Backends are free to key on either representation.  ``get`` may block
+    (e.g. while another worker computes the same point) and ``cancel`` is
+    called when an announced computation will not be completed (the
+    simulator raised, or the budget ran out), so blocking backends can
+    release any waiters.
+    """
+
+    def get(self, key: CacheKey, values: Mapping[str, float]) -> Optional[float]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def put(self, key: CacheKey, values: Mapping[str, float], value: float) -> None:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def cancel(self, key: CacheKey, values: Mapping[str, float]) -> None:
+        """Called when a computation announced by ``get`` -> miss fails."""
+
+
+class DictCache(CacheBackend):
+    """The default per-objective cache: a plain dictionary on the unit key."""
+
+    def __init__(self) -> None:
+        self._data: Dict[CacheKey, float] = {}
+
+    def get(self, key: CacheKey, values: Mapping[str, float]) -> Optional[float]:
+        return self._data.get(key)
+
+    def put(self, key: CacheKey, values: Mapping[str, float], value: float) -> None:
+        self._data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
 
 
 class Objective:
@@ -47,7 +93,26 @@ class Objective:
         Optional budget; when it is exhausted, :meth:`evaluate` raises
         :class:`BudgetExhausted`.
     cache:
-        Whether to memoise evaluations (keyed on rounded unit coordinates).
+        ``True`` (memoise in a fresh :class:`DictCache`), ``False`` (no
+        caching), or a :class:`CacheBackend` instance such as the shared
+        evaluation store of :mod:`repro.service`.
+    record_cache_hits:
+        When true, cache hits are appended to the history as
+        :class:`Evaluation` records flagged ``cached=True`` (with zero-cost
+        timestamps).  This keeps the algorithm's full trajectory — and in
+        particular the best point — visible even when every point is served
+        from a warm shared store.  Off by default, preserving the paper's
+        history semantics (one record per simulator invocation).
+    count_cache_hits:
+        When true, a cache hit on a point this objective has *not itself
+        seen before* (i.e. served from pre-existing shared-store work)
+        counts toward the budget, so a run replayed from a warm store
+        terminates at exactly the point the cold run did.  Revisits of
+        points already seen within the run stay free, preserving the
+        paper's "cache hits do not consume budget" semantics — a cold run
+        with an empty store therefore behaves identically to a plain
+        calibrator even for algorithms that revisit points (grid corners,
+        coordinate/pattern stalls).  Off by default.
     """
 
     #: number of decimals used for the cache key in unit coordinates
@@ -58,14 +123,26 @@ class Objective:
         function: Callable[[Dict[str, float]], float],
         space: ParameterSpace,
         budget: Optional[Budget] = None,
-        cache: bool = True,
+        cache: Union[bool, CacheBackend] = True,
+        record_cache_hits: bool = False,
+        count_cache_hits: bool = False,
     ) -> None:
         self.function = function
         self.space = space
         self.budget = budget
         self.history = CalibrationHistory()
-        self._cache_enabled = cache
-        self._cache: Dict[Tuple[float, ...], float] = {}
+        if isinstance(cache, CacheBackend):
+            self._cache: Optional[CacheBackend] = cache
+        elif cache:
+            self._cache = DictCache()
+        else:
+            self._cache = None
+        self.record_cache_hits = bool(record_cache_hits)
+        self.count_cache_hits = bool(count_cache_hits)
+        self.cache_hits = 0
+        self._invocations = 0
+        self._counted_hits = 0
+        self._seen_keys: set = set()
         self._start_time = time.perf_counter()
         self._started = False
 
@@ -87,13 +164,39 @@ class Objective:
     @property
     def evaluation_count(self) -> int:
         """Number of actual simulator invocations performed (cache misses)."""
-        return len(self.history)
+        return self._invocations
+
+    @property
+    def steps(self) -> int:
+        """Simulator invocations plus cache hits (the algorithm's step count)."""
+        return self._invocations + self.cache_hits
 
     # ------------------------------------------------------------------ #
     # evaluation
     # ------------------------------------------------------------------ #
-    def _cache_key(self, unit: np.ndarray) -> Tuple[float, ...]:
+    def _cache_key(self, unit: np.ndarray) -> CacheKey:
         return tuple(np.round(unit, self.CACHE_DECIMALS))
+
+    def _budget_units(self) -> int:
+        return (
+            self._invocations + self._counted_hits
+            if self.count_cache_hits
+            else self._invocations
+        )
+
+    def _record(self, values: Mapping[str, float], unit: np.ndarray, value: float,
+                started_at: float, finished_at: float, cached: bool) -> None:
+        self.history.record(
+            Evaluation(
+                index=len(self.history),
+                values=dict(values),
+                unit=tuple(float(u) for u in unit),
+                value=value,
+                started_at=started_at,
+                finished_at=finished_at,
+                cached=cached,
+            )
+        )
 
     def evaluate(self, values: Mapping[str, float]) -> float:
         """Evaluate the objective for a parameter-value dictionary."""
@@ -101,25 +204,48 @@ class Objective:
             self.start()
         unit = self.space.to_unit_array(values)
         key = self._cache_key(unit)
-        if self._cache_enabled and key in self._cache:
-            return self._cache[key]
-        if self.budget is not None and self.budget.exhausted(self.evaluation_count):
-            raise BudgetExhausted(self.budget.describe())
-        started_at = self.elapsed
-        value = float(self.function(dict(values)))
+        if self._cache is not None:
+            cached = self._cache.get(key, values)
+            if cached is not None:
+                # A first-seen hit replays work some earlier run paid for —
+                # it was an invocation in the run being replayed, so (when
+                # counting is on) the budget is checked before it is served,
+                # exactly like the check before an invocation.  In-run
+                # revisits were free in the original run too, so they stay
+                # free here.
+                first_seen = key not in self._seen_keys
+                if (
+                    self.count_cache_hits
+                    and first_seen
+                    and self.budget is not None
+                    and self.budget.exhausted(self._budget_units())
+                ):
+                    raise BudgetExhausted(self.budget.describe())
+                at = self.elapsed
+                self.cache_hits += 1
+                if first_seen:
+                    self._counted_hits += 1
+                    self._seen_keys.add(key)
+                if self.record_cache_hits:
+                    self._record(values, unit, cached, at, at, cached=True)
+                return cached
+        try:
+            if self.budget is not None and self.budget.exhausted(self._budget_units()):
+                raise BudgetExhausted(self.budget.describe())
+            started_at = self.elapsed
+            value = float(self.function(dict(values)))
+        except BaseException:
+            # A blocking backend (single-flight dedup) may have announced
+            # this computation to other workers; release them.
+            if self._cache is not None:
+                self._cache.cancel(key, values)
+            raise
         finished_at = self.elapsed
-        self.history.record(
-            Evaluation(
-                index=self.evaluation_count,
-                values=dict(values),
-                unit=tuple(float(u) for u in unit),
-                value=value,
-                started_at=started_at,
-                finished_at=finished_at,
-            )
-        )
-        if self._cache_enabled:
-            self._cache[key] = value
+        self._invocations += 1
+        self._seen_keys.add(key)
+        self._record(values, unit, value, started_at, finished_at, cached=False)
+        if self._cache is not None:
+            self._cache.put(key, values, value)
         return value
 
     def evaluate_unit(self, x: Sequence[float]) -> float:

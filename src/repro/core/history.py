@@ -10,14 +10,16 @@ analysis of Section IV.C.5.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 __all__ = ["Evaluation", "CalibrationHistory"]
 
 
 @dataclasses.dataclass(frozen=True)
 class Evaluation:
-    """One simulator invocation."""
+    """One simulator invocation (or, when ``cached`` is true, one algorithm
+    step served from an evaluation cache without invoking the simulator)."""
 
     index: int
     values: Dict[str, float]
@@ -25,6 +27,7 @@ class Evaluation:
     value: float
     started_at: float
     finished_at: float
+    cached: bool = False
 
     @property
     def duration(self) -> float:
@@ -107,3 +110,22 @@ class CalibrationHistory:
     def value_curve(self) -> List[float]:
         """Raw objective values in evaluation order."""
         return [e.value for e in self._evaluations]
+
+    # ------------------------------------------------------------------ #
+    # persistence (JSON Lines)
+    # ------------------------------------------------------------------ #
+    def to_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write the history to ``path`` as JSON Lines, one evaluation per
+        line — the calibration service's job-result persistence format
+        (appendable and streamable, unlike one monolithic JSON document)."""
+        # Imported here: repro.core.serialization imports this module.
+        from repro.core.serialization import save_history_jsonl
+
+        return save_history_jsonl(self, path)
+
+    @staticmethod
+    def from_jsonl(path: Union[str, Path]) -> "CalibrationHistory":
+        """Rebuild a history previously written by :meth:`to_jsonl`."""
+        from repro.core.serialization import load_history_jsonl
+
+        return load_history_jsonl(path)

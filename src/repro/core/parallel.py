@@ -98,8 +98,13 @@ class ParallelEvaluator:
         if executor is None:
             values = [float(self.function(dict(candidate))) for candidate in batch]
         else:
-            with executor:
+            try:
                 values = [float(v) for v in executor.map(self.function, [dict(c) for c in batch])]
+            finally:
+                # Guaranteed shutdown: when the objective raises in a worker,
+                # cancel the not-yet-started candidates instead of letting the
+                # pool drain them (and never leak worker processes).
+                executor.shutdown(wait=True, cancel_futures=True)
         finished_at = self.elapsed
         for candidate, value in zip(batch, values):
             unit = self.space.to_unit_array(candidate)

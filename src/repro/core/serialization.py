@@ -4,7 +4,9 @@ A calibration worth 6 hours of compute (the paper's budget) is worth
 writing to disk: this module serialises
 :class:`~repro.core.result.CalibrationResult` objects — including their
 full evaluation history, from which the Figure 2 convergence curves are
-rebuilt — to a stable JSON document, and loads them back.
+rebuilt — to a stable JSON document, and loads them back.  Histories can
+also be written on their own as JSON Lines (one evaluation per line),
+which is the calibration service's job-result persistence format.
 
 The format is versioned and deliberately simple (plain lists and dicts) so
 that results can also be consumed by external tooling (pandas, plotting
@@ -22,14 +24,46 @@ from repro.core.result import CalibrationResult
 
 __all__ = [
     "FORMAT_VERSION",
+    "evaluation_to_dict",
+    "evaluation_from_dict",
     "result_to_dict",
     "result_from_dict",
     "save_result",
     "load_result",
+    "save_history_jsonl",
+    "load_history_jsonl",
 ]
 
 #: Bumped whenever the on-disk layout changes incompatibly.
 FORMAT_VERSION = 1
+
+
+def evaluation_to_dict(evaluation: Evaluation) -> Dict:
+    """Convert one :class:`Evaluation` to JSON-compatible primitives."""
+    data = {
+        "index": evaluation.index,
+        "values": dict(evaluation.values),
+        "unit": list(evaluation.unit),
+        "value": evaluation.value,
+        "started_at": evaluation.started_at,
+        "finished_at": evaluation.finished_at,
+    }
+    if evaluation.cached:
+        data["cached"] = True
+    return data
+
+
+def evaluation_from_dict(data: Dict) -> Evaluation:
+    """Rebuild an :class:`Evaluation` from :func:`evaluation_to_dict` output."""
+    return Evaluation(
+        index=int(data["index"]),
+        values={k: float(v) for k, v in data["values"].items()},
+        unit=tuple(float(u) for u in data["unit"]),
+        value=float(data["value"]),
+        started_at=float(data["started_at"]),
+        finished_at=float(data["finished_at"]),
+        cached=bool(data.get("cached", False)),
+    )
 
 
 def result_to_dict(result: CalibrationResult) -> Dict:
@@ -43,17 +77,7 @@ def result_to_dict(result: CalibrationResult) -> Dict:
         "elapsed": result.elapsed,
         "budget_description": result.budget_description,
         "seed": result.seed,
-        "history": [
-            {
-                "index": e.index,
-                "values": dict(e.values),
-                "unit": list(e.unit),
-                "value": e.value,
-                "started_at": e.started_at,
-                "finished_at": e.finished_at,
-            }
-            for e in result.history
-        ],
+        "history": [evaluation_to_dict(e) for e in result.history],
     }
 
 
@@ -67,16 +91,7 @@ def result_from_dict(data: Dict) -> CalibrationResult:
         )
     history = CalibrationHistory()
     for entry in data.get("history", []):
-        history.record(
-            Evaluation(
-                index=int(entry["index"]),
-                values={k: float(v) for k, v in entry["values"].items()},
-                unit=tuple(float(u) for u in entry["unit"]),
-                value=float(entry["value"]),
-                started_at=float(entry["started_at"]),
-                finished_at=float(entry["finished_at"]),
-            )
-        )
+        history.record(evaluation_from_dict(entry))
     return CalibrationResult(
         algorithm=str(data["algorithm"]),
         best_values={k: float(v) for k, v in data["best_values"].items()},
@@ -100,3 +115,24 @@ def save_result(result: CalibrationResult, path: Union[str, Path], indent: int =
 def load_result(path: Union[str, Path]) -> CalibrationResult:
     """Read a result previously written by :func:`save_result`."""
     return result_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_history_jsonl(history: CalibrationHistory, path: Union[str, Path]) -> Path:
+    """Write a history to ``path`` as JSON Lines (one evaluation per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for evaluation in history:
+            handle.write(json.dumps(evaluation_to_dict(evaluation)) + "\n")
+    return path
+
+
+def load_history_jsonl(path: Union[str, Path]) -> CalibrationHistory:
+    """Read a history previously written by :func:`save_history_jsonl`."""
+    history = CalibrationHistory()
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                history.record(evaluation_from_dict(json.loads(line)))
+    return history

@@ -20,6 +20,7 @@ from repro.hepsim.calibration import (
     CaseStudyProblem,
     build_parameter_space,
     make_objective,
+    scenario_fingerprint,
 )
 from repro.hepsim.generalization import (
     GeneralizationStudy,
@@ -58,5 +59,6 @@ __all__ = [
     "human_calibration",
     "make_objective",
     "make_workload",
+    "scenario_fingerprint",
     "with_compute_data_ratio",
 ]

@@ -18,6 +18,7 @@ ground truth into a calibration problem for :mod:`repro.core`:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import Callable, Dict, Mapping, Optional, Sequence, Union
 
 from repro.core.budget import Budget, EvaluationBudget
@@ -38,6 +39,7 @@ __all__ = [
     "CaseStudyProblem",
     "build_parameter_space",
     "make_objective",
+    "scenario_fingerprint",
 ]
 
 #: The paper gives every calibration parameter the same 2**20 .. 2**36 range.
@@ -66,6 +68,38 @@ def build_parameter_space(
     if include_page_cache:
         parameters.append(Parameter("page_cache_bandwidth", low, high, scale=scale, unit="B/s"))
     return ParameterSpace(parameters)
+
+
+def scenario_fingerprint(
+    scenario: Scenario,
+    metric: str = "mre",
+    icd_values: Optional[Sequence[float]] = None,
+) -> str:
+    """A stable content address for one calibration objective.
+
+    Two case-study objectives produce the same fingerprint iff they would
+    return the same value for every parameter vector: the fingerprint
+    hashes everything the objective depends on — the scenario (platform,
+    workload dimensions, site scale), the simulation granularity (block and
+    buffer sizes), the ICD grid the metrics are computed over, and the
+    accuracy metric itself.  The ground truth is derived deterministically
+    from the scenario, so it needs no separate contribution.
+
+    The service keys its shared :class:`~repro.service.store.EvaluationStore`
+    on this fingerprint, which is what lets independent jobs (and future
+    server processes) reuse each other's simulations safely.
+    """
+    icds = list(icd_values) if icd_values is not None else list(scenario.icd_values)
+    payload = "|".join(
+        [
+            scenario.cache_key(),
+            f"B{scenario.block_size:g}",
+            f"b{scenario.buffer_size:g}",
+            "icds" + ",".join(f"{icd:g}" for icd in icds),
+            f"metric:{metric}",
+        ]
+    )
+    return "hepsim-" + hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
 
 
 def _values_from_mapping(values: Mapping[str, float]) -> CalibrationValues:
@@ -221,3 +255,9 @@ class CaseStudyProblem:
     def calibrated_values(self, result: CalibrationResult) -> CalibrationValues:
         """Convert a calibration result into :class:`CalibrationValues`."""
         return _values_from_mapping(result.best_values)
+
+    def fingerprint(self) -> str:
+        """The scenario fingerprint of this problem's objective (the shared
+        evaluation-store key; see :func:`scenario_fingerprint`)."""
+        icds = getattr(self.objective, "icd_values", None)
+        return scenario_fingerprint(self.scenario, metric=self.metric_name, icd_values=icds)

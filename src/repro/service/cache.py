@@ -1,0 +1,115 @@
+"""Bridging :class:`~repro.service.store.EvaluationStore` into
+:class:`~repro.core.evaluation.Objective`.
+
+:class:`StoreBackedCache` implements the
+:class:`~repro.core.evaluation.CacheBackend` interface on top of a shared
+store, bound to one scenario fingerprint, so it slots into any
+:class:`~repro.core.calibrator.Calibrator` without touching algorithm
+code.
+
+It also provides *single-flight* deduplication of in-flight evaluations:
+when several concurrent jobs (threads) ask for the same not-yet-stored
+point, exactly one computes it and the others block until its result is
+published — concurrent calibrations of the same scenario share work
+instead of repeating it.  If the leader fails (simulator error, budget
+exhausted), :meth:`cancel` releases the waiters and the next one takes
+over as leader.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping, Optional, Set
+
+from repro.core.evaluation import CacheBackend
+from repro.service.store import EvaluationStore, evaluation_key
+
+__all__ = ["StoreBackedCache"]
+
+
+class StoreBackedCache(CacheBackend):
+    """A shared-store cache backend for one scenario fingerprint.
+
+    Parameters
+    ----------
+    store:
+        The shared evaluation store (any backend).
+    fingerprint:
+        Scenario fingerprint identifying the objective; see
+        :func:`repro.hepsim.calibration.scenario_fingerprint`.
+    dedupe_in_flight:
+        When true (default) a miss on a point that another worker is
+        already computing blocks until that worker publishes the result.
+        The in-flight registry is shared through the ``store`` object, so
+        every :class:`StoreBackedCache` bound to the same store instance —
+        typically one per job, all inside one
+        :class:`~repro.service.server.CalibrationServer` — dedupes against
+        every other.
+    """
+
+    _REGISTRY_ATTR = "_inflight_registry"
+
+    def __init__(
+        self,
+        store: EvaluationStore,
+        fingerprint: str,
+        dedupe_in_flight: bool = True,
+    ) -> None:
+        self.store = store
+        self.fingerprint = fingerprint
+        self.dedupe_in_flight = bool(dedupe_in_flight)
+        self.hits = 0
+        self.misses = 0
+        self.waited = 0
+        # The registry (condition + set of in-flight keys) hangs off the
+        # store so that independent caches over the same store share it.
+        registry = getattr(store, self._REGISTRY_ATTR, None)
+        if registry is None:
+            registry = (threading.Condition(), set())
+            setattr(store, self._REGISTRY_ATTR, registry)
+        self._cond: threading.Condition = registry[0]
+        self._inflight: Set[str] = registry[1]
+
+    # ------------------------------------------------------------------ #
+    # CacheBackend interface
+    # ------------------------------------------------------------------ #
+    def get(self, key, values: Mapping[str, float]) -> Optional[float]:
+        if not self.dedupe_in_flight:
+            stored = self.store.get(self.fingerprint, values)
+            if stored is not None:
+                self.hits += 1
+                return stored
+            self.misses += 1
+            return None
+        store_key = evaluation_key(self.fingerprint, values)
+        with self._cond:
+            while True:
+                # Looked up under the condition lock so a result published
+                # between a bare lookup and taking the lock cannot be missed
+                # (which would needlessly re-elect a leader and recompute).
+                stored = self.store.get(self.fingerprint, values)
+                if stored is not None:
+                    self.hits += 1
+                    return stored
+                if store_key not in self._inflight:
+                    # Become the leader for this point: the caller computes
+                    # it and either put()s or cancel()s.
+                    self._inflight.add(store_key)
+                    self.misses += 1
+                    return None
+                self.waited += 1
+                self._cond.wait()
+
+    def put(self, key, values: Mapping[str, float], value: float) -> None:
+        self.store.put(self.fingerprint, values, value)
+        self._release(evaluation_key(self.fingerprint, values))
+
+    def cancel(self, key, values: Mapping[str, float]) -> None:
+        self._release(evaluation_key(self.fingerprint, values))
+
+    def _release(self, store_key: str) -> None:
+        if not self.dedupe_in_flight:
+            return
+        with self._cond:
+            self._inflight.discard(store_key)
+            self._cond.notify_all()

@@ -1,0 +1,164 @@
+"""Calibration jobs: requests, lifecycle state, events and the queue.
+
+A :class:`CalibrationRequest` is the generic unit of work the service
+accepts — a parameter space, an objective callable, a scenario
+fingerprint (so evaluations land in the shared store under the right
+key), an algorithm and a budget.  The case-study bridge that builds a
+request from a platform/scale specification lives in
+:mod:`repro.service.case_study` so this module stays free of any
+simulator knowledge; custom simulators submit requests directly.
+
+A :class:`CalibrationJob` tracks one submitted request through
+``PENDING -> RUNNING -> DONE | FAILED``, accumulating progress events
+that the server streams to its ``on_event`` subscribers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.budget import Budget
+from repro.core.parameters import ParameterSpace
+from repro.core.result import CalibrationResult
+
+__all__ = [
+    "CalibrationRequest",
+    "JobStatus",
+    "JobEvent",
+    "CalibrationJob",
+    "JobQueue",
+]
+
+
+@dataclasses.dataclass
+class CalibrationRequest:
+    """Everything needed to run one calibration as a service job."""
+
+    space: ParameterSpace
+    objective: Callable[[Dict[str, float]], float]
+    fingerprint: str
+    algorithm: str = "random"
+    budget: Optional[Budget] = None
+    seed: int = 0
+    label: str = ""
+    #: free-form request metadata, echoed into status reports (the CLI puts
+    #: the platform/scale/metric specification here)
+    metadata: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+
+class JobStatus(str, enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclasses.dataclass(frozen=True)
+class JobEvent:
+    """One progress event; ``seq`` orders events within a job."""
+
+    seq: int
+    kind: str
+    message: str
+    payload: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+
+class CalibrationJob:
+    """One submitted request and its lifecycle."""
+
+    def __init__(self, job_id: str, request: CalibrationRequest) -> None:
+        self.id = job_id
+        self.request = request
+        self.status = JobStatus.PENDING
+        self.result: Optional[CalibrationResult] = None
+        self.error: Optional[str] = None
+        self.cache_hits = 0
+        self.evaluations = 0
+        self.elapsed = 0.0
+        self.events: List[JobEvent] = []
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def emit(self, kind: str, message: str, **payload: Any) -> JobEvent:
+        with self._lock:
+            event = JobEvent(seq=len(self.events), kind=kind, message=message, payload=payload)
+            self.events.append(event)
+        return event
+
+    def mark_done(self) -> None:
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finished (or failed); returns False on timeout."""
+        return self._done.wait(timeout)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in (JobStatus.DONE, JobStatus.FAILED)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible status snapshot (used by ``repro status``)."""
+        data: Dict[str, Any] = {
+            "id": self.id,
+            "status": self.status.value,
+            "algorithm": self.request.algorithm,
+            "seed": self.request.seed,
+            "label": self.request.label,
+            "fingerprint": self.request.fingerprint,
+            "metadata": dict(self.request.metadata),
+            "cache_hits": self.cache_hits,
+            "evaluations": self.evaluations,
+            "elapsed": self.elapsed,
+        }
+        if self.result is not None:
+            data["best_value"] = self.result.best_value
+            data["best_values"] = dict(self.result.best_values)
+        if self.error is not None:
+            data["error"] = self.error
+        return data
+
+
+class JobQueue:
+    """Thread-safe FIFO of pending jobs, closable for worker shutdown."""
+
+    def __init__(self) -> None:
+        self._jobs: List[CalibrationJob] = []
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def push(self, job: CalibrationJob) -> None:
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("the job queue is closed")
+            self._jobs.append(job)
+            self._cond.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[CalibrationJob]:
+        """Next pending job; ``None`` once the queue is closed and drained
+        (or on timeout)."""
+        with self._cond:
+            while not self._jobs and not self._closed:
+                if not self._cond.wait(timeout=timeout):
+                    return None
+            if self._jobs:
+                return self._jobs.pop(0)
+            return None
+
+    def close(self) -> None:
+        """No more pushes; blocked pops return once the backlog drains."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._jobs)

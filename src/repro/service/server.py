@@ -1,0 +1,240 @@
+"""The calibration server: a bounded worker pool over a job queue.
+
+The server accepts :class:`~repro.service.jobs.CalibrationRequest`
+submissions, schedules them over ``workers`` threads, and runs each one
+through a plain :class:`~repro.core.calibrator.Calibrator` whose cache is
+a :class:`~repro.service.cache.StoreBackedCache` bound to the shared
+:class:`~repro.service.store.EvaluationStore`:
+
+* evaluations computed by any job are immediately visible to every other
+  job (and, with a file-backed store, to future server processes);
+* identical in-flight evaluations are deduplicated — when two concurrent
+  jobs on the same scenario reach the same point, one simulates and the
+  other waits for the result;
+* jobs served from a warm store still terminate at the same point as the
+  cold run they replay (first-seen cache hits are recorded in the history
+  and charged against the budget; in-run revisits stay free, exactly as
+  in a plain calibrator), so a re-submitted evaluation-budget job
+  reproduces the cold run's best point exactly, in a fraction of the
+  wall-clock.  Time-budget jobs cannot replay exactly — store hits cost
+  ~no wall-clock, so a warm job simply gets much further within its T
+  seconds; it still reuses every stored point it revisits.
+
+Progress is streamed as :class:`~repro.service.jobs.JobEvent` records to
+an optional ``on_event`` callback (submitted / started / progress /
+finished / failed).
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Callable, Dict, List, Optional
+
+from repro.core.budget import EvaluationBudget
+from repro.core.calibrator import Calibrator
+from repro.service.cache import StoreBackedCache
+from repro.service.jobs import CalibrationJob, CalibrationRequest, JobQueue, JobStatus
+from repro.service.store import EvaluationStore, InMemoryStore
+
+__all__ = ["CalibrationServer"]
+
+EventCallback = Callable[[CalibrationJob, "JobEvent"], None]  # noqa: F821
+
+
+class CalibrationServer:
+    """Serves calibration jobs over a shared evaluation store.
+
+    Parameters
+    ----------
+    store:
+        The shared evaluation store; defaults to a fresh
+        :class:`~repro.service.store.InMemoryStore`.
+    workers:
+        Size of the worker pool (concurrent jobs).
+    on_event:
+        Optional callback invoked as ``on_event(job, event)`` for every
+        progress event of every job.
+    progress_every:
+        Emit a ``progress`` event every this many objective evaluations of
+        a job (0 disables progress events).
+    dedupe_in_flight:
+        Forwarded to :class:`~repro.service.cache.StoreBackedCache`.
+    """
+
+    def __init__(
+        self,
+        store: Optional[EvaluationStore] = None,
+        workers: int = 2,
+        on_event: Optional[EventCallback] = None,
+        progress_every: int = 25,
+        dedupe_in_flight: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("the server needs at least one worker")
+        self.store = store if store is not None else InMemoryStore()
+        self.on_event = on_event
+        self.progress_every = int(progress_every)
+        self.dedupe_in_flight = bool(dedupe_in_flight)
+        self.queue = JobQueue()
+        self.jobs: Dict[str, CalibrationJob] = {}
+        self._jobs_lock = threading.Lock()
+        self._job_counter = 0
+        self._workers: List[threading.Thread] = []
+        self._shutdown = False
+        for index in range(int(workers)):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"calibration-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._workers.append(thread)
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(self, request: CalibrationRequest, job_id: Optional[str] = None) -> CalibrationJob:
+        """Enqueue one calibration request and return its job handle."""
+        if self._shutdown:
+            raise RuntimeError("the server has been shut down")
+        with self._jobs_lock:
+            self._job_counter += 1
+            if job_id is None:
+                job_id = f"job-{self._job_counter:04d}"
+            if job_id in self.jobs:
+                raise ValueError(f"duplicate job id {job_id!r}")
+            job = CalibrationJob(job_id, request)
+            self.jobs[job_id] = job
+        self._emit(job, "submitted", f"{job.id} submitted ({request.algorithm})")
+        try:
+            self.queue.push(job)
+        except RuntimeError:
+            # A concurrent shutdown() closed the queue between the check
+            # above and the push: unregister the job so no drain()/wait()
+            # blocks on work that will never run.
+            with self._jobs_lock:
+                self.jobs.pop(job_id, None)
+            job.mark_done()
+            raise RuntimeError("the server has been shut down") from None
+        return job
+
+    def get(self, job_id: str) -> CalibrationJob:
+        with self._jobs_lock:
+            return self.jobs[job_id]
+
+    def snapshot(self) -> List[Dict]:
+        """Status of every known job, in submission order."""
+        with self._jobs_lock:
+            return [job.to_dict() for job in self.jobs.values()]
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted job has finished.
+
+        Returns False if ``timeout`` elapsed first.
+        """
+        with self._jobs_lock:
+            jobs = list(self.jobs.values())
+        for job in jobs:
+            if not job.wait(timeout):
+                return False
+        return True
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs; optionally wait for the backlog to finish."""
+        self._shutdown = True
+        self.queue.close()
+        if wait:
+            for thread in self._workers:
+                thread.join()
+
+    def __enter__(self) -> "CalibrationServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        while True:
+            job = self.queue.pop()
+            if job is None:
+                return
+            self._run_job(job)
+
+    def _run_job(self, job: CalibrationJob) -> None:
+        request = job.request
+        job.status = JobStatus.RUNNING
+        self._emit(job, "started", f"{job.id} running ({request.algorithm})")
+        cache = StoreBackedCache(
+            self.store, request.fingerprint, dedupe_in_flight=self.dedupe_in_flight
+        )
+        objective = request.objective
+        if self.progress_every > 0:
+            objective = self._with_progress(job, objective)
+        try:
+            calibrator = Calibrator(
+                request.space,
+                objective,
+                algorithm=request.algorithm,
+                budget=request.budget if request.budget is not None else EvaluationBudget(100),
+                seed=request.seed,
+                cache=cache,
+                # First-seen cache hits stay visible in the history and
+                # charge the budget: a fully warm job performs zero
+                # simulator invocations yet replays the cold run's
+                # trajectory and terminates at the same point (in-run
+                # revisits stay free, as in a plain calibrator).
+                record_cache_hits=True,
+                count_cache_hits=True,
+            )
+            result = calibrator.run()
+        except Exception as exc:
+            job.status = JobStatus.FAILED
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.cache_hits = cache.hits
+            self._emit(job, "failed", f"{job.id} failed: {job.error}",
+                       traceback=traceback.format_exc())
+            job.mark_done()
+            return
+        job.result = result
+        job.status = JobStatus.DONE
+        job.cache_hits = cache.hits
+        job.evaluations = result.evaluations
+        job.elapsed = result.elapsed
+        self._emit(
+            job,
+            "finished",
+            f"{job.id} done: best {result.best_value:.4g} after "
+            f"{result.evaluations} simulations ({cache.hits} cache hits)",
+            best_value=result.best_value,
+            evaluations=result.evaluations,
+            cache_hits=cache.hits,
+        )
+        job.mark_done()
+
+    def _with_progress(self, job: CalibrationJob, objective):
+        """Wrap the objective so the job emits periodic progress events."""
+        counter = {"n": 0}
+
+        def wrapped(values):
+            value = objective(values)
+            counter["n"] += 1
+            if counter["n"] % self.progress_every == 0:
+                self._emit(job, "progress", f"{job.id}: {counter['n']} simulations",
+                           simulations=counter["n"])
+            return value
+
+        return wrapped
+
+    def _emit(self, job: CalibrationJob, kind: str, message: str, **payload) -> None:
+        event = job.emit(kind, message, **payload)
+        if self.on_event is not None:
+            try:
+                self.on_event(job, event)
+            except Exception:
+                # A broken subscriber must not take the worker down.
+                pass

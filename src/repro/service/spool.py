@@ -1,0 +1,175 @@
+"""Directory-based job spool: how the CLI persists service state.
+
+The spool is the on-disk face of the service — a directory that ``repro
+submit`` drops job specifications into, ``repro serve`` drains, and
+``repro status`` reads:
+
+.. code-block:: text
+
+    <serve-dir>/
+        jobs/job-0001.json           # specification + live status fields
+        results/job-0001.json        # full CalibrationResult (reloadable)
+        results/job-0001.history.jsonl   # per-evaluation JSON Lines
+        store.jsonl                  # default shared evaluation store
+
+Job files double as status records: the server rewrites them (atomically,
+via a temp file + rename) as the job moves through ``pending -> running ->
+done | failed``, so ``repro status`` needs no running server to answer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.result import CalibrationResult
+from repro.core.serialization import load_result, save_result
+
+__all__ = ["JobSpool"]
+
+
+class JobSpool:
+    """A directory of job specifications, statuses and results."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.results_dir = self.root / "results"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # paths
+    # ------------------------------------------------------------------ #
+    @property
+    def default_store_path(self) -> Path:
+        """Where ``repro serve`` keeps the shared store unless told otherwise."""
+        return self.root / "store.jsonl"
+
+    def job_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def result_path(self, job_id: str) -> Path:
+        return self.results_dir / f"{job_id}.json"
+
+    def history_path(self, job_id: str) -> Path:
+        return self.results_dir / f"{job_id}.history.jsonl"
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def _next_id(self) -> str:
+        taken = {path.stem for path in self.jobs_dir.glob("job-*.json")}
+        index = len(taken) + 1
+        while f"job-{index:04d}" in taken:
+            index += 1
+        return f"job-{index:04d}"
+
+    def _reserve(self, job_id: str) -> Path:
+        """Atomically claim a job id (O_CREAT|O_EXCL beats the TOCTOU race
+        between concurrent ``repro submit`` processes)."""
+        path = self.job_path(job_id)
+        fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        os.close(fd)
+        return path
+
+    def submit(self, spec: Dict[str, Any], job_id: Optional[str] = None) -> str:
+        """Persist one job specification as pending; returns the job id."""
+        if job_id is not None:
+            try:
+                path = self._reserve(job_id)
+            except FileExistsError:
+                raise ValueError(f"job {job_id!r} already exists in {self.root}") from None
+        else:
+            while True:
+                job_id = self._next_id()
+                try:
+                    path = self._reserve(job_id)
+                    break
+                except FileExistsError:
+                    continue  # another submitter claimed it; pick the next id
+        record = dict(spec)
+        record["id"] = job_id
+        record["status"] = "pending"
+        self._write_json(path, record)
+        return job_id
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def load(self, job_id: str) -> Dict[str, Any]:
+        return json.loads(self.job_path(job_id).read_text())
+
+    def _try_load(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """Like :meth:`load`, but ``None`` for a job mid-submission (a
+        concurrent submitter has reserved the id and not yet written the
+        spec) instead of raising."""
+        try:
+            return self.load(job_id)
+        except (ValueError, OSError):
+            return None
+
+    def job_ids(self) -> List[str]:
+        return sorted(path.stem for path in self.jobs_dir.glob("job-*.json"))
+
+    def _ids_with_status(self, statuses: Sequence[str]) -> List[str]:
+        result = []
+        for jid in self.job_ids():
+            record = self._try_load(jid)
+            if record is not None and record.get("status") in statuses:
+                result.append(jid)
+        return result
+
+    def pending(self) -> List[str]:
+        """Ids of jobs not yet picked up by a server, in submission order."""
+        return self._ids_with_status(("pending",))
+
+    def runnable(self) -> List[str]:
+        """Pending jobs plus jobs stranded in ``running`` by a server that
+        died before finishing them (the spool assumes one server process
+        per directory, so a ``running`` job with no live server is stale
+        and safe to re-run — calibrations are deterministic and idempotent
+        against the shared store)."""
+        return self._ids_with_status(("pending", "running"))
+
+    def statuses(self) -> List[Dict[str, Any]]:
+        records = (self._try_load(jid) for jid in self.job_ids())
+        return [record for record in records if record is not None]
+
+    # ------------------------------------------------------------------ #
+    # server-side updates
+    # ------------------------------------------------------------------ #
+    def update(self, job_id: str, **fields: Any) -> Dict[str, Any]:
+        """Merge ``fields`` into the job record (atomic rewrite)."""
+        record = self.load(job_id)
+        record.update(fields)
+        self._write_json(self.job_path(job_id), record)
+        return record
+
+    def write_result(self, job_id: str, result: CalibrationResult) -> Path:
+        """Persist a finished job's result (JSON) and history (JSON Lines)."""
+        path = save_result(result, self.result_path(job_id))
+        result.history.to_jsonl(self.history_path(job_id))
+        return path
+
+    def read_result(self, job_id: str) -> CalibrationResult:
+        return load_result(self.result_path(job_id))
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _write_json(path: Path, record: Dict[str, Any]) -> None:
+        # Atomic replace so `repro status` never reads a half-written file.
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(record, indent=2) + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise

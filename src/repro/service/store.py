@@ -1,0 +1,351 @@
+"""Persistent, content-addressed store of simulation evaluations.
+
+A calibration spends essentially all of its time inside the simulator, so
+evaluations are worth keeping beyond the lifetime of one
+:class:`~repro.core.calibrator.Calibrator`: a service that re-calibrates
+the same scenario (new algorithm, new budget, new seed, or simply a
+repeated request) can answer most of its simulator invocations from the
+work already paid for by earlier jobs.
+
+Entries are keyed by ``(scenario fingerprint, canonicalized parameter
+vector)``:
+
+* the *fingerprint* identifies the objective — for the case study it
+  hashes the scenario (platform, workload, granularity, ICD grid) and the
+  accuracy metric, see
+  :func:`repro.hepsim.calibration.scenario_fingerprint`;
+* the *parameter vector* is canonicalized (sorted names, values coerced to
+  ``float`` and rendered with ``repr``) so that logically equal inputs —
+  different dict insertion orders, ``4`` vs ``4.0`` — map to the same key.
+
+Three backends are provided: :class:`InMemoryStore` (a dict),
+:class:`JsonlStore` (append-only JSON Lines, human-greppable) and
+:class:`SqliteStore` (cross-process safe).  All are safe under concurrent
+writers within a process; SQLite additionally serialises concurrent
+writer *processes*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "StoredEvaluation",
+    "EvaluationStore",
+    "InMemoryStore",
+    "JsonlStore",
+    "SqliteStore",
+    "canonical_params",
+    "evaluation_key",
+    "open_store",
+]
+
+
+def canonical_params(values: Mapping[str, float]) -> Tuple[Tuple[str, float], ...]:
+    """Canonicalize a parameter-value mapping: sorted names, float values."""
+    return tuple(sorted((str(name), float(value)) for name, value in values.items()))
+
+
+def evaluation_key(fingerprint: str, values: Mapping[str, float]) -> str:
+    """The content address of one evaluation.
+
+    ``repr(float(v))`` is the shortest string that round-trips the IEEE-754
+    double exactly, so two parameter dictionaries produce the same key iff
+    they denote the same point (regardless of dict ordering or int-vs-float
+    spelling).
+    """
+    payload = fingerprint + "|" + ",".join(
+        f"{name}={float(value)!r}" for name, value in canonical_params(values)
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class StoredEvaluation:
+    """One stored (scenario, parameter vector) -> objective value record."""
+
+    key: str
+    fingerprint: str
+    values: Dict[str, float]
+    value: float
+    created_at: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "key": self.key,
+            "fingerprint": self.fingerprint,
+            "values": dict(self.values),
+            "value": self.value,
+            "created_at": self.created_at,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "StoredEvaluation":
+        return StoredEvaluation(
+            key=str(data["key"]),
+            fingerprint=str(data["fingerprint"]),
+            values={k: float(v) for k, v in dict(data["values"]).items()},
+            value=float(data["value"]),
+            created_at=float(data.get("created_at", 0.0)),
+        )
+
+
+class EvaluationStore:
+    """Base class: thread-safe keyed access plus hit/miss accounting.
+
+    Subclasses implement ``_load_entry``/``_save_entry`` (and optionally
+    ``_iter_entries``); all locking and statistics live here.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # -- backend interface --------------------------------------------- #
+    def _load_entry(self, key: str) -> Optional[StoredEvaluation]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def _save_entry(self, entry: StoredEvaluation) -> None:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def _iter_entries(self) -> Iterable[StoredEvaluation]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def _count_entries(self) -> int:
+        return sum(1 for _ in self._iter_entries())
+
+    # -- public API ---------------------------------------------------- #
+    def get(self, fingerprint: str, values: Mapping[str, float]) -> Optional[float]:
+        """Look up the objective value for a (scenario, point), or ``None``."""
+        key = evaluation_key(fingerprint, values)
+        with self._lock:
+            entry = self._load_entry(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry.value
+
+    def put(self, fingerprint: str, values: Mapping[str, float], value: float) -> StoredEvaluation:
+        """Record one evaluation (idempotent: re-puts overwrite equal keys)."""
+        key = evaluation_key(fingerprint, values)
+        entry = StoredEvaluation(
+            key=key,
+            fingerprint=fingerprint,
+            values={str(k): float(v) for k, v in values.items()},
+            value=float(value),
+            created_at=time.time(),
+        )
+        with self._lock:
+            self._save_entry(entry)
+            self.puts += 1
+        return entry
+
+    def __contains__(self, item: Tuple[str, Mapping[str, float]]) -> bool:
+        fingerprint, values = item
+        with self._lock:
+            return self._load_entry(evaluation_key(fingerprint, values)) is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._count_entries()
+
+    def entries(self, fingerprint: Optional[str] = None) -> List[StoredEvaluation]:
+        """All stored evaluations, optionally restricted to one scenario."""
+        with self._lock:
+            return [
+                e for e in self._iter_entries()
+                if fingerprint is None or e.fingerprint == fingerprint
+            ]
+
+    def fingerprints(self) -> List[str]:
+        """The distinct scenario fingerprints present in the store."""
+        with self._lock:
+            return sorted({e.fingerprint for e in self._iter_entries()})
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": self._count_entries(),
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+            }
+
+    def close(self) -> None:
+        """Release any backend resources (file handles, connections)."""
+
+    def __enter__(self) -> "EvaluationStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class InMemoryStore(EvaluationStore):
+    """Dict-backed store; shared across jobs within one process."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._data: Dict[str, StoredEvaluation] = {}
+
+    def _load_entry(self, key: str) -> Optional[StoredEvaluation]:
+        return self._data.get(key)
+
+    def _save_entry(self, entry: StoredEvaluation) -> None:
+        self._data[entry.key] = entry
+
+    def _iter_entries(self) -> Iterable[StoredEvaluation]:
+        return list(self._data.values())
+
+    def _count_entries(self) -> int:
+        return len(self._data)
+
+
+class JsonlStore(EvaluationStore):
+    """Append-only JSON Lines store.
+
+    Reads are served from an in-memory index; every put appends one line to
+    the file, so the on-disk state is a log that can be tailed, grepped and
+    concatenated.  ``reload()`` merges lines written by other processes
+    since the file was last read.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._data: Dict[str, StoredEvaluation] = {}
+        if self.path.exists():
+            self.reload()
+
+    def reload(self) -> int:
+        """Re-read the file, merging entries from concurrent writers.
+
+        Returns the number of entries now indexed.
+        """
+        with self._lock:
+            if self.path.exists():
+                with self.path.open() as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        entry = StoredEvaluation.from_dict(json.loads(line))
+                        self._data[entry.key] = entry
+            return len(self._data)
+
+    def _load_entry(self, key: str) -> Optional[StoredEvaluation]:
+        return self._data.get(key)
+
+    def _save_entry(self, entry: StoredEvaluation) -> None:
+        self._data[entry.key] = entry
+        # One line per entry, written in a single append so that concurrent
+        # in-process writers (serialised by the store lock) and append-mode
+        # writers in other processes never interleave partial lines.
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(entry.to_dict()) + "\n")
+
+    def _iter_entries(self) -> Iterable[StoredEvaluation]:
+        return list(self._data.values())
+
+    def _count_entries(self) -> int:
+        return len(self._data)
+
+
+class SqliteStore(EvaluationStore):
+    """SQLite-backed store; safe under concurrent writer processes."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False, timeout=30.0)
+        with self._lock:
+            self._conn.execute(
+                """
+                CREATE TABLE IF NOT EXISTS evaluations (
+                    key         TEXT PRIMARY KEY,
+                    fingerprint TEXT NOT NULL,
+                    params      TEXT NOT NULL,
+                    value       REAL NOT NULL,
+                    created_at  REAL NOT NULL
+                )
+                """
+            )
+            self._conn.execute(
+                "CREATE INDEX IF NOT EXISTS idx_evaluations_fingerprint "
+                "ON evaluations (fingerprint)"
+            )
+            self._conn.commit()
+
+    @staticmethod
+    def _row_to_entry(row: Tuple) -> StoredEvaluation:
+        key, fingerprint, params, value, created_at = row
+        return StoredEvaluation(
+            key=key,
+            fingerprint=fingerprint,
+            values={k: float(v) for k, v in json.loads(params).items()},
+            value=float(value),
+            created_at=float(created_at),
+        )
+
+    def _load_entry(self, key: str) -> Optional[StoredEvaluation]:
+        row = self._conn.execute(
+            "SELECT key, fingerprint, params, value, created_at "
+            "FROM evaluations WHERE key = ?",
+            (key,),
+        ).fetchone()
+        return None if row is None else self._row_to_entry(row)
+
+    def _save_entry(self, entry: StoredEvaluation) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO evaluations (key, fingerprint, params, value, created_at) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (
+                entry.key,
+                entry.fingerprint,
+                json.dumps(entry.values, sort_keys=True),
+                entry.value,
+                entry.created_at,
+            ),
+        )
+        self._conn.commit()
+
+    def _iter_entries(self) -> Iterable[StoredEvaluation]:
+        rows = self._conn.execute(
+            "SELECT key, fingerprint, params, value, created_at FROM evaluations"
+        ).fetchall()
+        return [self._row_to_entry(row) for row in rows]
+
+    def _count_entries(self) -> int:
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM evaluations").fetchone()
+        return int(count)
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+
+def open_store(path: Optional[Union[str, Path]] = None) -> EvaluationStore:
+    """Open the evaluation store for ``path``.
+
+    ``None`` returns an :class:`InMemoryStore`; a ``.db`` / ``.sqlite`` /
+    ``.sqlite3`` suffix selects :class:`SqliteStore`; anything else (the
+    conventional suffix is ``.jsonl``) selects :class:`JsonlStore`.
+    """
+    if path is None:
+        return InMemoryStore()
+    path = Path(path)
+    if path.suffix.lower() in (".db", ".sqlite", ".sqlite3"):
+        return SqliteStore(path)
+    return JsonlStore(path)

@@ -104,6 +104,105 @@ class TestCalibrateReportAndSave:
         assert loaded.algorithm == "lhs"
 
 
+class TestServiceCommands:
+    SUBMIT = [
+        "submit", "--platform", "SCSN", "--scale", "tiny", "--icds", "0.0,1.0",
+        "--algorithm", "random", "--evaluations", "8", "--seed", "3",
+    ]
+
+    def test_submit_serve_status_roundtrip(self, capsys, tmp_path):
+        serve_dir = str(tmp_path / "svc")
+        assert main(self.SUBMIT + ["--serve-dir", serve_dir]) == 0
+        out = capsys.readouterr().out
+        assert "submitted job-0001" in out
+
+        assert main(["serve", "--serve-dir", serve_dir, "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "job-0001 done" in out
+
+        assert main(["status", "--serve-dir", serve_dir]) == 0
+        out = capsys.readouterr().out
+        assert "job-0001" in out and "done" in out
+
+    def test_second_job_hits_the_shared_store(self, capsys, tmp_path):
+        serve_dir = str(tmp_path / "svc")
+        # Two identical jobs, served by two separate server processes: the
+        # second must answer every evaluation from the persisted store.
+        assert main(self.SUBMIT + ["--serve-dir", serve_dir]) == 0
+        assert main(["serve", "--serve-dir", serve_dir, "--workers", "1"]) == 0
+        assert main(self.SUBMIT + ["--serve-dir", serve_dir]) == 0
+        assert main(["serve", "--serve-dir", serve_dir, "--workers", "1"]) == 0
+        capsys.readouterr()
+
+        from repro.service import JobSpool
+
+        spool = JobSpool(serve_dir)
+        first, second = spool.load("job-0001"), spool.load("job-0002")
+        assert first["status"] == second["status"] == "done"
+        assert first["cache_hits"] == 0 and first["evaluations"] == 8
+        assert second["cache_hits"] > 0 and second["evaluations"] == 0
+        assert second["best_value"] == first["best_value"]
+
+        # Results are reloadable, with per-evaluation JSONL histories.
+        result = spool.read_result("job-0001")
+        assert result.evaluations == 8
+        from repro.core import CalibrationHistory
+
+        history = CalibrationHistory.from_jsonl(spool.history_path("job-0002"))
+        assert len(history) == 8
+        assert all(e.cached for e in history)
+        assert spool.default_store_path.exists()
+
+    def test_status_on_empty_spool(self, capsys, tmp_path):
+        assert main(["status", "--serve-dir", str(tmp_path / "empty")]) == 0
+        assert "no jobs" in capsys.readouterr().out
+
+    def test_status_unknown_job_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["status", "--serve-dir", str(tmp_path / "svc"), "--job", "job-9999"])
+
+    def test_serve_recovers_jobs_stranded_in_running(self, capsys, tmp_path):
+        # A server that died mid-job leaves its spool record at "running";
+        # the next serve must pick it up again rather than strand it.
+        serve_dir = str(tmp_path / "svc")
+        assert main(self.SUBMIT + ["--serve-dir", serve_dir]) == 0
+
+        from repro.service import JobSpool
+
+        spool = JobSpool(serve_dir)
+        spool.update("job-0001", status="running")
+        assert main(["serve", "--serve-dir", serve_dir]) == 0
+        capsys.readouterr()
+        assert spool.load("job-0001")["status"] == "done"
+
+    def test_duplicate_explicit_job_id_is_rejected(self, tmp_path):
+        from repro.service import JobSpool
+
+        spool = JobSpool(tmp_path / "svc")
+        spool.submit({"platform": "FCSN"}, job_id="job-0001")
+        with pytest.raises(ValueError, match="already exists"):
+            spool.submit({"platform": "FCSN"}, job_id="job-0001")
+
+    def test_unserveable_spec_marks_the_job_failed(self, capsys, tmp_path):
+        serve_dir = str(tmp_path / "svc")
+        assert main(self.SUBMIT + ["--serve-dir", serve_dir]) == 0
+
+        from repro.service import JobSpool
+
+        spool = JobSpool(serve_dir)
+        spool.update("job-0001", scale="galaxy")  # no such scenario scale
+        assert main(["serve", "--serve-dir", serve_dir]) == 0
+        capsys.readouterr()
+        assert spool.load("job-0001")["status"] == "failed"
+
+    def test_help_epilog_documents_the_service(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for token in ("repro submit", "repro serve", "repro status", "evaluation store"):
+            assert token in out
+
+
 class TestReportCommand:
     def test_report_from_a_results_directory(self, capsys, tmp_path):
         results = tmp_path / "results"

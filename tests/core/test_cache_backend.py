@@ -1,0 +1,172 @@
+"""Pluggable Objective cache backends and cache-hit accounting."""
+
+import pytest
+
+from repro.core import (
+    BudgetExhausted,
+    CacheBackend,
+    Calibrator,
+    DictCache,
+    EvaluationBudget,
+    Objective,
+    Parameter,
+    ParameterSpace,
+)
+
+
+def make_space():
+    return ParameterSpace(
+        [Parameter("x", 1.0, 16.0), Parameter("y", 1.0, 16.0)]
+    )
+
+
+class RecordingBackend(CacheBackend):
+    """A dict backend that records the calls it receives."""
+
+    def __init__(self):
+        self.data = {}
+        self.calls = []
+
+    def get(self, key, values):
+        self.calls.append(("get", key))
+        return self.data.get(key)
+
+    def put(self, key, values, value):
+        self.calls.append(("put", key))
+        self.data[key] = value
+
+    def cancel(self, key, values):
+        self.calls.append(("cancel", key))
+
+
+class TestPluggableBackend:
+    def test_custom_backend_receives_gets_and_puts(self):
+        backend = RecordingBackend()
+        objective = Objective(lambda v: v["x"], make_space(), cache=backend)
+        objective.evaluate({"x": 4.0, "y": 8.0})
+        objective.evaluate({"x": 4.0, "y": 8.0})
+        kinds = [kind for kind, _ in backend.calls]
+        assert kinds == ["get", "put", "get"]
+        assert objective.cache_hits == 1
+        assert objective.evaluation_count == 1
+
+    def test_prewarmed_backend_avoids_the_simulator(self):
+        space = make_space()
+        backend = RecordingBackend()
+        probe = Objective(lambda v: v["x"] * 10.0, space, cache=backend)
+        probe.evaluate({"x": 4.0, "y": 8.0})
+
+        calls = []
+        warm = Objective(lambda v: calls.append(v) or 0.0, space, cache=backend)
+        assert warm.evaluate({"x": 4.0, "y": 8.0}) == 40.0
+        assert calls == []
+        assert warm.cache_hits == 1
+
+    def test_cache_true_builds_a_dict_cache(self):
+        objective = Objective(lambda v: v["x"], make_space(), cache=True)
+        objective.evaluate({"x": 4.0, "y": 8.0})
+        objective.evaluate({"x": 4.0, "y": 8.0})
+        assert objective.cache_hits == 1
+
+    def test_failing_function_cancels_the_announced_computation(self):
+        backend = RecordingBackend()
+
+        def broken(values):
+            raise RuntimeError("boom")
+
+        objective = Objective(broken, make_space(), cache=backend)
+        with pytest.raises(RuntimeError):
+            objective.evaluate({"x": 4.0, "y": 8.0})
+        assert ("cancel", backend.calls[0][1]) in backend.calls
+
+    def test_budget_exhaustion_cancels_too(self):
+        backend = RecordingBackend()
+        objective = Objective(lambda v: v["x"], make_space(),
+                              budget=EvaluationBudget(1), cache=backend)
+        objective.start()
+        objective.evaluate({"x": 4.0, "y": 8.0})
+        with pytest.raises(BudgetExhausted):
+            objective.evaluate({"x": 2.0, "y": 2.0})
+        assert [kind for kind, _ in backend.calls] == ["get", "put", "get", "cancel"]
+
+
+class TestCacheHitRecording:
+    def test_hits_recorded_when_asked(self):
+        objective = Objective(lambda v: v["x"], make_space(), record_cache_hits=True)
+        objective.evaluate({"x": 4.0, "y": 8.0})
+        objective.evaluate({"x": 4.0, "y": 8.0})
+        assert len(objective.history) == 2
+        assert [e.cached for e in objective.history] == [False, True]
+        assert objective.evaluation_count == 1
+        assert objective.steps == 2
+
+    def test_hits_not_recorded_by_default(self):
+        objective = Objective(lambda v: v["x"], make_space())
+        objective.evaluate({"x": 4.0, "y": 8.0})
+        objective.evaluate({"x": 4.0, "y": 8.0})
+        assert len(objective.history) == 1
+
+    def test_counted_first_seen_hits_exhaust_the_budget(self):
+        # A backend prewarmed by earlier work: every hit replays a paid-for
+        # invocation, so each distinct point charges the budget once.
+        space = make_space()
+        backend = RecordingBackend()
+        probe = Objective(lambda v: v["x"], space, cache=backend)
+        for x in (2.0, 4.0, 8.0, 16.0):
+            probe.evaluate({"x": x, "y": 2.0})
+
+        warm = Objective(lambda v: v["x"], space, budget=EvaluationBudget(3),
+                         cache=backend, record_cache_hits=True, count_cache_hits=True)
+        warm.start()
+        warm.evaluate({"x": 2.0, "y": 2.0})
+        warm.evaluate({"x": 4.0, "y": 2.0})
+        warm.evaluate({"x": 8.0, "y": 2.0})
+        with pytest.raises(BudgetExhausted):
+            warm.evaluate({"x": 16.0, "y": 2.0})
+
+    def test_in_run_revisits_stay_free_when_counting(self):
+        # Revisits of a point the run itself evaluated do not consume
+        # budget — identical to the paper's default cache semantics, so a
+        # cold service run matches a plain calibrator even for algorithms
+        # that revisit points (grid corners, coordinate/pattern stalls).
+        objective = Objective(lambda v: v["x"], make_space(),
+                              budget=EvaluationBudget(2),
+                              record_cache_hits=True, count_cache_hits=True)
+        objective.start()
+        objective.evaluate({"x": 4.0, "y": 8.0})
+        for _ in range(5):
+            objective.evaluate({"x": 4.0, "y": 8.0})  # free revisits
+        objective.evaluate({"x": 2.0, "y": 2.0})
+        with pytest.raises(BudgetExhausted):
+            objective.evaluate({"x": 8.0, "y": 8.0})
+
+    def test_cold_service_semantics_match_plain_for_revisiting_algorithms(self):
+        # The reviewer's scenario: 'coordinate' revisits points in-run; a
+        # cold run with counting enabled must reproduce the plain run.
+        space = make_space()
+        fn = lambda v: (v["x"] - 4.0) ** 2 + (v["y"] - 9.0) ** 2  # noqa: E731
+        plain = Calibrator(space, fn, algorithm="coordinate",
+                           budget=EvaluationBudget(30), seed=1).run()
+        cold = Calibrator(space, fn, algorithm="coordinate",
+                          budget=EvaluationBudget(30), seed=1, cache=DictCache(),
+                          record_cache_hits=True, count_cache_hits=True).run()
+        assert cold.evaluations == plain.evaluations
+        assert cold.best_values == plain.best_values
+        assert cold.best_value == plain.best_value
+
+    def test_fully_warm_calibration_reproduces_the_cold_run(self):
+        space = make_space()
+        fn = lambda v: (v["x"] - 4.0) ** 2 + (v["y"] - 9.0) ** 2  # noqa: E731
+        shared = DictCache()
+        cold = Calibrator(space, fn, algorithm="random", budget=EvaluationBudget(20),
+                          seed=5, cache=shared,
+                          record_cache_hits=True, count_cache_hits=True).run()
+        calls = []
+        warm = Calibrator(space, lambda v: calls.append(v) or fn(v), algorithm="random",
+                          budget=EvaluationBudget(20), seed=5, cache=shared,
+                          record_cache_hits=True, count_cache_hits=True).run()
+        assert calls == []  # never touched the simulator
+        assert warm.evaluations == 0
+        assert warm.best_values == cold.best_values
+        assert warm.best_value == cold.best_value
+        assert len(warm.history) == len(cold.history)

@@ -1,0 +1,56 @@
+"""CalibrationHistory JSON Lines round-trip (the service's result format)."""
+
+import json
+
+import pytest
+
+from repro.core import CalibrationHistory, Evaluation
+from repro.core.serialization import evaluation_from_dict, evaluation_to_dict
+
+
+def make_history():
+    history = CalibrationHistory()
+    history.record(Evaluation(index=0, values={"x": 4.0, "y": 8.0}, unit=(0.5, 0.75),
+                              value=12.0, started_at=0.0, finished_at=1.5))
+    history.record(Evaluation(index=1, values={"x": 2.0, "y": 2.0}, unit=(0.25, 0.25),
+                              value=4.0, started_at=1.5, finished_at=2.0))
+    history.record(Evaluation(index=2, values={"x": 4.0, "y": 8.0}, unit=(0.5, 0.75),
+                              value=12.0, started_at=2.0, finished_at=2.0, cached=True))
+    return history
+
+
+class TestHistoryJsonl:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        history = make_history()
+        path = history.to_jsonl(tmp_path / "history.jsonl")
+        loaded = CalibrationHistory.from_jsonl(path)
+        assert len(loaded) == len(history)
+        for original, restored in zip(history, loaded):
+            assert restored == original
+        assert loaded.best.value == pytest.approx(4.0)
+        assert loaded.best_so_far() == history.best_so_far()
+
+    def test_one_json_document_per_line(self, tmp_path):
+        path = make_history().to_jsonl(tmp_path / "history.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        records = [json.loads(line) for line in lines]
+        assert records[0]["values"] == {"x": 4.0, "y": 8.0}
+        assert "cached" not in records[0]  # only flagged entries carry it
+        assert records[2]["cached"] is True
+
+    def test_empty_history_roundtrip(self, tmp_path):
+        path = CalibrationHistory().to_jsonl(tmp_path / "empty.jsonl")
+        loaded = CalibrationHistory.from_jsonl(path)
+        assert len(loaded) == 0
+        assert loaded.best is None
+
+    def test_evaluation_dict_roundtrip(self):
+        evaluation = Evaluation(index=3, values={"x": 1.0}, unit=(0.0,), value=2.5,
+                                started_at=0.5, finished_at=0.75, cached=True)
+        assert evaluation_from_dict(evaluation_to_dict(evaluation)) == evaluation
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = make_history().to_jsonl(tmp_path / "history.jsonl")
+        path.write_text(path.read_text().replace("\n", "\n\n"))
+        assert len(CalibrationHistory.from_jsonl(path)) == 3

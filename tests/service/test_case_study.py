@@ -1,0 +1,65 @@
+"""The case-study bridge: spec -> request, problem caching, fingerprints."""
+
+import pytest
+
+from repro.core.budget import EvaluationBudget, TimeBudget
+from repro.hepsim.groundtruth import GroundTruthGenerator
+from repro.service import CaseStudyRequestFactory, spec_budget
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return CaseStudyRequestFactory(generator=GroundTruthGenerator(use_disk_cache=False))
+
+
+class TestSpecBudget:
+    def test_defaults_to_100_evaluations(self):
+        budget = spec_budget({})
+        assert isinstance(budget, EvaluationBudget)
+        assert budget.max_evaluations == 100
+
+    def test_seconds_wins_over_evaluations(self):
+        budget = spec_budget({"seconds": 2.5, "evaluations": 50})
+        assert isinstance(budget, TimeBudget)
+        assert budget.seconds == 2.5
+
+
+class TestRequestFactory:
+    def test_problem_is_cached_per_scenario(self, factory):
+        a = factory.problem("FCSN", "tiny", icds=(0.0, 1.0))
+        b = factory.problem("FCSN", "tiny", icds=(0.0, 1.0))
+        assert a is b
+
+    def test_same_length_icd_grids_are_distinct(self, factory):
+        # Scenario.cache_key() encodes only the ICD *count*; the factory
+        # must still keep same-length grids apart (objective AND store
+        # fingerprint), or the second job would be calibrated against the
+        # first job's grid.
+        a = factory.problem("FCSN", "tiny", icds=(0.0, 0.5))
+        b = factory.problem("FCSN", "tiny", icds=(0.5, 1.0))
+        assert a is not b
+        assert tuple(a.scenario.icd_values) == (0.0, 0.5)
+        assert tuple(b.scenario.icd_values) == (0.5, 1.0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_metrics_are_distinct(self, factory):
+        a = factory.problem("FCSN", "tiny", icds=(0.0, 1.0), metric="mre")
+        b = factory.problem("FCSN", "tiny", icds=(0.0, 1.0), metric="rmse")
+        assert a is not b
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_request_carries_spec_metadata(self, factory):
+        request = factory.request({
+            "platform": "FCSN", "scale": "tiny", "icds": [0.0, 1.0],
+            "algorithm": "lhs", "metric": "mre", "evaluations": 7, "seed": 4,
+        })
+        assert request.algorithm == "lhs"
+        assert request.seed == 4
+        assert isinstance(request.budget, EvaluationBudget)
+        assert request.budget.max_evaluations == 7
+        assert request.metadata["platform"] == "FCSN"
+        assert request.fingerprint.startswith("hepsim-")
+
+    def test_unknown_scale_is_rejected(self, factory):
+        with pytest.raises(ValueError, match="scenario scale"):
+            factory.problem("FCSN", "galaxy")
