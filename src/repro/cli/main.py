@@ -73,11 +73,15 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     scenario = _scenario(args.platform, args.scale, _parse_icds(args.icds))
     generator = GroundTruthGenerator()
     problem = CaseStudyProblem.create(scenario, generator=generator, metric=args.metric)
-    result = problem.calibrate(algorithm=args.algorithm, budget=_budget(args), seed=args.seed)
+    result = problem.calibrate(
+        algorithm=args.algorithm, budget=_budget(args), seed=args.seed,
+        workers=args.workers,
+    )
     values = problem.calibrated_values(result)
 
     print(f"platform           : {args.platform} ({scenario.config.description})")
-    print(f"algorithm          : {result.algorithm}")
+    print(f"algorithm          : {result.algorithm}"
+          + (f" (batched, {args.workers} workers)" if args.workers > 1 else ""))
     print(f"budget             : {result.budget_description}")
     print(f"evaluations        : {result.evaluations}")
     print(f"elapsed            : {result.elapsed:.1f} s")
@@ -158,8 +162,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if event.kind != "submitted":
             print(f"[{event.kind:9s}] {event.message}")
 
+    def on_event_with_checkpoints(job, event):
+        if event.kind == "checkpoint":
+            spool.write_checkpoint(job.id, event.payload["state"])
+            return
+        on_event(job, event)
+
     processed = 0
-    with CalibrationServer(store=store, workers=args.workers, on_event=on_event) as server:
+    with CalibrationServer(
+        store=store, workers=args.workers, on_event=on_event_with_checkpoints
+    ) as server:
         first_scan = True
         while True:
             # The first scan also re-runs jobs a crashed server left behind
@@ -176,6 +188,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     spool.update(job_id, status="failed", error=f"{type(exc).__name__}: {exc}")
                     print(f"[failed   ] {job_id}: {exc}")
                     continue
+                request.checkpoint_every = args.checkpoint_every
+                if args.resume:
+                    # Continue a crashed run from its last snapshot instead
+                    # of replaying it from scratch.
+                    request.checkpoint = spool.read_checkpoint(job_id)
+                    if request.checkpoint is not None:
+                        done = len(request.checkpoint.get("history", []))
+                        print(f"[resumed  ] {job_id}: from checkpoint "
+                              f"({done} evaluations already done)")
                 spool.update(job_id, status="running")
                 jobs.append(server.submit(request, job_id=job_id))
             for job in jobs:
@@ -193,6 +214,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     elapsed=record["elapsed"],
                     error=record.get("error"),
                 )
+                if record["status"] == "done":
+                    spool.clear_checkpoint(job.id)
             if args.poll is None:
                 break
             try:
@@ -341,6 +364,16 @@ calibration service:
   SECONDS turns `serve` into a long-lived daemon.
   Results land in <serve-dir>/results/ as JSON plus a per-evaluation
   .history.jsonl (CalibrationHistory.to_jsonl).
+
+  All algorithms speak a batched ask/tell protocol, which `serve` uses
+  for crash recovery: with `--checkpoint-every N` the server persists a
+  resumable snapshot of every running job (algorithm state, rng state,
+  history) in <serve-dir>/checkpoints/ every N evaluations, and `serve
+  --resume` continues a killed job from its last snapshot — finishing
+  with the same best point as an uninterrupted run — instead of
+  replaying it.  The same protocol powers `repro calibrate --workers K`,
+  which evaluates each algorithm's candidate batches over K processes
+  (one simulation per core, the paper's parallel protocol).
 """
 
 
@@ -367,6 +400,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cal.add_argument("--metric", default="mre", choices=sorted(METRICS))
     p_cal.add_argument("--evaluations", type=int, default=200, help="evaluation budget")
     p_cal.add_argument("--seconds", type=float, default=None, help="time budget (overrides --evaluations)")
+    p_cal.add_argument("--workers", type=int, default=1,
+                       help="evaluate the algorithm's ask batches over this many "
+                            "processes (1 = the paper's serial loop)")
     p_cal.add_argument("--compare", action="store_true", help="also score the HUMAN and true calibrations")
     p_cal.add_argument("--report", action="store_true", help="print a convergence report")
     p_cal.add_argument("--save", default=None, metavar="PATH", help="write the result (with history) to a JSON file")
@@ -404,6 +440,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--poll", type=float, default=None, metavar="SECONDS",
                        help="keep serving, re-scanning the queue every SECONDS "
                             "(default: drain once and exit)")
+    p_srv.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                       help="persist a resumable snapshot of each running job "
+                            "every N evaluations (default: off)")
+    p_srv.add_argument("--resume", action="store_true",
+                       help="continue crashed jobs from their last snapshot "
+                            "instead of re-running them from scratch")
     p_srv.set_defaults(func=cmd_serve)
 
     p_sta = sub.add_parser("status", help="show the status of service jobs")

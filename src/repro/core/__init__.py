@@ -31,7 +31,13 @@ from repro.core.algorithms import (
     TPESearch,
     get_algorithm,
 )
-from repro.core.budget import Budget, CombinedBudget, EvaluationBudget, TimeBudget
+from repro.core.budget import (
+    Budget,
+    CombinedBudget,
+    EvaluationBudget,
+    TimeBudget,
+    remaining_evaluations,
+)
 from repro.core.calibrator import Calibrator
 from repro.core.crossvalidation import (
     CrossValidationResult,
@@ -56,7 +62,7 @@ from repro.core.metrics import (
     mean_relative_error,
     root_mean_squared_error,
 )
-from repro.core.parallel import ParallelCalibrator, ParallelEvaluator
+from repro.core.parallel import BatchCalibrator, ParallelCalibrator, ParallelEvaluator
 from repro.core.parameters import Parameter, ParameterSpace
 from repro.core.reporting import calibration_report, convergence_sparkline
 from repro.core.result import CalibrationResult
@@ -82,6 +88,7 @@ from repro.core.tradeoff import TradeoffPoint, dominated_fraction, knee_point, p
 
 __all__ = [
     "ALGORITHMS",
+    "BatchCalibrator",
     "BayesianOptimization",
     "Budget",
     "BudgetExhausted",
@@ -138,6 +145,7 @@ __all__ = [
     "one_at_a_time",
     "pareto_front",
     "rank_parameters",
+    "remaining_evaluations",
     "root_mean_squared_error",
     "save_history_jsonl",
     "save_result",

@@ -1,5 +1,13 @@
 """Calibration algorithms.
 
+Every algorithm speaks the batched ask/tell protocol of
+:class:`~repro.core.algorithms.base.CalibrationAlgorithm` (``setup`` /
+``ask`` / ``tell`` / ``done`` plus ``state_dict``/``load_state_dict`` for
+checkpoint-resume); the paper's blocking loop survives as the base-class
+serial driver, so seeded trajectories match the original implementations
+byte for byte while the same algorithms can be driven in parallel by
+:class:`~repro.core.parallel.BatchCalibrator`.
+
 The three algorithms evaluated in the paper (Section III.B):
 
 * :class:`GridSearch` (``"grid"``) — progressively refined grid;

@@ -6,17 +6,26 @@ sophisticated ones to future work.  The neighbourhood is a Gaussian step
 in the normalised (log2) unit cube whose width shrinks with the
 temperature; the acceptance rule is Metropolis on the objective value
 (MRE percentage points).
+
+Annealing is inherently sequential (each proposal hangs off the current
+state), so every ask is a singleton; the Metropolis acceptance draw
+happens on the tell side, from the rng of the latest ask, preserving the
+original draw order exactly.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.core.algorithms.base import CalibrationAlgorithm, register
-from repro.core.evaluation import Objective
-from repro.core.parameters import ParameterSpace
+from repro.core.algorithms.base import (
+    CalibrationAlgorithm,
+    array_or_none,
+    floats_or_none,
+    register,
+)
 
 __all__ = ["SimulatedAnnealing"]
 
@@ -35,6 +44,7 @@ class SimulatedAnnealing(CalibrationAlgorithm):
         step_scale: float = 0.25,
         restarts_forever: bool = True,
     ) -> None:
+        super().__init__()
         if not 0.0 < cooling_rate < 1.0:
             raise ValueError("cooling rate must be in (0, 1)")
         self.initial_temperature = float(initial_temperature)
@@ -43,23 +53,51 @@ class SimulatedAnnealing(CalibrationAlgorithm):
         self.step_scale = float(step_scale)
         self.restarts_forever = bool(restarts_forever)
 
-    def _anneal_once(
-        self, objective: Objective, space: ParameterSpace, rng: np.random.Generator
-    ) -> None:
-        x = space.sample_unit(rng)
-        fx = objective.evaluate_unit(x)
-        temperature = self.initial_temperature
-        while temperature > self.min_temperature:
-            scale = self.step_scale * max(temperature / self.initial_temperature, 0.05)
-            candidate = np.clip(x + rng.normal(0.0, scale, size=x.size), 0.0, 1.0)
-            value = objective.evaluate_unit(candidate)
-            delta = value - fx
-            if delta <= 0 or rng.uniform() < math.exp(-delta / temperature):
-                x, fx = candidate, value
-            temperature *= self.cooling_rate
+    def _setup(self) -> None:
+        self._phase = "start"
+        self._x: Optional[np.ndarray] = None
+        self._fx = 0.0
+        self._temperature = self.initial_temperature
+        self._anneals_done = 0
 
-    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
-        while True:
-            self._anneal_once(objective, space, rng)
-            if not self.restarts_forever:
-                break
+    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+        if self._phase == "start":
+            if self._anneals_done > 0 and not self.restarts_forever:
+                return None
+            return [self.space.sample_unit(rng)]
+        scale = self.step_scale * max(self._temperature / self.initial_temperature, 0.05)
+        candidate = np.clip(
+            self._x + rng.normal(0.0, scale, size=self._x.size), 0.0, 1.0
+        )
+        return [candidate]
+
+    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+        candidate, value = candidates[0], values[0]
+        if self._phase == "start":
+            self._x, self._fx = candidate, value
+            self._temperature = self.initial_temperature
+            self._phase = "step"
+            return
+        delta = value - self._fx
+        if delta <= 0 or self._rng.uniform() < math.exp(-delta / self._temperature):
+            self._x, self._fx = candidate, value
+        self._temperature *= self.cooling_rate
+        if self._temperature <= self.min_temperature:
+            self._anneals_done += 1
+            self._phase = "start"
+
+    def _state_dict(self) -> Dict[str, Any]:
+        return {
+            "phase": self._phase,
+            "x": floats_or_none(self._x),
+            "fx": self._fx,
+            "temperature": self._temperature,
+            "anneals_done": self._anneals_done,
+        }
+
+    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._phase = state["phase"]
+        self._x = array_or_none(state["x"])
+        self._fx = float(state["fx"])
+        self._temperature = float(state["temperature"])
+        self._anneals_done = int(state["anneals_done"])

@@ -1,45 +1,308 @@
-"""Algorithm base class and registry.
+"""Algorithm base class and registry: the batched ask/tell protocol.
 
-An algorithm's :meth:`~CalibrationAlgorithm.run` method receives the
-budget-aware :class:`~repro.core.evaluation.Objective`, the
-:class:`~repro.core.parameters.ParameterSpace` and a seeded random number
-generator, and simply explores until the objective raises
-:class:`~repro.core.evaluation.BudgetExhausted` (or it decides it is
-done).  This mirrors the paper's setting: the algorithms are plain loops
-bounded by the calibration time budget.
+Calibration algorithms are *proposal machines*: the driver owns the
+evaluation loop, the algorithm only decides where to look next.  The
+protocol has four verbs:
+
+``setup(space)``
+    Bind the :class:`~repro.core.parameters.ParameterSpace` and reset all
+    run state (a fresh trajectory starts here).
+``ask(rng, n) -> list[np.ndarray]``
+    Up to ``n`` candidate points in the normalised unit cube.  ``n`` is a
+    capacity hint — population algorithms generate whole generations
+    internally and hand them out in chunks of ``n``, so a parallel driver
+    asking ``n = workers`` drains a generation batch by batch while a
+    serial driver asking ``n = 1`` walks the exact same trajectory.
+``tell(candidates, values)``
+    Report objective values for previously asked candidates, in ask
+    order (chunked tells are fine).  Once every candidate of the current
+    internal batch has been told, the algorithm updates its state.
+``done() -> bool``
+    Whether the algorithm has decided it is finished (drivers also stop
+    when the budget runs out, whichever comes first).
+
+plus ``state_dict()`` / ``load_state_dict()``, which snapshot and restore
+the full search state as JSON-compatible primitives — together with the
+driver's RNG state this makes any run checkpointable and resumable
+mid-trajectory (see :meth:`repro.core.calibrator.Calibrator.checkpoint`).
+
+The paper's original blocking loop lives on as :meth:`run`, implemented
+once here as the *serial driver* (``ask(rng, 1)`` → evaluate → ``tell``
+until the objective raises
+:class:`~repro.core.evaluation.BudgetExhausted`), so seeded trajectories
+are byte-identical to the pre-ask/tell implementations — the parity test
+pins this against fixtures captured from the seed code.
+
+Subclasses implement the protected hooks rather than ask/tell directly:
+
+* ``_setup()`` — reset algorithm state;
+* ``_generate(rng, n)`` — produce the next natural batch of candidates
+  (a full generation, a line-search probe, ``n`` random samples, ...), or
+  ``None`` when the algorithm is finished;
+* ``_observe(candidates, values)`` — ingest a completed batch;
+* ``_state_dict()`` / ``_load_state_dict(state)`` — algorithm state as
+  JSON-compatible primitives.
+
+The base class buffers partially dispatched and partially told batches,
+so hooks never see a half generation.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Type, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Type, Union
 
 import numpy as np
 
 from repro.core.evaluation import Objective
 from repro.core.parameters import ParameterSpace
 
-__all__ = ["CalibrationAlgorithm", "ALGORITHMS", "register", "get_algorithm"]
+__all__ = [
+    "CalibrationAlgorithm",
+    "ALGORITHMS",
+    "register",
+    "get_algorithm",
+    "floats_or_none",
+    "array_or_none",
+    "rows_or_none",
+    "matrix_or_none",
+]
+
+
+def _as_lists(rows: Sequence[np.ndarray]) -> List[List[float]]:
+    """Candidate arrays as JSON-compatible nested lists."""
+    return [[float(x) for x in row] for row in rows]
+
+
+def _as_arrays(rows: Sequence[Sequence[float]]) -> List[np.ndarray]:
+    return [np.asarray(row, dtype=float) for row in rows]
+
+
+# Shared ``_state_dict``/``_load_state_dict`` converters: every algorithm
+# serializes optional vectors/matrices through these, so the canonical
+# JSON representation lives in exactly one place.
+def floats_or_none(vector: Optional[np.ndarray]) -> Optional[List[float]]:
+    return None if vector is None else [float(v) for v in vector]
+
+
+def array_or_none(data: Optional[Sequence[float]]) -> Optional[np.ndarray]:
+    return None if data is None else np.asarray(data, dtype=float)
+
+
+def rows_or_none(matrix: Optional[np.ndarray]) -> Optional[List[List[float]]]:
+    return None if matrix is None else _as_lists(np.atleast_2d(matrix))
+
+
+def matrix_or_none(data: Optional[Sequence[Sequence[float]]]) -> Optional[np.ndarray]:
+    return None if data is None else np.array(data, dtype=float)
 
 
 class CalibrationAlgorithm:
-    """Base class for calibration algorithms."""
+    """Base class for calibration algorithms (batched ask/tell)."""
 
     #: registry name; subclasses must override it
     name: str = "abstract"
 
+    def __init__(self) -> None:
+        self._space: Optional[ParameterSpace] = None
+        self._rng: Optional[np.random.Generator] = None
+        self._batch: List[np.ndarray] = []
+        self._dispatched = 0
+        self._told = 0
+        self._values: List[float] = []
+        self._finished = False
+
+    # ------------------------------------------------------------------ #
+    # protocol: lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def space(self) -> ParameterSpace:
+        if self._space is None:
+            raise RuntimeError(f"{self.name}: call setup(space) before ask/tell")
+        return self._space
+
+    @property
+    def is_ask_tell(self) -> bool:
+        """Whether this algorithm implements the native ask/tell hooks
+        (legacy subclasses that only override :meth:`run` do not, and can
+        neither be batched nor checkpointed)."""
+        return type(self)._generate is not CalibrationAlgorithm._generate
+
+    def setup(self, space: ParameterSpace) -> None:
+        """Bind the parameter space and reset all run state."""
+        self._space = space
+        self._batch = []
+        self._dispatched = 0
+        self._told = 0
+        self._values = []
+        self._finished = False
+        self._setup()
+
+    def done(self) -> bool:
+        """Whether the algorithm has decided it is finished."""
+        return self._finished
+
+    # ------------------------------------------------------------------ #
+    # protocol: ask/tell
+    # ------------------------------------------------------------------ #
+    def ask(self, rng: np.random.Generator, n: int = 1) -> List[np.ndarray]:
+        """Return up to ``n`` candidates (unit-cube points) to evaluate.
+
+        Returns fewer than ``n`` (possibly none) when the current internal
+        batch runs out and the next one cannot be generated before the
+        outstanding candidates are told.  An empty list with ``done()``
+        still false therefore means "tell me what you have first".
+        """
+        if n < 1:
+            raise ValueError("ask() needs n >= 1")
+        if self._space is None:
+            raise RuntimeError(f"{self.name}: call setup(space) before ask/tell")
+        self._rng = rng  # tell-side draws use the rng of the latest ask
+        out: List[np.ndarray] = []
+        while len(out) < n and not self._finished:
+            if self._dispatched >= len(self._batch):
+                if self._batch and self._told < len(self._batch):
+                    break  # awaiting tells before the next batch can exist
+                batch = self._generate(rng, n - len(out))
+                if not batch:
+                    self._finished = True
+                    break
+                self._batch = [np.asarray(c, dtype=float) for c in batch]
+                self._dispatched = 0
+                self._told = 0
+                self._values = []
+            take = min(n - len(out), len(self._batch) - self._dispatched)
+            out.extend(self._batch[self._dispatched:self._dispatched + take])
+            self._dispatched += take
+        return out
+
+    def tell(self, candidates: Sequence[np.ndarray], values: Sequence[float]) -> None:
+        """Report results for asked candidates, in ask order."""
+        if len(candidates) != len(values):
+            raise ValueError("tell() needs one value per candidate")
+        if self._told + len(values) > self._dispatched:
+            raise ValueError(
+                f"{self.name}: told {self._told + len(values)} results but only "
+                f"{self._dispatched} candidates were asked"
+            )
+        self._values.extend(float(v) for v in values)
+        self._told += len(values)
+        if self._batch and self._told == len(self._batch):
+            batch, observed = self._batch, self._values
+            self._batch, self._values = [], []
+            self._dispatched = 0
+            self._told = 0
+            self._observe(batch, observed)
+
+    # ------------------------------------------------------------------ #
+    # protocol: checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot the full search state as JSON-compatible primitives.
+
+        Candidates that were asked but never told are treated as pending:
+        after :meth:`load_state_dict` they are handed out again by the
+        next :meth:`ask`, so a resumed run re-dispatches exactly the work
+        a crashed driver lost.
+        """
+        return {
+            "name": self.name,
+            "base": {
+                "batch": _as_lists(self._batch),
+                "told": self._told,
+                "values": list(self._values),
+                "finished": self._finished,
+            },
+            "state": self._state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output (call :meth:`setup` first)."""
+        if self._space is None:
+            raise RuntimeError(f"{self.name}: call setup(space) before load_state_dict")
+        if state.get("name") != self.name:
+            raise ValueError(
+                f"checkpoint is for algorithm {state.get('name')!r}, not {self.name!r}"
+            )
+        base = state["base"]
+        self._batch = _as_arrays(base["batch"])
+        self._told = int(base["told"])
+        self._dispatched = self._told  # re-dispatch asked-but-untold candidates
+        self._values = [float(v) for v in base["values"]]
+        self._finished = bool(base["finished"])
+        self._load_state_dict(state["state"])
+
+    # ------------------------------------------------------------------ #
+    # the serial driver (the paper's blocking loop, implemented once)
+    # ------------------------------------------------------------------ #
     def run(
         self, objective: Objective, space: ParameterSpace, rng: np.random.Generator
-    ) -> None:  # pragma: no cover - interface
-        """Explore the parameter space until the budget is exhausted."""
+    ) -> None:
+        """Explore the parameter space until the budget is exhausted.
+
+        Equivalent to the paper's per-algorithm blocking loops: candidates
+        are asked one at a time and evaluated immediately, so the seeded
+        trajectory is identical to the historical ``run()``
+        implementations.  Legacy subclasses may still override this
+        directly (losing batching and checkpointing).
+        """
+        self.setup(space)
+        self.serial_drive(objective, rng)
+
+    def serial_drive(
+        self,
+        objective: Objective,
+        rng: np.random.Generator,
+        on_step: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Drive an already set-up (possibly restored) algorithm serially.
+
+        ``on_step`` runs after every completed evaluate+tell — the
+        checkpoint hook of :class:`~repro.core.calibrator.Calibrator`.
+        """
+        while not self.done():
+            candidates = self.ask(rng, 1)
+            if not candidates:
+                break
+            for candidate in candidates:
+                value = objective.evaluate_unit(candidate)
+                self.tell([candidate], [value])
+                if on_step is not None:
+                    on_step()
+
+    # ------------------------------------------------------------------ #
+    # subclass hooks
+    # ------------------------------------------------------------------ #
+    def _setup(self) -> None:
+        """Reset algorithm state (the space is bound as ``self.space``)."""
+
+    def _generate(
+        self, rng: np.random.Generator, n: int
+    ) -> Optional[List[np.ndarray]]:  # pragma: no cover - interface
+        """Produce the next natural batch of candidates (``None`` = done).
+
+        ``n`` is the driver's capacity hint; algorithms with no natural
+        batch size (random search) should honour it, population algorithms
+        return their full generation regardless.
+        """
         raise NotImplementedError
+
+    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+        """Ingest one completed batch (every candidate told)."""
+
+    def _state_dict(self) -> Dict[str, Any]:
+        """Algorithm state as JSON-compatible primitives."""
+        return {}
+
+    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`_state_dict` output."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"<{type(self).__name__} ({self.name})>"
 
 
-#: name -> factory registry.  Factories take no arguments and return a
-#: default-configured algorithm instance.
-ALGORITHMS: Dict[str, Callable[[], CalibrationAlgorithm]] = {}
+#: name -> factory registry.  Factories accept the algorithm's constructor
+#: keyword arguments and return a configured instance.
+ALGORITHMS: Dict[str, Callable[..., CalibrationAlgorithm]] = {}
 
 
 def register(name: str) -> Callable[[Type[CalibrationAlgorithm]], Type[CalibrationAlgorithm]]:
@@ -52,13 +315,26 @@ def register(name: str) -> Callable[[Type[CalibrationAlgorithm]], Type[Calibrati
     return decorator
 
 
-def get_algorithm(spec: Union[str, CalibrationAlgorithm]) -> CalibrationAlgorithm:
+def get_algorithm(
+    spec: Union[str, CalibrationAlgorithm], **options: Any
+) -> CalibrationAlgorithm:
     """Instantiate an algorithm from its registry name (case-insensitive).
+
+    Keyword arguments are forwarded to the algorithm's constructor, so
+    configured instances need no manual import::
+
+        get_algorithm("cmaes", population_size=8)
+        get_algorithm("de", synchronous=True)
 
     A few aliases are accepted for readability of the experiment scripts:
     ``"gdfix"``/``"gddyn"`` select the fixed-/dynamic-step gradient descent.
     """
     if isinstance(spec, CalibrationAlgorithm):
+        if options:
+            raise ValueError(
+                "constructor options cannot be applied to an already "
+                f"instantiated algorithm ({spec!r})"
+            )
         return spec
     key = spec.lower()
     aliases = {
@@ -71,4 +347,4 @@ def get_algorithm(spec: Union[str, CalibrationAlgorithm]) -> CalibrationAlgorith
         factory = ALGORITHMS[key]
     except KeyError:
         raise KeyError(f"unknown algorithm {spec!r}; available: {sorted(ALGORITHMS)}") from None
-    return factory()
+    return factory(**options)

@@ -11,7 +11,9 @@ metrics".  This is a compact, dependency-free implementation:
   magnitude);
 * acquisition: Expected Improvement, maximised by evaluating a large
   random candidate set (cheap compared to a simulator invocation);
-* initial design: a small Latin-hypercube batch.
+* initial design: a small Latin-hypercube batch, asked as one ask/tell
+  generation; after it, every ask is a singleton conditioned on all
+  completed evaluations.
 
 The implementation keeps the fitted covariance matrix small by capping the
 number of points used to condition the GP (the most recent + the best
@@ -20,13 +22,16 @@ ones), so its per-iteration cost stays bounded even for long runs.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.core.algorithms.base import CalibrationAlgorithm, register
-from repro.core.evaluation import Objective
-from repro.core.parameters import ParameterSpace
+from repro.core.algorithms.base import (
+    CalibrationAlgorithm,
+    _as_arrays,
+    _as_lists,
+    register,
+)
 
 __all__ = ["BayesianOptimization"]
 
@@ -53,6 +58,7 @@ class BayesianOptimization(CalibrationAlgorithm):
         exploration: float = 0.01,
         max_iterations: int = 1_000_000,
     ) -> None:
+        super().__init__()
         self.initial_samples = int(initial_samples)
         self.candidates_per_iteration = int(candidates_per_iteration)
         self.length_scale = float(length_scale)
@@ -108,30 +114,45 @@ class BayesianOptimization(CalibrationAlgorithm):
         return improvement * norm.cdf(z) + sigma * norm.pdf(z)
 
     # ------------------------------------------------------------------ #
-    # main loop
+    # ask/tell hooks
     # ------------------------------------------------------------------ #
-    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
-        dimension = space.dimension
-        xs: List[np.ndarray] = []
-        ys: List[float] = []
+    def _setup(self) -> None:
+        self._xs: List[np.ndarray] = []
+        self._ys: List[float] = []
+        self._iterations = 0
 
-        # Initial space-filling design (Latin hypercube).
-        n0 = max(self.initial_samples, dimension + 1)
-        design = np.empty((n0, dimension))
-        for d in range(dimension):
-            design[:, d] = (rng.permutation(n0) + rng.uniform(0, 1, size=n0)) / n0
-        for row in design:
-            value = objective.evaluate_unit(row)
-            xs.append(np.asarray(row, dtype=float))
-            ys.append(value)
+    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+        dimension = self.space.dimension
+        if not self._xs:
+            # Initial space-filling design (Latin hypercube), one batch.
+            n0 = max(self.initial_samples, dimension + 1)
+            design = np.empty((n0, dimension))
+            for d in range(dimension):
+                design[:, d] = (rng.permutation(n0) + rng.uniform(0, 1, size=n0)) / n0
+            return list(design)
+        if self._iterations >= self.max_iterations:
+            return None
+        self._iterations += 1
+        x_train, y_train = self._select_conditioning(self._xs, self._ys)
+        candidates = rng.uniform(0.0, 1.0, size=(self.candidates_per_iteration, dimension))
+        mu, sigma = self._posterior(x_train, y_train, candidates)
+        best = float(np.log1p(max(min(self._ys), 0.0)))
+        ei = self._expected_improvement(mu, sigma, best, self.exploration)
+        return [candidates[int(np.argmax(ei))]]
 
-        for _ in range(self.max_iterations):
-            x_train, y_train = self._select_conditioning(xs, ys)
-            candidates = rng.uniform(0.0, 1.0, size=(self.candidates_per_iteration, dimension))
-            mu, sigma = self._posterior(x_train, y_train, candidates)
-            best = float(np.log1p(max(min(ys), 0.0)))
-            ei = self._expected_improvement(mu, sigma, best, self.exploration)
-            pick = candidates[int(np.argmax(ei))]
-            value = objective.evaluate_unit(pick)
-            xs.append(np.asarray(pick, dtype=float))
-            ys.append(value)
+    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+        for candidate, value in zip(candidates, values):
+            self._xs.append(np.asarray(candidate, dtype=float))
+            self._ys.append(float(value))
+
+    def _state_dict(self) -> Dict[str, Any]:
+        return {
+            "xs": _as_lists(self._xs),
+            "ys": list(self._ys),
+            "iterations": self._iterations,
+        }
+
+    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._xs = _as_arrays(state["xs"])
+        self._ys = [float(v) for v in state["ys"]]
+        self._iterations = int(state["iterations"])

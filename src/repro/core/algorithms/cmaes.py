@@ -10,15 +10,27 @@ generation.
 CMA-ES represents the "serious black-box optimizer" end of the design
 space the paper sketches between simple searches and Bayesian
 optimization; the extension benchmark compares it against both.
+
+Each ask/tell generation is one whole lambda-sample population (the
+distribution update needs all of it), so a parallel driver evaluates
+entire generations concurrently while the serial driver walks the exact
+trajectory of the original blocking loop.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Optional
+
 import numpy as np
 
-from repro.core.algorithms.base import CalibrationAlgorithm, register
-from repro.core.evaluation import Objective
-from repro.core.parameters import ParameterSpace
+from repro.core.algorithms.base import (
+    CalibrationAlgorithm,
+    array_or_none,
+    floats_or_none,
+    matrix_or_none,
+    register,
+    rows_or_none,
+)
 
 __all__ = ["CMAES"]
 
@@ -37,6 +49,7 @@ class CMAES(CalibrationAlgorithm):
         stagnation_tolerance: float = 1e-4,
         max_restarts: int = 10_000_000,
     ) -> None:
+        super().__init__()
         if initial_sigma <= 0:
             raise ValueError("the initial step size must be positive")
         self.population_size = int(population_size)
@@ -46,85 +59,170 @@ class CMAES(CalibrationAlgorithm):
         self.max_restarts = int(max_restarts)
 
     # ------------------------------------------------------------------ #
-    # one restart
+    # strategy constants (deterministic in the dimension, not serialized)
     # ------------------------------------------------------------------ #
-    def _restart(
-        self, objective: Objective, space: ParameterSpace, rng: np.random.Generator
-    ) -> None:
-        d = space.dimension
+    def _constants(self) -> Dict[str, Any]:
+        if self._cst is not None and self._cst["d"] == self.space.dimension:
+            return self._cst
+        self._cst = self._compute_constants()
+        return self._cst
+
+    def _compute_constants(self) -> Dict[str, Any]:
+        d = self.space.dimension
         lam = self.population_size or (4 + int(3 * np.log(d)))
         mu = lam // 2
-
-        # Recombination weights and effective selection mass.
         raw = np.log(mu + 0.5) - np.log(np.arange(1, mu + 1))
         weights = raw / raw.sum()
         mu_eff = 1.0 / float(np.sum(weights**2))
-
-        # Strategy constants (Hansen's tutorial defaults).
         c_sigma = (mu_eff + 2.0) / (d + mu_eff + 5.0)
         d_sigma = 1.0 + 2.0 * max(0.0, np.sqrt((mu_eff - 1.0) / (d + 1.0)) - 1.0) + c_sigma
         c_c = (4.0 + mu_eff / d) / (d + 4.0 + 2.0 * mu_eff / d)
         c_1 = 2.0 / ((d + 1.3) ** 2 + mu_eff)
         c_mu = min(1.0 - c_1, 2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((d + 2.0) ** 2 + mu_eff))
         chi_d = np.sqrt(d) * (1.0 - 1.0 / (4.0 * d) + 1.0 / (21.0 * d**2))
+        return dict(d=d, lam=lam, mu=mu, weights=weights, mu_eff=mu_eff,
+                    c_sigma=c_sigma, d_sigma=d_sigma, c_c=c_c, c_1=c_1,
+                    c_mu=c_mu, chi_d=chi_d)
 
-        mean = space.sample_unit(rng)
-        sigma = self.initial_sigma
-        covariance = np.eye(d)
-        path_sigma = np.zeros(d)
-        path_c = np.zeros(d)
-        previous_best = np.inf
+    @staticmethod
+    def _decompose(covariance: np.ndarray):
+        eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+        eigenvalues = np.maximum(eigenvalues, 1e-20)
+        sqrt_cov = eigenvectors @ np.diag(np.sqrt(eigenvalues)) @ eigenvectors.T
+        inv_sqrt_cov = eigenvectors @ np.diag(1.0 / np.sqrt(eigenvalues)) @ eigenvectors.T
+        return sqrt_cov, inv_sqrt_cov
 
-        for generation in range(self.max_generations_per_restart):
-            eigenvalues, eigenvectors = np.linalg.eigh(covariance)
-            eigenvalues = np.maximum(eigenvalues, 1e-20)
-            sqrt_cov = eigenvectors @ np.diag(np.sqrt(eigenvalues)) @ eigenvectors.T
-            inv_sqrt_cov = eigenvectors @ np.diag(1.0 / np.sqrt(eigenvalues)) @ eigenvectors.T
+    # ------------------------------------------------------------------ #
+    # ask/tell hooks
+    # ------------------------------------------------------------------ #
+    def _setup(self) -> None:
+        self._phase = "start"
+        self._restarts_started = 0
+        self._generation = 0
+        self._mean: Optional[np.ndarray] = None
+        self._sigma = self.initial_sigma
+        self._covariance: Optional[np.ndarray] = None
+        self._path_sigma: Optional[np.ndarray] = None
+        self._path_c: Optional[np.ndarray] = None
+        self._previous_best = float("inf")
+        self._unclipped: Optional[np.ndarray] = None
+        self._cst: Optional[Dict[str, Any]] = None
+        #: inverse square root of the covariance the pending generation was
+        #: sampled from — kept in memory only; a resumed instance recomputes
+        #: it from the (serialized) covariance, deterministically.
+        self._inv_sqrt_cov: Optional[np.ndarray] = None
 
-            # Sample and evaluate one generation.
-            normals = rng.standard_normal((lam, d))
-            candidates = mean + sigma * normals @ sqrt_cov.T
-            clipped = np.clip(candidates, 0.0, 1.0)
-            values = np.array([objective.evaluate_unit(x) for x in clipped])
+    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+        cst = self._constants()
+        d = cst["d"]
+        while True:
+            if self._phase == "start":
+                if self._restarts_started >= self.max_restarts:
+                    return None
+                self._restarts_started += 1
+                self._mean = self.space.sample_unit(rng)
+                self._sigma = self.initial_sigma
+                self._covariance = np.eye(d)
+                self._path_sigma = np.zeros(d)
+                self._path_c = np.zeros(d)
+                self._previous_best = float("inf")
+                self._generation = 0
+                self._phase = "generation"
+            if self._generation >= self.max_generations_per_restart:
+                self._phase = "start"
+                continue
+            sqrt_cov, self._inv_sqrt_cov = self._decompose(self._covariance)
+            normals = rng.standard_normal((cst["lam"], d))
+            candidates = self._mean + self._sigma * normals @ sqrt_cov.T
+            self._unclipped = candidates
+            return list(np.clip(candidates, 0.0, 1.0))
 
-            order = np.argsort(values)
-            selected = candidates[order[:mu]]
-            best_value = float(values[order[0]])
+    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+        cst = self._constants()
+        d, mu, weights, mu_eff = cst["d"], cst["mu"], cst["weights"], cst["mu_eff"]
+        c_sigma, d_sigma, c_c = cst["c_sigma"], cst["d_sigma"], cst["c_c"]
+        c_1, c_mu, chi_d = cst["c_1"], cst["c_mu"], cst["chi_d"]
+        if self._inv_sqrt_cov is None:  # resumed mid-generation
+            _, self._inv_sqrt_cov = self._decompose(self._covariance)
+        inv_sqrt_cov = self._inv_sqrt_cov
 
-            old_mean = mean
-            mean = weights @ selected
-            mean = np.clip(mean, 0.0, 1.0)
+        scores = np.array(values)
+        order = np.argsort(scores)
+        selected = self._unclipped[order[:mu]]
+        best_value = float(scores[order[0]])
 
-            # Step-size adaptation.
-            shift = (mean - old_mean) / sigma
-            path_sigma = (1.0 - c_sigma) * path_sigma + np.sqrt(
-                c_sigma * (2.0 - c_sigma) * mu_eff
-            ) * inv_sqrt_cov @ shift
-            sigma *= np.exp((c_sigma / d_sigma) * (np.linalg.norm(path_sigma) / chi_d - 1.0))
-            sigma = float(np.clip(sigma, 1e-8, 1.0))
+        old_mean = self._mean
+        mean = weights @ selected
+        self._mean = np.clip(mean, 0.0, 1.0)
 
-            # Covariance adaptation (rank-one + rank-mu).
-            h_sigma = float(
-                np.linalg.norm(path_sigma)
-                / np.sqrt(1.0 - (1.0 - c_sigma) ** (2 * (generation + 1)))
-                < (1.4 + 2.0 / (d + 1.0)) * chi_d
+        # Step-size adaptation (literal transcription of the original loop
+        # body, including its use of the *updated* sigma for the rank-mu
+        # artifacts — trajectories must stay byte-identical).
+        shift = (self._mean - old_mean) / self._sigma
+        self._path_sigma = (1.0 - c_sigma) * self._path_sigma + np.sqrt(
+            c_sigma * (2.0 - c_sigma) * mu_eff
+        ) * inv_sqrt_cov @ shift
+        self._sigma *= np.exp(
+            (c_sigma / d_sigma) * (np.linalg.norm(self._path_sigma) / chi_d - 1.0)
+        )
+        self._sigma = float(np.clip(self._sigma, 1e-8, 1.0))
+
+        # Covariance adaptation (rank-one + rank-mu).
+        h_sigma = float(
+            np.linalg.norm(self._path_sigma)
+            / np.sqrt(1.0 - (1.0 - c_sigma) ** (2 * (self._generation + 1)))
+            < (1.4 + 2.0 / (d + 1.0)) * chi_d
+        )
+        self._path_c = (1.0 - c_c) * self._path_c + h_sigma * np.sqrt(
+            c_c * (2.0 - c_c) * mu_eff
+        ) * shift
+        artifacts = (selected - old_mean) / self._sigma
+        rank_mu = sum(w * np.outer(y, y) for w, y in zip(weights, artifacts))
+        covariance = (
+            (1.0 - c_1 - c_mu) * self._covariance
+            + c_1
+            * (
+                np.outer(self._path_c, self._path_c)
+                + (1.0 - h_sigma) * c_c * (2.0 - c_c) * self._covariance
             )
-            path_c = (1.0 - c_c) * path_c + h_sigma * np.sqrt(
-                c_c * (2.0 - c_c) * mu_eff
-            ) * shift
-            artifacts = (selected - old_mean) / sigma
-            rank_mu = sum(w * np.outer(y, y) for w, y in zip(weights, artifacts))
-            covariance = (
-                (1.0 - c_1 - c_mu) * covariance
-                + c_1 * (np.outer(path_c, path_c) + (1.0 - h_sigma) * c_c * (2.0 - c_c) * covariance)
-                + c_mu * rank_mu
-            )
-            covariance = (covariance + covariance.T) / 2.0  # keep it symmetric
+            + c_mu * rank_mu
+        )
+        self._covariance = (covariance + covariance.T) / 2.0  # keep it symmetric
 
-            if abs(previous_best - best_value) < self.stagnation_tolerance and sigma < 1e-3:
-                return  # converged: the caller restarts
-            previous_best = best_value
+        self._generation += 1
+        self._unclipped = None
+        self._inv_sqrt_cov = None  # the covariance just changed
+        if (
+            abs(self._previous_best - best_value) < self.stagnation_tolerance
+            and self._sigma < 1e-3
+        ):
+            self._phase = "start"  # converged: the next ask restarts
+        else:
+            self._previous_best = best_value
 
-    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
-        for _ in range(self.max_restarts):
-            self._restart(objective, space, rng)
+    def _state_dict(self) -> Dict[str, Any]:
+        return {
+            "phase": self._phase,
+            "restarts_started": self._restarts_started,
+            "generation": self._generation,
+            "mean": floats_or_none(self._mean),
+            "sigma": self._sigma,
+            "covariance": rows_or_none(self._covariance),
+            "path_sigma": floats_or_none(self._path_sigma),
+            "path_c": floats_or_none(self._path_c),
+            "previous_best": self._previous_best,
+            "unclipped": rows_or_none(self._unclipped),
+        }
+
+    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._phase = state["phase"]
+        self._restarts_started = int(state["restarts_started"])
+        self._generation = int(state["generation"])
+        self._mean = array_or_none(state["mean"])
+        self._sigma = float(state["sigma"])
+        self._covariance = matrix_or_none(state["covariance"])
+        self._path_sigma = array_or_none(state["path_sigma"])
+        self._path_c = array_or_none(state["path_c"])
+        self._previous_best = float(state["previous_best"])
+        self._unclipped = matrix_or_none(state["unclipped"])
+        self._inv_sqrt_cov = None

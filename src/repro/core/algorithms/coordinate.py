@@ -6,15 +6,24 @@ dimensions; for each dimension perform a golden-section-style shrinking
 search along that axis while keeping the other coordinates fixed.  When a
 full sweep improves the objective by less than ``epsilon``, restart from a
 new random point (same restart logic as the paper's gradient descent).
+
+Each refinement round probes ``points_per_axis`` positions along the
+current axis; the probes only depend on the round's bracket, so they are
+asked as one batch (a parallel driver evaluates a whole round at once).
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Optional
+
 import numpy as np
 
-from repro.core.algorithms.base import CalibrationAlgorithm, register
-from repro.core.evaluation import Objective
-from repro.core.parameters import ParameterSpace
+from repro.core.algorithms.base import (
+    CalibrationAlgorithm,
+    array_or_none,
+    floats_or_none,
+    register,
+)
 
 __all__ = ["CoordinateDescent"]
 
@@ -32,6 +41,7 @@ class CoordinateDescent(CalibrationAlgorithm):
         epsilon: float = 1e-2,
         max_restarts: int = 10_000_000,
     ) -> None:
+        super().__init__()
         if points_per_axis < 3:
             raise ValueError("need at least 3 points per axis")
         self.points_per_axis = int(points_per_axis)
@@ -39,36 +49,87 @@ class CoordinateDescent(CalibrationAlgorithm):
         self.epsilon = float(epsilon)
         self.max_restarts = int(max_restarts)
 
-    def _axis_search(
-        self, objective: Objective, x: np.ndarray, fx: float, axis: int
-    ) -> tuple:
-        """Shrinking grid search along one axis; returns (x, fx)."""
-        low, high = 0.0, 1.0
-        best_x, best_fx = np.array(x, copy=True), fx
-        for _ in range(self.refinements):
-            candidates = np.linspace(low, high, self.points_per_axis)
-            values = []
-            for c in candidates:
-                probe = np.array(best_x, copy=True)
-                probe[axis] = c
-                values.append(objective.evaluate_unit(probe))
-            best_idx = int(np.argmin(values))
-            if values[best_idx] < best_fx:
-                best_fx = values[best_idx]
-                best_x[axis] = candidates[best_idx]
-            # Shrink the bracket around the best candidate.
-            width = (high - low) / (self.points_per_axis - 1)
-            low = max(0.0, candidates[best_idx] - width)
-            high = min(1.0, candidates[best_idx] + width)
-        return best_x, best_fx
+    def _setup(self) -> None:
+        self._phase = "restart"
+        self._restarts = 0
+        self._x: Optional[np.ndarray] = None
+        self._fx = 0.0
+        self._axis = 0
+        self._refinement = 0
+        self._low = 0.0
+        self._high = 1.0
+        self._sweep_start_fx = 0.0
+        self._positions: List[float] = []
 
-    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
-        for _ in range(self.max_restarts):
-            x = space.sample_unit(rng)
-            fx = objective.evaluate_unit(x)
-            while True:
-                before = fx
-                for axis in range(space.dimension):
-                    x, fx = self._axis_search(objective, x, fx, axis)
-                if before - fx < self.epsilon:
-                    break
+    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+        if self._phase == "restart":
+            if self._restarts >= self.max_restarts:
+                return None
+            self._restarts += 1
+            return [self.space.sample_unit(rng)]
+        # One shrinking-grid refinement round along the current axis.
+        self._positions = list(np.linspace(self._low, self._high, self.points_per_axis))
+        probes = []
+        for position in self._positions:
+            probe = np.array(self._x, copy=True)
+            probe[self._axis] = position
+            probes.append(probe)
+        return probes
+
+    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+        if self._phase == "restart":
+            self._x, self._fx = candidates[0], values[0]
+            self._axis = 0
+            self._refinement = 0
+            self._low, self._high = 0.0, 1.0
+            self._sweep_start_fx = self._fx
+            self._phase = "axis"
+            return
+        best_idx = int(np.argmin(values))
+        if values[best_idx] < self._fx:
+            self._fx = values[best_idx]
+            self._x[self._axis] = self._positions[best_idx]
+        # Shrink the bracket around the best candidate.
+        width = (self._high - self._low) / (self.points_per_axis - 1)
+        self._low = max(0.0, self._positions[best_idx] - width)
+        self._high = min(1.0, self._positions[best_idx] + width)
+        self._refinement += 1
+        if self._refinement < self.refinements:
+            return
+        # Axis finished: move to the next one (or close the sweep).
+        self._refinement = 0
+        self._low, self._high = 0.0, 1.0
+        self._axis += 1
+        if self._axis < self.space.dimension:
+            return
+        self._axis = 0
+        if self._sweep_start_fx - self._fx < self.epsilon:
+            self._phase = "restart"
+        else:
+            self._sweep_start_fx = self._fx
+
+    def _state_dict(self) -> Dict[str, Any]:
+        return {
+            "phase": self._phase,
+            "restarts": self._restarts,
+            "x": floats_or_none(self._x),
+            "fx": self._fx,
+            "axis": self._axis,
+            "refinement": self._refinement,
+            "low": self._low,
+            "high": self._high,
+            "sweep_start_fx": self._sweep_start_fx,
+            "positions": list(self._positions),
+        }
+
+    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._phase = state["phase"]
+        self._restarts = int(state["restarts"])
+        self._x = array_or_none(state["x"])
+        self._fx = float(state["fx"])
+        self._axis = int(state["axis"])
+        self._refinement = int(state["refinement"])
+        self._low = float(state["low"])
+        self._high = float(state["high"])
+        self._sweep_start_fx = float(state["sweep_start_fx"])
+        self._positions = [float(v) for v in state["positions"]]

@@ -10,15 +10,35 @@ RANDOM / gradient-descent trio.
 
 All candidates live in the normalised (log2) unit cube and are clipped to
 the box, exactly like the paper's algorithms.
+
+Two selection schemes are available:
+
+* the default (``synchronous=False``) is the historical *immediate
+  update*: a winning trial replaces its parent right away, so later
+  trials in the same generation already build on it.  The initial
+  population is asked as one batch, but trials are sequentially
+  dependent and therefore asked one at a time — seeded trajectories are
+  byte-identical to the original blocking loop;
+* ``synchronous=True`` is classic generational DE: every trial of a
+  generation is built from the generation-start population and asked as
+  one batch, so a parallel driver can evaluate a whole generation
+  concurrently (at the cost of a different — equally valid — trajectory).
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Optional
+
 import numpy as np
 
-from repro.core.algorithms.base import CalibrationAlgorithm, register
-from repro.core.evaluation import Objective
-from repro.core.parameters import ParameterSpace
+from repro.core.algorithms.base import (
+    CalibrationAlgorithm,
+    array_or_none,
+    floats_or_none,
+    matrix_or_none,
+    rows_or_none,
+    register,
+)
 
 __all__ = ["DifferentialEvolution"]
 
@@ -35,7 +55,9 @@ class DifferentialEvolution(CalibrationAlgorithm):
         mutation: float = 0.7,
         crossover: float = 0.9,
         max_generations: int = 10_000_000,
+        synchronous: bool = False,
     ) -> None:
+        super().__init__()
         if population_size < 4:
             raise ValueError("differential evolution needs a population of at least 4")
         if not 0.0 < mutation <= 2.0:
@@ -46,26 +68,76 @@ class DifferentialEvolution(CalibrationAlgorithm):
         self.mutation = float(mutation)
         self.crossover = float(crossover)
         self.max_generations = int(max_generations)
+        self.synchronous = bool(synchronous)
 
-    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
-        d = space.dimension
+    def _setup(self) -> None:
+        self._phase = "init"
+        self._population: Optional[np.ndarray] = None
+        self._fitness: Optional[np.ndarray] = None
+        self._member = 0
+        self._generation = 0
+
+    def _trial(self, i: int, rng: np.random.Generator) -> np.ndarray:
+        """The DE/rand/1/bin trial vector challenging member ``i``."""
+        d = self.space.dimension
         n = self.population_size
+        # Three distinct members other than i.
+        choices = [j for j in range(n) if j != i]
+        a, b, c = rng.choice(choices, size=3, replace=False)
+        mutant = np.clip(
+            self._population[a]
+            + self.mutation * (self._population[b] - self._population[c]),
+            0.0,
+            1.0,
+        )
+        # Binomial crossover with a guaranteed mutant coordinate.
+        cross = rng.uniform(size=d) < self.crossover
+        cross[rng.integers(d)] = True
+        return np.where(cross, mutant, self._population[i])
 
-        population = np.array([space.sample_unit(rng) for _ in range(n)])
-        fitness = np.array([objective.evaluate_unit(x) for x in population])
+    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+        if self._phase == "init":
+            return [self.space.sample_unit(rng) for _ in range(self.population_size)]
+        if self._generation >= self.max_generations:
+            return None
+        if self.synchronous:
+            return [self._trial(i, rng) for i in range(self.population_size)]
+        return [self._trial(self._member, rng)]
 
-        for _ in range(self.max_generations):
-            for i in range(n):
-                # Three distinct members other than i.
-                choices = [j for j in range(n) if j != i]
-                a, b, c = rng.choice(choices, size=3, replace=False)
-                mutant = np.clip(
-                    population[a] + self.mutation * (population[b] - population[c]), 0.0, 1.0
-                )
-                # Binomial crossover with a guaranteed mutant coordinate.
-                cross = rng.uniform(size=d) < self.crossover
-                cross[rng.integers(d)] = True
-                trial = np.where(cross, mutant, population[i])
-                f_trial = objective.evaluate_unit(trial)
-                if f_trial <= fitness[i]:
-                    population[i], fitness[i] = trial, f_trial
+    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+        if self._phase == "init":
+            self._population = np.array(candidates)
+            self._fitness = np.array(values)
+            self._phase = "evolve"
+            self._member = 0
+            return
+        if self.synchronous:
+            for i, (trial, f_trial) in enumerate(zip(candidates, values)):
+                if f_trial <= self._fitness[i]:
+                    self._population[i], self._fitness[i] = trial, f_trial
+            self._generation += 1
+            return
+        trial, f_trial = candidates[0], values[0]
+        if f_trial <= self._fitness[self._member]:
+            self._population[self._member] = trial
+            self._fitness[self._member] = f_trial
+        self._member += 1
+        if self._member >= self.population_size:
+            self._member = 0
+            self._generation += 1
+
+    def _state_dict(self) -> Dict[str, Any]:
+        return {
+            "phase": self._phase,
+            "population": rows_or_none(self._population),
+            "fitness": floats_or_none(self._fitness),
+            "member": self._member,
+            "generation": self._generation,
+        }
+
+    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._phase = state["phase"]
+        self._population = matrix_or_none(state["population"])
+        self._fitness = array_or_none(state["fitness"])
+        self._member = int(state["member"])
+        self._generation = int(state["generation"])

@@ -16,17 +16,28 @@ starting point is selected.  Two variants are considered:
 
 All the work happens in the normalised (log2) unit cube; the paper's
 default constants ``delta = 0.0001`` and ``epsilon = 0.01`` are used.
+
+As an ask/tell state machine the algorithm cycles through three phases —
+``restart`` (one random point), ``gradient`` (the ``d`` finite-difference
+probes, independent given the base point and therefore asked as one
+batch), ``linesearch`` (one Armijo probe at a time) — so a parallel
+driver evaluates all gradient probes concurrently while the serial
+trajectory stays byte-identical to the original nested loops.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.core.algorithms.base import ALGORITHMS, CalibrationAlgorithm, register
-from repro.core.evaluation import Objective
-from repro.core.parameters import ParameterSpace
+from repro.core.algorithms.base import (
+    ALGORITHMS,
+    CalibrationAlgorithm,
+    array_or_none,
+    floats_or_none,
+    register,
+)
 
 __all__ = ["GradientDescent"]
 
@@ -46,6 +57,7 @@ class GradientDescent(CalibrationAlgorithm):
         max_line_search: int = 12,
         max_restarts: int = 10_000_000,
     ) -> None:
+        super().__init__()
         if delta <= 0 or epsilon <= 0:
             raise ValueError("delta and epsilon must be positive")
         self.delta = float(delta)
@@ -59,66 +71,105 @@ class GradientDescent(CalibrationAlgorithm):
         self.name = "gddyn" if dynamic else "gdfix"
 
     # ------------------------------------------------------------------ #
-    # building blocks
+    # ask/tell hooks
     # ------------------------------------------------------------------ #
-    def _gradient(
-        self, objective: Objective, x: np.ndarray, fx: float, delta: float
-    ) -> np.ndarray:
-        """Forward finite-difference gradient estimate (one extra evaluation
-        per dimension, as in the paper)."""
-        gradient = np.zeros_like(x)
-        for i in range(x.size):
-            step = np.array(x, copy=True)
-            # Step inward when sitting on the upper bound so that the probe
-            # stays inside the box.
-            direction = 1.0 if x[i] + delta <= 1.0 else -1.0
-            step[i] = min(max(x[i] + direction * delta, 0.0), 1.0)
-            fi = objective.evaluate_unit(step)
-            gradient[i] = (fi - fx) / (direction * delta)
-        return gradient
+    def _setup(self) -> None:
+        self._phase = "restart"
+        self._paths = 0
+        self._x: Optional[np.ndarray] = None
+        self._fx = 0.0
+        self._delta = self.delta
+        self._gradient: Optional[np.ndarray] = None
+        self._directions: List[float] = []
+        self._norm_sq = 0.0
+        self._step = self.initial_step
+        self._ls_iter = 0
 
-    def _line_search(
-        self, objective: Objective, x: np.ndarray, fx: float, gradient: np.ndarray
-    ) -> Optional[tuple]:
-        """Backtracking (Armijo) line search along the negative gradient.
+    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+        if self._phase == "restart":
+            if self._paths >= self.max_restarts:
+                return None
+            self._paths += 1
+            return [self.space.sample_unit(rng)]
+        if self._phase == "gradient":
+            # Forward finite-difference probes, one per dimension (one
+            # extra evaluation per dimension, as in the paper).  They only
+            # depend on the base point, so they form one batch.
+            probes = []
+            self._directions = []
+            for i in range(self._x.size):
+                probe = np.array(self._x, copy=True)
+                # Step inward when sitting on the upper bound so that the
+                # probe stays inside the box.
+                direction = 1.0 if self._x[i] + self._delta <= 1.0 else -1.0
+                probe[i] = min(max(self._x[i] + direction * self._delta, 0.0), 1.0)
+                probes.append(probe)
+                self._directions.append(direction)
+            return probes
+        # line search: one backtracking (Armijo) probe along -gradient
+        return [np.clip(self._x - self._step * self._gradient, 0.0, 1.0)]
 
-        Returns ``(new_x, new_fx, step)`` or ``None`` when no step length
-        gives a sufficient decrease.
-        """
-        norm_sq = float(np.dot(gradient, gradient))
-        if norm_sq == 0.0:
-            return None
-        step = self.initial_step
-        for _ in range(self.max_line_search):
-            candidate = np.clip(x - step * gradient, 0.0, 1.0)
-            value = objective.evaluate_unit(candidate)
-            if value <= fx - self.armijo_c * step * norm_sq:
-                return candidate, value, step
-            step *= self.backtracking_factor
-        return None
+    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+        if self._phase == "restart":
+            self._x, self._fx = candidates[0], values[0]
+            self._delta = self.delta
+            self._phase = "gradient"
+            return
+        if self._phase == "gradient":
+            gradient = np.zeros_like(self._x)
+            for i, (direction, fi) in enumerate(zip(self._directions, values)):
+                gradient[i] = (fi - self._fx) / (direction * self._delta)
+            self._gradient = gradient
+            self._norm_sq = float(np.dot(gradient, gradient))
+            if self._norm_sq == 0.0:
+                self._phase = "restart"  # no descent direction: restart
+                return
+            self._step = self.initial_step
+            self._ls_iter = 0
+            self._phase = "linesearch"
+            return
+        candidate, value = candidates[0], values[0]
+        if value <= self._fx - self.armijo_c * self._step * self._norm_sq:
+            improvement = self._fx - value
+            self._x, self._fx = candidate, value
+            if self.dynamic:
+                self._delta = max(min(self._step, 0.25), 1e-6)
+            # Converged on this path when the iteration improved by less
+            # than epsilon; otherwise take the next gradient step.
+            self._phase = "restart" if improvement < self.epsilon else "gradient"
+            return
+        self._step *= self.backtracking_factor
+        self._ls_iter += 1
+        if self._ls_iter >= self.max_line_search:
+            self._phase = "restart"  # no step length decreased enough
 
-    # ------------------------------------------------------------------ #
-    # main loop
-    # ------------------------------------------------------------------ #
-    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
-        for _ in range(self.max_restarts):
-            x = space.sample_unit(rng)
-            fx = objective.evaluate_unit(x)
-            delta = self.delta
-            while True:
-                gradient = self._gradient(objective, x, fx, delta)
-                outcome = self._line_search(objective, x, fx, gradient)
-                if outcome is None:
-                    break  # no descent direction: restart from a new random point
-                new_x, new_fx, step = outcome
-                improvement = fx - new_fx
-                x, fx = new_x, new_fx
-                if self.dynamic:
-                    delta = max(min(step, 0.25), 1e-6)
-                if improvement < self.epsilon:
-                    break  # converged on this path: restart
+    def _state_dict(self) -> Dict[str, Any]:
+        return {
+            "phase": self._phase,
+            "paths": self._paths,
+            "x": floats_or_none(self._x),
+            "fx": self._fx,
+            "delta": self._delta,
+            "gradient": floats_or_none(self._gradient),
+            "directions": list(self._directions),
+            "norm_sq": self._norm_sq,
+            "step": self._step,
+            "ls_iter": self._ls_iter,
+        }
+
+    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._phase = state["phase"]
+        self._paths = int(state["paths"])
+        self._x = array_or_none(state["x"])
+        self._fx = float(state["fx"])
+        self._delta = float(state["delta"])
+        self._gradient = array_or_none(state["gradient"])
+        self._directions = [float(v) for v in state["directions"]]
+        self._norm_sq = float(state["norm_sq"])
+        self._step = float(state["step"])
+        self._ls_iter = int(state["ls_iter"])
 
 
 # The dynamic-delta variant is registered under its own name so that the
 # experiment scripts can select it by string exactly like the others.
-ALGORITHMS["gddyn"] = lambda: GradientDescent(dynamic=True)
+ALGORITHMS["gddyn"] = lambda **options: GradientDescent(dynamic=True, **options)

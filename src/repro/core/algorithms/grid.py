@@ -15,18 +15,21 @@ levels), and evaluation proceeds level by level until the budget runs
 out.  Given ``p`` parameters and ``N`` completed invocations, each
 parameter has therefore taken roughly ``N**(1/p)`` distinct values, as
 stated in the paper.
+
+The grid is deterministic, so its ask/tell state is just a cursor
+``(level, offset)``; candidates stream out in chunks sized to the
+driver's capacity hint, and resume simply re-enumerates the level up to
+the recorded offset.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import List
+from typing import Any, Dict, Iterator, List, Optional
 
 import numpy as np
 
 from repro.core.algorithms.base import CalibrationAlgorithm, register
-from repro.core.evaluation import Objective
-from repro.core.parameters import ParameterSpace
 
 __all__ = ["GridSearch"]
 
@@ -38,6 +41,7 @@ class GridSearch(CalibrationAlgorithm):
     name = "grid"
 
     def __init__(self, max_level: int = 12) -> None:
+        super().__init__()
         self.max_level = int(max_level)
 
     @staticmethod
@@ -54,14 +58,41 @@ class GridSearch(CalibrationAlgorithm):
         previous = set(GridSearch.level_coordinates(level - 1))
         return [c for c in GridSearch.level_coordinates(level) if c not in previous]
 
-    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
-        dimension = space.dimension
-        for level in range(self.max_level + 1):
-            all_coords = self.level_coordinates(level)
-            fresh = set(self.new_coordinates(level))
-            # Evaluate every combination that contains at least one coordinate
-            # introduced at this level (the rest were evaluated before).
-            for combo in itertools.product(all_coords, repeat=dimension):
-                if level > 0 and not any(c in fresh for c in combo):
-                    continue
-                objective.evaluate_unit(np.array(combo, dtype=float))
+    def _level_combos(self, level: int) -> Iterator[np.ndarray]:
+        """Combinations evaluated at ``level``, in the paper's order: every
+        combination containing at least one coordinate introduced there."""
+        dimension = self.space.dimension
+        all_coords = self.level_coordinates(level)
+        fresh = set(self.new_coordinates(level))
+        for combo in itertools.product(all_coords, repeat=dimension):
+            if level > 0 and not any(c in fresh for c in combo):
+                continue
+            yield np.array(combo, dtype=float)
+
+    def _setup(self) -> None:
+        self._level = 0
+        self._offset = 0  # combinations of the current level already generated
+        self._iter: Optional[Iterator[np.ndarray]] = None
+
+    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+        while self._level <= self.max_level:
+            if self._iter is None:
+                self._iter = itertools.islice(
+                    self._level_combos(self._level), self._offset, None
+                )
+            chunk = list(itertools.islice(self._iter, max(n, 1)))
+            if chunk:
+                self._offset += len(chunk)
+                return chunk
+            self._level += 1
+            self._offset = 0
+            self._iter = None
+        return None
+
+    def _state_dict(self) -> Dict[str, Any]:
+        return {"level": self._level, "offset": self._offset}
+
+    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._level = int(state["level"])
+        self._offset = int(state["offset"])
+        self._iter = None

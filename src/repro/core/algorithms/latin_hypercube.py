@@ -6,15 +6,19 @@ equal-probability bins as there are samples.  This gives better coverage
 of each individual parameter range than plain uniform sampling for the
 same number of evaluations — relevant because the paper observes that the
 objective is mostly driven by one bottleneck parameter at a time.
+
+Each ask/tell generation is one full Latin hypercube batch (the
+stratification only holds within a batch), which makes this a natural fit
+for the parallel batch driver.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Optional
+
 import numpy as np
 
 from repro.core.algorithms.base import CalibrationAlgorithm, register
-from repro.core.evaluation import Objective
-from repro.core.parameters import ParameterSpace
 
 __all__ = ["LatinHypercubeSearch"]
 
@@ -26,12 +30,16 @@ class LatinHypercubeSearch(CalibrationAlgorithm):
     name = "lhs"
 
     def __init__(self, batch_size: int = 32, max_batches: int = 1_000_000) -> None:
+        super().__init__()
         if batch_size < 2:
             raise ValueError("batch size must be at least 2")
         self.batch_size = int(batch_size)
         self.max_batches = int(max_batches)
 
-    def _batch(self, dimension: int, rng: np.random.Generator) -> np.ndarray:
+    def _setup(self) -> None:
+        self._batches = 0
+
+    def _lhs_batch(self, dimension: int, rng: np.random.Generator) -> np.ndarray:
         """One Latin hypercube batch of shape (batch_size, dimension)."""
         n = self.batch_size
         samples = np.empty((n, dimension))
@@ -42,7 +50,14 @@ class LatinHypercubeSearch(CalibrationAlgorithm):
             samples[:, d] = positions
         return samples
 
-    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
-        for _ in range(self.max_batches):
-            for row in self._batch(space.dimension, rng):
-                objective.evaluate_unit(row)
+    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+        if self._batches >= self.max_batches:
+            return None
+        self._batches += 1
+        return list(self._lhs_batch(self.space.dimension, rng))
+
+    def _state_dict(self) -> Dict[str, Any]:
+        return {"batches": self._batches}
+
+    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._batches = int(state["batches"])

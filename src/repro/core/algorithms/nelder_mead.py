@@ -11,15 +11,26 @@ Nelder-Mead is a natural next step above the paper's simple algorithms:
 it needs no gradient estimate (one evaluation per probe instead of one per
 dimension) and copes well with the "mostly flat along non-bottleneck
 dimensions" landscape that Section IV.C.2 describes.
+
+Ask/tell shape: the initial simplex and the shrink step are batches (their
+vertices are mutually independent); reflection, expansion and contraction
+are singleton probes whose outcome picks the next move.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Optional
+
 import numpy as np
 
-from repro.core.algorithms.base import CalibrationAlgorithm, register
-from repro.core.evaluation import Objective
-from repro.core.parameters import ParameterSpace
+from repro.core.algorithms.base import (
+    CalibrationAlgorithm,
+    array_or_none,
+    floats_or_none,
+    matrix_or_none,
+    rows_or_none,
+    register,
+)
 
 __all__ = ["NelderMead"]
 
@@ -41,6 +52,7 @@ class NelderMead(CalibrationAlgorithm):
         max_iterations_per_restart: int = 200,
         max_restarts: int = 10_000_000,
     ) -> None:
+        super().__init__()
         if not (reflection > 0 and expansion > 1 and 0 < contraction < 1 and 0 < shrink < 1):
             raise ValueError("invalid Nelder-Mead coefficients")
         self.reflection = float(reflection)
@@ -55,16 +67,16 @@ class NelderMead(CalibrationAlgorithm):
     # ------------------------------------------------------------------ #
     # building blocks
     # ------------------------------------------------------------------ #
-    def _initial_simplex(
-        self, space: ParameterSpace, rng: np.random.Generator
-    ) -> np.ndarray:
+    def _initial_simplex(self, rng: np.random.Generator) -> np.ndarray:
         """A random point plus one offset vertex per dimension."""
-        d = space.dimension
-        origin = space.sample_unit(rng)
+        d = self.space.dimension
+        origin = self.space.sample_unit(rng)
         vertices = [origin]
         for i in range(d):
             vertex = np.array(origin, copy=True)
-            offset = self.initial_size if vertex[i] + self.initial_size <= 1.0 else -self.initial_size
+            offset = (
+                self.initial_size if vertex[i] + self.initial_size <= 1.0 else -self.initial_size
+            )
             vertex[i] = min(max(vertex[i] + offset, 0.0), 1.0)
             vertices.append(vertex)
         return np.array(vertices)
@@ -74,47 +86,119 @@ class NelderMead(CalibrationAlgorithm):
         return np.clip(x, 0.0, 1.0)
 
     # ------------------------------------------------------------------ #
-    # main loop
+    # ask/tell hooks
     # ------------------------------------------------------------------ #
-    def _restart(
-        self, objective: Objective, space: ParameterSpace, rng: np.random.Generator
-    ) -> None:
-        simplex = self._initial_simplex(space, rng)
-        values = np.array([objective.evaluate_unit(v) for v in simplex])
+    def _setup(self) -> None:
+        self._phase = "restart"
+        self._restarts = 0
+        self._simplex: Optional[np.ndarray] = None
+        self._f: Optional[np.ndarray] = None
+        self._iteration = 0
+        self._centroid: Optional[np.ndarray] = None
+        self._reflected: Optional[np.ndarray] = None
+        self._f_reflected = 0.0
 
-        for _ in range(self.max_iterations_per_restart):
-            order = np.argsort(values)
-            simplex, values = simplex[order], values[order]
-            best, worst = values[0], values[-1]
-            if worst - best < self.tolerance:
-                return  # converged: caller restarts from a new random simplex
+    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+        while True:
+            if self._phase == "restart":
+                if self._restarts >= self.max_restarts:
+                    return None
+                self._restarts += 1
+                self._simplex = self._initial_simplex(rng)
+                return list(self._simplex)
+            if self._phase == "iterate":
+                if self._iteration >= self.max_iterations_per_restart:
+                    self._phase = "restart"
+                    continue
+                order = np.argsort(self._f)
+                self._simplex, self._f = self._simplex[order], self._f[order]
+                if self._f[-1] - self._f[0] < self.tolerance:
+                    self._phase = "restart"  # converged: fresh random simplex
+                    continue
+                self._centroid = self._simplex[:-1].mean(axis=0)
+                self._reflected = self._clip(
+                    self._centroid + self.reflection * (self._centroid - self._simplex[-1])
+                )
+                self._phase = "reflect"
+                return [self._reflected]
+            if self._phase == "expand":
+                return [
+                    self._clip(
+                        self._centroid + self.expansion * (self._reflected - self._centroid)
+                    )
+                ]
+            if self._phase == "contract":
+                return [
+                    self._clip(
+                        self._centroid + self.contraction * (self._simplex[-1] - self._centroid)
+                    )
+                ]
+            # shrink: every vertex moves towards the best one (one batch)
+            return [
+                self._clip(self._simplex[0] + self.shrink * (self._simplex[i] - self._simplex[0]))
+                for i in range(1, len(self._simplex))
+            ]
 
-            centroid = simplex[:-1].mean(axis=0)
-            reflected = self._clip(centroid + self.reflection * (centroid - simplex[-1]))
-            f_reflected = objective.evaluate_unit(reflected)
-
-            if f_reflected < values[0]:
-                expanded = self._clip(centroid + self.expansion * (reflected - centroid))
-                f_expanded = objective.evaluate_unit(expanded)
-                if f_expanded < f_reflected:
-                    simplex[-1], values[-1] = expanded, f_expanded
-                else:
-                    simplex[-1], values[-1] = reflected, f_reflected
-            elif f_reflected < values[-2]:
-                simplex[-1], values[-1] = reflected, f_reflected
+    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+        if self._phase == "restart":
+            self._f = np.array(values)
+            self._iteration = 0
+            self._phase = "iterate"
+            return
+        if self._phase == "reflect":
+            self._f_reflected = values[0]
+            if self._f_reflected < self._f[0]:
+                self._phase = "expand"
+            elif self._f_reflected < self._f[-2]:
+                self._simplex[-1], self._f[-1] = self._reflected, self._f_reflected
+                self._iteration += 1
+                self._phase = "iterate"
             else:
-                contracted = self._clip(centroid + self.contraction * (simplex[-1] - centroid))
-                f_contracted = objective.evaluate_unit(contracted)
-                if f_contracted < values[-1]:
-                    simplex[-1], values[-1] = contracted, f_contracted
-                else:
-                    # Shrink every vertex towards the best one.
-                    for i in range(1, len(simplex)):
-                        simplex[i] = self._clip(
-                            simplex[0] + self.shrink * (simplex[i] - simplex[0])
-                        )
-                        values[i] = objective.evaluate_unit(simplex[i])
+                self._phase = "contract"
+            return
+        if self._phase == "expand":
+            expanded, f_expanded = candidates[0], values[0]
+            if f_expanded < self._f_reflected:
+                self._simplex[-1], self._f[-1] = expanded, f_expanded
+            else:
+                self._simplex[-1], self._f[-1] = self._reflected, self._f_reflected
+            self._iteration += 1
+            self._phase = "iterate"
+            return
+        if self._phase == "contract":
+            contracted, f_contracted = candidates[0], values[0]
+            if f_contracted < self._f[-1]:
+                self._simplex[-1], self._f[-1] = contracted, f_contracted
+                self._iteration += 1
+                self._phase = "iterate"
+            else:
+                self._phase = "shrink"
+            return
+        # shrink
+        for i, (vertex, value) in enumerate(zip(candidates, values), start=1):
+            self._simplex[i] = vertex
+            self._f[i] = value
+        self._iteration += 1
+        self._phase = "iterate"
 
-    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
-        for _ in range(self.max_restarts):
-            self._restart(objective, space, rng)
+    def _state_dict(self) -> Dict[str, Any]:
+        return {
+            "phase": self._phase,
+            "restarts": self._restarts,
+            "simplex": rows_or_none(self._simplex),
+            "f": floats_or_none(self._f),
+            "iteration": self._iteration,
+            "centroid": floats_or_none(self._centroid),
+            "reflected": floats_or_none(self._reflected),
+            "f_reflected": self._f_reflected,
+        }
+
+    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._phase = state["phase"]
+        self._restarts = int(state["restarts"])
+        self._simplex = matrix_or_none(state["simplex"])
+        self._f = array_or_none(state["f"])
+        self._iteration = int(state["iteration"])
+        self._centroid = array_or_none(state["centroid"])
+        self._reflected = array_or_none(state["reflected"])
+        self._f_reflected = float(state["f_reflected"])

@@ -12,17 +12,29 @@ Pattern search sits between the paper's gradient descent (which needs
 non-bottleneck dimensions) and random search: it is monotone, requires no
 line search and handles flat dimensions gracefully (their probes simply
 never improve).
+
+Every exploratory probe conditions on the outcome of the previous one
+(an accepted probe moves the point the next axis probes from), so this
+is a singleton-ask state machine: ``restart`` → ``explore`` (axis by
+axis, direction by direction) → ``pattern`` and back.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Optional
+
 import numpy as np
 
-from repro.core.algorithms.base import CalibrationAlgorithm, register
-from repro.core.evaluation import Objective
-from repro.core.parameters import ParameterSpace
+from repro.core.algorithms.base import (
+    CalibrationAlgorithm,
+    array_or_none,
+    floats_or_none,
+    register,
+)
 
 __all__ = ["PatternSearch"]
+
+_DIRECTIONS = (+1.0, -1.0)
 
 
 @register("pattern")
@@ -38,6 +50,7 @@ class PatternSearch(CalibrationAlgorithm):
         min_step: float = 1e-3,
         max_restarts: int = 10_000_000,
     ) -> None:
+        super().__init__()
         if not 0.0 < step_reduction < 1.0:
             raise ValueError("the step reduction factor must be in (0, 1)")
         if initial_step <= 0 or min_step <= 0:
@@ -47,55 +60,106 @@ class PatternSearch(CalibrationAlgorithm):
         self.min_step = float(min_step)
         self.max_restarts = int(max_restarts)
 
-    # ------------------------------------------------------------------ #
-    # building blocks
-    # ------------------------------------------------------------------ #
-    @staticmethod
-    def _clip(x: np.ndarray) -> np.ndarray:
-        return np.clip(x, 0.0, 1.0)
+    def _setup(self) -> None:
+        self._phase = "restart"
+        self._restarts = 0
+        self._base: Optional[np.ndarray] = None
+        self._f_base = 0.0
+        self._current: Optional[np.ndarray] = None
+        self._f_current = 0.0
+        self._step = self.initial_step
+        self._axis = 0
+        self._direction = 0  # index into _DIRECTIONS
 
-    def _explore(
-        self, objective: Objective, base: np.ndarray, f_base: float, step: float
-    ) -> tuple:
-        """Probe +/- step along every dimension, keeping improvements."""
-        current = np.array(base, copy=True)
-        f_current = f_base
-        for i in range(current.size):
-            for direction in (+1.0, -1.0):
-                probe = np.array(current, copy=True)
-                probe[i] = min(max(probe[i] + direction * step, 0.0), 1.0)
-                if probe[i] == current[i]:
+    def _begin_explore(self) -> None:
+        self._current = np.array(self._base, copy=True)
+        self._f_current = self._f_base
+        self._axis = 0
+        self._direction = 0
+        self._phase = "explore"
+
+    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+        while True:
+            if self._phase == "restart":
+                if self._restarts >= self.max_restarts:
+                    return None
+                self._restarts += 1
+                return [self.space.sample_unit(rng)]
+            if self._phase == "pattern":
+                # Pattern move: jump again in the improving direction, then
+                # explore around the landing point.
+                pattern = np.clip(self._current + (self._current - self._base), 0.0, 1.0)
+                return [pattern]
+            # explore: find the next +/- step probe that actually moves
+            while self._axis < self._current.size:
+                direction = _DIRECTIONS[self._direction]
+                probe = np.array(self._current, copy=True)
+                probe[self._axis] = min(
+                    max(probe[self._axis] + direction * self._step, 0.0), 1.0
+                )
+                if probe[self._axis] == self._current[self._axis]:
+                    self._advance_direction()
                     continue
-                f_probe = objective.evaluate_unit(probe)
-                if f_probe < f_current:
-                    current, f_current = probe, f_probe
-                    break  # accept the first improving direction on this axis
-        return current, f_current
+                return [probe]
+            # Exploration around the base finished.
+            if self._f_current < self._f_base:
+                self._phase = "pattern"
+                continue
+            self._step *= self.step_reduction
+            if self._step < self.min_step:
+                self._phase = "restart"
+                continue
+            self._begin_explore()
 
-    # ------------------------------------------------------------------ #
-    # main loop
-    # ------------------------------------------------------------------ #
-    def _restart(
-        self, objective: Objective, space: ParameterSpace, rng: np.random.Generator
-    ) -> None:
-        base = space.sample_unit(rng)
-        f_base = objective.evaluate_unit(base)
-        step = self.initial_step
+    def _advance_direction(self) -> None:
+        self._direction += 1
+        if self._direction >= len(_DIRECTIONS):
+            self._direction = 0
+            self._axis += 1
 
-        while step >= self.min_step:
-            candidate, f_candidate = self._explore(objective, base, f_base, step)
-            if f_candidate < f_base:
-                # Pattern move: jump again in the same direction, then explore
-                # around the landing point.
-                pattern = self._clip(candidate + (candidate - base))
-                f_pattern = objective.evaluate_unit(pattern)
-                if f_pattern < f_candidate:
-                    base, f_base = pattern, f_pattern
-                else:
-                    base, f_base = candidate, f_candidate
+    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+        candidate, value = candidates[0], values[0]
+        if self._phase == "restart":
+            self._base, self._f_base = candidate, value
+            self._step = self.initial_step
+            self._begin_explore()
+            return
+        if self._phase == "pattern":
+            if value < self._f_current:
+                self._base, self._f_base = candidate, value
             else:
-                step *= self.step_reduction
+                self._base, self._f_base = self._current, self._f_current
+            self._begin_explore()
+            return
+        # explore probe
+        if value < self._f_current:
+            # accept the first improving direction on this axis
+            self._current, self._f_current = candidate, value
+            self._direction = 0
+            self._axis += 1
+        else:
+            self._advance_direction()
 
-    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
-        for _ in range(self.max_restarts):
-            self._restart(objective, space, rng)
+    def _state_dict(self) -> Dict[str, Any]:
+        return {
+            "phase": self._phase,
+            "restarts": self._restarts,
+            "base": floats_or_none(self._base),
+            "f_base": self._f_base,
+            "current": floats_or_none(self._current),
+            "f_current": self._f_current,
+            "step": self._step,
+            "axis": self._axis,
+            "direction": self._direction,
+        }
+
+    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._phase = state["phase"]
+        self._restarts = int(state["restarts"])
+        self._base = array_or_none(state["base"])
+        self._f_base = float(state["f_base"])
+        self._current = array_or_none(state["current"])
+        self._f_current = float(state["f_current"])
+        self._step = float(state["step"])
+        self._axis = int(state["axis"])
+        self._direction = int(state["direction"])

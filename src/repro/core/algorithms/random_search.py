@@ -4,15 +4,20 @@
 each value is sampled uniformly in its parameter range" — with the log2
 representation of Section III.A, uniform sampling of the normalised
 coordinate is log-uniform sampling of the parameter value.
+
+Samples are independent, so :meth:`~RandomSearch._generate` honours the
+driver's capacity hint exactly: a parallel driver asking ``n`` candidates
+gets ``n`` fresh samples, and the rng stream is identical to the serial
+one (the draws just happen ahead of the evaluations).
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Optional
+
 import numpy as np
 
 from repro.core.algorithms.base import CalibrationAlgorithm, register
-from repro.core.evaluation import Objective
-from repro.core.parameters import ParameterSpace
 
 __all__ = ["RandomSearch"]
 
@@ -24,8 +29,23 @@ class RandomSearch(CalibrationAlgorithm):
     name = "random"
 
     def __init__(self, max_iterations: int = 10_000_000) -> None:
+        super().__init__()
         self.max_iterations = int(max_iterations)
 
-    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
-        for _ in range(self.max_iterations):
-            objective.evaluate_unit(space.sample_unit(rng))
+    def _setup(self) -> None:
+        self._count = 0
+
+    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+        remaining = self.max_iterations - self._count
+        if remaining <= 0:
+            return None
+        k = min(max(n, 1), remaining)
+        samples = [self.space.sample_unit(rng) for _ in range(k)]
+        self._count += k
+        return samples
+
+    def _state_dict(self) -> Dict[str, Any]:
+        return {"count": self._count}
+
+    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._count = int(state["count"])

@@ -9,39 +9,97 @@ effect against plain random search and Latin hypercube sampling.
 
 The sequence comes from :mod:`scipy.stats.qmc`; the generator is
 re-scrambled from the calibration seed so that, like every other
-algorithm, the search is fully reproducible.
+algorithm, the search is fully reproducible.  For checkpoint/resume the
+rng state *at scrambling time* is kept in the state dict: a restored
+instance rebuilds the identical scrambled sequence from it and
+fast-forwards past the points already drawn.
 """
 
 from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 from scipy.stats import qmc
 
 from repro.core.algorithms.base import CalibrationAlgorithm, register
-from repro.core.evaluation import Objective
-from repro.core.parameters import ParameterSpace
 
 __all__ = ["SobolSearch"]
 
 
 @register("sobol")
 class SobolSearch(CalibrationAlgorithm):
-    """Scrambled Sobol sequence sampling of the parameter space."""
+    """Scrambled Sobol sequence sampling of the parameter space.
+
+    Sobol sequences are balanced in blocks of powers of two; each ask/tell
+    generation is one whole block of ``batch_size`` points, which the
+    budget (or a parallel driver) may cut short.
+    """
 
     name = "sobol"
 
     def __init__(self, batch_size: int = 64, max_batches: int = 1_000_000) -> None:
+        super().__init__()
         if batch_size < 1:
             raise ValueError("batch size must be at least 1")
         self.batch_size = int(batch_size)
         self.max_batches = int(max_batches)
 
-    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
-        sampler = qmc.Sobol(d=space.dimension, scramble=True, seed=rng)
-        for _ in range(self.max_batches):
-            # Sobol sequences are balanced in blocks of powers of two; draw
-            # whole blocks and feed them to the objective one point at a time
-            # so that the budget can cut a block short.
-            batch = sampler.random(self.batch_size)
-            for row in batch:
-                objective.evaluate_unit(row)
+    def _setup(self) -> None:
+        self._sampler: Optional[qmc.Sobol] = None
+        self._blocks = 0
+        self._seed_seq: Optional[Dict[str, Any]] = None
+
+    def _ensure_sampler(self, rng: np.random.Generator) -> qmc.Sobol:
+        if self._sampler is None:
+            if self._seed_seq is None:
+                # Fresh run: scramble from the driver's rng, exactly like
+                # the original blocking loop did.  scipy derives the
+                # scrambling by *spawning* from the generator's
+                # SeedSequence (the raw bit-generator state is untouched),
+                # so that is what a resume must replay: record the seed
+                # sequence coordinates as they are right now, before the
+                # construction consumes a spawn.
+                seed_seq = rng.bit_generator.seed_seq
+                self._seed_seq = {
+                    "entropy": seed_seq.entropy,
+                    "spawn_key": list(seed_seq.spawn_key),
+                    "n_children_spawned": seed_seq.n_children_spawned,
+                }
+                self._sampler = qmc.Sobol(
+                    d=self.space.dimension, scramble=True, seed=rng
+                )
+            else:
+                # Resume: rebuild the identical scrambled sequence from the
+                # recorded seed-sequence coordinates and skip the points
+                # already generated.
+                replay = np.random.Generator(
+                    np.random.PCG64(
+                        np.random.SeedSequence(
+                            entropy=self._seed_seq["entropy"],
+                            spawn_key=tuple(self._seed_seq["spawn_key"]),
+                            n_children_spawned=self._seed_seq["n_children_spawned"],
+                        )
+                    )
+                )
+                self._sampler = qmc.Sobol(
+                    d=self.space.dimension, scramble=True, seed=replay
+                )
+                if self._blocks:
+                    self._sampler.fast_forward(self._blocks * self.batch_size)
+        return self._sampler
+
+    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+        if self._blocks >= self.max_batches:
+            return None
+        sampler = self._ensure_sampler(rng)
+        self._blocks += 1
+        return list(sampler.random(self.batch_size))
+
+    def _state_dict(self) -> Dict[str, Any]:
+        return {"blocks": self._blocks, "seed_seq": self._seed_seq}
+
+    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._blocks = int(state["blocks"])
+        self._seed_seq = state["seed_seq"]
+        self._sampler = None

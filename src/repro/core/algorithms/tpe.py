@@ -11,18 +11,23 @@ from the good-set density, and the candidate maximising the density ratio
 TPE assumptions) is evaluated next.
 
 The implementation is dependency-free (Gaussian kernels with bandwidths
-set by neighbour distances, all in the normalised log2 cube).
+set by neighbour distances, all in the normalised log2 cube).  The warm-up
+is asked as one batch (its samples are independent); after that every ask
+is a singleton, since each proposal conditions on all previous results.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.core.algorithms.base import CalibrationAlgorithm, register
-from repro.core.evaluation import Objective
-from repro.core.parameters import ParameterSpace
+from repro.core.algorithms.base import (
+    CalibrationAlgorithm,
+    _as_arrays,
+    _as_lists,
+    register,
+)
 
 __all__ = ["TPESearch"]
 
@@ -41,6 +46,7 @@ class TPESearch(CalibrationAlgorithm):
         min_bandwidth: float = 1e-3,
         max_iterations: int = 10_000_000,
     ) -> None:
+        super().__init__()
         if warmup < 2:
             raise ValueError("TPE needs at least 2 warm-up evaluations")
         if not 0.0 < gamma < 1.0:
@@ -94,44 +100,62 @@ class TPESearch(CalibrationAlgorithm):
         )
 
     # ------------------------------------------------------------------ #
-    # main loop
+    # ask/tell hooks
     # ------------------------------------------------------------------ #
-    def run(self, objective: Objective, space: ParameterSpace, rng: np.random.Generator) -> None:
-        d = space.dimension
-        points: List[np.ndarray] = []
-        values: List[float] = []
+    def _setup(self) -> None:
+        self._points: List[np.ndarray] = []
+        self._scores: List[float] = []
+        self._iterations = 0
 
-        for _ in range(self.warmup):
-            x = space.sample_unit(rng)
-            values.append(objective.evaluate_unit(x))
-            points.append(x)
+    def _propose(self, rng: np.random.Generator) -> np.ndarray:
+        """The next model-based candidate, conditioned on all results."""
+        d = self.space.dimension
+        observations = np.array(self._points)
+        scores = np.array(self._scores)
+        n_good = max(1, int(np.ceil(self.gamma * scores.size)))
+        order = np.argsort(scores)
+        good = observations[order[:n_good]]
+        bad = observations[order[n_good:]]
+        if bad.size == 0:
+            bad = observations
 
-        for _ in range(self.max_iterations):
-            observations = np.array(points)
-            scores = np.array(values)
-            n_good = max(1, int(np.ceil(self.gamma * scores.size)))
-            order = np.argsort(scores)
-            good = observations[order[:n_good]]
-            bad = observations[order[n_good:]]
-            if bad.size == 0:
-                bad = observations
+        # Build the candidate pool from the good-set density and score it
+        # by the density ratio, one dimension at a time (the "tree" of TPE
+        # is trivial here: the parameters are independent).
+        candidates = np.empty((self.candidates_per_step, d))
+        log_l = np.zeros(self.candidates_per_step)
+        log_g = np.zeros(self.candidates_per_step)
+        for dim in range(d):
+            good_centers = good[:, dim]
+            bad_centers = bad[:, dim]
+            good_bw = self._bandwidths(good_centers)
+            bad_bw = self._bandwidths(bad_centers)
+            column = self._sample_from(good_centers, good_bw, self.candidates_per_step, rng)
+            candidates[:, dim] = column
+            log_l += self._log_density(column, good_centers, good_bw)
+            log_g += self._log_density(column, bad_centers, bad_bw)
+        return candidates[int(np.argmax(log_l - log_g))]
 
-            # Build the candidate pool from the good-set density and score it
-            # by the density ratio, one dimension at a time (the "tree" of TPE
-            # is trivial here: the parameters are independent).
-            candidates = np.empty((self.candidates_per_step, d))
-            log_l = np.zeros(self.candidates_per_step)
-            log_g = np.zeros(self.candidates_per_step)
-            for dim in range(d):
-                good_centers = good[:, dim]
-                bad_centers = bad[:, dim]
-                good_bw = self._bandwidths(good_centers)
-                bad_bw = self._bandwidths(bad_centers)
-                column = self._sample_from(good_centers, good_bw, self.candidates_per_step, rng)
-                candidates[:, dim] = column
-                log_l += self._log_density(column, good_centers, good_bw)
-                log_g += self._log_density(column, bad_centers, bad_bw)
+    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+        if not self._points:
+            return [self.space.sample_unit(rng) for _ in range(self.warmup)]
+        if self._iterations >= self.max_iterations:
+            return None
+        self._iterations += 1
+        return [self._propose(rng)]
 
-            best = candidates[int(np.argmax(log_l - log_g))]
-            values.append(objective.evaluate_unit(best))
-            points.append(best)
+    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+        self._points.extend(candidates)
+        self._scores.extend(values)
+
+    def _state_dict(self) -> Dict[str, Any]:
+        return {
+            "points": _as_lists(self._points),
+            "scores": list(self._scores),
+            "iterations": self._iterations,
+        }
+
+    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._points = _as_arrays(state["points"])
+        self._scores = [float(v) for v in state["scores"]]
+        self._iterations = int(state["iterations"])

@@ -16,14 +16,26 @@ from __future__ import annotations
 import time
 from typing import Optional, Sequence
 
-__all__ = ["Budget", "TimeBudget", "EvaluationBudget", "CombinedBudget"]
+__all__ = [
+    "Budget",
+    "TimeBudget",
+    "EvaluationBudget",
+    "CombinedBudget",
+    "remaining_evaluations",
+]
 
 
 class Budget:
     """Base class; a budget is started once and then queried repeatedly."""
 
-    def start(self) -> None:
-        """Mark the beginning of the calibration run."""
+    def start(self, elapsed_offset: float = 0.0) -> None:
+        """Mark the beginning of the calibration run.
+
+        ``elapsed_offset`` is the wall-clock a resumed run already spent
+        before its checkpoint: time budgets treat the run as that old, so
+        an interrupted time-budgeted calibration does not get a fresh full
+        allowance on every resume.
+        """
 
     def exhausted(self, evaluations: int) -> bool:  # pragma: no cover - interface
         """Whether the calibration must stop (called before each evaluation)."""
@@ -42,8 +54,8 @@ class TimeBudget(Budget):
         self.seconds = float(seconds)
         self._start: Optional[float] = None
 
-    def start(self) -> None:
-        self._start = time.perf_counter()
+    def start(self, elapsed_offset: float = 0.0) -> None:
+        self._start = time.perf_counter() - elapsed_offset
 
     @property
     def elapsed(self) -> float:
@@ -83,12 +95,30 @@ class CombinedBudget(Budget):
             raise ValueError("a combined budget needs at least one member")
         self.budgets = list(budgets)
 
-    def start(self) -> None:
+    def start(self, elapsed_offset: float = 0.0) -> None:
         for budget in self.budgets:
-            budget.start()
+            budget.start(elapsed_offset)
 
     def exhausted(self, evaluations: int) -> bool:
         return any(b.exhausted(evaluations) for b in self.budgets)
 
     def describe(self) -> str:
         return " and ".join(b.describe() for b in self.budgets)
+
+
+def remaining_evaluations(budget: Budget, evaluations: int) -> Optional[int]:
+    """How many more evaluations ``budget`` allows, or ``None`` if unbounded.
+
+    Recurses into :class:`CombinedBudget`, so batch drivers can trim their
+    final batch to an evaluation cap even when it is wrapped together with
+    a time budget (a plain ``isinstance(budget, EvaluationBudget)`` check
+    would miss it and overshoot by up to a batch).  Time budgets impose no
+    evaluation cap and contribute ``None``.
+    """
+    if isinstance(budget, EvaluationBudget):
+        return max(budget.max_evaluations - evaluations, 0)
+    if isinstance(budget, CombinedBudget):
+        bounds = [remaining_evaluations(b, evaluations) for b in budget.budgets]
+        bounds = [b for b in bounds if b is not None]
+        return min(bounds) if bounds else None
+    return None

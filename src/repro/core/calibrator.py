@@ -1,4 +1,11 @@
-"""The calibrator: glue between an objective, a budget and an algorithm.
+"""The calibrator: a serial ask/tell driver with checkpoint/resume.
+
+A :class:`Calibrator` owns one calibration run: it builds the budget-aware
+:class:`~repro.core.evaluation.Objective`, instantiates the algorithm and
+drives it through the ask/tell protocol of
+:class:`~repro.core.algorithms.CalibrationAlgorithm` — one candidate at a
+time, which reproduces the paper's blocking loops exactly (the parallel
+counterpart is :class:`~repro.core.parallel.BatchCalibrator`).
 
 Typical use (this is what :mod:`repro.hepsim.calibration` does for the
 case study):
@@ -13,22 +20,47 @@ case study):
                             seed=0)
     result = calibrator.run()
     result.best_values   # the calibrated parameter values
+
+Because the algorithms expose their full search state via
+``state_dict()``, a run can be snapshotted and resumed mid-trajectory:
+
+.. code-block:: python
+
+    snapshots = []
+    calibrator.run(checkpoint_every=50, on_checkpoint=snapshots.append)
+    # ... the process dies; later, in a fresh process:
+    resumed = Calibrator(space, objective_fn, algorithm="random",
+                         budget=EvaluationBudget(500), seed=0)
+    result = resumed.run(resume=snapshots[-1])   # finishes the trajectory
+
+A checkpoint is a JSON-compatible dictionary bundling the algorithm state,
+the driver's rng state and the evaluation history; the resumed run
+replays *nothing* — restored evaluations re-enter the history, the cache
+and the budget accounting, and the algorithm continues exactly where the
+snapshot was taken (the calibration service persists these snapshots with
+its job spool so a crashed server finishes jobs instead of re-running
+them).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Union
 
 import numpy as np
 
 from repro.core.algorithms import CalibrationAlgorithm, get_algorithm
 from repro.core.budget import Budget, CombinedBudget, EvaluationBudget
 from repro.core.evaluation import BudgetExhausted, CacheBackend, Objective
+from repro.core.history import CalibrationHistory
 from repro.core.parameters import ParameterSpace
 from repro.core.result import CalibrationResult
+from repro.core.serialization import evaluation_from_dict, evaluation_to_dict
 from repro.core.stopping import StoppingBudget, StoppingCriterion
 
 __all__ = ["Calibrator"]
+
+#: checkpoint layout version (bumped on incompatible changes)
+CHECKPOINT_VERSION = 1
 
 
 class Calibrator:
@@ -37,7 +69,9 @@ class Calibrator:
 
     An optional early-stopping criterion (see :mod:`repro.core.stopping`)
     can be supplied; the run then ends at whichever of the budget or the
-    criterion triggers first.
+    criterion triggers first.  ``algorithm_options`` are forwarded to the
+    algorithm's constructor, so ``Calibrator(..., algorithm="cmaes",
+    algorithm_options={"population_size": 8})`` needs no manual import.
     """
 
     def __init__(
@@ -51,9 +85,10 @@ class Calibrator:
         stopping: Optional[StoppingCriterion] = None,
         record_cache_hits: bool = False,
         count_cache_hits: bool = False,
+        algorithm_options: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.space = space
-        self.algorithm = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+        self.algorithm = get_algorithm(algorithm, **(algorithm_options or {}))
         self.budget = budget if budget is not None else EvaluationBudget(100)
         self.seed = seed
         effective_budget = self.budget
@@ -73,16 +108,118 @@ class Calibrator:
         )
         if self._stopper is not None:
             self._stopper.bind(self.objective.history)
+        self._rng: Optional[np.random.Generator] = None
+        self._resume_elapsed = 0.0
+        #: serialized history records, memoized across checkpoints —
+        #: records are immutable and append-only, so each periodic
+        #: checkpoint only serializes the evaluations since the last one
+        #: instead of the whole history again
+        self._serialized_history: list = []
 
-    def run(self) -> CalibrationResult:
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> Dict[str, Any]:
+        """A JSON-compatible snapshot of the run (call during/after run).
+
+        Bundles the algorithm's ``state_dict()``, the driver rng state and
+        the evaluation history — everything :meth:`run` needs to continue
+        the trajectory in a fresh process.
+        """
+        if self._rng is None:
+            raise RuntimeError("checkpoint() is only meaningful once run() has started")
+        history = self.objective.history
+        for index in range(len(self._serialized_history), len(history)):
+            self._serialized_history.append(evaluation_to_dict(history[index]))
+        return {
+            "version": CHECKPOINT_VERSION,
+            "algorithm": self.algorithm.name,
+            "seed": self.seed,
+            "elapsed": self.objective.elapsed,
+            "rng_state": self._rng.bit_generator.state,
+            "algorithm_state": self.algorithm.state_dict(),
+            "history": list(self._serialized_history),
+        }
+
+    def _restore(self, checkpoint: Dict[str, Any]) -> None:
+        version = checkpoint.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this library reads version {CHECKPOINT_VERSION})"
+            )
+        if not self.algorithm.is_ask_tell:
+            raise ValueError(
+                f"algorithm {self.algorithm.name!r} does not implement the ask/tell "
+                "protocol and cannot be resumed"
+            )
+        if checkpoint.get("algorithm") != self.algorithm.name:
+            raise ValueError(
+                f"checkpoint is for algorithm {checkpoint.get('algorithm')!r}, "
+                f"not {self.algorithm.name!r}"
+            )
+        self.algorithm.setup(self.space)
+        self.algorithm.load_state_dict(checkpoint["algorithm_state"])
+        self._rng.bit_generator.state = checkpoint["rng_state"]
+        history = CalibrationHistory()
+        for entry in checkpoint.get("history", []):
+            history.record(evaluation_from_dict(entry))
+        self.objective.preload(history)
+        # Continue the interrupted run's wall-clock: timestamps stay
+        # monotone after the preloaded records and a time budget only gets
+        # its remaining seconds, not a fresh allowance.
+        self._resume_elapsed = float(checkpoint.get("elapsed", 0.0))
+
+    # ------------------------------------------------------------------ #
+    # running
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        resume: Optional[Dict[str, Any]] = None,
+        checkpoint_every: int = 0,
+        on_checkpoint: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> CalibrationResult:
         """Run the calibration until the budget is exhausted (or the
-        algorithm decides it is done) and return the best point found."""
+        algorithm decides it is done) and return the best point found.
+
+        Parameters
+        ----------
+        resume:
+            A :meth:`checkpoint` snapshot to continue from.  The restored
+            run finishes the interrupted trajectory — same evaluations,
+            same best point — without replaying the work already done.
+        checkpoint_every:
+            Emit a checkpoint to ``on_checkpoint`` every this many
+            completed evaluations (0 disables).
+        on_checkpoint:
+            Callback receiving each snapshot (e.g. to persist it).
+        """
         # All algorithms use the same seeded pseudo-random number generator,
         # as in the paper's experimental protocol.
-        rng = np.random.default_rng(self.seed)
-        self.objective.start()
+        self._rng = rng = np.random.default_rng(self.seed)
+        algorithm = self.algorithm
+        self._resume_elapsed = 0.0
+        if resume is not None:
+            self._restore(resume)
+        self.objective.start(self._resume_elapsed)
         try:
-            self.algorithm.run(self.objective, self.space, rng)
+            if algorithm.is_ask_tell:
+                if resume is None:
+                    algorithm.setup(self.space)
+                on_step = None
+                if checkpoint_every > 0 and on_checkpoint is not None:
+                    steps = {"n": 0}
+
+                    def on_step() -> None:
+                        steps["n"] += 1
+                        if steps["n"] % checkpoint_every == 0:
+                            on_checkpoint(self.checkpoint())
+
+                algorithm.serial_drive(self.objective, rng, on_step=on_step)
+            else:
+                # Legacy algorithm implementing run() directly: no resume,
+                # no checkpoints, but the blocking loop still works.
+                algorithm.run(self.objective, self.space, rng)
         except BudgetExhausted:
             pass
         best = self.objective.best
@@ -92,7 +229,7 @@ class Calibrator:
                 "increase the budget"
             )
         return CalibrationResult(
-            algorithm=self.algorithm.name,
+            algorithm=algorithm.name,
             best_values=dict(best.values),
             best_value=best.value,
             evaluations=self.objective.evaluation_count,

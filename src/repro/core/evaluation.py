@@ -31,9 +31,27 @@ from repro.core.budget import Budget
 from repro.core.history import CalibrationHistory, Evaluation
 from repro.core.parameters import ParameterSpace
 
-__all__ = ["BudgetExhausted", "CacheBackend", "DictCache", "Evaluation", "Objective"]
+__all__ = [
+    "BudgetExhausted",
+    "CacheBackend",
+    "DictCache",
+    "Evaluation",
+    "Objective",
+    "unit_cache_key",
+]
 
 CacheKey = Tuple[float, ...]
+
+
+def unit_cache_key(unit: np.ndarray, decimals: int) -> CacheKey:
+    """The canonical cache key for a unit-cube point.
+
+    Every component that shares a cache (the serial :class:`Objective`,
+    the batched driver, the service's store adapter) must build keys
+    through this one function, or entries written by one stop matching
+    lookups from another.
+    """
+    return tuple(np.round(unit, decimals))
 
 
 class BudgetExhausted(Exception):
@@ -149,12 +167,18 @@ class Objective:
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
-    def start(self) -> None:
-        """Reset the clock (called by the calibrator right before running)."""
-        self._start_time = time.perf_counter()
+    def start(self, elapsed_offset: float = 0.0) -> None:
+        """Reset the clock (called by the calibrator right before running).
+
+        A resumed run passes the wall-clock its checkpoint had already
+        spent: the clock — and any time budget — then continues from there,
+        so new history timestamps stay monotone after the preloaded ones
+        and an interrupted time-budgeted run gets only its remaining time.
+        """
+        self._start_time = time.perf_counter() - elapsed_offset
         self._started = True
         if self.budget is not None:
-            self.budget.start()
+            self.budget.start(elapsed_offset)
 
     @property
     def elapsed(self) -> float:
@@ -175,7 +199,7 @@ class Objective:
     # evaluation
     # ------------------------------------------------------------------ #
     def _cache_key(self, unit: np.ndarray) -> CacheKey:
-        return tuple(np.round(unit, self.CACHE_DECIMALS))
+        return unit_cache_key(unit, self.CACHE_DECIMALS)
 
     def _budget_units(self) -> int:
         return (
@@ -197,6 +221,36 @@ class Objective:
                 cached=cached,
             )
         )
+
+    def preload(self, history: CalibrationHistory) -> None:
+        """Restore a prior partial run's evaluations (checkpoint resume).
+
+        Each record rejoins this objective's history and bookkeeping
+        exactly as it was accounted for originally: simulator invocations
+        count as invocations (and re-enter the cache, so in-run revisits
+        stay free after the resume), recorded cache hits count as hits,
+        and every point is marked seen.  The budget therefore picks up
+        where the interrupted run stopped instead of starting over.
+        """
+        if len(self.history) or self._invocations:
+            raise RuntimeError("preload() must run before any evaluation")
+        for evaluation in history:
+            unit = np.asarray(evaluation.unit, dtype=float)
+            key = self._cache_key(unit)
+            at = evaluation.started_at
+            if evaluation.cached:
+                self.cache_hits += 1
+                if key not in self._seen_keys:
+                    self._counted_hits += 1
+            else:
+                self._invocations += 1
+                if self._cache is not None:
+                    self._cache.put(key, dict(evaluation.values), evaluation.value)
+            self._seen_keys.add(key)
+            self._record(
+                dict(evaluation.values), unit, evaluation.value,
+                at, evaluation.finished_at, cached=evaluation.cached,
+            )
 
     def evaluate(self, values: Mapping[str, float]) -> float:
         """Evaluate the objective for a parameter-value dictionary."""

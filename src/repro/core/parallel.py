@@ -10,10 +10,17 @@ designs are embarrassingly parallel):
 * :class:`ParallelEvaluator` — evaluates a batch of parameter-value
   dictionaries with a process pool (or a thread pool, or serially) and
   records every evaluation in a :class:`~repro.core.history.CalibrationHistory`;
-* :class:`ParallelCalibrator` — repeatedly draws sampling batches,
-  evaluates them in parallel and stops when the budget is exhausted,
-  returning the same :class:`~repro.core.result.CalibrationResult` as the
-  sequential :class:`~repro.core.calibrator.Calibrator`.
+* :class:`BatchCalibrator` — drives *any* ask/tell
+  :class:`~repro.core.algorithms.CalibrationAlgorithm` through a
+  :class:`ParallelEvaluator` with ``k``-wide asks: population algorithms
+  (DE, CMA-ES, Sobol/LHS/grid/random designs) surface whole generations
+  that are evaluated ``workers`` at a time, optionally answering
+  candidates from a shared evaluation cache before dispatching them;
+* :class:`ParallelCalibrator` — the simpler space-filling special case:
+  repeatedly draws sampling batches, evaluates them in parallel and stops
+  when the budget is exhausted, returning the same
+  :class:`~repro.core.result.CalibrationResult` as the sequential
+  :class:`~repro.core.calibrator.Calibrator`.
 
 Process-based execution requires the objective function to be picklable —
 a plain function, or a callable object such as the case study's
@@ -31,13 +38,15 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.budget import Budget, EvaluationBudget
+from repro.core.algorithms import CalibrationAlgorithm, get_algorithm
+from repro.core.budget import Budget, EvaluationBudget, remaining_evaluations
+from repro.core.evaluation import CacheBackend, CacheKey, DictCache, Objective, unit_cache_key
 from repro.core.history import CalibrationHistory, Evaluation
 from repro.core.parameters import ParameterSpace
 from repro.core.result import CalibrationResult
 from repro.core.sampling import get_sampler
 
-__all__ = ["ParallelEvaluator", "ParallelCalibrator"]
+__all__ = ["ParallelEvaluator", "BatchCalibrator", "ParallelCalibrator"]
 
 ObjectiveFunction = Callable[[Dict[str, float]], float]
 
@@ -51,6 +60,7 @@ class ParallelEvaluator:
         space: ParameterSpace,
         workers: int = 4,
         mode: str = "process",
+        persistent: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("the number of workers must be at least 1")
@@ -60,6 +70,11 @@ class ParallelEvaluator:
         self.space = space
         self.workers = int(workers)
         self.mode = mode
+        #: keep the pool alive across batches — essential when a driver
+        #: dispatches many small batches (pool startup would otherwise
+        #: dominate); the owner must call :meth:`close` when finished
+        self.persistent = bool(persistent)
+        self._executor: Optional[Executor] = None
         self.history = CalibrationHistory()
         self._start_time = time.perf_counter()
 
@@ -81,6 +96,18 @@ class ParallelEvaluator:
     def reset_clock(self) -> None:
         self._start_time = time.perf_counter()
 
+    def close(self) -> None:
+        """Shut down a persistent pool (no-op otherwise)."""
+        if self._executor is not None:
+            executor, self._executor = self._executor, None
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ #
     # evaluation
     # ------------------------------------------------------------------ #
@@ -94,16 +121,22 @@ class ParallelEvaluator:
         if not batch:
             return []
         started_at = self.elapsed
-        executor = self._make_executor()
+        executor = self._executor if self._executor is not None else self._make_executor()
         if executor is None:
             values = [float(self.function(dict(candidate))) for candidate in batch]
         else:
             try:
                 values = [float(v) for v in executor.map(self.function, [dict(c) for c in batch])]
-            finally:
+            except BaseException:
                 # Guaranteed shutdown: when the objective raises in a worker,
                 # cancel the not-yet-started candidates instead of letting the
                 # pool drain them (and never leak worker processes).
+                self._executor = None
+                executor.shutdown(wait=True, cancel_futures=True)
+                raise
+            if self.persistent:
+                self._executor = executor
+            else:
                 executor.shutdown(wait=True, cancel_futures=True)
         finished_at = self.elapsed
         for candidate, value in zip(batch, values):
@@ -119,6 +152,268 @@ class ParallelEvaluator:
                 )
             )
         return values
+
+
+class BatchCalibrator:
+    """Budget-bounded parallel calibration of *any* ask/tell algorithm.
+
+    Where :class:`ParallelCalibrator` can only batch space-filling
+    samplers, this driver speaks the ask/tell protocol of
+    :class:`~repro.core.algorithms.CalibrationAlgorithm`: every iteration
+    asks the algorithm for up to ``batch_size`` candidates (population
+    algorithms surface whole generations, which are drained ``batch_size``
+    at a time), evaluates them concurrently and tells the results back.
+
+    Parameters
+    ----------
+    space, objective_function:
+        As for :class:`~repro.core.calibrator.Calibrator`; process-based
+        execution needs a picklable objective.
+    algorithm:
+        Registry name, or a configured instance; must implement the
+        native ask/tell hooks (all built-in algorithms do).
+    algorithm_options:
+        Constructor keyword arguments forwarded to
+        :func:`~repro.core.algorithms.get_algorithm` when ``algorithm``
+        is a name.
+    workers, mode:
+        Concurrency settings, see :class:`ParallelEvaluator`.
+    batch_size:
+        Candidates dispatched per evaluator round; defaults to
+        ``workers`` (the paper's one-simulation-per-core protocol).
+    budget:
+        Evaluation- or time-based budget (or a combination); evaluation
+        caps trim the final batch so the run never overshoots.
+    seed:
+        Seed for the algorithm's random number generator.
+    cache:
+        ``True`` (memoise in a fresh in-memory
+        :class:`~repro.core.evaluation.DictCache`), ``False`` (always
+        dispatch), or a shared :class:`~repro.core.evaluation.CacheBackend`
+        such as the service's store-backed cache.  Candidates answered by
+        the cache are *not* dispatched to the pool and, by default, do not
+        consume budget — the paper's "cache hits are free" semantics — so
+        a warm shared store lets each ask cost only its genuinely new
+        points.  The backend must not block in ``get``: a batch driver
+        looks several candidates up before dispatching any of them, so a
+        blocking single-flight backend could deadlock two concurrent
+        drivers against each other (each holding a leadership the other
+        waits on).  Pass ``StoreBackedCache(..., dedupe_in_flight=False)``
+        to share a service store; deduplication of concurrent identical
+        points is a serial-driver feature.
+    record_cache_hits, count_cache_hits:
+        Same semantics as on :class:`~repro.core.evaluation.Objective`:
+        when recording, hits enter the history as zero-duration
+        ``cached=True`` records (hits of a batch are recorded before its
+        dispatched evaluations); when counting, *first-seen* hits — points
+        served from pre-existing shared-store work — charge the budget
+        while in-run revisits stay free.  Supply ``count_cache_hits=True``
+        whenever an evaluation-budget run uses a warm shared cache,
+        otherwise a fully-warm run would never exhaust its budget.
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        objective_function: ObjectiveFunction,
+        algorithm: Union[str, CalibrationAlgorithm] = "random",
+        workers: int = 4,
+        mode: str = "process",
+        batch_size: Optional[int] = None,
+        budget: Optional[Budget] = None,
+        seed: int = 0,
+        cache: Union[bool, CacheBackend] = True,
+        algorithm_options: Optional[Dict[str, object]] = None,
+        record_cache_hits: bool = False,
+        count_cache_hits: bool = False,
+    ) -> None:
+        self.space = space
+        self.algorithm = get_algorithm(algorithm, **(algorithm_options or {}))
+        if not self.algorithm.is_ask_tell:
+            raise ValueError(
+                f"algorithm {self.algorithm.name!r} does not implement the ask/tell "
+                "protocol (legacy run()-only algorithms cannot be batched)"
+            )
+        # The pool persists across asks: sequential algorithms dispatch many
+        # small batches and must not pay a pool startup for each.
+        self.evaluator = ParallelEvaluator(
+            objective_function, space, workers=workers, mode=mode, persistent=True
+        )
+        self.batch_size = int(workers) if batch_size is None else int(batch_size)
+        if self.batch_size < 1:
+            raise ValueError("the batch size must be at least 1")
+        self.budget = budget if budget is not None else EvaluationBudget(100)
+        self.seed = seed
+        if isinstance(cache, CacheBackend):
+            if getattr(cache, "dedupe_in_flight", False):
+                raise ValueError(
+                    "a blocking single-flight cache can deadlock a batch driver "
+                    "(several leaderships are held before any dispatch); bind the "
+                    "store with dedupe_in_flight=False for batched calibration"
+                )
+            self._cache: Optional[CacheBackend] = cache
+        elif cache:
+            self._cache = DictCache()
+        else:
+            self._cache = None
+        self.record_cache_hits = bool(record_cache_hits)
+        self.count_cache_hits = bool(count_cache_hits)
+        self.cache_hits = 0
+
+    def _lookup(self, key, values: Dict[str, float]) -> Optional[float]:
+        if self._cache is None:
+            return None
+        return self._cache.get(key, values)
+
+    def _store(self, key, values: Dict[str, float], value: float) -> None:
+        if self._cache is not None:
+            self._cache.put(key, values, value)
+
+    def _cancel(self, key, values: Dict[str, float]) -> None:
+        if self._cache is not None:
+            self._cache.cancel(key, values)
+
+    def run(self) -> CalibrationResult:
+        """Ask, evaluate concurrently and tell until a stop condition.
+
+        The run ends when the budget is exhausted or the algorithm says it
+        is done, whichever comes first.
+        """
+        rng = np.random.default_rng(self.seed)
+        algorithm = self.algorithm
+        algorithm.setup(self.space)
+        self.budget.start()
+        self.evaluator.reset_clock()
+        self.cache_hits = 0
+        history = self.evaluator.history
+
+        try:
+            self._drive(rng)
+        finally:
+            self.evaluator.close()
+
+        best = history.best
+        if best is None:
+            raise RuntimeError("the budget was exhausted before a single evaluation completed")
+        return CalibrationResult(
+            algorithm=algorithm.name,
+            best_values=dict(best.values),
+            best_value=best.value,
+            evaluations=sum(1 for e in history if not e.cached),
+            elapsed=self.evaluator.elapsed,
+            history=history,
+            budget_description=self.budget.describe(),
+            seed=self.seed,
+        )
+
+    def _record_hit(self, mapping: Dict[str, float], value: float) -> None:
+        at = self.evaluator.elapsed
+        history = self.evaluator.history
+        # Round-trip the unit through value space, exactly like a computed
+        # record, so replayed histories compare equal.
+        history.record(
+            Evaluation(
+                index=len(history), values=dict(mapping),
+                unit=tuple(float(u) for u in self.space.to_unit_array(mapping)),
+                value=value, started_at=at, finished_at=at, cached=True,
+            )
+        )
+
+    def _drive(self, rng: np.random.Generator) -> None:
+        algorithm = self.algorithm
+        seen: set = set()
+        budget_units = 0  # dispatched evaluations + counted first-seen hits
+
+        while not self.budget.exhausted(budget_units) and not algorithm.done():
+            candidates = algorithm.ask(rng, self.batch_size)
+            if not candidates:
+                break
+            units = [self.space.clip_unit(c) for c in candidates]
+            mappings = [self.space.from_unit_array(u) for u in units]
+            # Keys are built from the *round-tripped* unit, exactly like
+            # Objective._cache_key: for non-injective parameters (integers)
+            # several asked units collapse onto one evaluated point, and
+            # they must share one cache entry and one budget charge.
+            keys = [
+                unit_cache_key(self.space.to_unit_array(m), Objective.CACHE_DECIMALS)
+                for m in mappings
+            ]
+
+            # Walk the batch in candidate order and keep the longest prefix
+            # the evaluation cap still affords, charging hits and dispatches
+            # exactly as the serial driver would — a warm run must stop at
+            # the same total as the cold run it replays.  With a cache, a
+            # candidate whose key already appeared earlier in the batch is
+            # an in-run revisit (the serial cache would serve it free): it
+            # is neither charged, looked up nor dispatched again; without a
+            # cache every copy is dispatched, again matching serial.  A
+            # cache miss makes this run responsible for the key, and every
+            # responsibility acquired here ends in put() or cancel().
+            remaining = remaining_evaluations(self.budget, budget_units)
+            hits: List[Optional[float]] = [None] * len(candidates)
+            take, cost = len(candidates), 0
+            first_index: Dict[CacheKey, int] = {}
+            for i in range(len(candidates)):
+                if self._cache is not None and keys[i] in first_index:
+                    continue  # within-batch revisit: resolved after dispatch
+                hit = self._lookup(keys[i], mappings[i])
+                hits[i] = hit
+                # A dispatch costs 1; a hit costs 1 only when it is
+                # first-seen and counting is on (serial Objective semantics).
+                first_seen = keys[i] not in seen
+                unit_cost = 1 if hit is None or (self.count_cache_hits and first_seen) else 0
+                if remaining is not None and cost + unit_cost > remaining:
+                    take = i
+                    if hit is None:
+                        # The lookup announced this run's responsibility for
+                        # a point it will never dispatch: release it.
+                        self._cancel(keys[i], mappings[i])
+                    break
+                cost += unit_cost
+                if self._cache is not None:
+                    first_index[keys[i]] = i
+
+            results: List[Optional[float]] = list(hits[:take])
+            for i in range(take):
+                if hits[i] is None:
+                    continue
+                self.cache_hits += 1
+                if self.count_cache_hits and keys[i] not in seen:
+                    budget_units += 1
+                seen.add(keys[i])
+                if self.record_cache_hits:
+                    self._record_hit(mappings[i], hits[i])
+            misses = [
+                i for i in range(take)
+                if hits[i] is None and (self._cache is None or first_index[keys[i]] == i)
+            ]
+            try:
+                values = self.evaluator.evaluate_batch([mappings[i] for i in misses])
+            except BaseException:
+                # The pool failed mid-batch: release the in-flight
+                # leaderships this run announced, or concurrent jobs
+                # waiting on these points would block forever.
+                for i in misses:
+                    self._cancel(keys[i], mappings[i])
+                raise
+            for value, i in zip(values, misses):
+                results[i] = value
+                seen.add(keys[i])
+                self._store(keys[i], mappings[i], value)
+            budget_units += len(misses)
+            # Within-batch revisits of a just-dispatched point are served
+            # from its result, like the serial cache would serve them.
+            for i in range(take):
+                if results[i] is None:
+                    results[i] = results[first_index[keys[i]]]
+                    self.cache_hits += 1
+                    if self.record_cache_hits:
+                        self._record_hit(mappings[i], results[i])
+            # On a truncated final batch only the affordable prefix is told;
+            # the run is over anyway, and an untold tail would poison the
+            # algorithm's next update with missing values.
+            if take:
+                algorithm.tell(list(candidates[:take]), [results[i] for i in range(take)])
 
 
 class ParallelCalibrator:
@@ -173,10 +468,11 @@ class ParallelCalibrator:
         while not self.budget.exhausted(len(history)):
             design = self.sampler(self.space.dimension, self.batch_size, rng)
             batch = [self.space.from_unit_array(row) for row in design]
-            # Trim the final batch when an evaluation budget would overshoot.
-            if isinstance(self.budget, EvaluationBudget):
-                remaining = self.budget.max_evaluations - len(history)
-                batch = batch[: max(remaining, 0)]
+            # Trim the final batch when an evaluation budget would overshoot
+            # (also when the cap hides inside a CombinedBudget).
+            remaining = remaining_evaluations(self.budget, len(history))
+            if remaining is not None:
+                batch = batch[:remaining]
             if not batch:
                 break
             self.evaluator.evaluate_batch(batch)

@@ -23,6 +23,7 @@ from typing import Callable, Dict, Mapping, Optional, Sequence, Union
 
 from repro.core.budget import Budget, EvaluationBudget
 from repro.core.calibrator import Calibrator
+from repro.core.parallel import BatchCalibrator
 from repro.core.metrics import MetricFunction, get_metric
 from repro.core.parameters import Parameter, ParameterSpace
 from repro.core.result import CalibrationResult
@@ -241,14 +242,38 @@ class CaseStudyProblem:
         algorithm: str = "random",
         budget: Optional[Budget] = None,
         seed: int = 0,
+        workers: int = 1,
+        mode: str = "process",
+        algorithm_options: Optional[Dict[str, object]] = None,
     ) -> CalibrationResult:
-        """Run one automated calibration and return its result."""
+        """Run one automated calibration and return its result.
+
+        With ``workers > 1`` the run goes through
+        :class:`~repro.core.parallel.BatchCalibrator`: the algorithm's
+        ask batches are evaluated concurrently (one simulation per core,
+        as in the paper's protocol — the objective is picklable, so the
+        default process pool works).  ``algorithm_options`` are forwarded
+        to the algorithm's constructor.
+        """
+        budget = budget if budget is not None else EvaluationBudget(100)
+        if workers > 1:
+            return BatchCalibrator(
+                self.space,
+                self.objective,
+                algorithm=algorithm,
+                budget=budget,
+                seed=seed,
+                workers=workers,
+                mode=mode,
+                algorithm_options=algorithm_options,
+            ).run()
         calibrator = Calibrator(
             self.space,
             self.objective,
             algorithm=algorithm,
-            budget=budget if budget is not None else EvaluationBudget(100),
+            budget=budget,
             seed=seed,
+            algorithm_options=algorithm_options,
         )
         return calibrator.run()
 

@@ -47,6 +47,16 @@ class CalibrationRequest:
     #: free-form request metadata, echoed into status reports (the CLI puts
     #: the platform/scale/metric specification here)
     metadata: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: constructor keyword arguments forwarded to the algorithm factory
+    #: (e.g. ``{"population_size": 8}`` for ``"cmaes"``)
+    algorithm_options: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: emit a ``checkpoint`` job event (carrying the full
+    #: :meth:`repro.core.calibrator.Calibrator.checkpoint` snapshot in its
+    #: payload) every this many completed evaluations; 0 disables
+    checkpoint_every: int = 0
+    #: a previously emitted checkpoint snapshot to resume from — the job
+    #: finishes the interrupted trajectory instead of replaying it
+    checkpoint: Optional[Dict[str, Any]] = None
 
 
 class JobStatus(str, enum.Enum):
@@ -79,16 +89,24 @@ class CalibrationJob:
         self.evaluations = 0
         self.elapsed = 0.0
         self.events: List[JobEvent] = []
+        self._seq = 0
         self._done = threading.Event()
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
-    def emit(self, kind: str, message: str, **payload: Any) -> JobEvent:
+    def emit(self, kind: str, message: str, store: bool = True, **payload: Any) -> JobEvent:
+        """Create the next event; ``store=False`` delivers it to
+        subscribers without retaining it on the job — used for checkpoint
+        events, whose payload is a full calibrator snapshot that would
+        otherwise pin every intermediate history copy in memory for the
+        server's lifetime."""
         with self._lock:
-            event = JobEvent(seq=len(self.events), kind=kind, message=message, payload=payload)
-            self.events.append(event)
+            event = JobEvent(seq=self._seq, kind=kind, message=message, payload=payload)
+            self._seq += 1
+            if store:
+                self.events.append(event)
         return event
 
     def mark_done(self) -> None:

@@ -22,7 +22,18 @@ a :class:`~repro.service.cache.StoreBackedCache` bound to the shared
 
 Progress is streamed as :class:`~repro.service.jobs.JobEvent` records to
 an optional ``on_event`` callback (submitted / started / progress /
-finished / failed).
+checkpoint / finished / failed).
+
+Jobs are resumable: a request with ``checkpoint_every > 0`` emits
+``checkpoint`` events whose payload is the calibrator's full snapshot
+(algorithm state, rng state, evaluation history; delivered to the
+callback only — snapshots are not retained on the job), and a request
+carrying a ``checkpoint`` picks the trajectory up mid-run — the restored
+evaluations re-enter the budget, the history *and* the shared store, so a
+killed-then-resubmitted job finishes with exactly the best point of an
+uninterrupted one without replaying the work already done (the CLI's
+``repro serve --checkpoint-every N``/``--resume`` persists these
+snapshots next to the job spool).
 """
 
 from __future__ import annotations
@@ -190,8 +201,28 @@ class CalibrationServer:
                 # revisits stay free, as in a plain calibrator).
                 record_cache_hits=True,
                 count_cache_hits=True,
+                algorithm_options=request.algorithm_options,
             )
-            result = calibrator.run()
+            on_checkpoint = None
+            if request.checkpoint_every > 0:
+
+                def on_checkpoint(state):
+                    # Delivered to subscribers only (store=False): snapshots
+                    # carry the full history and must not accumulate on the
+                    # job for the server's lifetime.
+                    self._emit(
+                        job,
+                        "checkpoint",
+                        f"{job.id}: checkpoint at {len(state['history'])} evaluations",
+                        store=False,
+                        state=state,
+                    )
+
+            result = calibrator.run(
+                resume=request.checkpoint,
+                checkpoint_every=request.checkpoint_every,
+                on_checkpoint=on_checkpoint,
+            )
         except Exception as exc:
             job.status = JobStatus.FAILED
             job.error = f"{type(exc).__name__}: {exc}"
@@ -230,8 +261,10 @@ class CalibrationServer:
 
         return wrapped
 
-    def _emit(self, job: CalibrationJob, kind: str, message: str, **payload) -> None:
-        event = job.emit(kind, message, **payload)
+    def _emit(
+        self, job: CalibrationJob, kind: str, message: str, store: bool = True, **payload
+    ) -> None:
+        event = job.emit(kind, message, store=store, **payload)
         if self.on_event is not None:
             try:
                 self.on_event(job, event)

@@ -10,6 +10,7 @@ submit`` drops job specifications into, ``repro serve`` drains, and
         jobs/job-0001.json           # specification + live status fields
         results/job-0001.json        # full CalibrationResult (reloadable)
         results/job-0001.history.jsonl   # per-evaluation JSON Lines
+        checkpoints/job-0001.json    # latest mid-run calibrator snapshot
         store.jsonl                  # default shared evaluation store
 
 Job files double as status records: the server rewrites them (atomically,
@@ -38,8 +39,10 @@ class JobSpool:
         self.root = Path(root)
         self.jobs_dir = self.root / "jobs"
         self.results_dir = self.root / "results"
+        self.checkpoints_dir = self.root / "checkpoints"
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
         self.results_dir.mkdir(parents=True, exist_ok=True)
+        self.checkpoints_dir.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------ #
     # paths
@@ -57,6 +60,9 @@ class JobSpool:
 
     def history_path(self, job_id: str) -> Path:
         return self.results_dir / f"{job_id}.history.jsonl"
+
+    def checkpoint_path(self, job_id: str) -> Path:
+        return self.checkpoints_dir / f"{job_id}.json"
 
     # ------------------------------------------------------------------ #
     # submission
@@ -157,6 +163,29 @@ class JobSpool:
 
     def read_result(self, job_id: str) -> CalibrationResult:
         return load_result(self.result_path(job_id))
+
+    # ------------------------------------------------------------------ #
+    # checkpoints (crash/resume support)
+    # ------------------------------------------------------------------ #
+    def write_checkpoint(self, job_id: str, state: Dict[str, Any]) -> Path:
+        """Atomically persist the latest calibrator snapshot of a job."""
+        path = self.checkpoint_path(job_id)
+        self._write_json(path, state)
+        return path
+
+    def read_checkpoint(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The last persisted snapshot, or ``None`` if there is none."""
+        path = self.checkpoint_path(job_id)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def clear_checkpoint(self, job_id: str) -> None:
+        """Drop a job's snapshot (called once the job has finished)."""
+        try:
+            self.checkpoint_path(job_id).unlink()
+        except FileNotFoundError:
+            pass
 
     # ------------------------------------------------------------------ #
     # plumbing

@@ -1,0 +1,60 @@
+"""Capture reference trajectories for the serial-parity fixture.
+
+Run from the repository root (PYTHONPATH=src) to regenerate
+``seed_trajectories.json``.  The checked-in fixture was captured at the
+pre-ask/tell seed implementation (commit c0f3f5b), so the parity test in
+``tests/core/test_ask_tell.py`` proves the ask/tell base class reproduces
+the original blocking-loop trajectories byte for byte.  Do not regenerate
+it from a post-refactor tree unless a trajectory change is intentional.
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.core import ALGORITHMS, Calibrator, EvaluationBudget, Parameter, ParameterSpace
+
+SEED = 7
+EVALUATIONS = 300
+DIMENSION = 3
+
+
+def make_space():
+    return ParameterSpace([Parameter(f"p{i}", 2.0**10, 2.0**30) for i in range(DIMENSION)])
+
+
+def objective_for(space):
+    def objective(values):
+        unit = space.to_unit_array(values)
+        return float(np.sum((unit - 0.37) ** 2)) * 100.0 + float(
+            np.sum(1.0 - np.cos(5.0 * np.pi * (unit - 0.37)))
+        )
+
+    return objective
+
+
+def main():
+    out = {"seed": SEED, "evaluations": EVALUATIONS, "dimension": DIMENSION, "trajectories": {}}
+    for name in sorted(ALGORITHMS):
+        space = make_space()
+        calibrator = Calibrator(
+            space,
+            objective_for(space),
+            algorithm=name,
+            budget=EvaluationBudget(EVALUATIONS),
+            seed=SEED,
+        )
+        result = calibrator.run()
+        out["trajectories"][name] = [
+            {"unit": list(e.unit), "value": e.value} for e in result.history
+        ]
+        print(f"{name:12s} {len(result.history)} evaluations, best {result.best_value:.6f}")
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "seed_trajectories.json")
+    with open(path, "w") as handle:
+        json.dump(out, handle)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,153 @@
+"""Checkpoint/resume determinism for every registered algorithm.
+
+The contract: run N evaluations, snapshot the calibrator (algorithm
+state + rng state + history), load the snapshot into a fresh calibrator
+in a fresh process (emulated by a JSON round-trip), and the remaining
+trajectory — every evaluation, in order — must be identical to a run
+that was never interrupted.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALGORITHMS,
+    Calibrator,
+    EvaluationBudget,
+    Parameter,
+    ParameterSpace,
+    TimeBudget,
+)
+
+TOTAL = 90
+CUT = 37  # deliberately mid-generation for every population algorithm
+SEED = 11
+
+
+def make_space(dimension=3):
+    return ParameterSpace([Parameter(f"p{i}", 2.0**10, 2.0**30) for i in range(dimension)])
+
+
+def objective_for(space):
+    def objective(values):
+        unit = space.to_unit_array(values)
+        return float(np.sum((unit - 0.37) ** 2)) * 100.0
+
+    return objective
+
+
+def trajectory(result):
+    return [(e.unit, e.value, e.cached) for e in result.history]
+
+
+class TestResumeDeterminism:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_interrupted_run_finishes_identically(self, name):
+        space = make_space()
+        uninterrupted = Calibrator(
+            space, objective_for(space), algorithm=name,
+            budget=EvaluationBudget(TOTAL), seed=SEED,
+        ).run()
+
+        # First leg: stop after CUT evaluations, keeping the snapshot taken
+        # exactly there.
+        snapshots = []
+        Calibrator(
+            space, objective_for(space), algorithm=name,
+            budget=EvaluationBudget(CUT), seed=SEED,
+        ).run(checkpoint_every=CUT, on_checkpoint=snapshots.append)
+        assert snapshots, f"{name}: no checkpoint was emitted"
+        snapshot = json.loads(json.dumps(snapshots[-1]))  # fresh-process emulation
+        # checkpoint_every counts completed steps; algorithms that revisit
+        # cached points have fewer *recorded* evaluations than steps.
+        assert 0 < len(snapshot["history"]) <= CUT
+
+        # Second leg: a fresh calibrator resumes and finishes the budget.
+        resumed = Calibrator(
+            space, objective_for(space), algorithm=name,
+            budget=EvaluationBudget(TOTAL), seed=SEED,
+        ).run(resume=snapshot)
+        assert trajectory(resumed) == trajectory(uninterrupted)
+        assert resumed.best_value == uninterrupted.best_value
+        assert resumed.best_values == uninterrupted.best_values
+
+    def test_periodic_checkpoints_count_evaluations(self):
+        space = make_space(2)
+        snapshots = []
+        Calibrator(
+            space, objective_for(space), algorithm="random",
+            budget=EvaluationBudget(30), seed=0,
+        ).run(checkpoint_every=10, on_checkpoint=snapshots.append)
+        assert [len(s["history"]) for s in snapshots] == [10, 20, 30]
+
+    def test_resume_with_wrong_algorithm_is_rejected(self):
+        space = make_space(2)
+        snapshots = []
+        Calibrator(
+            space, objective_for(space), algorithm="random",
+            budget=EvaluationBudget(10), seed=0,
+        ).run(checkpoint_every=5, on_checkpoint=snapshots.append)
+        other = Calibrator(
+            space, objective_for(space), algorithm="lhs",
+            budget=EvaluationBudget(20), seed=0,
+        )
+        with pytest.raises(ValueError):
+            other.run(resume=snapshots[-1])
+
+    def test_resume_continues_the_wall_clock(self):
+        """A resumed run inherits the checkpoint's elapsed time: time
+        budgets get only their remaining seconds (not a fresh allowance)
+        and new history timestamps stay monotone after the spliced-in
+        records."""
+        space = make_space(2)
+        snapshots = []
+        Calibrator(
+            space, objective_for(space), algorithm="random",
+            budget=EvaluationBudget(10), seed=0,
+        ).run(checkpoint_every=10, on_checkpoint=snapshots.append)
+        snapshot = snapshots[-1]
+        assert snapshot["elapsed"] > 0
+
+        # Time budget: a checkpoint claiming more elapsed time than the
+        # whole allowance leaves nothing to spend — no new evaluations.
+        stale = {**snapshot, "elapsed": 3600.0}
+        resumed = Calibrator(
+            space, objective_for(space), algorithm="random",
+            budget=TimeBudget(5.0), seed=0,
+        ).run(resume=stale)
+        assert resumed.evaluations == 10  # only the restored records
+
+        # Monotone timestamps across the splice.
+        continued = Calibrator(
+            space, objective_for(space), algorithm="random",
+            budget=EvaluationBudget(20), seed=0,
+        ).run(resume=json.loads(json.dumps(snapshot)))
+        stamps = [e.started_at for e in continued.history]
+        assert stamps == sorted(stamps)
+        assert stamps[10] >= snapshot["elapsed"]
+
+    def test_resume_restores_budget_accounting(self):
+        """A resumed run performs only the missing evaluations."""
+        space = make_space(2)
+        calls = {"n": 0}
+
+        def counting_objective(values):
+            calls["n"] += 1
+            unit = space.to_unit_array(values)
+            return float(np.sum((unit - 0.37) ** 2))
+
+        snapshots = []
+        Calibrator(
+            space, counting_objective, algorithm="lhs",
+            budget=EvaluationBudget(20), seed=3,
+        ).run(checkpoint_every=20, on_checkpoint=snapshots.append)
+        assert calls["n"] == 20
+        calls["n"] = 0
+        resumed = Calibrator(
+            space, counting_objective, algorithm="lhs",
+            budget=EvaluationBudget(50), seed=3,
+        ).run(resume=json.loads(json.dumps(snapshots[-1])))
+        assert calls["n"] == 30  # not 50: the first 20 came from the snapshot
+        assert resumed.evaluations == 50

@@ -1,0 +1,152 @@
+"""Crash/resume of service jobs: checkpoint events, spool persistence,
+and the acceptance property — a killed-then-resumed job finishes with the
+same best point as an uninterrupted one.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import EvaluationBudget, Parameter, ParameterSpace
+from repro.service import CalibrationRequest, CalibrationServer, InMemoryStore, JobSpool
+
+
+def make_space(dimension=3):
+    return ParameterSpace([Parameter(f"p{i}", 2.0**10, 2.0**30) for i in range(dimension)])
+
+
+def make_objective(space, crash_after=None):
+    """A deterministic objective that optionally dies mid-calibration."""
+    calls = {"n": 0}
+    lock = threading.Lock()
+
+    def objective(values):
+        with lock:
+            calls["n"] += 1
+            if crash_after is not None and calls["n"] > crash_after:
+                raise RuntimeError("simulated worker crash")
+        unit = space.to_unit_array(values)
+        return float(np.sum((unit - 0.37) ** 2)) * 100.0
+
+    objective.calls = calls
+    return objective
+
+
+def run_job(request, store=None):
+    """Run one job to completion; returns (job, checkpoint snapshots).
+
+    Checkpoint events are delivered to the ``on_event`` callback only (they
+    are deliberately not retained on the job), so the snapshots must be
+    captured here — exactly what the CLI's spool persistence does.
+    """
+    snapshots = []
+
+    def on_event(job, event):
+        if event.kind == "checkpoint":
+            snapshots.append(event.payload["state"])
+
+    with CalibrationServer(store=store or InMemoryStore(), workers=1,
+                           on_event=on_event) as server:
+        job = server.submit(request)
+        job.wait()
+    return job, snapshots
+
+
+class TestServerCheckpointEvents:
+    def test_checkpoint_events_carry_resumable_state(self):
+        space = make_space(2)
+        request = CalibrationRequest(
+            space=space, objective=make_objective(space), fingerprint="fp-ckpt",
+            algorithm="annealing", budget=EvaluationBudget(30), seed=3,
+            checkpoint_every=10,
+        )
+        job, snapshots = run_job(request)
+        assert [len(s["history"]) for s in snapshots] == [10, 20, 30]
+        assert snapshots[0]["algorithm"] == "annealing"
+        assert snapshots[0]["seed"] == 3
+        json.dumps(snapshots[0])  # must be spool-persistable as-is
+        # Snapshots are streamed, not retained on the job's event log.
+        assert not any(e.kind == "checkpoint" for e in job.events)
+
+    def test_jobs_without_checkpointing_emit_none(self):
+        space = make_space(2)
+        job, snapshots = run_job(CalibrationRequest(
+            space=space, objective=make_objective(space), fingerprint="fp-none",
+            algorithm="random", budget=EvaluationBudget(10),
+        ))
+        assert snapshots == []
+        assert not any(e.kind == "checkpoint" for e in job.events)
+
+
+class TestKilledThenResumedJob:
+    @pytest.mark.parametrize("algorithm", ["random", "cmaes", "gdfix"])
+    def test_resumed_job_matches_uninterrupted_best(self, algorithm):
+        space = make_space()
+        budget = 60
+
+        def request_for(objective, checkpoint=None):
+            return CalibrationRequest(
+                space=space, objective=objective, fingerprint=f"fp-{algorithm}",
+                algorithm=algorithm, budget=EvaluationBudget(budget), seed=7,
+                checkpoint_every=10, checkpoint=checkpoint,
+            )
+
+        reference, _ = run_job(request_for(make_objective(space)))
+        assert reference.status.value == "done"
+
+        # The same job, but the simulator dies after 25 evaluations.
+        crashed, snapshots = run_job(request_for(make_objective(space, crash_after=25)))
+        assert crashed.status.value == "failed"
+        assert snapshots, "the crashed job left no checkpoint behind"
+        last = json.loads(json.dumps(snapshots[-1]))
+        assert 0 < len(last["history"]) < budget
+
+        # Resubmit with the snapshot: the job finishes the trajectory.
+        resumed, _ = run_job(request_for(make_objective(space), checkpoint=last))
+        assert resumed.status.value == "done"
+        assert resumed.result.best_value == reference.result.best_value
+        assert resumed.result.best_values == reference.result.best_values
+        assert [e.value for e in resumed.result.history] == [
+            e.value for e in reference.result.history
+        ]
+        # Only the missing evaluations were simulated after the resume.
+        assert resumed.evaluations == budget
+
+    def test_resume_replays_nothing_through_the_store(self):
+        """The resumed leg only pays for evaluations past the snapshot."""
+        space = make_space(2)
+        objective = make_objective(space)
+        crashing = make_objective(space, crash_after=25)
+        store = InMemoryStore()
+
+        def request_for(obj, checkpoint=None, fresh_store=None):
+            return CalibrationRequest(
+                space=space, objective=obj, fingerprint="fp-replay",
+                algorithm="lhs", budget=EvaluationBudget(40), seed=1,
+                checkpoint_every=10, checkpoint=checkpoint,
+            )
+
+        crashed, snapshots = run_job(request_for(crashing), store=store)
+        assert crashed.status.value == "failed"
+        last = snapshots[-1]
+        resumed, _ = run_job(request_for(objective, checkpoint=last), store=InMemoryStore())
+        assert resumed.status.value == "done"
+        # 20 evaluations were restored, so only 20 new calls were needed.
+        assert objective.calls["n"] == 20
+
+
+class TestSpoolCheckpoints:
+    def test_checkpoint_roundtrip_and_clear(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool")
+        assert spool.read_checkpoint("job-0001") is None
+        state = {"version": 1, "algorithm": "random", "history": []}
+        path = spool.write_checkpoint("job-0001", state)
+        assert path.exists()
+        assert spool.read_checkpoint("job-0001") == state
+        spool.write_checkpoint("job-0001", {**state, "algorithm": "lhs"})
+        assert spool.read_checkpoint("job-0001")["algorithm"] == "lhs"
+        spool.clear_checkpoint("job-0001")
+        assert spool.read_checkpoint("job-0001") is None
+        spool.clear_checkpoint("job-0001")  # idempotent
