@@ -75,13 +75,19 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     problem = CaseStudyProblem.create(scenario, generator=generator, metric=args.metric)
     result = problem.calibrate(
         algorithm=args.algorithm, budget=_budget(args), seed=args.seed,
-        workers=args.workers,
+        workers=args.workers, asynchronous=args.use_async,
+        max_pending=args.max_pending,
     )
     values = problem.calibrated_values(result)
 
+    if args.use_async:
+        driver_note = f" (async, {args.workers} workers)"
+    elif args.workers > 1:
+        driver_note = f" (batched, {args.workers} workers)"
+    else:
+        driver_note = ""
     print(f"platform           : {args.platform} ({scenario.config.description})")
-    print(f"algorithm          : {result.algorithm}"
-          + (f" (batched, {args.workers} workers)" if args.workers > 1 else ""))
+    print(f"algorithm          : {result.algorithm}{driver_note}")
     print(f"budget             : {result.budget_description}")
     print(f"evaluations        : {result.evaluations}")
     print(f"elapsed            : {result.elapsed:.1f} s")
@@ -373,7 +379,11 @@ calibration service:
   with the same best point as an uninterrupted run — instead of
   replaying it.  The same protocol powers `repro calibrate --workers K`,
   which evaluates each algorithm's candidate batches over K processes
-  (one simulation per core, the paper's parallel protocol).
+  (one simulation per core, the paper's parallel protocol); adding
+  `--async` switches to the asynchronous driver, which asks speculatively
+  whenever a worker frees up and tells results out of order as they
+  complete — under skewed simulation times the pool never idles waiting
+  for a batch's slowest member (`--max-pending N` bounds in-flight work).
 """
 
 
@@ -403,6 +413,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_cal.add_argument("--workers", type=int, default=1,
                        help="evaluate the algorithm's ask batches over this many "
                             "processes (1 = the paper's serial loop)")
+    p_cal.add_argument("--async", dest="use_async", action="store_true",
+                       help="asynchronous out-of-order driving: ask speculatively "
+                            "whenever a worker frees up and tell results as they "
+                            "complete, instead of waiting for each batch's slowest "
+                            "simulation (random/sobol/lhs/tpe consume results "
+                            "natively; other algorithms are buffered back into "
+                            "ask order and reproduce the serial trajectory)")
+    p_cal.add_argument("--max-pending", type=int, default=None, metavar="N",
+                       help="with --async, bound on in-flight simulations "
+                            "(default: --workers)")
     p_cal.add_argument("--compare", action="store_true", help="also score the HUMAN and true calibrations")
     p_cal.add_argument("--report", action="store_true", help="print a convergence report")
     p_cal.add_argument("--save", default=None, metavar="PATH", help="write the result (with history) to a JSON file")

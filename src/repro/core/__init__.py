@@ -62,6 +62,7 @@ from repro.core.metrics import (
     mean_relative_error,
     root_mean_squared_error,
 )
+from repro.core.async_driver import AsyncCalibrator, OrderedTellAdapter
 from repro.core.parallel import BatchCalibrator, ParallelCalibrator, ParallelEvaluator
 from repro.core.parameters import Parameter, ParameterSpace
 from repro.core.reporting import calibration_report, convergence_sparkline
@@ -88,6 +89,7 @@ from repro.core.tradeoff import TradeoffPoint, dominated_fraction, knee_point, p
 
 __all__ = [
     "ALGORITHMS",
+    "AsyncCalibrator",
     "BatchCalibrator",
     "BayesianOptimization",
     "Budget",
@@ -113,6 +115,7 @@ __all__ = [
     "NelderMead",
     "NoImprovementStopper",
     "Objective",
+    "OrderedTellAdapter",
     "ParallelCalibrator",
     "ParallelEvaluator",
     "Parameter",

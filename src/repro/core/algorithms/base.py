@@ -26,6 +26,27 @@ the full search state as JSON-compatible primitives — together with the
 driver's RNG state this makes any run checkpointable and resumable
 mid-trajectory (see :meth:`repro.core.calibrator.Calibrator.checkpoint`).
 
+Two tell orderings exist, selected by the class attribute
+``supports_async_tell``:
+
+* *ordered* (the default): tells must arrive in ask order, and a new
+  internal batch cannot be generated while candidates of the current one
+  are still outstanding.  Population algorithms (CMA-ES, DE, Nelder-Mead,
+  line searches) are inherently ordered — a generation is a unit.
+* *async-native* (``supports_async_tell = True``): the algorithm is a
+  steady-state sampler whose proposals do not depend on a rigid
+  generation boundary (random, Sobol, Latin hypercube, TPE).  ``ask`` may
+  then run arbitrarily far ahead of the tells (speculative asks), and
+  ``tell`` accepts (candidate, value) pairs in *any completion order* —
+  each pair is matched against the ledger of outstanding candidates and
+  handed to ``_observe`` immediately.  This is what lets
+  :class:`~repro.core.async_driver.AsyncCalibrator` keep a worker pool
+  saturated without waiting for stragglers.
+
+Ordered algorithms still work under the asynchronous driver: the driver
+wraps them in :class:`~repro.core.async_driver.OrderedTellAdapter`, which
+buffers out-of-order completions and releases them in ask order.
+
 The paper's original blocking loop lives on as :meth:`run`, implemented
 once here as the *serial driver* (``ask(rng, 1)`` → evaluate → ``tell``
 until the objective raises
@@ -102,13 +123,24 @@ class CalibrationAlgorithm:
     #: registry name; subclasses must override it
     name: str = "abstract"
 
+    #: Capability flag: steady-state samplers that can ingest results in
+    #: any completion order (and keep proposing while earlier candidates
+    #: are still in flight) set this to True.  Ordered algorithms leave it
+    #: False and are adapted by the asynchronous driver instead.
+    supports_async_tell: bool = False
+
     def __init__(self) -> None:
         self._space: Optional[ParameterSpace] = None
         self._rng: Optional[np.random.Generator] = None
+        # ordered-protocol ledger: one internal batch at a time
         self._batch: List[np.ndarray] = []
         self._dispatched = 0
         self._told = 0
         self._values: List[float] = []
+        # async-native ledger: generated-but-unasked surplus + asked-but-
+        # untold candidates (used when supports_async_tell is True)
+        self._queue: List[np.ndarray] = []
+        self._outstanding: List[np.ndarray] = []
         self._finished = False
 
     # ------------------------------------------------------------------ #
@@ -134,6 +166,8 @@ class CalibrationAlgorithm:
         self._dispatched = 0
         self._told = 0
         self._values = []
+        self._queue = []
+        self._outstanding = []
         self._finished = False
         self._setup()
 
@@ -147,16 +181,22 @@ class CalibrationAlgorithm:
     def ask(self, rng: np.random.Generator, n: int = 1) -> List[np.ndarray]:
         """Return up to ``n`` candidates (unit-cube points) to evaluate.
 
-        Returns fewer than ``n`` (possibly none) when the current internal
-        batch runs out and the next one cannot be generated before the
-        outstanding candidates are told.  An empty list with ``done()``
-        still false therefore means "tell me what you have first".
+        Ordered algorithms return fewer than ``n`` (possibly none) when
+        the current internal batch runs out and the next one cannot be
+        generated before the outstanding candidates are told.  An empty
+        list with ``done()`` still false therefore means "tell me what you
+        have first".  Async-native algorithms
+        (``supports_async_tell = True``) never stall on outstanding
+        candidates: they keep generating speculatively, so an empty list
+        from them always means ``done()``.
         """
         if n < 1:
             raise ValueError("ask() needs n >= 1")
         if self._space is None:
             raise RuntimeError(f"{self.name}: call setup(space) before ask/tell")
         self._rng = rng  # tell-side draws use the rng of the latest ask
+        if self.supports_async_tell:
+            return self._ask_freely(rng, n)
         out: List[np.ndarray] = []
         while len(out) < n and not self._finished:
             if self._dispatched >= len(self._batch):
@@ -175,10 +215,36 @@ class CalibrationAlgorithm:
             self._dispatched += take
         return out
 
+    def _ask_freely(self, rng: np.random.Generator, n: int) -> List[np.ndarray]:
+        """Async-native ask: draw from the surplus queue, generating more
+        whenever it runs dry, regardless of outstanding candidates."""
+        out: List[np.ndarray] = []
+        while len(out) < n and not self._finished:
+            if not self._queue:
+                batch = self._generate(rng, n - len(out))
+                if not batch:
+                    self._finished = True
+                    break
+                self._queue = [np.asarray(c, dtype=float) for c in batch]
+            take = min(n - len(out), len(self._queue))
+            out.extend(self._queue[:take])
+            del self._queue[:take]
+        self._outstanding.extend(out)
+        return out
+
     def tell(self, candidates: Sequence[np.ndarray], values: Sequence[float]) -> None:
-        """Report results for asked candidates, in ask order."""
+        """Report results for asked candidates.
+
+        Ordered algorithms require tells in ask order (chunked tells are
+        fine); async-native algorithms accept the (candidate, value) pairs
+        in any completion order — each pair is matched against the
+        outstanding ledger and observed immediately.
+        """
         if len(candidates) != len(values):
             raise ValueError("tell() needs one value per candidate")
+        if self.supports_async_tell:
+            self._tell_out_of_order(candidates, values)
+            return
         if self._told + len(values) > self._dispatched:
             raise ValueError(
                 f"{self.name}: told {self._told + len(values)} results but only "
@@ -193,6 +259,28 @@ class CalibrationAlgorithm:
             self._told = 0
             self._observe(batch, observed)
 
+    def _tell_out_of_order(
+        self, candidates: Sequence[np.ndarray], values: Sequence[float]
+    ) -> None:
+        """Match each pair against the outstanding ledger (FIFO on equal
+        points, so duplicates resolve deterministically) and observe it."""
+        matched: List[np.ndarray] = []
+        observed: List[float] = []
+        for candidate, value in zip(candidates, values):
+            arr = np.asarray(candidate, dtype=float)
+            for i, pending in enumerate(self._outstanding):
+                if pending.shape == arr.shape and np.array_equal(pending, arr):
+                    del self._outstanding[i]
+                    break
+            else:
+                raise ValueError(
+                    f"{self.name}: told a candidate that was never asked "
+                    f"(or was already told): {arr!r}"
+                )
+            matched.append(arr)
+            observed.append(float(value))
+        self._observe(matched, observed)
+
     # ------------------------------------------------------------------ #
     # protocol: checkpointing
     # ------------------------------------------------------------------ #
@@ -203,15 +291,29 @@ class CalibrationAlgorithm:
         after :meth:`load_state_dict` they are handed out again by the
         next :meth:`ask`, so a resumed run re-dispatches exactly the work
         a crashed driver lost.
+
+        The returned dictionary has three keys: ``name`` (the registry
+        name, checked on restore), ``base`` (the protocol ledger — the
+        ordered batch buffer, or the queue/outstanding ledger for
+        async-native algorithms) and ``state`` (the subclass's private
+        search state from :meth:`_state_dict`).
         """
-        return {
-            "name": self.name,
-            "base": {
+        if self.supports_async_tell:
+            base: Dict[str, Any] = {
+                "queue": _as_lists(self._queue),
+                "outstanding": _as_lists(self._outstanding),
+                "finished": self._finished,
+            }
+        else:
+            base = {
                 "batch": _as_lists(self._batch),
                 "told": self._told,
                 "values": list(self._values),
                 "finished": self._finished,
-            },
+            }
+        return {
+            "name": self.name,
+            "base": base,
             "state": self._state_dict(),
         }
 
@@ -224,10 +326,17 @@ class CalibrationAlgorithm:
                 f"checkpoint is for algorithm {state.get('name')!r}, not {self.name!r}"
             )
         base = state["base"]
-        self._batch = _as_arrays(base["batch"])
-        self._told = int(base["told"])
-        self._dispatched = self._told  # re-dispatch asked-but-untold candidates
-        self._values = [float(v) for v in base["values"]]
+        if self.supports_async_tell:
+            # Asked-but-untold candidates are re-dispatched first, then the
+            # generated-but-unasked surplus, so a resumed run walks the
+            # exact remaining trajectory.
+            self._queue = _as_arrays(base["outstanding"]) + _as_arrays(base["queue"])
+            self._outstanding = []
+        else:
+            self._batch = _as_arrays(base["batch"])
+            self._told = int(base["told"])
+            self._dispatched = self._told  # re-dispatch asked-but-untold candidates
+            self._values = [float(v) for v in base["values"]]
         self._finished = bool(base["finished"])
         self._load_state_dict(state["state"])
 

@@ -28,6 +28,9 @@ class LatinHypercubeSearch(CalibrationAlgorithm):
     """Batched Latin hypercube sampling."""
 
     name = "lhs"
+    #: the design is fixed per batch and batches are independent — results
+    #: can be ingested in any completion order
+    supports_async_tell = True
 
     def __init__(self, batch_size: int = 32, max_batches: int = 1_000_000) -> None:
         super().__init__()

@@ -27,6 +27,8 @@ class RandomSearch(CalibrationAlgorithm):
     """Uniform random sampling of the (log-scaled) parameter space."""
 
     name = "random"
+    #: samples are i.i.d. — results can be ingested in any completion order
+    supports_async_tell = True
 
     def __init__(self, max_iterations: int = 10_000_000) -> None:
         super().__init__()

@@ -37,6 +37,8 @@ class SobolSearch(CalibrationAlgorithm):
     """
 
     name = "sobol"
+    #: the sequence is fixed a priori — results can arrive in any order
+    supports_async_tell = True
 
     def __init__(self, batch_size: int = 64, max_batches: int = 1_000_000) -> None:
         super().__init__()

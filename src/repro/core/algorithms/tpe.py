@@ -37,6 +37,10 @@ class TPESearch(CalibrationAlgorithm):
     """Tree-structured Parzen Estimator with per-dimension Parzen windows."""
 
     name = "tpe"
+    #: steady-state model-based sampler: every completed result refines the
+    #: Parzen model immediately, whatever order results arrive in, and new
+    #: proposals can be drawn while older candidates are still in flight
+    supports_async_tell = True
 
     def __init__(
         self,

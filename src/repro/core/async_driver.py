@@ -1,0 +1,478 @@
+"""Asynchronous, out-of-order calibration driving.
+
+:class:`~repro.core.parallel.BatchCalibrator` runs lock-step generations:
+every ``k``-wide batch waits for its slowest evaluation before the next
+batch is dispatched, so with heavy-tailed simulator latencies — the
+paper's own speed/accuracy measurements show minutes-scale, highly
+variable invocation times — most workers sit idle most of the time.
+:class:`AsyncCalibrator` removes that barrier:
+
+* it **asks speculatively** whenever a worker frees up, keeping up to
+  ``max_pending`` candidates in flight at all times;
+* it **tells out of order**, feeding each result back the moment its
+  future completes instead of waiting for batch-mates;
+* cache consultation uses the **non-blocking claim/lease protocol** of
+  :class:`~repro.core.evaluation.CacheBackend`, so a point being computed
+  by a concurrent driver is simply *deferred* (polled between
+  completions) while the pool keeps churning through fresh work.
+
+Algorithms participate at one of two levels:
+
+* **async-native** (``supports_async_tell = True``: random, Sobol, Latin
+  hypercube, TPE) consume out-of-order results directly — no barrier
+  exists anywhere, the pool never drains;
+* **ordered** algorithms (populations, line searches) are wrapped in
+  :class:`OrderedTellAdapter`, which buffers completions and releases
+  them to ``tell`` in ask order.  Within a generation the pool stays
+  saturated; the only barrier left is the algorithm's own generation
+  boundary.  Because the adapter restores exact ask order, a seeded
+  asynchronous run visits byte-for-byte the serial driver's trajectory,
+  whatever order the futures complete in.
+
+All algorithm interaction (ask/tell) happens on the driver thread — the
+pool only ever runs the objective function — so algorithms need no
+locking.  Process-based execution requires a picklable objective, exactly
+as for :class:`~repro.core.parallel.BatchCalibrator`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.algorithms import CalibrationAlgorithm, get_algorithm
+from repro.core.budget import Budget, EvaluationBudget, remaining_evaluations
+from repro.core.evaluation import (
+    CacheBackend,
+    CacheKey,
+    Claim,
+    DictCache,
+    Objective,
+    unit_cache_key,
+)
+from repro.core.history import Evaluation
+from repro.core.parallel import ObjectiveFunction, ParallelEvaluator
+from repro.core.parameters import ParameterSpace
+from repro.core.result import CalibrationResult
+
+__all__ = ["AsyncCalibrator", "OrderedTellAdapter"]
+
+
+class OrderedTellAdapter:
+    """Buffers out-of-order completions into ask order for any algorithm.
+
+    The default adapter of :class:`AsyncCalibrator`: candidates are
+    numbered as they are asked, completed results are parked until every
+    earlier candidate has completed too, and the contiguous prefix is
+    released to :meth:`~repro.core.algorithms.CalibrationAlgorithm.tell`
+    in exact ask order.  The wrapped algorithm therefore observes the same
+    (candidate, value) stream a serial driver would have produced — this
+    is what makes asynchronous runs of population algorithms reproduce
+    serial trajectories byte for byte.
+    """
+
+    def __init__(self, algorithm: CalibrationAlgorithm) -> None:
+        self.algorithm = algorithm
+        self._next_release = 0
+        self._parked: Dict[int, Tuple[np.ndarray, float]] = {}
+
+    @property
+    def buffered(self) -> int:
+        """Completed results parked behind a still-running predecessor."""
+        return len(self._parked)
+
+    def complete(
+        self, seq: int, candidate: np.ndarray, value: float
+    ) -> List[Tuple[int, np.ndarray, float]]:
+        """Record completion ``seq`` and release the ready prefix, telling
+        the wrapped algorithm one (candidate, value) at a time in ask
+        order.  Returns the released ``(seq, candidate, value)`` triples
+        (possibly empty)."""
+        self._parked[seq] = (candidate, value)
+        released: List[Tuple[int, np.ndarray, float]] = []
+        while self._next_release in self._parked:
+            cand, val = self._parked.pop(self._next_release)
+            self.algorithm.tell([cand], [val])
+            released.append((self._next_release, cand, val))
+            self._next_release += 1
+        return released
+
+
+@dataclasses.dataclass
+class _InFlight:
+    """One candidate between ask and tell."""
+
+    seq: int
+    candidate: np.ndarray  # as asked (told back verbatim)
+    unit: np.ndarray       # clipped unit point actually evaluated
+    mapping: Dict[str, float]
+    key: CacheKey
+    started_at: float
+    future: Optional["Future[float]"] = None  # None: deferred (leased elsewhere)
+    lease_expires_at: Optional[float] = None
+    riders: List[Tuple[int, np.ndarray]] = dataclasses.field(default_factory=list)
+
+
+class AsyncCalibrator:
+    """Budget-bounded asynchronous calibration of *any* ask/tell algorithm.
+
+    Keeps a :class:`~repro.core.parallel.ParallelEvaluator` pool saturated
+    by asking speculatively whenever capacity frees up and telling results
+    out of order as futures complete (see the module docstring for the
+    native/adapted split).
+
+    Parameters
+    ----------
+    space, objective_function:
+        As for :class:`~repro.core.calibrator.Calibrator`; process-based
+        execution needs a picklable objective.
+    algorithm, algorithm_options:
+        Registry name (with constructor options) or a configured instance;
+        must implement the native ask/tell hooks.
+    workers, mode:
+        Concurrency settings, see :class:`~repro.core.parallel.ParallelEvaluator`.
+    max_pending:
+        Upper bound on in-flight candidates (dispatched futures plus
+        deferred leases); defaults to ``workers``.  Raising it above
+        ``workers`` queues extra work inside the executor so a completing
+        worker never waits for the driver thread; lowering it to 1
+        degenerates to the serial driver.
+    budget:
+        Evaluation- or time-based budget (or a combination).  Evaluation
+        budgets are charged at *dispatch* time, so the run performs
+        exactly its cap even though results arrive out of order.
+    seed:
+        Seed for the algorithm's random number generator.
+    cache, record_cache_hits, count_cache_hits:
+        As for :class:`~repro.core.parallel.BatchCalibrator`, but through
+        the non-blocking claim/lease protocol: a candidate another driver
+        is currently computing is deferred — polled between completions,
+        taken over if the lease expires — instead of blocking the pool or
+        being recomputed.  Deferred candidates are charged one budget unit
+        like a dispatch (some driver is paying for the work now).
+    ordered_tells:
+        Force the :class:`OrderedTellAdapter` (``True``), force native
+        out-of-order tells (``False`` — rejected if the algorithm cannot),
+        or pick automatically from ``supports_async_tell`` (``None``, the
+        default).
+    """
+
+    #: deferred-lease poll cadence while futures are also pending / not
+    _POLL_WITH_FUTURES = 0.02
+    _POLL_DEFERRED_ONLY = 0.005
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        objective_function: ObjectiveFunction,
+        algorithm: Union[str, CalibrationAlgorithm] = "random",
+        workers: int = 4,
+        mode: str = "process",
+        max_pending: Optional[int] = None,
+        budget: Optional[Budget] = None,
+        seed: int = 0,
+        cache: Union[bool, CacheBackend] = True,
+        algorithm_options: Optional[Dict[str, object]] = None,
+        record_cache_hits: bool = False,
+        count_cache_hits: bool = False,
+        ordered_tells: Optional[bool] = None,
+    ) -> None:
+        self.space = space
+        self.algorithm = get_algorithm(algorithm, **(algorithm_options or {}))
+        if not self.algorithm.is_ask_tell:
+            raise ValueError(
+                f"algorithm {self.algorithm.name!r} does not implement the ask/tell "
+                "protocol (legacy run()-only algorithms cannot be driven asynchronously)"
+            )
+        if ordered_tells is None:
+            self.ordered_tells = not self.algorithm.supports_async_tell
+        else:
+            self.ordered_tells = bool(ordered_tells)
+            if not self.ordered_tells and not self.algorithm.supports_async_tell:
+                raise ValueError(
+                    f"algorithm {self.algorithm.name!r} does not support out-of-order "
+                    "tells; leave ordered_tells unset (or True) to use the buffering adapter"
+                )
+        self.evaluator = ParallelEvaluator(
+            objective_function, space, workers=workers, mode=mode, persistent=True
+        )
+        self.max_pending = int(workers) if max_pending is None else int(max_pending)
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self.budget = budget if budget is not None else EvaluationBudget(100)
+        self.seed = seed
+        if isinstance(cache, CacheBackend):
+            self._cache: Optional[CacheBackend] = cache
+        elif cache:
+            self._cache = DictCache()
+        else:
+            self._cache = None
+        self.record_cache_hits = bool(record_cache_hits)
+        self.count_cache_hits = bool(count_cache_hits)
+        self.cache_hits = 0
+        self.deferred_hits = 0  # points resolved from a concurrent driver's lease
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run(self) -> CalibrationResult:
+        """Ask speculatively, evaluate concurrently, tell out of order.
+
+        The run ends when the budget is exhausted or the algorithm says it
+        is done; in-flight work is always drained (and told), never
+        discarded, so evaluation budgets are met exactly.
+        """
+        rng = np.random.default_rng(self.seed)
+        self.algorithm.setup(self.space)
+        self._adapter = OrderedTellAdapter(self.algorithm) if self.ordered_tells else None
+        self.budget.start()
+        self.evaluator.reset_clock()
+        self.cache_hits = 0
+        self.deferred_hits = 0
+        self._seq = 0
+        self._budget_units = 0
+        self._seen: set = set()
+        self._pending: List[_InFlight] = []
+        self._inflight_keys: Dict[CacheKey, _InFlight] = {}
+        #: per-seq record metadata (mapping, started_at, finished_at, cached),
+        #: parked alongside the adapter's buffer until the seq is released
+        self._meta: Dict[int, Tuple[Dict[str, float], float, float, bool]] = {}
+
+        try:
+            self._drive(rng)
+        finally:
+            self.evaluator.close()
+
+        history = self.evaluator.history
+        best = history.best
+        if best is None:
+            raise RuntimeError("the budget was exhausted before a single evaluation completed")
+        return CalibrationResult(
+            algorithm=self.algorithm.name,
+            best_values=dict(best.values),
+            best_value=best.value,
+            evaluations=sum(1 for e in history if not e.cached),
+            elapsed=self.evaluator.elapsed,
+            history=history,
+            budget_description=self.budget.describe(),
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # the event loop
+    # ------------------------------------------------------------------ #
+    def _drive(self, rng: np.random.Generator) -> None:
+        while True:
+            asked = self._refill(rng)
+            if not self._pending:
+                if asked:
+                    continue  # everything asked was answered by the cache
+                break  # nothing in flight and nothing left to ask: done
+            self._await_completions()
+        # Budget exhausted (or algorithm done) with work still in flight:
+        # drain it — the dispatches were charged, their results belong to
+        # the history and the algorithm.
+        while self._pending:
+            self._await_completions()
+
+    def _refill(self, rng: np.random.Generator) -> int:
+        """Ask and launch candidates until capacity or budget runs out.
+
+        Returns the number of candidates asked (cache hits resolve
+        instantly and never enter ``pending``, so progress is reported
+        even when nothing was dispatched).
+        """
+        asked = 0
+        while (
+            len(self._pending) < self.max_pending
+            and not self.algorithm.done()
+            and not self.budget.exhausted(self._budget_units)
+        ):
+            remaining = remaining_evaluations(self.budget, self._budget_units)
+            if remaining is not None and remaining <= 0:
+                break
+            candidates = self.algorithm.ask(rng, 1)
+            if not candidates:
+                break  # ordered algorithm awaiting tells (or done)
+            candidate = candidates[0]
+            asked += 1
+            self._launch(candidate)
+        return asked
+
+    def _launch(self, candidate: np.ndarray) -> None:
+        seq, self._seq = self._seq, self._seq + 1
+        unit = self.space.clip_unit(candidate)
+        mapping = self.space.from_unit_array(unit)
+        # Round-tripped key, exactly like Objective._cache_key, so that
+        # non-injective parameters (integers) collapse onto one entry.
+        key = unit_cache_key(self.space.to_unit_array(mapping), Objective.CACHE_DECIMALS)
+
+        # An identical point already in flight *within this run*: ride on
+        # it instead of claiming or dispatching again (the in-run revisit
+        # is free, as the serial cache would have made it).
+        if self._cache is not None and key in self._inflight_keys:
+            self._inflight_keys[key].riders.append((seq, candidate))
+            return
+
+        if self._cache is not None:
+            claim = self._cache.claim(key, mapping)
+        else:
+            claim = Claim(Claim.CLAIMED)
+
+        if claim.status == Claim.HIT:
+            first_seen = key not in self._seen
+            if self.count_cache_hits and first_seen:
+                self._budget_units += 1
+            self._seen.add(key)
+            self.cache_hits += 1
+            at = self.evaluator.elapsed
+            self._resolve(seq, candidate, mapping, claim.value, at, at, cached=True)
+            return
+
+        entry = _InFlight(
+            seq=seq, candidate=candidate, unit=unit, mapping=mapping, key=key,
+            started_at=self.evaluator.elapsed,
+        )
+        self._budget_units += 1  # dispatch (or deferred lease) charge
+        if claim.status == Claim.LEASED:
+            entry.lease_expires_at = claim.expires_at or (time.time() + 1.0)
+        else:
+            entry.future = self.evaluator.submit(mapping)
+        self._pending.append(entry)
+        if self._cache is not None:
+            self._inflight_keys[key] = entry
+
+    def _await_completions(self) -> None:
+        """Block until at least one pending entry can be resolved."""
+        futures = {e.future: e for e in self._pending if e.future is not None}
+        deferred = [e for e in self._pending if e.future is None]
+        if futures:
+            timeout = self._POLL_WITH_FUTURES if deferred else None
+            done, _ = wait(futures, timeout=timeout, return_when=FIRST_COMPLETED)
+            for future in done:
+                self._complete(futures[future])
+        elif deferred:
+            time.sleep(self._POLL_DEFERRED_ONLY)
+        if deferred:
+            self._poll_deferred(deferred)
+
+    def _complete(self, entry: _InFlight) -> None:
+        try:
+            value = float(entry.future.result())
+        except BaseException:
+            # The objective raised in a worker: release every leadership
+            # this run announced (concurrent drivers must not wait on
+            # points that will never be published), then propagate.
+            self._abandon_claims()
+            raise
+        finished_at = self.evaluator.elapsed
+        if self._cache is not None:
+            self._cache.put(entry.key, entry.mapping, value)
+        self._seen.add(entry.key)
+        self._remove(entry)
+        self._resolve(
+            entry.seq, entry.candidate, entry.mapping, value,
+            entry.started_at, finished_at, cached=False,
+        )
+        self._resolve_riders(entry, value)
+
+    def _poll_deferred(self, deferred: List[_InFlight]) -> None:
+        """Resolve leased points that were published, take over expired ones."""
+        for entry in deferred:
+            value = self._cache.poll(entry.key, entry.mapping)
+            if value is not None:
+                self._seen.add(entry.key)
+                self.cache_hits += 1
+                self.deferred_hits += 1
+                self._remove(entry)
+                at = self.evaluator.elapsed
+                self._resolve(entry.seq, entry.candidate, entry.mapping, value,
+                              at, at, cached=True)
+                self._resolve_riders(entry, value)
+                continue
+            if entry.lease_expires_at is not None and time.time() >= entry.lease_expires_at:
+                claim = self._cache.claim(entry.key, entry.mapping)
+                if claim.status == Claim.HIT:
+                    continue  # published between poll and claim: next poll gets it
+                if claim.status == Claim.CLAIMED:
+                    # Lease takeover: the original owner died; compute it
+                    # ourselves (the defer already paid the budget charge).
+                    entry.future = self.evaluator.submit(entry.mapping)
+                    entry.started_at = self.evaluator.elapsed
+                    entry.lease_expires_at = None
+                else:
+                    # A backend that reports no expiry must still allow a
+                    # takeover retry, or a dead leader would hang the drain.
+                    entry.lease_expires_at = claim.expires_at or (time.time() + 1.0)
+
+    def _resolve(
+        self,
+        seq: int,
+        candidate: np.ndarray,
+        mapping: Dict[str, float],
+        value: float,
+        started_at: float,
+        finished_at: float,
+        cached: bool,
+    ) -> None:
+        """Tell one completed candidate and record it in the history.
+
+        With the ordered adapter the tell (and the history record) may be
+        buffered until every earlier candidate completes, so the history
+        lands in ask order — byte-for-byte the serial sequence; native
+        tells and their records land immediately, in completion order.
+        """
+        self._meta[seq] = (mapping, started_at, finished_at, cached)
+        if self._adapter is None:
+            self.algorithm.tell([candidate], [value])
+            self._record(seq, value)
+        else:
+            for released_seq, _cand, released_value in self._adapter.complete(
+                seq, candidate, value
+            ):
+                self._record(released_seq, released_value)
+
+    def _record(self, seq: int, value: float) -> None:
+        mapping, started_at, finished_at, cached = self._meta.pop(seq)
+        if cached and not self.record_cache_hits:
+            return
+        history = self.evaluator.history
+        history.record(
+            Evaluation(
+                index=len(history),
+                values=dict(mapping),
+                unit=tuple(float(u) for u in self.space.to_unit_array(mapping)),
+                value=value,
+                started_at=started_at,
+                finished_at=finished_at,
+                cached=cached,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def _remove(self, entry: _InFlight) -> None:
+        self._pending.remove(entry)
+        if self._cache is not None:
+            self._inflight_keys.pop(entry.key, None)
+
+    def _resolve_riders(self, entry: _InFlight, value: float) -> None:
+        """In-run revisits of a just-resolved point are served from its
+        result (free cache hits, as in the serial driver)."""
+        for rider_seq, rider_candidate in entry.riders:
+            self.cache_hits += 1
+            at = self.evaluator.elapsed
+            self._resolve(rider_seq, rider_candidate, entry.mapping, value, at, at, cached=True)
+        entry.riders = []
+
+    def _abandon_claims(self) -> None:
+        if self._cache is None:
+            return
+        for entry in self._pending:
+            if entry.future is not None:  # ours to cancel; leased points are not
+                self._cache.cancel(entry.key, entry.mapping)

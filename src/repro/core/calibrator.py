@@ -122,9 +122,26 @@ class Calibrator:
     def checkpoint(self) -> Dict[str, Any]:
         """A JSON-compatible snapshot of the run (call during/after run).
 
-        Bundles the algorithm's ``state_dict()``, the driver rng state and
-        the evaluation history — everything :meth:`run` needs to continue
-        the trajectory in a fresh process.
+        Bundles everything :meth:`run` needs to continue the trajectory in
+        a fresh process.  Format (``CHECKPOINT_VERSION`` = 1)::
+
+            {"version": 1,
+             "algorithm": <registry name>,        # checked on restore
+             "seed": <int>,
+             "elapsed": <wall-clock seconds spent so far>,
+             "rng_state": <numpy bit-generator state>,
+             "algorithm_state": <CalibrationAlgorithm.state_dict()>,
+             "history": [<evaluation dict>, ...]} # serialization module format
+
+        History serialization is memoized: records are immutable and
+        append-only, so each periodic checkpoint only serializes the
+        evaluations since the last one (persisting them incrementally too
+        is the job spool's append-only sidecar, see
+        :meth:`repro.service.spool.JobSpool.write_checkpoint`).
+
+        Thread-safety: a calibrator instance is single-threaded — call
+        ``checkpoint()`` only from ``on_checkpoint`` or after :meth:`run`
+        returns, never concurrently with it from another thread.
         """
         if self._rng is None:
             raise RuntimeError("checkpoint() is only meaningful once run() has started")

@@ -22,6 +22,7 @@ across calibration jobs and across processes.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
 
@@ -34,6 +35,7 @@ from repro.core.parameters import ParameterSpace
 __all__ = [
     "BudgetExhausted",
     "CacheBackend",
+    "Claim",
     "DictCache",
     "Evaluation",
     "Objective",
@@ -58,16 +60,65 @@ class BudgetExhausted(Exception):
     """Raised by :meth:`Objective.evaluate` when the budget has run out."""
 
 
+@dataclasses.dataclass(frozen=True)
+class Claim:
+    """Outcome of a non-blocking single-flight :meth:`CacheBackend.claim`.
+
+    ``status`` is one of
+
+    ``"hit"``
+        The value is already known; ``value`` carries it, nothing to
+        compute.
+    ``"claimed"``
+        The caller now owns the computation of this point and *must*
+        finish the claim with :meth:`CacheBackend.put` (on success) or
+        :meth:`CacheBackend.cancel` (on failure) — leaking a claim stalls
+        every other driver on the point until the lease expires.
+    ``"leased"``
+        Another owner is computing the point right now.  The caller
+        should do other work and re-:meth:`CacheBackend.poll` later;
+        ``expires_at`` (a ``time.time()`` timestamp, when the backend
+        tracks one) bounds how long the lease can stay unresolved before
+        a re-``claim`` takes it over.
+    """
+
+    status: str
+    value: Optional[float] = None
+    expires_at: Optional[float] = None
+
+    HIT = "hit"
+    CLAIMED = "claimed"
+    LEASED = "leased"
+
+
 class CacheBackend:
     """Interface for pluggable evaluation caches.
 
     ``key`` is the objective's canonical unit-cube key (a tuple of rounded
     normalised coordinates); ``values`` is the raw parameter-value mapping.
-    Backends are free to key on either representation.  ``get`` may block
-    (e.g. while another worker computes the same point) and ``cancel`` is
-    called when an announced computation will not be completed (the
-    simulator raised, or the budget ran out), so blocking backends can
-    release any waiters.
+    Backends are free to key on either representation.
+
+    Contract and concurrency guarantees:
+
+    * ``get``/``put``/``cancel`` is the classic memoisation triple used by
+      the serial :class:`Objective`.  ``get`` may block while another
+      worker computes the same point (single-flight backends), and
+      ``cancel`` is called when an announced computation will not be
+      completed (the simulator raised, or the budget ran out), so such
+      backends can release their waiters.
+    * ``claim``/``poll`` is the *non-blocking* protocol spoken by the
+      batch and asynchronous drivers, which hold many candidates in
+      flight at once and must never sleep inside a cache call: ``claim``
+      returns immediately with a :class:`Claim` (hit / claimed / leased)
+      and ``poll`` checks, without claiming anything, whether a point
+      leased to another owner has been published yet.  The default
+      implementations make any plain backend trivially correct: a miss is
+      always ``"claimed"`` (no cross-driver leasing) and ``poll``
+      delegates to ``get``.
+
+    Thread-safety: backends shared between drivers (the service's
+    store-backed cache) must make each method atomic; the per-objective
+    :class:`DictCache` is only touched by its owning driver thread.
     """
 
     def get(self, key: CacheKey, values: Mapping[str, float]) -> Optional[float]:
@@ -77,7 +128,30 @@ class CacheBackend:
         raise NotImplementedError  # pragma: no cover - interface
 
     def cancel(self, key: CacheKey, values: Mapping[str, float]) -> None:
-        """Called when a computation announced by ``get`` -> miss fails."""
+        """Called when a computation announced by ``get`` -> miss (or by a
+        ``claim`` -> ``"claimed"``) fails; releases any waiters/leases."""
+
+    def claim(self, key: CacheKey, values: Mapping[str, float]) -> Claim:
+        """Non-blocking single-flight lookup (see the class docstring).
+
+        The default implementation never reports ``"leased"``: backends
+        without cross-driver visibility simply hand the computation to the
+        caller on a miss.  It delegates to :meth:`get` — a backend whose
+        ``get`` may block (single-flight waiting) MUST override ``claim``
+        with a genuinely non-blocking implementation, or batch/async
+        drivers holding several candidates in flight can deadlock against
+        each other (:class:`repro.service.cache.StoreBackedCache` is the
+        reference implementation).
+        """
+        value = self.get(key, values)
+        if value is not None:
+            return Claim(Claim.HIT, value)
+        return Claim(Claim.CLAIMED)
+
+    def poll(self, key: CacheKey, values: Mapping[str, float]) -> Optional[float]:
+        """Check whether a point leased to another owner has been published
+        (never blocks, never claims)."""
+        return self.get(key, values)
 
 
 class DictCache(CacheBackend):

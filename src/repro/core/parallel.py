@@ -33,14 +33,21 @@ paper's protocol.
 from __future__ import annotations
 
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.algorithms import CalibrationAlgorithm, get_algorithm
 from repro.core.budget import Budget, EvaluationBudget, remaining_evaluations
-from repro.core.evaluation import CacheBackend, CacheKey, DictCache, Objective, unit_cache_key
+from repro.core.evaluation import (
+    CacheBackend,
+    CacheKey,
+    Claim,
+    DictCache,
+    Objective,
+    unit_cache_key,
+)
 from repro.core.history import CalibrationHistory, Evaluation
 from repro.core.parameters import ParameterSpace
 from repro.core.result import CalibrationResult
@@ -111,6 +118,29 @@ class ParallelEvaluator:
     # ------------------------------------------------------------------ #
     # evaluation
     # ------------------------------------------------------------------ #
+    def submit(self, candidate: Dict[str, float]) -> "Future[float]":
+        """Dispatch one candidate to the pool and return its future.
+
+        This is the asynchronous driver's entry point: unlike
+        :meth:`evaluate_batch` it neither blocks nor records history (the
+        caller owns completion handling and decides the record order).
+        Requires a ``persistent`` evaluator, because the returned future
+        outlives this call; in ``"serial"`` mode the candidate is
+        evaluated inline and an already-completed future is returned.
+        """
+        if self.mode != "serial" and not self.persistent:
+            raise RuntimeError("submit() needs a persistent evaluator (persistent=True)")
+        if self._executor is None:
+            self._executor = self._make_executor()
+        if self._executor is None:  # serial mode
+            future: "Future[float]" = Future()
+            try:
+                future.set_result(float(self.function(dict(candidate))))
+            except BaseException as exc:  # delivered through future.result()
+                future.set_exception(exc)
+            return future
+        return self._executor.submit(self.function, dict(candidate))
+
     def evaluate_batch(self, batch: Sequence[Dict[str, float]]) -> List[float]:
         """Evaluate every candidate of ``batch`` and record the results.
 
@@ -194,13 +224,16 @@ class BatchCalibrator:
         the cache are *not* dispatched to the pool and, by default, do not
         consume budget — the paper's "cache hits are free" semantics — so
         a warm shared store lets each ask cost only its genuinely new
-        points.  The backend must not block in ``get``: a batch driver
-        looks several candidates up before dispatching any of them, so a
-        blocking single-flight backend could deadlock two concurrent
-        drivers against each other (each holding a leadership the other
-        waits on).  Pass ``StoreBackedCache(..., dedupe_in_flight=False)``
-        to share a service store; deduplication of concurrent identical
-        points is a serial-driver feature.
+        points.  Consultation goes through the backend's *non-blocking*
+        :meth:`~repro.core.evaluation.CacheBackend.claim` protocol: a
+        point a concurrent driver is already computing (``"leased"``) is
+        never recomputed — this driver dispatches the rest of its batch
+        first and only then waits for the leader's published value
+        (bounded by the lease TTL, after which the computation is taken
+        over), so in-flight work is deduplicated across drivers and
+        across processes without the deadlock a blocking hold-and-wait
+        backend would risk.  Leased points are charged one budget unit
+        like a dispatch.
     record_cache_hits, count_cache_hits:
         Same semantics as on :class:`~repro.core.evaluation.Objective`:
         when recording, hits enter the history as zero-duration
@@ -245,12 +278,6 @@ class BatchCalibrator:
         self.budget = budget if budget is not None else EvaluationBudget(100)
         self.seed = seed
         if isinstance(cache, CacheBackend):
-            if getattr(cache, "dedupe_in_flight", False):
-                raise ValueError(
-                    "a blocking single-flight cache can deadlock a batch driver "
-                    "(several leaderships are held before any dispatch); bind the "
-                    "store with dedupe_in_flight=False for batched calibration"
-                )
             self._cache: Optional[CacheBackend] = cache
         elif cache:
             self._cache = DictCache()
@@ -260,10 +287,11 @@ class BatchCalibrator:
         self.count_cache_hits = bool(count_cache_hits)
         self.cache_hits = 0
 
-    def _lookup(self, key, values: Dict[str, float]) -> Optional[float]:
+    def _claim(self, key, values: Dict[str, float]) -> Claim:
+        """Non-blocking cache claim (``"claimed"`` when caching is off)."""
         if self._cache is None:
-            return None
-        return self._cache.get(key, values)
+            return Claim(Claim.CLAIMED)
+        return self._cache.claim(key, values)
 
     def _store(self, key, values: Dict[str, float], value: float) -> None:
         if self._cache is not None:
@@ -272,6 +300,41 @@ class BatchCalibrator:
     def _cancel(self, key, values: Dict[str, float]) -> None:
         if self._cache is not None:
             self._cache.cancel(key, values)
+
+    def _collect_leased(self, key, values: Dict[str, float], expires_at) -> float:
+        """Wait (bounded) for a point a concurrent driver is computing.
+
+        Polls for the leader's published value; if the lease expires
+        unpublished (the leader died or cancelled), this run claims the
+        point and computes it itself — so the wait can never exceed the
+        lease TTL plus one evaluation.
+        """
+        if expires_at is None:
+            expires_at = time.time() + 1.0
+        while True:
+            value = self._cache.poll(key, values)
+            if value is not None:
+                self.cache_hits += 1
+                if self.record_cache_hits:
+                    self._record_hit(values, value)
+                return value
+            if time.time() >= expires_at:
+                claim = self._cache.claim(key, values)
+                if claim.status == Claim.HIT:
+                    continue  # published between poll and claim
+                if claim.status == Claim.CLAIMED:
+                    # Takeover: the budget charge was already paid when the
+                    # point was deferred; just compute and publish it.
+                    try:
+                        value = self.evaluator.evaluate_batch([values])[0]
+                    except BaseException:
+                        self._cancel(key, values)
+                        raise
+                    self._store(key, values, value)
+                    return value
+                expires_at = claim.expires_at or (time.time() + 1.0)
+            else:
+                time.sleep(0.005)
 
     def run(self) -> CalibrationResult:
         """Ask, evaluate concurrently and tell until a stop condition.
@@ -345,31 +408,42 @@ class BatchCalibrator:
             # the same total as the cold run it replays.  With a cache, a
             # candidate whose key already appeared earlier in the batch is
             # an in-run revisit (the serial cache would serve it free): it
-            # is neither charged, looked up nor dispatched again; without a
+            # is neither charged, claimed nor dispatched again; without a
             # cache every copy is dispatched, again matching serial.  A
-            # cache miss makes this run responsible for the key, and every
-            # responsibility acquired here ends in put() or cancel().
+            # successful claim makes this run responsible for the key, and
+            # every responsibility acquired here ends in put() or cancel().
+            # A *leased* key — a concurrent driver is computing it right
+            # now — is neither dispatched nor waited on yet: its value is
+            # collected after this batch's own dispatches are in flight.
             remaining = remaining_evaluations(self.budget, budget_units)
             hits: List[Optional[float]] = [None] * len(candidates)
+            leased: Dict[int, Optional[float]] = {}  # index -> lease expiry
             take, cost = len(candidates), 0
             first_index: Dict[CacheKey, int] = {}
             for i in range(len(candidates)):
                 if self._cache is not None and keys[i] in first_index:
                     continue  # within-batch revisit: resolved after dispatch
-                hit = self._lookup(keys[i], mappings[i])
-                hits[i] = hit
-                # A dispatch costs 1; a hit costs 1 only when it is
-                # first-seen and counting is on (serial Objective semantics).
+                claim = self._claim(keys[i], mappings[i])
+                if claim.status == Claim.HIT:
+                    hits[i] = claim.value
+                # A dispatch costs 1, so does a leased point (a concurrent
+                # driver is doing the work this run consumes); a hit costs
+                # 1 only when it is first-seen and counting is on (serial
+                # Objective semantics).
                 first_seen = keys[i] not in seen
-                unit_cost = 1 if hit is None or (self.count_cache_hits and first_seen) else 0
+                unit_cost = (
+                    1 if hits[i] is None or (self.count_cache_hits and first_seen) else 0
+                )
                 if remaining is not None and cost + unit_cost > remaining:
                     take = i
-                    if hit is None:
-                        # The lookup announced this run's responsibility for
+                    if claim.status == Claim.CLAIMED and self._cache is not None:
+                        # The claim announced this run's responsibility for
                         # a point it will never dispatch: release it.
                         self._cancel(keys[i], mappings[i])
                     break
                 cost += unit_cost
+                if claim.status == Claim.LEASED:
+                    leased[i] = claim.expires_at
                 if self._cache is not None:
                     first_index[keys[i]] = i
 
@@ -385,7 +459,8 @@ class BatchCalibrator:
                     self._record_hit(mappings[i], hits[i])
             misses = [
                 i for i in range(take)
-                if hits[i] is None and (self._cache is None or first_index[keys[i]] == i)
+                if hits[i] is None and i not in leased
+                and (self._cache is None or first_index[keys[i]] == i)
             ]
             try:
                 values = self.evaluator.evaluate_batch([mappings[i] for i in misses])
@@ -401,6 +476,16 @@ class BatchCalibrator:
                 seen.add(keys[i])
                 self._store(keys[i], mappings[i], value)
             budget_units += len(misses)
+            # Only now — with every dispatch of ours already done — collect
+            # the leased points.  The wait is bounded: the leader publishes
+            # or cancels, or its lease expires and this run takes the
+            # computation over, so no two drivers can deadlock each other.
+            # (every index in `leased` is < take: the cost walk breaks out
+            # *before* registering the index that exceeded the budget)
+            for i in sorted(leased):
+                results[i] = self._collect_leased(keys[i], mappings[i], leased[i])
+                seen.add(keys[i])
+                budget_units += 1
             # Within-batch revisits of a just-dispatched point are served
             # from its result, like the serial cache would serve them.
             for i in range(take):

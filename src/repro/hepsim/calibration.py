@@ -245,6 +245,8 @@ class CaseStudyProblem:
         workers: int = 1,
         mode: str = "process",
         algorithm_options: Optional[Dict[str, object]] = None,
+        asynchronous: bool = False,
+        max_pending: Optional[int] = None,
     ) -> CalibrationResult:
         """Run one automated calibration and return its result.
 
@@ -252,10 +254,29 @@ class CaseStudyProblem:
         :class:`~repro.core.parallel.BatchCalibrator`: the algorithm's
         ask batches are evaluated concurrently (one simulation per core,
         as in the paper's protocol — the objective is picklable, so the
-        default process pool works).  ``algorithm_options`` are forwarded
-        to the algorithm's constructor.
+        default process pool works).  With ``asynchronous=True`` it goes
+        through :class:`~repro.core.async_driver.AsyncCalibrator`
+        instead: results are told out of order as simulations complete,
+        so the pool never waits for a batch's slowest member
+        (``max_pending`` bounds the in-flight work; default ``workers``).
+        ``algorithm_options`` are forwarded to the algorithm's
+        constructor.
         """
         budget = budget if budget is not None else EvaluationBudget(100)
+        if asynchronous:
+            from repro.core.async_driver import AsyncCalibrator
+
+            return AsyncCalibrator(
+                self.space,
+                self.objective,
+                algorithm=algorithm,
+                budget=budget,
+                seed=seed,
+                workers=workers,
+                mode=mode,
+                max_pending=max_pending,
+                algorithm_options=algorithm_options,
+            ).run()
         if workers > 1:
             return BatchCalibrator(
                 self.space,

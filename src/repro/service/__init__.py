@@ -10,7 +10,10 @@ calibration traffic:
   parameter vector), with in-memory, JSON Lines and SQLite backends;
 * :mod:`repro.service.cache` — :class:`StoreBackedCache`, the adapter
   that plugs the store into any calibrator, with single-flight
-  deduplication of identical in-flight evaluations;
+  deduplication of identical in-flight evaluations through the store's
+  non-blocking claim/lease protocol (serial drivers wait for the
+  leader's result; batch/async drivers defer the point and keep their
+  workers busy);
 * :mod:`repro.service.jobs` / :mod:`repro.service.server` — submitted
   :class:`CalibrationRequest` objects scheduled over a bounded worker
   pool, streaming progress events;
@@ -51,6 +54,7 @@ from repro.service.store import (
     InMemoryStore,
     JsonlStore,
     SqliteStore,
+    StoreClaim,
     StoredEvaluation,
     canonical_params,
     evaluation_key,
@@ -71,6 +75,7 @@ __all__ = [
     "JsonlStore",
     "SqliteStore",
     "StoreBackedCache",
+    "StoreClaim",
     "StoredEvaluation",
     "canonical_params",
     "evaluation_key",

@@ -4,25 +4,36 @@
 :class:`StoreBackedCache` implements the
 :class:`~repro.core.evaluation.CacheBackend` interface on top of a shared
 store, bound to one scenario fingerprint, so it slots into any
-:class:`~repro.core.calibrator.Calibrator` without touching algorithm
-code.
+:class:`~repro.core.calibrator.Calibrator`,
+:class:`~repro.core.parallel.BatchCalibrator` or
+:class:`~repro.core.async_driver.AsyncCalibrator` without touching
+algorithm code.
 
-It also provides *single-flight* deduplication of in-flight evaluations:
-when several concurrent jobs (threads) ask for the same not-yet-stored
-point, exactly one computes it and the others block until its result is
-published — concurrent calibrations of the same scenario share work
-instead of repeating it.  If the leader fails (simulator error, budget
-exhausted), :meth:`cancel` releases the waiters and the next one takes
-over as leader.
+Single-flight deduplication of in-flight evaluations is built on the
+store's non-blocking claim/lease protocol
+(:meth:`~repro.service.store.EvaluationStore.claim`): when several
+concurrent jobs — threads of one server, or separate processes over a
+SQLite store — reach the same not-yet-stored point, exactly one claims it
+and computes; the others see a *lease* and either wait for the published
+result (the serial :meth:`get` path) or keep dispatching other work and
+poll the point later (the batch/async :meth:`claim`/:meth:`poll` path).
+Leases expire, so a leader that dies without publishing or cancelling can
+only stall its points for the lease TTL before another driver takes the
+computation over — there is no hold-and-wait and therefore no deadlock,
+which is what allows batch drivers holding many candidates in flight to
+share a deduplicating cache (the previous design had to forbid that
+combination outright).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Mapping, Optional, Set
+import time
+import uuid
+from typing import Mapping, Optional
 
-from repro.core.evaluation import CacheBackend
-from repro.service.store import EvaluationStore, evaluation_key
+from repro.core.evaluation import CacheBackend, Claim
+from repro.service.store import DEFAULT_LEASE_TTL, EvaluationStore, StoreClaim
 
 __all__ = ["StoreBackedCache"]
 
@@ -38,42 +49,66 @@ class StoreBackedCache(CacheBackend):
         Scenario fingerprint identifying the objective; see
         :func:`repro.hepsim.calibration.scenario_fingerprint`.
     dedupe_in_flight:
-        When true (default) a miss on a point that another worker is
-        already computing blocks until that worker publishes the result.
-        The in-flight registry is shared through the ``store`` object, so
-        every :class:`StoreBackedCache` bound to the same store instance —
-        typically one per job, all inside one
-        :class:`~repro.service.server.CalibrationServer` — dedupes against
-        every other.
+        When true (default), misses go through the store's claim/lease
+        single-flight protocol: one owner computes each point, the others
+        reuse its result.  The serial :meth:`get` path waits (bounded by
+        the lease TTL) for a leased point; the :meth:`claim` path used by
+        batch/async drivers never waits — it reports the lease and lets
+        the driver keep its workers busy elsewhere.  When false the cache
+        degrades to plain store memoisation (no leases, concurrent
+        identical points may be computed twice).
+    lease_ttl:
+        Seconds before an unpublished claim can be taken over by another
+        owner.  Make it comfortably longer than one simulator invocation.
+
+    Thread/process-safety: every method is a single atomic store call (or
+    a bounded wait around them), and independent instances over the same
+    SQLite store file deduplicate across processes.  The single-flight
+    *owner* identity is per-instance and re-entrant (re-claiming renews
+    the lease), so bind **one instance per driver/job** — the server does
+    exactly this.  Two threads claiming the same point through one shared
+    instance would both be treated as the leader renewing its own lease
+    and both would compute.
     """
 
-    _REGISTRY_ATTR = "_inflight_registry"
+    _WAITERS_ATTR = "_inflight_waiters"
 
     def __init__(
         self,
         store: EvaluationStore,
         fingerprint: str,
         dedupe_in_flight: bool = True,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
     ) -> None:
         self.store = store
         self.fingerprint = fingerprint
         self.dedupe_in_flight = bool(dedupe_in_flight)
+        self.lease_ttl = float(lease_ttl)
+        self.owner = uuid.uuid4().hex
         self.hits = 0
         self.misses = 0
         self.waited = 0
-        # The registry (condition + set of in-flight keys) hangs off the
-        # store so that independent caches over the same store share it.
-        registry = getattr(store, self._REGISTRY_ATTR, None)
-        if registry is None:
-            registry = (threading.Condition(), set())
-            setattr(store, self._REGISTRY_ATTR, registry)
-        self._cond: threading.Condition = registry[0]
-        self._inflight: Set[str] = registry[1]
+        # A condition shared by every cache over the same store instance:
+        # in-process waiters are woken by put()/cancel() immediately instead
+        # of sleeping out their poll interval (cross-process waiters rely on
+        # the timeout and re-poll the store).
+        cond = getattr(store, self._WAITERS_ATTR, None)
+        if cond is None:
+            cond = threading.Condition()
+            setattr(store, self._WAITERS_ATTR, cond)
+        self._cond: threading.Condition = cond
 
     # ------------------------------------------------------------------ #
-    # CacheBackend interface
+    # CacheBackend interface: serial path
     # ------------------------------------------------------------------ #
     def get(self, key, values: Mapping[str, float]) -> Optional[float]:
+        """Store lookup; on a leased point, wait (bounded) for its value.
+
+        Returning ``None`` means the caller owns the computation and must
+        finish it with :meth:`put` or :meth:`cancel` — with
+        ``dedupe_in_flight`` a lease was written under this cache's owner
+        id, without it nothing was announced.
+        """
         if not self.dedupe_in_flight:
             stored = self.store.get(self.fingerprint, values)
             if stored is not None:
@@ -81,35 +116,54 @@ class StoreBackedCache(CacheBackend):
                 return stored
             self.misses += 1
             return None
-        store_key = evaluation_key(self.fingerprint, values)
-        with self._cond:
-            while True:
-                # Looked up under the condition lock so a result published
-                # between a bare lookup and taking the lock cannot be missed
-                # (which would needlessly re-elect a leader and recompute).
-                stored = self.store.get(self.fingerprint, values)
-                if stored is not None:
-                    self.hits += 1
-                    return stored
-                if store_key not in self._inflight:
-                    # Become the leader for this point: the caller computes
-                    # it and either put()s or cancel()s.
-                    self._inflight.add(store_key)
-                    self.misses += 1
-                    return None
-                self.waited += 1
-                self._cond.wait()
+        while True:
+            claim = self.store.claim(
+                self.fingerprint, values, self.owner, ttl=self.lease_ttl
+            )
+            if claim.status == StoreClaim.HIT:
+                self.hits += 1
+                return claim.value
+            if claim.status == StoreClaim.CLAIMED:
+                self.misses += 1
+                return None
+            # Leased to another owner: wait for its publish (or for the
+            # lease to expire, upon which the next claim() takes over).
+            # The wait is bounded — never hold-and-wait — and in-process
+            # publishers notify the condition so the common case wakes
+            # immediately.
+            self.waited += 1
+            remaining = (claim.expires_at or time.time()) - time.time()
+            with self._cond:
+                self._cond.wait(timeout=min(max(remaining, 0.001), 0.05))
 
     def put(self, key, values: Mapping[str, float], value: float) -> None:
-        self.store.put(self.fingerprint, values, value)
-        self._release(evaluation_key(self.fingerprint, values))
+        self.store.put(self.fingerprint, values, value)  # also drops the lease
+        self._notify()
 
     def cancel(self, key, values: Mapping[str, float]) -> None:
-        self._release(evaluation_key(self.fingerprint, values))
+        self.store.release(self.fingerprint, values, self.owner)
+        self._notify()
 
-    def _release(self, store_key: str) -> None:
+    # ------------------------------------------------------------------ #
+    # CacheBackend interface: non-blocking batch/async path
+    # ------------------------------------------------------------------ #
+    def claim(self, key, values: Mapping[str, float]) -> Claim:
+        """Non-blocking single-flight claim (see :class:`Claim`)."""
         if not self.dedupe_in_flight:
-            return
+            return super().claim(key, values)
+        outcome = self.store.claim(self.fingerprint, values, self.owner, ttl=self.lease_ttl)
+        if outcome.status == StoreClaim.HIT:
+            self.hits += 1
+            return Claim(Claim.HIT, outcome.value)
+        if outcome.status == StoreClaim.CLAIMED:
+            self.misses += 1
+            return Claim(Claim.CLAIMED)
+        return Claim(Claim.LEASED, expires_at=outcome.expires_at)
+
+    def poll(self, key, values: Mapping[str, float]) -> Optional[float]:
+        """Has a point leased to another owner been published yet?"""
+        return self.store.peek(self.fingerprint, values)
+
+    def _notify(self) -> None:
         with self._cond:
-            self._inflight.discard(store_key)
             self._cond.notify_all()

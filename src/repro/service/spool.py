@@ -11,11 +11,23 @@ submit`` drops job specifications into, ``repro serve`` drains, and
         results/job-0001.json        # full CalibrationResult (reloadable)
         results/job-0001.history.jsonl   # per-evaluation JSON Lines
         checkpoints/job-0001.json    # latest mid-run calibrator snapshot
+        checkpoints/job-0001.history.jsonl  # append-only history sidecar
         store.jsonl                  # default shared evaluation store
 
 Job files double as status records: the server rewrites them (atomically,
 via a temp file + rename) as the job moves through ``pending -> running ->
 done | failed``, so ``repro status`` needs no running server to answer.
+
+Checkpoints are written incrementally: the evaluation history — by far
+the bulk of a snapshot, and strictly append-only — lives in a JSON Lines
+*sidecar* next to the snapshot, and each periodic checkpoint only appends
+the evaluations completed since the previous one (the snapshot JSON keeps
+just a ``history_count`` pointer into the sidecar).  A job checkpointed
+every ``k`` evaluations therefore writes O(N) history bytes over its
+lifetime instead of the O(N²/k) that rewriting the full history into
+every snapshot used to cost.  :meth:`JobSpool.read_checkpoint` splices
+the sidecar back in, so checkpoint consumers still see the plain
+in-memory format of :meth:`repro.core.calibrator.Calibrator.checkpoint`.
 """
 
 from __future__ import annotations
@@ -43,6 +55,12 @@ class JobSpool:
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
         self.results_dir.mkdir(parents=True, exist_ok=True)
         self.checkpoints_dir.mkdir(parents=True, exist_ok=True)
+        # Records already appended to each job's checkpoint-history sidecar
+        # by *this* spool instance.  A job's first checkpoint in a fresh
+        # process rewrites the sidecar from scratch (cheap — it happens
+        # once), which makes stale sidecars from a previous incarnation
+        # harmless; every later checkpoint only appends the delta.
+        self._sidecar_counts: dict = {}
 
     # ------------------------------------------------------------------ #
     # paths
@@ -63,6 +81,10 @@ class JobSpool:
 
     def checkpoint_path(self, job_id: str) -> Path:
         return self.checkpoints_dir / f"{job_id}.json"
+
+    def checkpoint_history_path(self, job_id: str) -> Path:
+        """The append-only history sidecar of a job's checkpoints."""
+        return self.checkpoints_dir / f"{job_id}.history.jsonl"
 
     # ------------------------------------------------------------------ #
     # submission
@@ -168,24 +190,90 @@ class JobSpool:
     # checkpoints (crash/resume support)
     # ------------------------------------------------------------------ #
     def write_checkpoint(self, job_id: str, state: Dict[str, Any]) -> Path:
-        """Atomically persist the latest calibrator snapshot of a job."""
+        """Persist the latest calibrator snapshot of a job.
+
+        The evaluation history is split out into the append-only sidecar
+        (see the module docstring): only the evaluations new since this
+        spool's previous checkpoint of the job are written, and the
+        snapshot JSON — rewritten atomically as before — shrinks to the
+        algorithm/rng state plus a ``history_count`` pointer.
+        """
         path = self.checkpoint_path(job_id)
-        self._write_json(path, state)
+        history = state.get("history")
+        if history is None:
+            self._write_json(path, state)
+            return path
+        sidecar = self.checkpoint_history_path(job_id)
+        already = self._sidecar_counts.get(job_id)
+        if already is None or already > len(history):
+            # First checkpoint of this incarnation (or a job restarted
+            # from scratch): rewrite the sidecar whole, once — atomically,
+            # so a crash mid-rewrite cannot tear a sidecar the previous
+            # snapshot still points into.
+            fd, tmp = tempfile.mkstemp(dir=str(sidecar.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    for record in history:
+                        handle.write(json.dumps(record) + "\n")
+                os.replace(tmp, sidecar)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+        else:
+            with sidecar.open("a") as handle:
+                for record in history[already:]:
+                    handle.write(json.dumps(record) + "\n")
+        self._sidecar_counts[job_id] = len(history)
+        slim = {key: value for key, value in state.items() if key != "history"}
+        slim["history_count"] = len(history)
+        slim["history_sidecar"] = sidecar.name
+        self._write_json(path, slim)
         return path
 
     def read_checkpoint(self, job_id: str) -> Optional[Dict[str, Any]]:
-        """The last persisted snapshot, or ``None`` if there is none."""
+        """The last persisted snapshot, or ``None`` if there is none.
+
+        Splices the history sidecar back into the returned state, so
+        callers see the plain :meth:`Calibrator.checkpoint` format
+        regardless of how it was stored.  A sidecar longer than the
+        snapshot's ``history_count`` (a crash between the sidecar append
+        and the snapshot rename) is truncated to the count — the snapshot
+        is the source of truth.
+        """
         path = self.checkpoint_path(job_id)
         if not path.exists():
             return None
-        return json.loads(path.read_text())
+        state = json.loads(path.read_text())
+        count = state.pop("history_count", None)
+        state.pop("history_sidecar", None)
+        if count is not None and "history" not in state:
+            records: List[Dict[str, Any]] = []
+            sidecar = self.checkpoint_history_path(job_id)
+            if sidecar.exists():
+                with sidecar.open() as handle:
+                    for line in handle:
+                        if len(records) >= count:
+                            break
+                        line = line.strip()
+                        if line:
+                            records.append(json.loads(line))
+            if len(records) < count:
+                raise ValueError(
+                    f"checkpoint sidecar for {job_id!r} holds {len(records)} "
+                    f"evaluations but the snapshot expects {count}"
+                )
+            state["history"] = records
+        return state
 
     def clear_checkpoint(self, job_id: str) -> None:
-        """Drop a job's snapshot (called once the job has finished)."""
-        try:
-            self.checkpoint_path(job_id).unlink()
-        except FileNotFoundError:
-            pass
+        """Drop a job's snapshot and sidecar (called once the job is done)."""
+        self._sidecar_counts.pop(job_id, None)
+        for path in (self.checkpoint_path(job_id), self.checkpoint_history_path(job_id)):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
 
     # ------------------------------------------------------------------ #
     # plumbing

@@ -23,6 +23,22 @@ Three backends are provided: :class:`InMemoryStore` (a dict),
 :class:`SqliteStore` (cross-process safe).  All are safe under concurrent
 writers within a process; SQLite additionally serialises concurrent
 writer *processes*.
+
+Beyond finished results, the store also tracks *in-flight* work through a
+claim/lease protocol (:meth:`EvaluationStore.claim` /
+:meth:`EvaluationStore.release`): a driver about to compute a point first
+claims it, which either returns the stored value (``hit``), grants the
+claim (``claimed`` — the caller computes and must :meth:`~EvaluationStore.put`
+or :meth:`~EvaluationStore.release`), or reports that another owner holds
+an unexpired lease (``leased`` — the caller polls for the published value
+instead of recomputing).  Leases expire after a TTL so a crashed owner
+can never stall other drivers; the whole protocol is non-blocking, which
+is what lets batch and asynchronous drivers — holding many candidates in
+flight at once — deduplicate work across jobs and across processes
+without the hold-and-wait deadlocks of a blocking single-flight design.
+Lease state is kept in memory for :class:`InMemoryStore` and
+:class:`JsonlStore` (cross-job dedupe within one server process) and in a
+``leases`` table for :class:`SqliteStore` (cross-process dedupe).
 """
 
 from __future__ import annotations
@@ -38,6 +54,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 __all__ = [
     "StoredEvaluation",
+    "StoreClaim",
     "EvaluationStore",
     "InMemoryStore",
     "JsonlStore",
@@ -46,6 +63,11 @@ __all__ = [
     "evaluation_key",
     "open_store",
 ]
+
+#: default lease time-to-live, in seconds: long enough for one simulator
+#: invocation, short enough that a crashed owner only stalls its points
+#: briefly before others take them over
+DEFAULT_LEASE_TTL = 300.0
 
 
 def canonical_params(values: Mapping[str, float]) -> Tuple[Tuple[str, float], ...]:
@@ -97,11 +119,36 @@ class StoredEvaluation:
         )
 
 
+@dataclasses.dataclass(frozen=True)
+class StoreClaim:
+    """Outcome of :meth:`EvaluationStore.claim` — see the module docstring.
+
+    ``status`` is ``"hit"`` (``value`` carries the stored result),
+    ``"claimed"`` (the caller owns the computation) or ``"leased"``
+    (``owner``/``expires_at`` describe the concurrent computation to poll
+    for).
+    """
+
+    status: str
+    value: Optional[float] = None
+    owner: Optional[str] = None
+    expires_at: Optional[float] = None
+
+    HIT = "hit"
+    CLAIMED = "claimed"
+    LEASED = "leased"
+
+
 class EvaluationStore:
     """Base class: thread-safe keyed access plus hit/miss accounting.
 
     Subclasses implement ``_load_entry``/``_save_entry`` (and optionally
-    ``_iter_entries``); all locking and statistics live here.
+    ``_iter_entries`` and the ``_*_lease`` hooks); all locking and
+    statistics live here.  Every public method is atomic under the store
+    lock, so a store instance can be shared by any number of jobs/threads
+    within a process; whether two *processes* can share a store depends on
+    the backend (SQLite yes, JSONL only via :meth:`JsonlStore.reload`,
+    in-memory no).
     """
 
     def __init__(self) -> None:
@@ -109,6 +156,9 @@ class EvaluationStore:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        #: default in-memory lease table (overridden by SqliteStore):
+        #: key -> (owner, expires_at)
+        self._leases: Dict[str, Tuple[str, float]] = {}
 
     # -- backend interface --------------------------------------------- #
     def _load_entry(self, key: str) -> Optional[StoredEvaluation]:
@@ -123,6 +173,40 @@ class EvaluationStore:
     def _count_entries(self) -> int:
         return sum(1 for _ in self._iter_entries())
 
+    # -- lease backend (in-memory default; SqliteStore overrides) ------- #
+    def _load_lease(self, key: str) -> Optional[Tuple[str, float]]:
+        return self._leases.get(key)
+
+    def _save_lease(self, key: str, owner: str, expires_at: float) -> None:
+        self._leases[key] = (owner, expires_at)
+
+    def _drop_lease(self, key: str) -> None:
+        self._leases.pop(key, None)
+
+    def _try_acquire_lease(
+        self, key: str, owner: str, now: float, expires_at: float
+    ) -> Optional[Tuple[str, float]]:
+        """Atomically acquire (or renew) the lease on ``key`` for ``owner``.
+
+        Returns ``None`` on success, or the blocking ``(owner,
+        expires_at)`` lease held by someone else.  The in-memory default
+        is atomic under the store lock; backends shared between
+        *processes* (SQLite) must override this with a genuinely atomic
+        acquire, because the store lock only serialises one process.
+        """
+        lease = self._load_lease(key)
+        if lease is not None and lease[0] != owner and lease[1] > now:
+            return lease
+        self._save_lease(key, owner, expires_at)
+        return None
+
+    def _release_lease(self, key: str, owner: str) -> None:
+        """Drop ``owner``'s lease on ``key`` (a no-op if someone else holds
+        it).  Same atomicity contract as :meth:`_try_acquire_lease`."""
+        lease = self._load_lease(key)
+        if lease is not None and lease[0] == owner:
+            self._drop_lease(key)
+
     # -- public API ---------------------------------------------------- #
     def get(self, fingerprint: str, values: Mapping[str, float]) -> Optional[float]:
         """Look up the objective value for a (scenario, point), or ``None``."""
@@ -134,6 +218,14 @@ class EvaluationStore:
                 return None
             self.hits += 1
             return entry.value
+
+    def peek(self, fingerprint: str, values: Mapping[str, float]) -> Optional[float]:
+        """Like :meth:`get`, but without hit/miss accounting — used by
+        drivers polling for a point another owner is computing, so a tight
+        poll loop does not distort the store statistics."""
+        with self._lock:
+            entry = self._load_entry(evaluation_key(fingerprint, values))
+            return None if entry is None else entry.value
 
     def put(self, fingerprint: str, values: Mapping[str, float], value: float) -> StoredEvaluation:
         """Record one evaluation (idempotent: re-puts overwrite equal keys)."""
@@ -147,8 +239,58 @@ class EvaluationStore:
         )
         with self._lock:
             self._save_entry(entry)
+            self._drop_lease(key)  # publishing a value finishes its claim
             self.puts += 1
         return entry
+
+    # -- claim/lease protocol ------------------------------------------ #
+    def claim(
+        self,
+        fingerprint: str,
+        values: Mapping[str, float],
+        owner: str,
+        ttl: float = DEFAULT_LEASE_TTL,
+    ) -> StoreClaim:
+        """Atomically claim the computation of one point (never blocks).
+
+        * stored already -> ``hit`` with the value;
+        * unexpired lease held by a *different* owner -> ``leased`` (poll
+          :meth:`get` for the published value, or re-``claim`` after
+          ``expires_at`` to take the computation over);
+        * otherwise -> ``claimed``: a lease for ``owner`` is written
+          (re-claiming one's own point renews the lease) and the caller
+          must finish it with :meth:`put` or :meth:`release`.
+        """
+        key = evaluation_key(fingerprint, values)
+        now = time.time()
+        with self._lock:
+            entry = self._load_entry(key)
+            if entry is not None:
+                self.hits += 1
+                return StoreClaim(StoreClaim.HIT, value=entry.value)
+            blocker = self._try_acquire_lease(key, owner, now, now + float(ttl))
+            if blocker is not None:
+                return StoreClaim(StoreClaim.LEASED, owner=blocker[0], expires_at=blocker[1])
+            self.misses += 1
+            return StoreClaim(StoreClaim.CLAIMED)
+
+    def release(self, fingerprint: str, values: Mapping[str, float], owner: str) -> None:
+        """Abandon a claim (the computation failed or will never run).
+
+        Only the lease's owner can release it; a stale release from an
+        owner whose lease already expired and was taken over is a no-op.
+        """
+        key = evaluation_key(fingerprint, values)
+        with self._lock:
+            self._release_lease(key, owner)
+
+    def lease_count(self) -> int:
+        """Number of live (possibly expired, not yet reaped) leases."""
+        with self._lock:
+            return self._count_leases()
+
+    def _count_leases(self) -> int:
+        return len(self._leases)
 
     def __contains__(self, item: Tuple[str, Mapping[str, float]]) -> bool:
         fingerprint, values = item
@@ -286,6 +428,17 @@ class SqliteStore(EvaluationStore):
                 "CREATE INDEX IF NOT EXISTS idx_evaluations_fingerprint "
                 "ON evaluations (fingerprint)"
             )
+            # In-flight leases live in the database too, so the claim/lease
+            # single-flight protocol deduplicates across *processes*.
+            self._conn.execute(
+                """
+                CREATE TABLE IF NOT EXISTS leases (
+                    key        TEXT PRIMARY KEY,
+                    owner      TEXT NOT NULL,
+                    expires_at REAL NOT NULL
+                )
+                """
+            )
             self._conn.commit()
 
     @staticmethod
@@ -329,6 +482,54 @@ class SqliteStore(EvaluationStore):
 
     def _count_entries(self) -> int:
         (count,) = self._conn.execute("SELECT COUNT(*) FROM evaluations").fetchone()
+        return int(count)
+
+    def _load_lease(self, key: str) -> Optional[Tuple[str, float]]:
+        row = self._conn.execute(
+            "SELECT owner, expires_at FROM leases WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else (str(row[0]), float(row[1]))
+
+    def _save_lease(self, key: str, owner: str, expires_at: float) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO leases (key, owner, expires_at) VALUES (?, ?, ?)",
+            (key, owner, expires_at),
+        )
+        self._conn.commit()
+
+    def _drop_lease(self, key: str) -> None:
+        self._conn.execute("DELETE FROM leases WHERE key = ?", (key,))
+        self._conn.commit()
+
+    def _try_acquire_lease(
+        self, key: str, owner: str, now: float, expires_at: float
+    ) -> Optional[Tuple[str, float]]:
+        # One atomic upsert instead of the base class's read-then-write:
+        # the store lock only serialises threads of *this* process, while
+        # concurrent server processes race on the same database file — the
+        # conditional ON CONFLICT update makes SQLite itself arbitrate who
+        # gets the lease (rowcount 0 = somebody else holds it, unexpired).
+        cursor = self._conn.execute(
+            "INSERT INTO leases (key, owner, expires_at) VALUES (?, ?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET "
+            "    owner = excluded.owner, expires_at = excluded.expires_at "
+            "WHERE leases.owner = excluded.owner OR leases.expires_at <= ?",
+            (key, owner, expires_at, now),
+        )
+        self._conn.commit()
+        if cursor.rowcount:
+            return None
+        return self._load_lease(key)
+
+    def _release_lease(self, key: str, owner: str) -> None:
+        # Atomic owner-guarded delete (see _try_acquire_lease).
+        self._conn.execute(
+            "DELETE FROM leases WHERE key = ? AND owner = ?", (key, owner)
+        )
+        self._conn.commit()
+
+    def _count_leases(self) -> int:
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM leases").fetchone()
         return int(count)
 
     def close(self) -> None:

@@ -272,19 +272,50 @@ class TestCacheConsultation:
         assert calls["n"] == 3
         assert result.evaluations == 3
 
-    def test_blocking_single_flight_cache_is_rejected(self):
-        """A blocking single-flight cache can deadlock batch drivers that
-        hold several leaderships before dispatching; the constructor steers
-        callers to a non-deduping store binding instead."""
+    def test_dedupe_cache_is_accepted_and_shares_in_flight_work(self):
+        """The claim/lease protocol replaced the blocking hold-and-wait
+        dedupe: a single-flight store cache now works with batch drivers,
+        and two concurrent drivers on the same scenario compute every
+        point exactly once between them (grid visits the same lattice
+        regardless of seed)."""
+        import threading
+
         from repro.service import InMemoryStore, StoreBackedCache
 
-        space = make_space(2)
+        space = make_space(3)
         store = InMemoryStore()
-        with pytest.raises(ValueError, match="dedupe_in_flight"):
-            BatchCalibrator(
-                space, quadratic(space), algorithm="lhs",
-                cache=StoreBackedCache(store, "fp", dedupe_in_flight=True),
-            )
+        lock = threading.Lock()
+        calls = []
+
+        def slow(values):
+            with lock:
+                calls.append(dict(values))
+            import time as _time
+
+            _time.sleep(0.003)
+            unit = space.to_unit_array(values)
+            return float(np.sum((unit - 0.37) ** 2))
+
+        def run(seed):
+            return BatchCalibrator(
+                space, slow, algorithm="grid", workers=2, mode="thread",
+                budget=EvaluationBudget(27), seed=seed,
+                cache=StoreBackedCache(store, "fp", dedupe_in_flight=True, lease_ttl=30.0),
+                record_cache_hits=True, count_cache_hits=True,
+            ).run()
+
+        results = [None, None]
+        threads = [
+            threading.Thread(target=lambda i=i: results.__setitem__(i, run(i + 1)))
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 27  # the 3^3 lattice, computed once across both
+        assert results[0].best_value == results[1].best_value
+        assert store.lease_count() == 0  # every claim was finished
 
     def test_store_backed_cache_without_dedupe_shares_work(self):
         """The supported store binding (dedupe_in_flight=False) shares

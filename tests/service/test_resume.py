@@ -150,3 +150,117 @@ class TestSpoolCheckpoints:
         spool.clear_checkpoint("job-0001")
         assert spool.read_checkpoint("job-0001") is None
         spool.clear_checkpoint("job-0001")  # idempotent
+
+
+class TestAppendOnlyHistorySidecar:
+    """Periodic checkpoints must stop rewriting the full history: the
+    snapshot JSON stays O(state) and the history goes to an append-only
+    sidecar, so a long job writes O(N) history bytes, not O(N²/k)."""
+
+    @staticmethod
+    def _state(n, extra=0):
+        history = [
+            {"index": i, "values": {"x": float(i)}, "unit": [0.1 * i],
+             "value": float(i), "started_at": float(i), "finished_at": float(i) + 0.5}
+            for i in range(n)
+        ]
+        return {"version": 1, "algorithm": "random", "seed": 0,
+                "elapsed": float(n), "rng_state": {"state": n + extra},
+                "algorithm_state": {"name": "random"}, "history": history}
+
+    def test_snapshot_json_does_not_embed_the_history(self, tmp_path):
+        import json
+
+        spool = JobSpool(tmp_path / "spool")
+        spool.write_checkpoint("job-0001", self._state(25))
+        raw = json.loads(spool.checkpoint_path("job-0001").read_text())
+        assert "history" not in raw
+        assert raw["history_count"] == 25
+        sidecar = spool.checkpoint_history_path("job-0001")
+        assert sidecar.exists()
+        assert sum(1 for _ in sidecar.open()) == 25
+
+    def test_later_checkpoints_append_instead_of_rewriting(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool")
+        sidecar = spool.checkpoint_history_path("job-0001")
+        spool.write_checkpoint("job-0001", self._state(10))
+        size_after_first = sidecar.stat().st_size
+        first_bytes = sidecar.read_bytes()
+        spool.write_checkpoint("job-0001", self._state(20))
+        assert sidecar.stat().st_size > size_after_first
+        # The first 10 records were appended to, not rewritten.
+        assert sidecar.read_bytes()[: len(first_bytes)] == first_bytes
+        restored = spool.read_checkpoint("job-0001")
+        assert restored == self._state(20)
+
+    def test_read_checkpoint_reassembles_the_plain_format(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool")
+        state = self._state(7)
+        spool.write_checkpoint("job-0001", state)
+        restored = spool.read_checkpoint("job-0001")
+        assert restored == state  # byte-identical to Calibrator.checkpoint()
+
+    def test_fresh_process_rewrites_the_sidecar_once(self, tmp_path):
+        """A new spool instance (fresh server process) must not trust a
+        sidecar written by a previous incarnation."""
+        first = JobSpool(tmp_path / "spool")
+        first.write_checkpoint("job-0001", self._state(30))
+        # New incarnation, job re-run from scratch with a different
+        # trajectory (shorter history, different content).
+        second = JobSpool(tmp_path / "spool")
+        state = self._state(5, extra=99)
+        second.write_checkpoint("job-0001", state)
+        assert second.read_checkpoint("job-0001") == state
+        sidecar = second.checkpoint_history_path("job-0001")
+        assert sum(1 for _ in sidecar.open()) == 5
+
+    def test_sidecar_longer_than_snapshot_is_truncated_on_read(self, tmp_path):
+        """Crash between the sidecar append and the snapshot rename: the
+        snapshot's history_count is the source of truth."""
+        import json
+
+        spool = JobSpool(tmp_path / "spool")
+        spool.write_checkpoint("job-0001", self._state(10))
+        with spool.checkpoint_history_path("job-0001").open("a") as handle:
+            handle.write(json.dumps({"index": 10, "values": {"x": 10.0},
+                                     "unit": [1.0], "value": 10.0,
+                                     "started_at": 10.0, "finished_at": 10.5}) + "\n")
+        restored = spool.read_checkpoint("job-0001")
+        assert len(restored["history"]) == 10
+
+    def test_clear_checkpoint_removes_the_sidecar(self, tmp_path):
+        spool = JobSpool(tmp_path / "spool")
+        spool.write_checkpoint("job-0001", self._state(3))
+        spool.clear_checkpoint("job-0001")
+        assert not spool.checkpoint_path("job-0001").exists()
+        assert not spool.checkpoint_history_path("job-0001").exists()
+
+    def test_end_to_end_resume_through_the_sidecar(self, tmp_path):
+        """A calibrator checkpoint written through the spool and read back
+        resumes to the exact uninterrupted trajectory."""
+        import numpy as np
+
+        from repro.core import Calibrator, EvaluationBudget, Parameter, ParameterSpace
+
+        space = ParameterSpace([Parameter("x", 2.0**4, 2.0**12),
+                                Parameter("y", 2.0**4, 2.0**12)])
+
+        def objective(values):
+            unit = space.to_unit_array(values)
+            return float(np.sum((unit - 0.4) ** 2))
+
+        full = Calibrator(space, objective, algorithm="lhs",
+                          budget=EvaluationBudget(30), seed=4).run()
+
+        spool = JobSpool(tmp_path / "spool")
+        Calibrator(space, objective, algorithm="lhs",
+                   budget=EvaluationBudget(12), seed=4).run(
+            checkpoint_every=6,
+            on_checkpoint=lambda s: spool.write_checkpoint("job-0001", s),
+        )
+        snapshot = spool.read_checkpoint("job-0001")
+        assert len(snapshot["history"]) == 12
+        resumed = Calibrator(space, objective, algorithm="lhs",
+                             budget=EvaluationBudget(30), seed=4).run(resume=snapshot)
+        assert [(e.unit, e.value) for e in resumed.history] == \
+            [(e.unit, e.value) for e in full.history]
