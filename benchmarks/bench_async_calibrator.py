@@ -52,6 +52,9 @@ from repro.hepsim import Scenario  # noqa: E402
 from repro.hepsim.calibration import CaseStudyProblem  # noqa: E402
 from repro.hepsim.groundtruth import GroundTruthGenerator  # noqa: E402
 from repro.hepsim.scenario import REDUCED_ICD_VALUES  # noqa: E402
+from repro.telemetry import configure_logging, console, get_logger  # noqa: E402
+
+log = get_logger("bench.async")
 
 
 def parse_args(argv=None):
@@ -80,6 +83,8 @@ def parse_args(argv=None):
     parser.add_argument("--tail", type=float, default=1.4,
                         help="Pareto tail index of the latency model (smaller = "
                              "heavier tail; must be > 1)")
+    parser.add_argument("-v", "--verbose", action="count", default=0)
+    parser.add_argument("-q", "--quiet", action="count", default=0)
     return parser.parse_args(argv)
 
 
@@ -115,6 +120,7 @@ class HeavyTailLatencyObjective:
 
 def main(argv=None) -> int:
     args = parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
     evaluations = args.evaluations or (16 if args.smoke else 64)
     scale = args.scale or "tiny"
     workers = 2 if args.smoke and args.workers > 2 else args.workers
@@ -157,19 +163,19 @@ def main(argv=None) -> int:
 
     speedup_serial = serial_elapsed / async_elapsed if async_elapsed else float("inf")
     speedup_batch = batched_elapsed / async_elapsed if async_elapsed else float("inf")
-    print(f"AsyncCalibrator vs BatchCalibrator vs serial — {args.algorithm} on "
+    console(f"AsyncCalibrator vs BatchCalibrator vs serial — {args.algorithm} on "
           f"{args.platform}/{scale}, N = {evaluations}, heavy-tailed latency "
           f"median {latency_ms:g} ms (tail index {args.tail:g})")
-    print(f"  serial   : {serial.evaluations:4d} evaluations  "
+    console(f"  serial   : {serial.evaluations:4d} evaluations  "
           f"{serial_elapsed:7.2f} s   best {serial.best_value:.3f}")
-    print(f"  batched  : {batched.evaluations:4d} evaluations  "
+    console(f"  batched  : {batched.evaluations:4d} evaluations  "
           f"{batched_elapsed:7.2f} s   best {batched.best_value:.3f}  "
           f"({workers} workers, {mode})")
-    print(f"  async    : {asynchronous.evaluations:4d} evaluations  "
+    console(f"  async    : {asynchronous.evaluations:4d} evaluations  "
           f"{async_elapsed:7.2f} s   best {asynchronous.best_value:.3f}  "
           f"({workers} workers, {mode}"
           + (", ordered adapter)" if args.ordered else ")"))
-    print(f"  speedup  : {speedup_batch:.2f}x over batched, "
+    console(f"  speedup  : {speedup_batch:.2f}x over batched, "
           f"{speedup_serial:.2f}x over serial")
 
     failures = []
@@ -189,18 +195,18 @@ def main(argv=None) -> int:
     cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
     can_time = latency_ms > 0 or (cores or 1) >= 2
     if not args.smoke and not can_time:
-        print(f"  NOTE: only {cores} usable core(s) and no simulated latency — "
-              "the timing gate is skipped; rerun with --latency 40 (or on a "
-              "multicore machine)")
+        log.warning("  NOTE: only %s usable core(s) and no simulated latency — "
+                    "the timing gate is skipped; rerun with --latency 40 (or on "
+                    "a multicore machine)", cores)
     if not args.smoke and can_time and async_elapsed > batched_elapsed / 1.3:
         failures.append(
             f"speedup too low: async {async_elapsed:.2f}s > batched "
             f"{batched_elapsed:.2f}s / 1.3"
         )
     for failure in failures:
-        print(f"  FAIL: {failure}")
+        console(f"  FAIL: {failure}")
     if not failures:
-        print("  OK" + (" (smoke)" if args.smoke else ""))
+        console("  OK" + (" (smoke)" if args.smoke else ""))
     return 1 if failures else 0
 
 

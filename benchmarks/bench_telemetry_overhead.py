@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Benchmark — the disabled-telemetry overhead gate.
+
+The telemetry subsystem promises to be near-free when switched off: every
+instrumented hot path (algorithm ask/tell, driver dispatch, objective
+evaluation, store access, engine phases) guards its recording behind a
+single boolean / ``is None`` check.  This benchmark holds the subsystem to
+that promise on the serial driver — the configuration where per-evaluation
+bookkeeping is the largest fraction of the loop:
+
+* ``raw``  — the objective called directly in a plain Python loop (the
+  floor: no calibrator at all);
+* ``off``  — a serial :class:`~repro.core.calibrator.Calibrator` run with
+  telemetry disabled (the default state);
+* ``on``   — the same run with the metrics registry enabled and an
+  in-memory trace sink installed (for scale; not gated).
+
+The gate: the telemetry-off calibrator may add at most 5% over the raw
+loop.  The objective is time-calibrated busywork (a few milliseconds per
+call, like a small simulator invocation), so the ratio measures the
+driver + instrumentation overhead, not numpy noise.
+
+Run the acceptance benchmark::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
+
+or the CI smoke variant (smaller budget, looser 15% gate — shared CI
+machines jitter more than the 5% budget)::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py --smoke
+
+``--snapshot PATH`` additionally exports the enabled run's metrics
+registry as a JSON snapshot (uploaded as a CI artifact).
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core import Calibrator, EvaluationBudget  # noqa: E402
+from repro.core.parameters import Parameter, ParameterSpace  # noqa: E402
+from repro.telemetry import (  # noqa: E402
+    InMemoryTraceSink,
+    Tracer,
+    configure_logging,
+    console,
+    disable_metrics,
+    enable_metrics,
+    get_logger,
+    registry,
+    set_tracer,
+)
+
+log = get_logger("bench.telemetry")
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small budget and a looser gate (for CI)")
+    parser.add_argument("--evaluations", type=int, default=None,
+                        help="evaluation budget per run (default: 256 full / 64 smoke)")
+    parser.add_argument("--work-ms", type=float, default=4.0, metavar="MS",
+                        help="target busywork per objective call (default: 4 ms)")
+    parser.add_argument("--gate", type=float, default=None, metavar="FRACTION",
+                        help="max allowed off-vs-raw overhead (default: 0.05 "
+                             "full / 0.15 smoke)")
+    parser.add_argument("--snapshot", default=None, metavar="PATH",
+                        help="write the enabled run's metrics registry as a "
+                             "JSON snapshot")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("-v", "--verbose", action="count", default=0)
+    parser.add_argument("-q", "--quiet", action="count", default=0)
+    return parser.parse_args(argv)
+
+
+class BusyworkObjective:
+    """A deterministic objective calibrated to a target wall-clock cost.
+
+    Pure-Python arithmetic in a loop sized at construction time so one
+    call takes roughly ``work_ms`` regardless of the host's speed — the
+    profile of a small simulator invocation, without the simulator's
+    run-to-run variance polluting an overhead measurement.
+    """
+
+    def __init__(self, work_ms: float) -> None:
+        self.iterations = self._calibrate(work_ms / 1000.0)
+
+    @staticmethod
+    def _chunk(n: int) -> float:
+        acc = 0.0
+        for i in range(n):
+            acc += (i % 7) * 1e-3
+        return acc
+
+    @classmethod
+    def _calibrate(cls, target_seconds: float) -> int:
+        n = 1000
+        while True:
+            t0 = time.perf_counter()
+            cls._chunk(n)
+            elapsed = time.perf_counter() - t0
+            if elapsed >= target_seconds / 4 or n >= 50_000_000:
+                break
+            n *= 2
+        return max(int(n * target_seconds / max(elapsed, 1e-9)), 1)
+
+    def __call__(self, values) -> float:
+        self._chunk(self.iterations)
+        return sum(float(v) for v in values.values())
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
+    evaluations = args.evaluations or (64 if args.smoke else 256)
+    gate = args.gate if args.gate is not None else (0.15 if args.smoke else 0.05)
+    space = ParameterSpace([
+        Parameter("x", 1.0, 100.0),
+        Parameter("y", 1.0, 100.0),
+    ])
+    objective = BusyworkObjective(args.work_ms)
+    log.debug("busywork calibrated to %d iterations per call", objective.iterations)
+
+    def run_calibrator():
+        # cache=False: a memoising cache would dedupe repeated points and
+        # change how many objective calls each run pays for.
+        return Calibrator(
+            space, objective, algorithm="random",
+            budget=EvaluationBudget(evaluations), seed=args.seed, cache=False,
+        ).run()
+
+    disable_metrics()
+    set_tracer(None)
+
+    # Warm-up, outside all timed sections (bytecode caches, numpy init).
+    run_calibrator()
+
+    import numpy as np
+    rng = np.random.default_rng(args.seed)
+    t0 = time.perf_counter()
+    for _ in range(evaluations):
+        point = space.from_unit_array(rng.random(space.dimension))
+        objective(point)
+    t_raw = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    run_calibrator()
+    t_off = time.perf_counter() - t0
+
+    reg = enable_metrics()
+    reg.reset()
+    sink = InMemoryTraceSink()
+    previous = set_tracer(Tracer(sink))
+    try:
+        t0 = time.perf_counter()
+        run_calibrator()
+        t_on = time.perf_counter() - t0
+    finally:
+        set_tracer(previous)
+        disable_metrics()
+
+    overhead_off = (t_off - t_raw) / t_raw if t_raw > 0 else float("inf")
+    overhead_on = (t_on - t_raw) / t_raw if t_raw > 0 else float("inf")
+    console(f"Telemetry overhead — serial driver, N = {evaluations}, "
+            f"~{args.work_ms:g} ms busywork per call")
+    console(f"  raw loop         : {t_raw:7.3f} s")
+    console(f"  calibrator (off) : {t_off:7.3f} s   ({overhead_off * 100:+.1f}% vs raw)")
+    console(f"  calibrator (on)  : {t_on:7.3f} s   ({overhead_on * 100:+.1f}% vs raw, "
+            f"{len(sink.spans)} spans)")
+
+    if args.snapshot:
+        path = reg.save_snapshot(args.snapshot)
+        console(f"  metrics snapshot : {path}")
+
+    failures = []
+    if overhead_off > gate:
+        failures.append(
+            f"disabled-telemetry overhead {overhead_off * 100:.1f}% exceeds the "
+            f"{gate * 100:.0f}% gate (off {t_off:.3f}s vs raw {t_raw:.3f}s)"
+        )
+    if not sink.by_name("evaluation"):
+        failures.append("the enabled run emitted no evaluation spans")
+    if not any(m.name == "repro_objective_evaluations_total" for m in reg.instruments()):
+        failures.append("the enabled run recorded no objective-evaluation metrics")
+    for failure in failures:
+        console(f"  FAIL: {failure}")
+    if not failures:
+        console("  OK" + (" (smoke)" if args.smoke else ""))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,14 +10,18 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core import ALGORITHMS, EvaluationBudget, TimeBudget
 from repro.core.metrics import METRICS
 from repro.hepsim import CaseStudyProblem, GroundTruthGenerator, Scenario
 from repro.hepsim.scenario import PAPER_ICD_VALUES, REDUCED_ICD_VALUES
+from repro.telemetry import configure_logging, console, get_logger
 
 __all__ = ["build_parser", "main"]
+
+_log = get_logger("cli")
 
 
 # ---------------------------------------------------------------------- #
@@ -55,29 +59,57 @@ def _budget(args: argparse.Namespace):
 # sub-commands
 # ---------------------------------------------------------------------- #
 def cmd_list(args: argparse.Namespace) -> int:
-    print("calibration algorithms:")
+    console("calibration algorithms:")
     for name in sorted(ALGORITHMS):
-        print(f"  {name}")
-    print("accuracy metrics:")
+        console(f"  {name}")
+    console("accuracy metrics:")
     for name in sorted(METRICS):
-        print(f"  {name}")
-    print("platforms: SCFN FCFN SCSN FCSN   (Table II)")
-    print("scenario scales: paper bench calib tiny")
+        console(f"  {name}")
+    console("platforms: SCFN FCFN SCSN FCSN   (Table II)")
+    console("scenario scales: paper bench calib tiny")
     return 0
 
 
 def cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.core.reporting import calibration_report
     from repro.core.serialization import save_result
+    from repro.telemetry import (
+        JsonlTraceSink,
+        Tracer,
+        disable_metrics,
+        enable_metrics,
+        registry,
+        set_tracer,
+    )
 
     scenario = _scenario(args.platform, args.scale, _parse_icds(args.icds))
     generator = GroundTruthGenerator()
     problem = CaseStudyProblem.create(scenario, generator=generator, metric=args.metric)
-    result = problem.calibrate(
-        algorithm=args.algorithm, budget=_budget(args), seed=args.seed,
-        workers=args.workers, asynchronous=args.use_async,
-        max_pending=args.max_pending,
-    )
+
+    enabled_here = False
+    if args.metrics is not None and not registry().enabled:
+        enable_metrics()
+        enabled_here = True
+    tracer = previous_tracer = None
+    if args.trace:
+        tracer = Tracer(JsonlTraceSink(args.trace))
+        previous_tracer = set_tracer(tracer)
+    cache = store = None
+    if args.store:
+        from repro.service import StoreBackedCache, open_store
+
+        store = open_store(args.store)
+        cache = StoreBackedCache(store, problem.fingerprint())
+    try:
+        result = problem.calibrate(
+            algorithm=args.algorithm, budget=_budget(args), seed=args.seed,
+            workers=args.workers, asynchronous=args.use_async,
+            max_pending=args.max_pending, cache=cache,
+        )
+    finally:
+        if tracer is not None:
+            set_tracer(previous_tracer)
+            tracer.close()
     values = problem.calibrated_values(result)
 
     if args.use_async:
@@ -86,26 +118,44 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
         driver_note = f" (batched, {args.workers} workers)"
     else:
         driver_note = ""
-    print(f"platform           : {args.platform} ({scenario.config.description})")
-    print(f"algorithm          : {result.algorithm}{driver_note}")
-    print(f"budget             : {result.budget_description}")
-    print(f"evaluations        : {result.evaluations}")
-    print(f"elapsed            : {result.elapsed:.1f} s")
-    print(f"best {args.metric.upper():14s}: {result.best_value:.2f}")
-    print("calibrated values  :")
+    console(f"platform           : {args.platform} ({scenario.config.description})")
+    console(f"algorithm          : {result.algorithm}{driver_note}")
+    console(f"budget             : {result.budget_description}")
+    console(f"evaluations        : {result.evaluations}")
+    console(f"elapsed            : {result.elapsed:.1f} s")
+    console(f"best {args.metric.upper():14s}: {result.best_value:.2f}")
+    console("calibrated values  :")
     for name, value in values.to_dict().items():
-        print(f"  {name:22s} {value:.4g}")
+        console(f"  {name:22s} {value:.4g}")
+    if store is not None:
+        stats = store.stats()
+        console(f"store              : {args.store} ({stats['entries']} evaluations, "
+                f"{cache.hits} hits this run)")
+        store.close()
     if args.compare:
         human = problem.evaluate(problem.human_values())
         true = problem.evaluate(problem.true_values())
-        print(f"HUMAN {args.metric.upper():13s}: {human:.2f}")
-        print(f"true-values {args.metric.upper():7s}: {true:.2f}")
+        console(f"HUMAN {args.metric.upper():13s}: {human:.2f}")
+        console(f"true-values {args.metric.upper():7s}: {true:.2f}")
     if args.report:
-        print()
-        print(calibration_report(result, problem.space, objective_name=args.metric.upper()))
+        console()
+        console(calibration_report(result, problem.space, objective_name=args.metric.upper()))
     if args.save:
         path = save_result(result, args.save)
-        print(f"result saved to    : {path}")
+        console(f"result saved to    : {path}")
+    if args.trace:
+        console(f"trace written to   : {args.trace}")
+    if args.metrics is not None:
+        if args.metrics == "-":
+            console()
+            console(registry().render_text())
+        else:
+            path = registry().save_snapshot(args.metrics)
+            console(f"metrics snapshot   : {path}")
+    if enabled_here:
+        # Leave the process-wide registry as we found it (matters when the
+        # CLI runs in-process, e.g. under the test suite).
+        disable_metrics().reset()
     return 0
 
 
@@ -121,15 +171,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         raise SystemExit(f"unknown calibration {args.values!r}; expected 'human' or 'true'")
     mre = problem.evaluate(values)
     trace = problem.objective.simulate(values.to_dict())
-    print(f"platform  : {args.platform}")
-    print(f"values    : {args.values}")
-    print(f"MRE       : {mre:.2f}%")
-    print("per-ICD average job times (simulated vs ground truth):")
+    console(f"platform  : {args.platform}")
+    console(f"values    : {args.values}")
+    console(f"MRE       : {mre:.2f}%")
+    console("per-ICD average job times (simulated vs ground truth):")
     for icd in scenario.icd_values:
         for node in scenario.node_names:
             sim = trace.average_job_time(node, icd)
             ref = problem.ground_truth.average_job_time(node, icd)
-            print(f"  ICD {icd:4.1f}  {node:8s}  sim {sim:9.1f} s   truth {ref:9.1f} s")
+            console(f"  ICD {icd:4.1f}  {node:8s}  sim {sim:9.1f} s   truth {ref:9.1f} s")
     return 0
 
 
@@ -148,15 +198,13 @@ def cmd_submit(args: argparse.Namespace) -> int:
         "seed": args.seed,
     }
     job_id = spool.submit(spec)
-    print(f"submitted {job_id} ({args.algorithm} on {args.platform}/{args.scale}) "
-          f"to {spool.root}")
-    print(f"run the queue with: repro serve --serve-dir {spool.root}")
+    console(f"submitted {job_id} ({args.algorithm} on {args.platform}/{args.scale}) "
+            f"to {spool.root}")
+    _log.info("run the queue with: repro serve --serve-dir %s", spool.root)
     return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    import time as _time
-
     from repro.service import CalibrationServer, CaseStudyRequestFactory, JobSpool, open_store
 
     spool = JobSpool(args.serve_dir)
@@ -166,7 +214,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     def on_event(job, event):
         if event.kind != "submitted":
-            print(f"[{event.kind:9s}] {event.message}")
+            _log.info("[%-9s] %s", event.kind, event.message)
 
     def on_event_with_checkpoints(job, event):
         if event.kind == "checkpoint":
@@ -192,7 +240,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     request = factory.request(spec)
                 except Exception as exc:
                     spool.update(job_id, status="failed", error=f"{type(exc).__name__}: {exc}")
-                    print(f"[failed   ] {job_id}: {exc}")
+                    _log.warning("[failed   ] %s: %s", job_id, exc)
                     continue
                 request.checkpoint_every = args.checkpoint_every
                 if args.resume:
@@ -201,8 +249,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     request.checkpoint = spool.read_checkpoint(job_id)
                     if request.checkpoint is not None:
                         done = len(request.checkpoint.get("history", []))
-                        print(f"[resumed  ] {job_id}: from checkpoint "
-                              f"({done} evaluations already done)")
+                        _log.info("[resumed  ] %s: from checkpoint "
+                                  "(%d evaluations already done)", job_id, done)
                 spool.update(job_id, status="running")
                 jobs.append(server.submit(request, job_id=job_id))
             for job in jobs:
@@ -225,12 +273,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             if args.poll is None:
                 break
             try:
-                _time.sleep(args.poll)
+                time.sleep(args.poll)
             except KeyboardInterrupt:  # pragma: no cover - interactive only
                 break
     stats = store.stats()
-    print(f"served {processed} job(s); store: {stats['entries']} evaluations, "
-          f"{stats['hits']} hits / {stats['misses']} misses this run")
+    console(f"served {processed} job(s); store: {stats['entries']} evaluations, "
+            f"{stats['hits']} hits / {stats['misses']} misses this run")
     return 0
 
 
@@ -244,12 +292,12 @@ def cmd_status(args: argparse.Namespace) -> int:
         if not records:
             raise SystemExit(f"unknown job {args.job!r} in {spool.root}")
     if not records:
-        print(f"no jobs in {spool.root}")
+        console(f"no jobs in {spool.root}")
         return 0
     header = f"{'job':10s} {'status':8s} {'algorithm':12s} {'platform':8s} " \
              f"{'best':>10s} {'evals':>6s} {'hits':>6s} {'elapsed':>8s}"
-    print(header)
-    print("-" * len(header))
+    console(header)
+    console("-" * len(header))
     for record in records:
         best = record.get("best_value")
         elapsed = record.get("elapsed")
@@ -257,7 +305,7 @@ def cmd_status(args: argparse.Namespace) -> int:
             # Before completion the spec's "evaluations" is the requested
             # budget, not work performed — don't show it as progress.
             record = {**record, "evaluations": "-", "cache_hits": "-"}
-        print(
+        console(
             f"{record.get('id', '?'):10s} "
             f"{record.get('status', '?'):8s} "
             f"{record.get('algorithm', '?'):12s} "
@@ -268,8 +316,38 @@ def cmd_status(args: argparse.Namespace) -> int:
             f"{(f'{elapsed:.1f}s' if elapsed is not None else '-'):>8s}"
         )
         if record.get("error"):
-            print(f"  error: {record['error']}")
+            console(f"  error: {record['error']}")
+    _print_store_summary(spool, args.store)
     return 0
+
+
+def _print_store_summary(spool, store_arg: Optional[str]) -> None:
+    """Append the shared store's size and in-flight leases to a status view.
+
+    Lease state is only observable across processes for SQLite stores (the
+    JSONL/in-memory backends keep leases in the owning process), so a
+    quiet output here does not mean no work is in flight — it means the
+    store backend cannot see it from this process.
+    """
+    from pathlib import Path
+
+    from repro.service import open_store
+
+    store_path = store_arg if store_arg is not None else str(spool.default_store_path)
+    if store_path == ":memory:" or not Path(store_path).exists():
+        return
+    with open_store(store_path) as store:
+        entries = len(store)
+        leases = store.active_leases()
+    console(f"store: {entries} stored evaluations in {store_path}")
+    if leases:
+        now = time.time()
+        console(f"active leases ({len(leases)} evaluations being computed now):")
+        for lease in leases:
+            console(
+                f"  {lease['key'][:16]}…  owner {str(lease['owner'])[:12]}  "
+                f"expires in {max(lease['expires_at'] - now, 0.0):.0f}s"
+            )
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -277,9 +355,9 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     if args.output:
         path = write_report(args.results_dir, args.output)
-        print(f"report written to {path}")
+        console(f"report written to {path}")
     else:
-        print(render_report(collect_results(args.results_dir)))
+        console(render_report(collect_results(args.results_dir)))
     return 0
 
 
@@ -340,9 +418,40 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         raise SystemExit(f"unknown experiment(s) {unknown}; available: {sorted(registry)} or 'all'")
     for name in names:
         result = registry[name]()
-        print(result.to_text())
-        print()
+        console(result.to_text())
+        console()
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """A (optionally repeating) live view over a service spool: job counts
+    by status, the running jobs, and the shared store's size and leases."""
+    from repro.service import JobSpool
+
+    spool = JobSpool(args.serve_dir)
+    iteration = 0
+    while True:
+        iteration += 1
+        records = spool.statuses()
+        counts: Dict[str, int] = {}
+        for record in records:
+            status = str(record.get("status", "?"))
+            counts[status] = counts.get(status, 0) + 1
+        summary = "  ".join(f"{status}:{n}" for status, n in sorted(counts.items()))
+        console(f"-- repro top @ {time.strftime('%H:%M:%S')}  "
+                f"({len(records)} jobs)  {summary}")
+        for record in records:
+            if record.get("status") == "running":
+                console(f"  running  {record.get('id', '?'):10s} "
+                        f"{record.get('algorithm', '?'):12s} "
+                        f"{record.get('platform', '?')}")
+        _print_store_summary(spool, args.store)
+        if args.iterations is not None and iteration >= args.iterations:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0
 
 
 # ---------------------------------------------------------------------- #
@@ -396,10 +505,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_list = sub.add_parser("list", help="list algorithms, metrics and platforms")
+    # -v/-q ride along on every sub-command (argparse only sees options
+    # after the sub-command name, so they must live on the subparsers).
+    verbosity = argparse.ArgumentParser(add_help=False)
+    verbosity.add_argument("-v", "--verbose", action="count", default=0,
+                           help="more progress output (repeat for debug)")
+    verbosity.add_argument("-q", "--quiet", action="count", default=0,
+                           help="less progress output (repeat to silence warnings)")
+
+    p_list = sub.add_parser("list", parents=[verbosity],
+                            help="list algorithms, metrics and platforms")
     p_list.set_defaults(func=cmd_list)
 
-    common = argparse.ArgumentParser(add_help=False)
+    common = argparse.ArgumentParser(add_help=False, parents=[verbosity])
     common.add_argument("--platform", default="FCSN", choices=["SCFN", "FCFN", "SCSN", "FCSN"])
     common.add_argument("--scale", default="calib", choices=["paper", "bench", "calib", "tiny"])
     common.add_argument("--icds", default=None, help="comma-separated ICD values (default: scenario grid)")
@@ -426,6 +544,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_cal.add_argument("--compare", action="store_true", help="also score the HUMAN and true calibrations")
     p_cal.add_argument("--report", action="store_true", help="print a convergence report")
     p_cal.add_argument("--save", default=None, metavar="PATH", help="write the result (with history) to a JSON file")
+    p_cal.add_argument("--metrics", nargs="?", const="-", default=None, metavar="PATH",
+                       help="enable the telemetry metrics registry for the run and "
+                            "export it: with PATH, write a JSON snapshot there; "
+                            "without, print the Prometheus text exposition")
+    p_cal.add_argument("--trace", default=None, metavar="PATH",
+                       help="write per-evaluation spans (JSON Lines) to PATH — one "
+                            "record per ask/dispatch/simulate/tell step, with "
+                            "parent/child span ids")
+    p_cal.add_argument("--store", default=None, metavar="PATH",
+                       help="back the run's cache with a persistent evaluation "
+                            "store (.jsonl or .db/.sqlite), reusing simulations "
+                            "across runs like the service does")
     p_cal.set_defaults(func=cmd_calibrate)
 
     p_sim = sub.add_parser("simulate", parents=[common], help="run the simulator with a known calibration")
@@ -450,7 +580,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="time budget (overrides --evaluations)")
     p_sub.set_defaults(func=cmd_submit)
 
-    p_srv = sub.add_parser("serve", help="run queued calibration jobs over the shared store")
+    p_srv = sub.add_parser("serve", parents=[verbosity],
+                           help="run queued calibration jobs over the shared store")
     p_srv.add_argument("--serve-dir", default="service", metavar="DIR",
                        help="service spool directory")
     p_srv.add_argument("--store", default=None, metavar="PATH",
@@ -468,13 +599,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "instead of re-running them from scratch")
     p_srv.set_defaults(func=cmd_serve)
 
-    p_sta = sub.add_parser("status", help="show the status of service jobs")
+    p_sta = sub.add_parser("status", parents=[verbosity],
+                           help="show the status of service jobs")
     p_sta.add_argument("--serve-dir", default="service", metavar="DIR",
                        help="service spool directory")
     p_sta.add_argument("--job", default=None, metavar="ID", help="show one job only")
+    p_sta.add_argument("--store", default=None, metavar="PATH",
+                       help="evaluation store to summarise (default DIR/store.jsonl)")
     p_sta.set_defaults(func=cmd_status)
 
-    p_rep = sub.add_parser("report", help="aggregate benchmarks/results/ into one Markdown report")
+    p_top = sub.add_parser("top", parents=[verbosity],
+                           help="live view of service jobs and in-flight evaluations")
+    p_top.add_argument("--serve-dir", default="service", metavar="DIR",
+                       help="service spool directory")
+    p_top.add_argument("--store", default=None, metavar="PATH",
+                       help="evaluation store to summarise (default DIR/store.jsonl)")
+    p_top.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                       help="refresh interval (default: 2s)")
+    p_top.add_argument("--iterations", type=int, default=None, metavar="N",
+                       help="stop after N refreshes (default: run until Ctrl-C)")
+    p_top.set_defaults(func=cmd_top)
+
+    p_rep = sub.add_parser("report", parents=[verbosity],
+                           help="aggregate benchmarks/results/ into one Markdown report")
     p_rep.add_argument("--results-dir", default="benchmarks/results",
                        help="directory holding the per-experiment .txt outputs")
     p_rep.add_argument("--output", default=None, metavar="PATH",
@@ -487,6 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(getattr(args, "verbose", 0) - getattr(args, "quiet", 0))
     return args.func(args)
 
 

@@ -70,12 +70,17 @@ so hooks never see a half generation.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Type, Union
 
 import numpy as np
 
 from repro.core.evaluation import Objective
 from repro.core.parameters import ParameterSpace
+from repro.telemetry.metrics import registry as _metrics_registry
+from repro.telemetry.tracing import current_tracer
+
+_REGISTRY = _metrics_registry()
 
 __all__ = [
     "CalibrationAlgorithm",
@@ -190,6 +195,23 @@ class CalibrationAlgorithm:
         candidates: they keep generating speculatively, so an empty list
         from them always means ``done()``.
         """
+        if not _REGISTRY.enabled:
+            return self._ask_impl(rng, n)
+        started = time.perf_counter()
+        out = self._ask_impl(rng, n)
+        _REGISTRY.histogram(
+            "repro_algorithm_ask_seconds",
+            "Wall-clock spent inside ask() per call.",
+            algorithm=self.name,
+        ).observe(time.perf_counter() - started)
+        _REGISTRY.counter(
+            "repro_algorithm_asked_total",
+            "Candidates handed out by ask().",
+            algorithm=self.name,
+        ).inc(len(out))
+        return out
+
+    def _ask_impl(self, rng: np.random.Generator, n: int) -> List[np.ndarray]:
         if n < 1:
             raise ValueError("ask() needs n >= 1")
         if self._space is None:
@@ -240,6 +262,23 @@ class CalibrationAlgorithm:
         in any completion order — each pair is matched against the
         outstanding ledger and observed immediately.
         """
+        if not _REGISTRY.enabled:
+            self._tell_impl(candidates, values)
+            return
+        started = time.perf_counter()
+        self._tell_impl(candidates, values)
+        _REGISTRY.histogram(
+            "repro_algorithm_tell_seconds",
+            "Wall-clock spent inside tell() per call.",
+            algorithm=self.name,
+        ).observe(time.perf_counter() - started)
+        _REGISTRY.counter(
+            "repro_algorithm_told_total",
+            "Results reported back through tell().",
+            algorithm=self.name,
+        ).inc(len(values))
+
+    def _tell_impl(self, candidates: Sequence[np.ndarray], values: Sequence[float]) -> None:
         if len(candidates) != len(values):
             raise ValueError("tell() needs one value per candidate")
         if self.supports_async_tell:
@@ -368,13 +407,18 @@ class CalibrationAlgorithm:
         ``on_step`` runs after every completed evaluate+tell — the
         checkpoint hook of :class:`~repro.core.calibrator.Calibrator`.
         """
+        tracer = current_tracer()
         while not self.done():
             candidates = self.ask(rng, 1)
             if not candidates:
                 break
             for candidate in candidates:
-                value = objective.evaluate_unit(candidate)
-                self.tell([candidate], [value])
+                with tracer.span("evaluation", driver="serial", algorithm=self.name) as span:
+                    value = objective.evaluate_unit(candidate)
+                    if span is not None:
+                        span.set(value=value)
+                    with tracer.span("tell"):
+                        self.tell([candidate], [value])
                 if on_step is not None:
                     on_step()
 

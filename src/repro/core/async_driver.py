@@ -55,9 +55,13 @@ from repro.core.evaluation import (
     unit_cache_key,
 )
 from repro.core.history import Evaluation
-from repro.core.parallel import ObjectiveFunction, ParallelEvaluator
+from repro.core.parallel import ObjectiveFunction, Outcome, ParallelEvaluator
 from repro.core.parameters import ParameterSpace
 from repro.core.result import CalibrationResult
+from repro.telemetry.metrics import registry as _metrics_registry
+from repro.telemetry.tracing import Span, current_tracer
+
+_REGISTRY = _metrics_registry()
 
 __all__ = ["AsyncCalibrator", "OrderedTellAdapter"]
 
@@ -112,9 +116,10 @@ class _InFlight:
     mapping: Dict[str, float]
     key: CacheKey
     started_at: float
-    future: Optional["Future[float]"] = None  # None: deferred (leased elsewhere)
+    future: Optional["Future[Outcome]"] = None  # None: deferred (leased elsewhere)
     lease_expires_at: Optional[float] = None
     riders: List[Tuple[int, np.ndarray]] = dataclasses.field(default_factory=list)
+    span: Optional[Span] = None  # open "evaluation" span (tracing enabled only)
 
 
 class AsyncCalibrator:
@@ -241,10 +246,37 @@ class AsyncCalibrator:
         #: per-seq record metadata (mapping, started_at, finished_at, cached),
         #: parked alongside the adapter's buffer until the seq is released
         self._meta: Dict[int, Tuple[Dict[str, float], float, float, bool]] = {}
+        self._tracer = current_tracer()
+        # Instruments are looked up once per run, only when telemetry is
+        # on: the disabled hot path costs one attribute check per use.
+        self._reg = _REGISTRY if _REGISTRY.enabled else None
+        if self._reg is not None:
+            self._m_inflight = self._reg.gauge(
+                "repro_async_in_flight",
+                "Candidates currently dispatched or deferred.")
+            self._m_dispatched = self._reg.counter(
+                "repro_driver_dispatches_total",
+                "Candidates dispatched to the worker pool.", driver="async")
+            self._m_hits = self._reg.counter(
+                "repro_driver_cache_hits_total",
+                "Candidates answered from the cache instead of dispatched.",
+                driver="async")
+            self._m_deferred = self._reg.counter(
+                "repro_async_deferred_total",
+                "Candidates deferred behind a concurrent driver's lease.")
+            self._m_riders = self._reg.counter(
+                "repro_async_riders_total",
+                "In-run revisits served by riding on an in-flight point.")
 
+        self._root = self._tracer.begin(
+            "calibration", driver="async", algorithm=self.algorithm.name, seed=self.seed
+        )
         try:
             self._drive(rng)
         finally:
+            self._tracer.end(self._root)
+            if self._reg is not None:
+                self._m_inflight.set(0)
             self.evaluator.close()
 
         history = self.evaluator.history
@@ -260,6 +292,7 @@ class AsyncCalibrator:
             history=history,
             budget_description=self.budget.describe(),
             seed=self.seed,
+            telemetry=_REGISTRY.snapshot() if _REGISTRY.enabled else None,
         )
 
     # ------------------------------------------------------------------ #
@@ -316,6 +349,8 @@ class AsyncCalibrator:
         # is free, as the serial cache would have made it).
         if self._cache is not None and key in self._inflight_keys:
             self._inflight_keys[key].riders.append((seq, candidate))
+            if self._reg is not None:
+                self._m_riders.inc()
             return
 
         if self._cache is not None:
@@ -329,20 +364,33 @@ class AsyncCalibrator:
                 self._budget_units += 1
             self._seen.add(key)
             self.cache_hits += 1
+            if self._reg is not None:
+                self._m_hits.inc()
+            span = self._tracer.begin("evaluation", parent=self._root, driver="async", seq=seq)
             at = self.evaluator.elapsed
             self._resolve(seq, candidate, mapping, claim.value, at, at, cached=True)
+            self._tracer.end(span, cached=True, value=claim.value)
             return
 
         entry = _InFlight(
             seq=seq, candidate=candidate, unit=unit, mapping=mapping, key=key,
             started_at=self.evaluator.elapsed,
+            span=self._tracer.begin(
+                "evaluation", parent=self._root, driver="async", seq=seq
+            ),
         )
         self._budget_units += 1  # dispatch (or deferred lease) charge
         if claim.status == Claim.LEASED:
             entry.lease_expires_at = claim.expires_at or (time.time() + 1.0)
+            if self._reg is not None:
+                self._m_deferred.inc()
         else:
             entry.future = self.evaluator.submit(mapping)
+            if self._reg is not None:
+                self._m_dispatched.inc()
         self._pending.append(entry)
+        if self._reg is not None:
+            self._m_inflight.set(len(self._pending))
         if self._cache is not None:
             self._inflight_keys[key] = entry
 
@@ -362,7 +410,7 @@ class AsyncCalibrator:
 
     def _complete(self, entry: _InFlight) -> None:
         try:
-            value = float(entry.future.result())
+            value, duration = entry.future.result()
         except BaseException:
             # The objective raised in a worker: release every leadership
             # this run announced (concurrent drivers must not wait on
@@ -370,14 +418,20 @@ class AsyncCalibrator:
             self._abandon_claims()
             raise
         finished_at = self.evaluator.elapsed
+        # The worker timed its own call; anchor that interval to the
+        # driver's clock at completion so the record carries the true
+        # per-point evaluation wall-clock (dispatch-to-completion would
+        # fold in executor queueing, overstating slow-pool points).
+        started_at = max(finished_at - duration, entry.started_at)
         if self._cache is not None:
             self._cache.put(entry.key, entry.mapping, value)
         self._seen.add(entry.key)
         self._remove(entry)
         self._resolve(
             entry.seq, entry.candidate, entry.mapping, value,
-            entry.started_at, finished_at, cached=False,
+            started_at, finished_at, cached=False,
         )
+        self._tracer.end(entry.span, cached=False, value=value, duration_in_worker=duration)
         self._resolve_riders(entry, value)
 
     def _poll_deferred(self, deferred: List[_InFlight]) -> None:
@@ -388,10 +442,13 @@ class AsyncCalibrator:
                 self._seen.add(entry.key)
                 self.cache_hits += 1
                 self.deferred_hits += 1
+                if self._reg is not None:
+                    self._m_hits.inc()
                 self._remove(entry)
                 at = self.evaluator.elapsed
                 self._resolve(entry.seq, entry.candidate, entry.mapping, value,
                               at, at, cached=True)
+                self._tracer.end(entry.span, cached=True, leased=True, value=value)
                 self._resolve_riders(entry, value)
                 continue
             if entry.lease_expires_at is not None and time.time() >= entry.lease_expires_at:
@@ -458,6 +515,8 @@ class AsyncCalibrator:
     # ------------------------------------------------------------------ #
     def _remove(self, entry: _InFlight) -> None:
         self._pending.remove(entry)
+        if self._reg is not None:
+            self._m_inflight.set(len(self._pending))
         if self._cache is not None:
             self._inflight_keys.pop(entry.key, None)
 
@@ -466,8 +525,14 @@ class AsyncCalibrator:
         result (free cache hits, as in the serial driver)."""
         for rider_seq, rider_candidate in entry.riders:
             self.cache_hits += 1
+            if self._reg is not None:
+                self._m_hits.inc()
+            span = self._tracer.begin(
+                "evaluation", parent=self._root, driver="async", seq=rider_seq
+            )
             at = self.evaluator.elapsed
             self._resolve(rider_seq, rider_candidate, entry.mapping, value, at, at, cached=True)
+            self._tracer.end(span, cached=True, rider=True, value=value)
         entry.riders = []
 
     def _abandon_claims(self) -> None:

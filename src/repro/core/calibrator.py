@@ -56,6 +56,10 @@ from repro.core.parameters import ParameterSpace
 from repro.core.result import CalibrationResult
 from repro.core.serialization import evaluation_from_dict, evaluation_to_dict
 from repro.core.stopping import StoppingBudget, StoppingCriterion
+from repro.telemetry.metrics import registry as _metrics_registry
+from repro.telemetry.tracing import current_tracer
+
+_REGISTRY = _metrics_registry()
 
 __all__ = ["Calibrator"]
 
@@ -219,24 +223,28 @@ class Calibrator:
         if resume is not None:
             self._restore(resume)
         self.objective.start(self._resume_elapsed)
+        tracer = current_tracer()
         try:
-            if algorithm.is_ask_tell:
-                if resume is None:
-                    algorithm.setup(self.space)
-                on_step = None
-                if checkpoint_every > 0 and on_checkpoint is not None:
-                    steps = {"n": 0}
+            with tracer.span(
+                "calibration", driver="serial", algorithm=algorithm.name, seed=self.seed
+            ):
+                if algorithm.is_ask_tell:
+                    if resume is None:
+                        algorithm.setup(self.space)
+                    on_step = None
+                    if checkpoint_every > 0 and on_checkpoint is not None:
+                        steps = {"n": 0}
 
-                    def on_step() -> None:
-                        steps["n"] += 1
-                        if steps["n"] % checkpoint_every == 0:
-                            on_checkpoint(self.checkpoint())
+                        def on_step() -> None:
+                            steps["n"] += 1
+                            if steps["n"] % checkpoint_every == 0:
+                                on_checkpoint(self.checkpoint())
 
-                algorithm.serial_drive(self.objective, rng, on_step=on_step)
-            else:
-                # Legacy algorithm implementing run() directly: no resume,
-                # no checkpoints, but the blocking loop still works.
-                algorithm.run(self.objective, self.space, rng)
+                    algorithm.serial_drive(self.objective, rng, on_step=on_step)
+                else:
+                    # Legacy algorithm implementing run() directly: no resume,
+                    # no checkpoints, but the blocking loop still works.
+                    algorithm.run(self.objective, self.space, rng)
         except BudgetExhausted:
             pass
         best = self.objective.best
@@ -254,4 +262,5 @@ class Calibrator:
             history=self.objective.history,
             budget_description=self.budget.describe(),
             seed=self.seed,
+            telemetry=_REGISTRY.snapshot() if _REGISTRY.enabled else None,
         )

@@ -31,6 +31,10 @@ import numpy as np
 from repro.core.budget import Budget
 from repro.core.history import CalibrationHistory, Evaluation
 from repro.core.parameters import ParameterSpace
+from repro.telemetry.metrics import registry as _metrics_registry
+from repro.telemetry.tracing import current_tracer
+
+_REGISTRY = _metrics_registry()
 
 __all__ = [
     "BudgetExhausted",
@@ -356,11 +360,18 @@ class Objective:
                     self._seen_keys.add(key)
                 if self.record_cache_hits:
                     self._record(values, unit, cached, at, at, cached=True)
+                if _REGISTRY.enabled:
+                    _REGISTRY.counter(
+                        "repro_objective_cache_hits_total",
+                        "Evaluations answered from the cache.",
+                    ).inc()
                 return cached
+        tracer = current_tracer()
         try:
             if self.budget is not None and self.budget.exhausted(self._budget_units()):
                 raise BudgetExhausted(self.budget.describe())
             started_at = self.elapsed
+            sim_span = tracer.begin("simulate")
             value = float(self.function(dict(values)))
         except BaseException:
             # A blocking backend (single-flight dedup) may have announced
@@ -369,6 +380,16 @@ class Objective:
                 self._cache.cancel(key, values)
             raise
         finished_at = self.elapsed
+        tracer.end(sim_span, value=value)
+        if _REGISTRY.enabled:
+            _REGISTRY.counter(
+                "repro_objective_evaluations_total",
+                "Actual simulator invocations (cache misses).",
+            ).inc()
+            _REGISTRY.histogram(
+                "repro_objective_evaluation_seconds",
+                "Wall-clock per simulator invocation.",
+            ).observe(finished_at - started_at)
         self._invocations += 1
         self._seen_keys.add(key)
         self._record(values, unit, value, started_at, finished_at, cached=False)

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -52,10 +52,29 @@ from repro.core.history import CalibrationHistory, Evaluation
 from repro.core.parameters import ParameterSpace
 from repro.core.result import CalibrationResult
 from repro.core.sampling import get_sampler
+from repro.telemetry.metrics import registry as _metrics_registry
+from repro.telemetry.tracing import Span, current_tracer
+
+_REGISTRY = _metrics_registry()
 
 __all__ = ["ParallelEvaluator", "BatchCalibrator", "ParallelCalibrator"]
 
 ObjectiveFunction = Callable[[Dict[str, float]], float]
+Outcome = Tuple[float, float]  # (objective value, worker-measured duration)
+
+
+def _timed_call(function: ObjectiveFunction, candidate: Dict[str, float]) -> Outcome:
+    """Worker-side wrapper: evaluate and time one candidate.
+
+    The duration is measured *on the worker* — ``perf_counter`` deltas
+    are only meaningful within one process, so the worker reports how
+    long its own call took and the driver anchors that interval to its
+    clock at completion time.  Top-level (not a closure) so process
+    pools can pickle it.
+    """
+    started = time.perf_counter()
+    value = float(function(candidate))
+    return value, time.perf_counter() - started
 
 
 class ParallelEvaluator:
@@ -118,12 +137,15 @@ class ParallelEvaluator:
     # ------------------------------------------------------------------ #
     # evaluation
     # ------------------------------------------------------------------ #
-    def submit(self, candidate: Dict[str, float]) -> "Future[float]":
+    def submit(self, candidate: Dict[str, float]) -> "Future[Outcome]":
         """Dispatch one candidate to the pool and return its future.
 
         This is the asynchronous driver's entry point: unlike
         :meth:`evaluate_batch` it neither blocks nor records history (the
         caller owns completion handling and decides the record order).
+        The future resolves to ``(value, duration)`` — the worker times
+        its own call, so the caller can attribute true per-point
+        wall-clock even though completions arrive out of order.
         Requires a ``persistent`` evaluator, because the returned future
         outlives this call; in ``"serial"`` mode the candidate is
         evaluated inline and an already-completed future is returned.
@@ -133,54 +155,82 @@ class ParallelEvaluator:
         if self._executor is None:
             self._executor = self._make_executor()
         if self._executor is None:  # serial mode
-            future: "Future[float]" = Future()
+            future: "Future[Outcome]" = Future()
             try:
-                future.set_result(float(self.function(dict(candidate))))
+                future.set_result(_timed_call(self.function, dict(candidate)))
             except BaseException as exc:  # delivered through future.result()
                 future.set_exception(exc)
             return future
-        return self._executor.submit(self.function, dict(candidate))
+        return self._executor.submit(_timed_call, self.function, dict(candidate))
+
+    def _record(
+        self, candidate: Dict[str, float], value: float,
+        started_at: float, finished_at: float,
+    ) -> None:
+        self.history.record(
+            Evaluation(
+                index=len(self.history),
+                values=dict(candidate),
+                unit=tuple(float(u) for u in self.space.to_unit_array(candidate)),
+                value=value,
+                started_at=started_at,
+                finished_at=finished_at,
+            )
+        )
 
     def evaluate_batch(self, batch: Sequence[Dict[str, float]]) -> List[float]:
         """Evaluate every candidate of ``batch`` and record the results.
 
-        The whole batch is submitted at once; results are recorded in batch
-        order (so histories remain deterministic regardless of completion
-        order).
+        The whole batch is submitted at once; results are recorded in
+        batch order (so histories remain deterministic regardless of
+        completion order), but each record carries its *own* wall-clock
+        interval: the worker times the call, a done-callback anchors the
+        completion to this evaluator's clock, and ``started_at`` is
+        derived as ``finished_at - duration``.  Reports built from the
+        history can therefore show time-to-quality per point instead of
+        smearing one interval across the whole batch.
         """
         if not batch:
             return []
-        started_at = self.elapsed
         executor = self._executor if self._executor is not None else self._make_executor()
         if executor is None:
-            values = [float(self.function(dict(candidate))) for candidate in batch]
-        else:
-            try:
-                values = [float(v) for v in executor.map(self.function, [dict(c) for c in batch])]
-            except BaseException:
-                # Guaranteed shutdown: when the objective raises in a worker,
-                # cancel the not-yet-started candidates instead of letting the
-                # pool drain them (and never leak worker processes).
-                self._executor = None
-                executor.shutdown(wait=True, cancel_futures=True)
-                raise
-            if self.persistent:
-                self._executor = executor
-            else:
-                executor.shutdown(wait=True, cancel_futures=True)
-        finished_at = self.elapsed
-        for candidate, value in zip(batch, values):
-            unit = self.space.to_unit_array(candidate)
-            self.history.record(
-                Evaluation(
-                    index=len(self.history),
-                    values=dict(candidate),
-                    unit=tuple(float(u) for u in unit),
-                    value=value,
-                    started_at=started_at,
-                    finished_at=finished_at,
+            values = []
+            for candidate in batch:
+                started_at = self.elapsed
+                value = float(self.function(dict(candidate)))
+                self._record(candidate, value, started_at, self.elapsed)
+                values.append(value)
+            return values
+        # Driver-clock completion times, keyed by batch index.  Callbacks
+        # fire on worker/executor threads; the per-key dict writes are
+        # atomic under the GIL and every key is written before the
+        # corresponding future.result() below returns.
+        done_at: Dict[int, float] = {}
+        try:
+            futures: List["Future[Outcome]"] = []
+            for i, candidate in enumerate(batch):
+                future = executor.submit(_timed_call, self.function, dict(candidate))
+                future.add_done_callback(
+                    lambda _f, i=i: done_at.__setitem__(i, self.elapsed)
                 )
-            )
+                futures.append(future)
+            outcomes = [future.result() for future in futures]
+        except BaseException:
+            # Guaranteed shutdown: when the objective raises in a worker,
+            # cancel the not-yet-started candidates instead of letting the
+            # pool drain them (and never leak worker processes).
+            self._executor = None
+            executor.shutdown(wait=True, cancel_futures=True)
+            raise
+        if self.persistent:
+            self._executor = executor
+        else:
+            executor.shutdown(wait=True, cancel_futures=True)
+        values = []
+        for i, (candidate, (value, duration)) in enumerate(zip(batch, outcomes)):
+            finished_at = done_at.get(i, self.elapsed)
+            self._record(candidate, value, max(finished_at - duration, 0.0), finished_at)
+            values.append(value)
         return values
 
 
@@ -350,9 +400,14 @@ class BatchCalibrator:
         self.cache_hits = 0
         history = self.evaluator.history
 
+        tracer = current_tracer()
+        root = tracer.begin(
+            "calibration", driver="batch", algorithm=algorithm.name, seed=self.seed
+        )
         try:
-            self._drive(rng)
+            self._drive(rng, root)
         finally:
+            tracer.end(root)
             self.evaluator.close()
 
         best = history.best
@@ -367,6 +422,7 @@ class BatchCalibrator:
             history=history,
             budget_description=self.budget.describe(),
             seed=self.seed,
+            telemetry=_REGISTRY.snapshot() if _REGISTRY.enabled else None,
         )
 
     def _record_hit(self, mapping: Dict[str, float], value: float) -> None:
@@ -382,15 +438,37 @@ class BatchCalibrator:
             )
         )
 
-    def _drive(self, rng: np.random.Generator) -> None:
+    def _drive(self, rng: np.random.Generator, root: Optional[Span] = None) -> None:
         algorithm = self.algorithm
         seen: set = set()
         budget_units = 0  # dispatched evaluations + counted first-seen hits
+        tracer = current_tracer()
+        # Instruments are looked up once per run, and only when telemetry
+        # is on: the disabled hot path costs one attribute check.
+        reg = _REGISTRY if _REGISTRY.enabled else None
+        if reg is not None:
+            m_dispatched = reg.counter(
+                "repro_driver_dispatches_total",
+                "Candidates dispatched to the worker pool.", driver="batch")
+            m_hits = reg.counter(
+                "repro_driver_cache_hits_total",
+                "Candidates answered from the cache instead of dispatched.",
+                driver="batch")
+            m_leased = reg.counter(
+                "repro_driver_leased_total",
+                "Candidates collected from a concurrent driver's lease.",
+                driver="batch")
+            m_batch = reg.histogram(
+                "repro_driver_batch_size",
+                "Candidates per ask round.",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128), driver="batch")
 
         while not self.budget.exhausted(budget_units) and not algorithm.done():
             candidates = algorithm.ask(rng, self.batch_size)
             if not candidates:
                 break
+            if reg is not None:
+                m_batch.observe(len(candidates))
             units = [self.space.clip_unit(c) for c in candidates]
             mappings = [self.space.from_unit_array(u) for u in units]
             # Keys are built from the *round-tripped* unit, exactly like
@@ -448,10 +526,17 @@ class BatchCalibrator:
                     first_index[keys[i]] = i
 
             results: List[Optional[float]] = list(hits[:take])
+            spans = [
+                tracer.begin("evaluation", parent=root, driver="batch")
+                for _ in range(take)
+            ]
             for i in range(take):
                 if hits[i] is None:
                     continue
                 self.cache_hits += 1
+                if reg is not None:
+                    m_hits.inc()
+                tracer.end(spans[i], cached=True, value=hits[i])
                 if self.count_cache_hits and keys[i] not in seen:
                     budget_units += 1
                 seen.add(keys[i])
@@ -471,9 +556,12 @@ class BatchCalibrator:
                 for i in misses:
                     self._cancel(keys[i], mappings[i])
                 raise
+            if reg is not None and misses:
+                m_dispatched.inc(len(misses))
             for value, i in zip(values, misses):
                 results[i] = value
                 seen.add(keys[i])
+                tracer.end(spans[i], cached=False, value=value)
                 self._store(keys[i], mappings[i], value)
             budget_units += len(misses)
             # Only now — with every dispatch of ours already done — collect
@@ -486,19 +574,28 @@ class BatchCalibrator:
                 results[i] = self._collect_leased(keys[i], mappings[i], leased[i])
                 seen.add(keys[i])
                 budget_units += 1
+                if reg is not None:
+                    m_leased.inc()
+                tracer.end(spans[i], leased=True, value=results[i])
             # Within-batch revisits of a just-dispatched point are served
             # from its result, like the serial cache would serve them.
             for i in range(take):
                 if results[i] is None:
                     results[i] = results[first_index[keys[i]]]
                     self.cache_hits += 1
+                    if reg is not None:
+                        m_hits.inc()
+                    tracer.end(spans[i], cached=True, value=results[i])
                     if self.record_cache_hits:
                         self._record_hit(mappings[i], results[i])
             # On a truncated final batch only the affordable prefix is told;
             # the run is over anyway, and an untold tail would poison the
             # algorithm's next update with missing values.
             if take:
-                algorithm.tell(list(candidates[:take]), [results[i] for i in range(take)])
+                with tracer.span("tell", parent=root):
+                    algorithm.tell(
+                        list(candidates[:take]), [results[i] for i in range(take)]
+                    )
 
 
 class ParallelCalibrator:

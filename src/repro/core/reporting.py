@@ -107,5 +107,35 @@ def calibration_report(
                 else ""
             )
         )
+        # Time-to-quality: evaluations carry per-point wall-clock, so the
+        # report can say *when* the best point landed, not just at which
+        # evaluation index.
+        best_at = result.history[best_index].finished_at
+        if result.elapsed > 0:
+            lines.append(
+                f"  time to best point: {best_at:.2f} s of {result.elapsed:.2f} s"
+                f"  ({best_at / result.elapsed * 100:.0f}% of the run)"
+            )
         lines.append(f"  convergence sparkline: [{convergence_sparkline(result)}]")
+
+    if result.telemetry:
+        metrics = result.telemetry.get("metrics", [])
+        if metrics:
+            lines.append("")
+            lines.append("  telemetry (metrics snapshot at end of run):")
+            for metric in metrics:
+                labels = ",".join(
+                    f"{k}={v}" for k, v in sorted(metric.get("labels", {}).items())
+                )
+                rendered = f"{{{labels}}}" if labels else ""
+                if metric.get("type") == "histogram":
+                    count = metric.get("count", 0)
+                    mean = (metric.get("sum", 0.0) / count) if count else 0.0
+                    lines.append(
+                        f"    {metric['name']}{rendered}: count={count} mean={mean:.4g}"
+                    )
+                else:
+                    lines.append(
+                        f"    {metric['name']}{rendered}: {metric.get('value', 0):g}"
+                    )
     return "\n".join(lines)

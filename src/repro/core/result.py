@@ -32,6 +32,11 @@ class CalibrationResult:
         The full evaluation history (used for the Figure 2 curves).
     budget_description:
         Human-readable description of the budget that bounded the run.
+    telemetry:
+        A metrics snapshot (``MetricsRegistry.snapshot()`` shape) taken
+        when the run finished, or ``None`` when telemetry was disabled.
+        Note the registry is process-wide: concurrent runs in one
+        process share one snapshot.
     """
 
     algorithm: str
@@ -42,6 +47,7 @@ class CalibrationResult:
     history: CalibrationHistory
     budget_description: str = ""
     seed: Optional[int] = None
+    telemetry: Optional[Dict] = None
 
     def summary(self) -> str:
         """One-line human-readable summary."""

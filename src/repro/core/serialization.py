@@ -68,7 +68,7 @@ def evaluation_from_dict(data: Dict) -> Evaluation:
 
 def result_to_dict(result: CalibrationResult) -> Dict:
     """Convert a result (and its history) to JSON-compatible primitives."""
-    return {
+    data = {
         "format_version": FORMAT_VERSION,
         "algorithm": result.algorithm,
         "best_values": dict(result.best_values),
@@ -79,6 +79,12 @@ def result_to_dict(result: CalibrationResult) -> Dict:
         "seed": result.seed,
         "history": [evaluation_to_dict(e) for e in result.history],
     }
+    # Optional key, written only when present: documents saved before the
+    # telemetry subsystem existed (and telemetry-off runs) are unchanged,
+    # so the format version stays at 1.
+    if result.telemetry is not None:
+        data["telemetry"] = result.telemetry
+    return data
 
 
 def result_from_dict(data: Dict) -> CalibrationResult:
@@ -101,6 +107,7 @@ def result_from_dict(data: Dict) -> CalibrationResult:
         history=history,
         budget_description=str(data.get("budget_description", "")),
         seed=data.get("seed"),
+        telemetry=data.get("telemetry"),
     )
 
 

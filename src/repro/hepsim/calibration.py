@@ -247,6 +247,7 @@ class CaseStudyProblem:
         algorithm_options: Optional[Dict[str, object]] = None,
         asynchronous: bool = False,
         max_pending: Optional[int] = None,
+        cache: Optional[object] = None,
     ) -> CalibrationResult:
         """Run one automated calibration and return its result.
 
@@ -261,8 +262,24 @@ class CaseStudyProblem:
         (``max_pending`` bounds the in-flight work; default ``workers``).
         ``algorithm_options`` are forwarded to the algorithm's
         constructor.
+
+        ``cache`` accepts an external
+        :class:`~repro.core.evaluation.CacheBackend` — typically a
+        :class:`~repro.service.cache.StoreBackedCache` over a persistent
+        store keyed by :meth:`fingerprint`, which is how ``repro
+        calibrate --store`` reuses simulations across runs.  External
+        caches record first-seen hits in the history and charge them
+        against the budget (as the service does), so a warm
+        evaluation-budget run replays the cold run's trajectory.
         """
         budget = budget if budget is not None else EvaluationBudget(100)
+        cache_kwargs: Dict[str, object] = {}
+        if cache is not None:
+            cache_kwargs = {
+                "cache": cache,
+                "record_cache_hits": True,
+                "count_cache_hits": True,
+            }
         if asynchronous:
             from repro.core.async_driver import AsyncCalibrator
 
@@ -276,6 +293,7 @@ class CaseStudyProblem:
                 mode=mode,
                 max_pending=max_pending,
                 algorithm_options=algorithm_options,
+                **cache_kwargs,
             ).run()
         if workers > 1:
             return BatchCalibrator(
@@ -287,6 +305,7 @@ class CaseStudyProblem:
                 workers=workers,
                 mode=mode,
                 algorithm_options=algorithm_options,
+                **cache_kwargs,
             ).run()
         calibrator = Calibrator(
             self.space,
@@ -295,6 +314,7 @@ class CaseStudyProblem:
             budget=budget,
             seed=seed,
             algorithm_options=algorithm_options,
+            **cache_kwargs,
         )
         return calibrator.run()
 

@@ -41,6 +41,7 @@ from repro.hepsim.platforms import BuiltPlatform, CalibrationValues, build_platf
 from repro.hepsim.scenario import Scenario
 from repro.hepsim.trace import ExecutionTrace
 from repro.hepsim.workload import cached_file_count, make_workload
+from repro.telemetry.profiling import SimulationProfile, simulation_profiling_enabled
 from repro.simgrid.network import communicate
 from repro.simgrid.process import AllOf
 from repro.wrench.compute import BareMetalComputeService
@@ -131,6 +132,14 @@ class HEPSimulator:
         simulated makespan, the number of simulated activities and the
         wall-clock time the simulation took (the quantity Table VI trades
         off against accuracy).
+
+        When simulator profiling is enabled (see
+        :func:`repro.telemetry.profiling.enable_simulation_profiling`), a
+        :class:`~repro.telemetry.profiling.SimulationProfile` is attached
+        to the engine and its per-phase wall-clock/event attribution is
+        folded into the statistics as flat ``phase_<name>_seconds`` /
+        ``phase_<name>_count`` floats — flat so the stats dict stays
+        picklable through process pools unchanged.
         """
         wall_start = time.perf_counter()
         realism = self.realism
@@ -159,6 +168,8 @@ class HEPSimulator:
         for spec in self._jobs:
             scheduler.submit(spec, lambda job: self._make_job_body(job, context))
 
+        profile = SimulationProfile() if simulation_profiling_enabled() else None
+        built.platform.engine.profile = profile
         built.platform.engine.run()
 
         results = [job.to_result() for service in compute_services for job in service.completed_jobs]
@@ -170,6 +181,8 @@ class HEPSimulator:
             "sharing_updates": float(built.platform.engine.sharing_update_count),
             "simulated_makespan": max(r.end_time for r in results) if results else 0.0,
         }
+        if profile is not None:
+            stats.update(profile.to_dict())
         return results, stats
 
     def run_trace(

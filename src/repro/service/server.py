@@ -47,6 +47,9 @@ from repro.core.calibrator import Calibrator
 from repro.service.cache import StoreBackedCache
 from repro.service.jobs import CalibrationJob, CalibrationRequest, JobQueue, JobStatus
 from repro.service.store import EvaluationStore, InMemoryStore
+from repro.telemetry.metrics import registry as _metrics_registry
+
+_REGISTRY = _metrics_registry()
 
 __all__ = ["CalibrationServer"]
 
@@ -227,6 +230,7 @@ class CalibrationServer:
             job.status = JobStatus.FAILED
             job.error = f"{type(exc).__name__}: {exc}"
             job.cache_hits = cache.hits
+            self._count_job(job, cache)
             self._emit(job, "failed", f"{job.id} failed: {job.error}",
                        traceback=traceback.format_exc())
             job.mark_done()
@@ -236,6 +240,7 @@ class CalibrationServer:
         job.cache_hits = cache.hits
         job.evaluations = result.evaluations
         job.elapsed = result.elapsed
+        self._count_job(job, cache)
         self._emit(
             job,
             "finished",
@@ -246,6 +251,29 @@ class CalibrationServer:
             cache_hits=cache.hits,
         )
         job.mark_done()
+
+    @staticmethod
+    def _count_job(job: CalibrationJob, cache: StoreBackedCache) -> None:
+        """Mirror one finished/failed job into the metrics registry."""
+        if not _REGISTRY.enabled:
+            return
+        _REGISTRY.counter(
+            "repro_service_jobs_total",
+            "Calibration jobs finished, by terminal status.",
+            status=job.status.value,
+        ).inc()
+        _REGISTRY.counter(
+            "repro_service_job_cache_hits_total",
+            "Store cache hits accumulated by finished jobs.",
+        ).inc(cache.hits)
+        _REGISTRY.counter(
+            "repro_service_job_evaluations_total",
+            "Objective evaluations charged to finished jobs.",
+        ).inc(job.evaluations)
+        _REGISTRY.histogram(
+            "repro_service_job_seconds",
+            "Wall-clock duration of one calibration job.",
+        ).observe(job.elapsed)
 
     def _with_progress(self, job: CalibrationJob, objective):
         """Wrap the objective so the job emits periodic progress events."""

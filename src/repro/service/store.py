@@ -52,6 +52,10 @@ import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+from repro.telemetry.metrics import registry as _metrics_registry
+
+_REGISTRY = _metrics_registry()
+
 __all__ = [
     "StoredEvaluation",
     "StoreClaim",
@@ -68,6 +72,17 @@ __all__ = [
 #: invocation, short enough that a crashed owner only stalls its points
 #: briefly before others take them over
 DEFAULT_LEASE_TTL = 300.0
+
+#: HELP strings for the store-level metrics (labelled by backend class)
+_METRIC_HELP = {
+    "repro_store_hits_total": "Store lookups/claims answered from a stored evaluation.",
+    "repro_store_misses_total": "Store lookups/claims that found no stored evaluation.",
+    "repro_store_puts_total": "Evaluations published into the store.",
+    "repro_store_lease_conflicts_total": (
+        "Claims that found an unexpired lease held by another owner "
+        "(single-flight contention)."
+    ),
+}
 
 
 def canonical_params(values: Mapping[str, float]) -> Tuple[Tuple[str, float], ...]:
@@ -156,6 +171,9 @@ class EvaluationStore:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        #: claims that found an unexpired lease held by a different owner —
+        #: the single-flight protocol's contention signal
+        self.lease_conflicts = 0
         #: default in-memory lease table (overridden by SqliteStore):
         #: key -> (owner, expires_at)
         self._leases: Dict[str, Tuple[str, float]] = {}
@@ -215,8 +233,10 @@ class EvaluationStore:
             entry = self._load_entry(key)
             if entry is None:
                 self.misses += 1
+                self._count("repro_store_misses_total")
                 return None
             self.hits += 1
+            self._count("repro_store_hits_total")
             return entry.value
 
     def peek(self, fingerprint: str, values: Mapping[str, float]) -> Optional[float]:
@@ -241,6 +261,7 @@ class EvaluationStore:
             self._save_entry(entry)
             self._drop_lease(key)  # publishing a value finishes its claim
             self.puts += 1
+            self._count("repro_store_puts_total")
         return entry
 
     # -- claim/lease protocol ------------------------------------------ #
@@ -267,11 +288,15 @@ class EvaluationStore:
             entry = self._load_entry(key)
             if entry is not None:
                 self.hits += 1
+                self._count("repro_store_hits_total")
                 return StoreClaim(StoreClaim.HIT, value=entry.value)
             blocker = self._try_acquire_lease(key, owner, now, now + float(ttl))
             if blocker is not None:
+                self.lease_conflicts += 1
+                self._count("repro_store_lease_conflicts_total")
                 return StoreClaim(StoreClaim.LEASED, owner=blocker[0], expires_at=blocker[1])
             self.misses += 1
+            self._count("repro_store_misses_total")
             return StoreClaim(StoreClaim.CLAIMED)
 
     def release(self, fingerprint: str, values: Mapping[str, float], owner: str) -> None:
@@ -291,6 +316,30 @@ class EvaluationStore:
 
     def _count_leases(self) -> int:
         return len(self._leases)
+
+    def _iter_leases(self) -> Iterable[Tuple[str, str, float]]:
+        """All ``(key, owner, expires_at)`` lease rows (including expired
+        ones not yet reaped); overridden by backends with external lease
+        state."""
+        return [(key, owner, expires_at) for key, (owner, expires_at) in self._leases.items()]
+
+    def active_leases(self, now: Optional[float] = None) -> List[Dict[str, object]]:
+        """The unexpired leases — evaluations currently being computed.
+
+        Returns ``{"key", "owner", "expires_at"}`` dictionaries sorted by
+        expiry (soonest first), the in-flight work ``repro status`` shows
+        next to the finished-evaluation counts.
+        """
+        cutoff = time.time() if now is None else float(now)
+        with self._lock:
+            rows = list(self._iter_leases())
+        live = [
+            {"key": key, "owner": owner, "expires_at": expires_at}
+            for key, owner, expires_at in rows
+            if expires_at > cutoff
+        ]
+        live.sort(key=lambda lease: lease["expires_at"])
+        return live
 
     def __contains__(self, item: Tuple[str, Mapping[str, float]]) -> bool:
         fingerprint, values = item
@@ -321,7 +370,16 @@ class EvaluationStore:
                 "hits": self.hits,
                 "misses": self.misses,
                 "puts": self.puts,
+                "lease_conflicts": self.lease_conflicts,
             }
+
+    def _count(self, name: str) -> None:
+        """Mirror one store event into the process-wide metrics registry
+        (free when telemetry is disabled — a single boolean check)."""
+        if _REGISTRY.enabled:
+            _REGISTRY.counter(
+                name, _METRIC_HELP[name], backend=type(self).__name__
+            ).inc()
 
     def close(self) -> None:
         """Release any backend resources (file handles, connections)."""
@@ -531,6 +589,10 @@ class SqliteStore(EvaluationStore):
     def _count_leases(self) -> int:
         (count,) = self._conn.execute("SELECT COUNT(*) FROM leases").fetchone()
         return int(count)
+
+    def _iter_leases(self) -> Iterable[Tuple[str, str, float]]:
+        rows = self._conn.execute("SELECT key, owner, expires_at FROM leases").fetchall()
+        return [(str(key), str(owner), float(expires_at)) for key, owner, expires_at in rows]
 
     def close(self) -> None:
         with self._lock:

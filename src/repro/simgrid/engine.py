@@ -19,6 +19,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.simgrid.activity import Activity, ActivityState
@@ -58,6 +59,12 @@ class SimulationEngine:
         self._completed_activities = 0
         self._sharing_updates = 0
         self._observers: List[object] = []
+        #: optional :class:`repro.telemetry.profiling.SimulationProfile`
+        #: (or any object with ``add(name, seconds, count)``); attach one
+        #: before :meth:`run` to attribute wall-clock and event counts to
+        #: the loop's phases.  ``None`` (the default) costs the loop one
+        #: ``is None`` check per phase.
+        self.profile = None
 
     # ------------------------------------------------------------------ #
     # observers
@@ -242,13 +249,19 @@ class SimulationEngine:
         DeadlockError
             If processes remain alive but no event can ever wake them.
         """
+        profile = self.profile
         while True:
             if self._failures:
                 process, exc = self._failures[0]
                 raise SimulationError(f"process {process.name!r} failed: {exc!r}") from exc
 
             if self._rates_dirty and self._active:
-                self._update_rates()
+                if profile is None:
+                    self._update_rates()
+                else:
+                    t0 = perf_counter()
+                    self._update_rates()
+                    profile.add("sharing", perf_counter() - t0)
             elif self._rates_dirty:
                 self._rates_dirty = False
 
@@ -268,6 +281,8 @@ class SimulationEngine:
                 self._advance_to(until)
                 return self._now
 
+            if profile is not None:
+                t0 = perf_counter()
             self._advance_to(next_event)
 
             # Fire completions: anything whose remaining work is (numerically)
@@ -287,11 +302,23 @@ class SimulationEngine:
             ]
             for activity in sorted(completed, key=lambda a: a.uid):
                 self._complete_activity(activity)
+            if profile is not None:
+                profile.add("advance", perf_counter() - t0, len(completed))
 
             # Fire timers due at (or before) the new clock value.
-            while self._timers and self._timers[0][0] <= self._now + 1e-15:
-                _, _, callback = heapq.heappop(self._timers)
-                callback()
+            if profile is None:
+                while self._timers and self._timers[0][0] <= self._now + 1e-15:
+                    _, _, callback = heapq.heappop(self._timers)
+                    callback()
+            else:
+                t0 = perf_counter()
+                fired = 0
+                while self._timers and self._timers[0][0] <= self._now + 1e-15:
+                    _, _, callback = heapq.heappop(self._timers)
+                    callback()
+                    fired += 1
+                if fired:
+                    profile.add("timers", perf_counter() - t0, fired)
 
         if self._failures:
             process, exc = self._failures[0]

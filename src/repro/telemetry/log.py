@@ -1,0 +1,96 @@
+"""Shared :mod:`logging` setup for the CLI and the benchmark scripts.
+
+Two kinds of output leave this codebase:
+
+* **Deliverables** — tables, reports, calibration summaries: the thing
+  the user asked for.  These go through :func:`console`, write to the
+  *current* ``sys.stdout``, and are never filtered by verbosity.
+* **Progress** — job events, resumption notices, hints: narration about
+  the work.  These go through a logger from :func:`get_logger` and are
+  controlled by :func:`configure`'s verbosity (``-v`` / ``-q`` on the
+  CLI).
+
+Bare ``print`` is banned in ``src/`` (ruff rule T20) precisely to force
+this choice to be made at every call site.
+
+The handler resolves ``sys.stdout`` at *emit* time rather than binding
+it at configure time.  This matters under pytest's ``capsys``, which
+swaps ``sys.stdout`` per-test: a stream bound once at import would leak
+every subsequent test's output past the capture.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["configure", "console", "get_logger"]
+
+_ROOT_NAME = "repro"
+_HANDLER_FLAG = "_repro_dynamic_stdout"
+
+
+class _DynamicStdoutHandler(logging.StreamHandler):
+    """A StreamHandler whose stream is always the current ``sys.stdout``."""
+
+    def __init__(self) -> None:
+        super().__init__(sys.stdout)
+
+    @property
+    def stream(self):
+        return sys.stdout
+
+    @stream.setter
+    def stream(self, value) -> None:
+        # StreamHandler.__init__ (and setStream) assign self.stream; the
+        # assignment is accepted and ignored — emit always uses sys.stdout.
+        pass
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the shared ``repro`` tree.
+
+    ``get_logger()`` returns the root ``repro`` logger;
+    ``get_logger("service")`` returns ``repro.service``; a name that is
+    already dotted under ``repro`` (e.g. ``__name__`` inside this
+    package) is used as-is.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(_ROOT_NAME + "." + name)
+
+
+def configure(verbosity: int = 0) -> logging.Logger:
+    """Install (once) the shared handler and set the level from a
+    verbosity count: ``>= 1`` DEBUG, ``0`` INFO, ``-1`` WARNING,
+    ``<= -2`` ERROR.  Idempotent; repeated calls only adjust the level.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    if not any(getattr(h, _HANDLER_FLAG, False) for h in logger.handlers):
+        handler = _DynamicStdoutHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        setattr(handler, _HANDLER_FLAG, True)
+        logger.addHandler(handler)
+        logger.propagate = False
+    if verbosity >= 1:
+        level = logging.DEBUG
+    elif verbosity == 0:
+        level = logging.INFO
+    elif verbosity == -1:
+        level = logging.WARNING
+    else:
+        level = logging.ERROR
+    logger.setLevel(level)
+    return logger
+
+
+def console(message: object = "") -> None:
+    """Write a deliverable line to the current ``sys.stdout``.
+
+    Not subject to verbosity: this is the command's output, not
+    narration about it.
+    """
+    sys.stdout.write(str(message) + "\n")

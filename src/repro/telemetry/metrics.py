@@ -1,0 +1,382 @@
+"""A process-wide registry of counters, gauges and histograms.
+
+Design constraints (in priority order):
+
+1. **Near-zero overhead while disabled.**  Telemetry is opt-in; a run
+   that never enables it must not pay for it.  Every mutating instrument
+   method starts with one attribute load and a boolean check against the
+   registry's ``enabled`` flag, and the hot paths of the drivers go one
+   step further: they look their instruments up once per run *only when
+   the registry is enabled* and guard with a plain ``is None`` check
+   otherwise.
+2. **Thread-safe.**  Drivers, server workers and pool callbacks update
+   instruments concurrently; every update takes the instrument's lock,
+   so concurrent increments are never lost (pinned by
+   ``tests/telemetry/test_metrics.py``).
+3. **Stable identity.**  :func:`registry` always returns the *same*
+   :class:`MetricsRegistry` object, and :meth:`MetricsRegistry.reset`
+   zeroes instruments instead of dropping them — module-level or
+   per-driver cached instrument references therefore never go stale.
+
+Export formats: :meth:`MetricsRegistry.render_text` produces the
+Prometheus text exposition format (``# HELP``/``# TYPE`` plus one sample
+line per label set, histograms with cumulative ``_bucket{le=...}``
+series), and :meth:`MetricsRegistry.snapshot` produces a JSON-compatible
+dictionary (written to disk by :meth:`MetricsRegistry.save_snapshot`)
+for programmatic consumers — the CI benchmark artifacts and the
+``telemetry`` field of :class:`~repro.core.result.CalibrationResult`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "registry",
+]
+
+#: Default histogram buckets, tuned for wall-clock durations in seconds:
+#: exponentially spaced from 1 ms to 2 minutes (simulator invocations in
+#: the case study span exactly this range), plus the +Inf catch-all.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _labelset(labels: Dict[str, object]) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: LabelSet, extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(labels)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(k, v.replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in pairs
+    )
+    return "{" + body + "}"
+
+
+def _format_le(bound: float) -> str:
+    if bound == float("inf"):
+        return "+Inf"
+    return f"{bound:g}"
+
+
+class _Instrument:
+    """Common base: name, labels, a lock, and the registry's enabled flag."""
+
+    kind = "untyped"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, labels: LabelSet) -> None:
+        self._registry = registry
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+
+    # Subclasses call this first in every mutator: one attribute chain and
+    # a boolean check is the entire disabled-path cost.
+    @property
+    def enabled(self) -> bool:
+        return self._registry._enabled
+
+    def _zero(self) -> None:
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count (events, hits, dispatches)."""
+
+    kind = "counter"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, labels: LabelSet) -> None:
+        super().__init__(registry, name, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._registry._enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _zero(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Gauge(_Instrument):
+    """An instantaneous value that can go up and down (in-flight depth)."""
+
+    kind = "gauge"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, labels: LabelSet) -> None:
+        super().__init__(registry, name, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not self._registry._enabled:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._registry._enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _zero(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram(_Instrument):
+    """A distribution over fixed buckets (durations, batch sizes).
+
+    Buckets are *cumulative* in the exposition output (Prometheus
+    semantics: ``_bucket{le="x"}`` counts every observation ``<= x``)
+    but stored per-bucket internally.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        labels: LabelSet,
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        super().__init__(registry, name, labels)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if bounds[-1] != float("inf"):
+            bounds.append(float("inf"))
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self._counts = [0] * len(self.bounds)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        if not self._registry._enabled:
+            return
+        value = float(value)
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._counts[i] += 1
+                    break
+
+    def time(self) -> "_HistogramTimer":
+        """Context manager observing the elapsed wall-clock on exit."""
+        return _HistogramTimer(self)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(le, cumulative count)`` pairs, Prometheus-style."""
+        with self._lock:
+            out: List[Tuple[float, int]] = []
+            running = 0
+            for bound, count in zip(self.bounds, self._counts):
+                running += count
+                out.append((bound, running))
+            return out
+
+    def _zero(self) -> None:
+        with self._lock:
+            self._counts = [0] * len(self.bounds)
+            self._sum = 0.0
+            self._count = 0
+
+
+class _HistogramTimer:
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(time.perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """Keyed collection of instruments with enable/disable gating.
+
+    Instruments are identified by ``(name, label set)``; asking for the
+    same identity twice returns the same object, so call sites can either
+    cache the instrument or re-request it every time.  Creating an
+    instrument while the registry is disabled is fine (and free of
+    recording cost): the instrument simply starts recording once the
+    registry is enabled.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self._enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, LabelSet], _Instrument] = {}
+        self._descriptions: Dict[str, str] = {}
+
+    # -- gating --------------------------------------------------------- #
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    # -- instrument access ---------------------------------------------- #
+    def _get(
+        self, cls, name: str, description: str, labels: Dict[str, object], **kwargs
+    ) -> _Instrument:
+        key = (name, _labelset(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(self, name, key[1], **kwargs)
+                self._instruments[key] = instrument
+                if description:
+                    self._descriptions.setdefault(name, description)
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {name!r} is already registered as {instrument.kind}"
+                )
+            return instrument
+
+    def counter(self, name: str, description: str = "", **labels: object) -> Counter:
+        return self._get(Counter, name, description, labels)
+
+    def gauge(self, name: str, description: str = "", **labels: object) -> Gauge:
+        return self._get(Gauge, name, description, labels)
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        return self._get(Histogram, name, description, labels, buckets=buckets)
+
+    # -- lifecycle ------------------------------------------------------- #
+    def reset(self) -> None:
+        """Zero every instrument, keeping identities (cached references
+        held by drivers and modules stay valid)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            instrument._zero()
+
+    def instruments(self) -> List[_Instrument]:
+        with self._lock:
+            return [self._instruments[key] for key in sorted(self._instruments)]
+
+    # -- export ---------------------------------------------------------- #
+    def render_text(self) -> str:
+        """Prometheus text exposition of every instrument."""
+        by_name: Dict[str, List[_Instrument]] = {}
+        for instrument in self.instruments():
+            by_name.setdefault(instrument.name, []).append(instrument)
+        lines: List[str] = []
+        for name in sorted(by_name):
+            description = self._descriptions.get(name, "")
+            if description:
+                lines.append(f"# HELP {name} {description}")
+            lines.append(f"# TYPE {name} {by_name[name][0].kind}")
+            for instrument in by_name[name]:
+                labels = instrument.labels
+                if isinstance(instrument, Histogram):
+                    for bound, cumulative in instrument.cumulative_buckets():
+                        rendered = _render_labels(labels, ("le", _format_le(bound)))
+                        lines.append(f"{name}_bucket{rendered} {cumulative}")
+                    lines.append(f"{name}_sum{_render_labels(labels)} {instrument.sum:g}")
+                    lines.append(f"{name}_count{_render_labels(labels)} {instrument.count}")
+                else:
+                    lines.append(f"{name}{_render_labels(labels)} {instrument.value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> Dict:
+        """A JSON-compatible snapshot of every instrument."""
+        metrics: List[Dict] = []
+        for instrument in self.instruments():
+            entry: Dict = {
+                "name": instrument.name,
+                "type": instrument.kind,
+                "labels": dict(instrument.labels),
+            }
+            description = self._descriptions.get(instrument.name, "")
+            if description:
+                entry["description"] = description
+            if isinstance(instrument, Histogram):
+                entry["count"] = instrument.count
+                entry["sum"] = instrument.sum
+                entry["buckets"] = {
+                    _format_le(bound): cumulative
+                    for bound, cumulative in instrument.cumulative_buckets()
+                }
+            else:
+                entry["value"] = instrument.value
+            metrics.append(entry)
+        return {"enabled": self._enabled, "metrics": metrics}
+
+    def save_snapshot(self, path: Union[str, Path], indent: int = 2) -> Path:
+        """Write :meth:`snapshot` to ``path`` as JSON and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot(), indent=indent) + "\n")
+        return path
+
+
+#: The process-wide registry.  Its identity never changes — ``reset()``
+#: zeroes instruments in place — so modules may cache it at import time.
+_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry` (disabled by default)."""
+    return _REGISTRY

@@ -203,6 +203,118 @@ class TestServiceCommands:
             assert token in out
 
 
+class TestCalibrateTelemetryOptions:
+    BASE = [
+        "calibrate", "--platform", "SCSN", "--scale", "tiny",
+        "--icds", "0.0,1.0", "--algorithm", "random",
+        "--evaluations", "8", "--seed", "3",
+    ]
+
+    def test_metrics_render_to_stdout(self, capsys):
+        assert main(self.BASE + ["--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# HELP repro_objective_evaluations_total" in out
+        assert "# TYPE repro_algorithm_ask_seconds histogram" in out
+        assert "repro_store_" not in out  # no store in play → no store metrics
+
+    def test_metrics_snapshot_written_to_json(self, capsys, tmp_path):
+        import json
+
+        snap = tmp_path / "metrics.json"
+        assert main(self.BASE + ["--metrics", str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics snapshot" in out
+        data = json.loads(snap.read_text())
+        names = {m["name"] for m in data["metrics"]}
+        # One command, all layers: algorithm + objective instruments at
+        # minimum (driver metrics appear with --workers, store with --store).
+        assert "repro_algorithm_ask_seconds" in names
+        assert "repro_algorithm_tell_seconds" in names
+        assert "repro_objective_evaluations_total" in names
+
+    def test_trace_reconstructs_every_evaluation(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(self.BASE + ["--trace", str(trace)]) == 0
+        assert "trace written to" in capsys.readouterr().out
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        by_name = {}
+        for record in records:
+            by_name.setdefault(record["name"], []).append(record)
+        (root,) = by_name["calibration"]
+        evaluations = [r for r in by_name["evaluation"] if "value" in r["attrs"]]
+        assert len(evaluations) == 8
+        assert all(r["parent_id"] == root["span_id"] for r in evaluations)
+        assert all(r["trace_id"] == root["trace_id"] for r in evaluations)
+        # Each evaluation wraps its simulator spans.
+        evaluation_ids = {r["span_id"] for r in by_name["evaluation"]}
+        assert by_name["simulate"]
+        assert all(r["parent_id"] in evaluation_ids for r in by_name["simulate"])
+
+    def test_store_reuses_evaluations_across_runs(self, capsys, tmp_path):
+        store = str(tmp_path / "store.jsonl")
+        assert main(self.BASE + ["--store", store]) == 0
+        cold = capsys.readouterr().out
+        assert "8 evaluations, 0 hits this run" in cold
+        assert main(self.BASE + ["--store", store]) == 0
+        warm = capsys.readouterr().out
+        assert "8 evaluations, 8 hits this run" in warm
+
+
+class TestTopCommand:
+    def test_top_over_a_drained_spool(self, capsys, tmp_path):
+        serve_dir = str(tmp_path / "svc")
+        assert main(TestServiceCommands.SUBMIT + ["--serve-dir", serve_dir]) == 0
+        assert main(["serve", "--serve-dir", serve_dir, "--workers", "1"]) == 0
+        capsys.readouterr()
+
+        assert main(["top", "--serve-dir", serve_dir, "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "-- repro top @" in out
+        assert "(1 jobs)" in out and "done:1" in out
+        assert "stored evaluations in" in out
+
+    def test_top_on_empty_spool(self, capsys, tmp_path):
+        assert main(["top", "--serve-dir", str(tmp_path / "empty"),
+                     "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "(0 jobs)" in out
+
+    def test_status_appends_the_store_summary(self, capsys, tmp_path):
+        serve_dir = str(tmp_path / "svc")
+        assert main(TestServiceCommands.SUBMIT + ["--serve-dir", serve_dir]) == 0
+        assert main(["serve", "--serve-dir", serve_dir, "--workers", "1"]) == 0
+        capsys.readouterr()
+        assert main(["status", "--serve-dir", serve_dir]) == 0
+        out = capsys.readouterr().out
+        assert "stored evaluations in" in out
+
+
+class TestVerbosityFlags:
+    CAL = [
+        "calibrate", "--platform", "SCSN", "--scale", "tiny",
+        "--icds", "0.0,1.0", "--evaluations", "4", "--seed", "1",
+    ]
+
+    def test_quiet_keeps_results_but_drops_info_logs(self, capsys, tmp_path):
+        serve_dir = str(tmp_path / "svc")
+        assert main(TestServiceCommands.SUBMIT + ["--serve-dir", serve_dir]) == 0
+        capsys.readouterr()
+        assert main(["serve", "-q", "--serve-dir", serve_dir]) == 0
+        out = capsys.readouterr().out
+        assert "served 1 job(s)" in out  # console() output survives -q
+        assert "done: best" not in out  # event log lines are suppressed
+
+    def test_default_serve_still_narrates_events(self, capsys, tmp_path):
+        serve_dir = str(tmp_path / "svc")
+        assert main(TestServiceCommands.SUBMIT + ["--serve-dir", serve_dir]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--serve-dir", serve_dir]) == 0
+        out = capsys.readouterr().out
+        assert "job-0001 done" in out
+
+
 class TestReportCommand:
     def test_report_from_a_results_directory(self, capsys, tmp_path):
         results = tmp_path / "results"

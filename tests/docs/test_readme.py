@@ -17,7 +17,11 @@ from repro.cli.main import build_parser
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 README = REPO_ROOT / "README.md"
-DOCS = [README, REPO_ROOT / "docs" / "architecture.md"]
+DOCS = [
+    README,
+    REPO_ROOT / "docs" / "architecture.md",
+    REPO_ROOT / "docs" / "observability.md",
+]
 
 FENCE = re.compile(r"```(\w+)\n(.*?)```", re.DOTALL)
 LINK = re.compile(r"\[[^\]]+\]\(([^)]+)\)")

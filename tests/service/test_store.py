@@ -48,7 +48,9 @@ class TestInMemoryStore:
         store.put("fp", {"x": 1.0}, 42.0)
         assert store.get("fp", {"x": 1}) == 42.0
         assert len(store) == 1
-        assert store.stats() == {"entries": 1, "hits": 1, "misses": 1, "puts": 1}
+        assert store.stats() == {
+            "entries": 1, "hits": 1, "misses": 1, "puts": 1, "lease_conflicts": 0,
+        }
 
     def test_cross_job_hit_with_reordered_dict(self):
         # Job 1 stores with one ordering; job 2 asks with another.

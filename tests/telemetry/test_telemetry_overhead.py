@@ -1,0 +1,98 @@
+"""Disabled telemetry must be functionally invisible and near-free.
+
+The hard perf gate lives in ``benchmarks/bench_telemetry_overhead.py``
+(run with ``--smoke`` in CI); these tests pin the *functional* no-op
+contract plus a deliberately generous timing ratio that stays safe on
+loaded CI machines.
+"""
+
+import time
+
+from repro.core import Calibrator, EvaluationBudget
+from repro.core.parameters import Parameter, ParameterSpace
+from repro.telemetry.metrics import registry
+from repro.telemetry.tracing import NULL_TRACER, current_tracer
+
+
+def _space():
+    return ParameterSpace([Parameter("x", 1.0, 2.0, scale="linear")])
+
+
+def _run(budget=16):
+    return Calibrator(
+        _space(), lambda v: v["x"], algorithm="random",
+        budget=EvaluationBudget(budget), seed=7, cache=False,
+    ).run()
+
+
+class TestDisabledIsInvisible:
+    def test_default_tracer_is_the_null_tracer(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_serial_run_records_no_metrics_when_disabled(self):
+        reg = registry()
+        assert not reg.enabled
+        result = _run()
+        assert result.evaluations == 16
+        # Instruments may exist (created lazily on first touch) but none
+        # may have recorded anything while the registry was disabled.
+        for instrument in reg.instruments():
+            value = getattr(instrument, "value", None)
+            if value is not None:
+                assert value == 0.0, instrument.name
+            count = getattr(instrument, "count", None)
+            if count is not None:
+                assert count == 0, instrument.name
+
+    def test_result_telemetry_is_none_when_disabled(self):
+        result = _run(budget=4)
+        assert result.telemetry is None
+
+    def test_result_carries_snapshot_when_enabled(self):
+        reg = registry()
+        reg.reset()
+        reg.enable()
+        try:
+            result = _run(budget=4)
+        finally:
+            reg.disable()
+            reg.reset()
+        assert result.telemetry is not None
+        names = {m["name"] for m in result.telemetry["metrics"]}
+        assert "repro_objective_evaluations_total" in names
+
+
+class TestOverheadStaysSmall:
+    def test_disabled_instrumented_run_is_not_slower_than_1_5x_raw(self):
+        """Loose sanity bound — the precise <5% gate is the benchmark's
+        job; here we only guard against an accidental O(n) regression
+        (e.g. building spans even when tracing is off)."""
+        def work(values):
+            deadline = time.perf_counter() + 0.002
+            acc = values["x"]
+            while time.perf_counter() < deadline:
+                acc = acc * 1.000001 + 1e-9
+            return acc
+
+        import numpy as np
+
+        space = _space()
+        rng = np.random.default_rng(0)
+        points = [space.sample(rng) for _ in range(32)]
+
+        # Warm-up both paths once.
+        work(points[0])
+        Calibrator(space, work, algorithm="random",
+                   budget=EvaluationBudget(2), seed=1, cache=False).run()
+
+        start = time.perf_counter()
+        for point in points:
+            work(point)
+        raw = time.perf_counter() - start
+
+        start = time.perf_counter()
+        Calibrator(space, work, algorithm="random",
+                   budget=EvaluationBudget(32), seed=1, cache=False).run()
+        instrumented = time.perf_counter() - start
+
+        assert instrumented < raw * 1.5 + 0.05, (raw, instrumented)
