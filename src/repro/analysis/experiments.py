@@ -18,7 +18,7 @@ from __future__ import annotations
 import itertools
 import os
 import statistics
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.analysis.figures import render_series
 from repro.analysis.survey import build_survey_dataset, summarize_survey
@@ -71,7 +71,7 @@ def default_time_budget() -> float:
 def _make_problem(
     platform: str,
     icd_values: Sequence[float],
-    generator: Optional[GroundTruthGenerator],
+    generator: GroundTruthGenerator | None,
     scale: str = "calib",
 ) -> CaseStudyProblem:
     factory = {
@@ -138,9 +138,9 @@ def table3_simulation_accuracy(
     platforms: Sequence[str] = PLATFORM_ORDER,
     methods: Sequence[str] = METHOD_ORDER,
     icd_values: Sequence[float] = REDUCED_ICD_VALUES,
-    budget_evaluations: Optional[int] = None,
+    budget_evaluations: int | None = None,
     seed: int = 1,
-    generator: Optional[GroundTruthGenerator] = None,
+    generator: GroundTruthGenerator | None = None,
     scale: str = "calib",
 ) -> ExperimentResult:
     """Table III: MRE (%) for the calibration methods and platforms.
@@ -150,8 +150,8 @@ def table3_simulation_accuracy(
     """
     budget_evaluations = budget_evaluations or default_evaluation_budget()
     generator = generator or GroundTruthGenerator()
-    mre: Dict[Tuple[str, str], float] = {}
-    calibrated: Dict[Tuple[str, str], Dict[str, float]] = {}
+    mre: dict[tuple[str, str], float] = {}
+    calibrated: dict[tuple[str, str], dict[str, float]] = {}
     for platform in platforms:
         problem = _make_problem(platform, icd_values, generator, scale)
         for method in methods:
@@ -190,9 +190,9 @@ def table4_calibrated_parameters(
     platform: str = "SCSN",
     methods: Sequence[str] = METHOD_ORDER,
     icd_values: Sequence[float] = REDUCED_ICD_VALUES,
-    budget_evaluations: Optional[int] = None,
+    budget_evaluations: int | None = None,
     seed: int = 1,
-    generator: Optional[GroundTruthGenerator] = None,
+    generator: GroundTruthGenerator | None = None,
     scale: str = "calib",
 ) -> ExperimentResult:
     """Table IV: calibrated parameter values for one platform (SCSN).
@@ -206,7 +206,7 @@ def table4_calibrated_parameters(
     problem = _make_problem(platform, icd_values, generator, scale)
 
     rows = []
-    raw: Dict[str, Dict[str, float]] = {}
+    raw: dict[str, dict[str, float]] = {}
     for method in methods:
         if method == "human":
             values = problem.human_values()
@@ -248,9 +248,9 @@ def table5_icd_subsets(
     subset_universe: Sequence[float] = REDUCED_ICD_VALUES,
     subset_sizes: Sequence[int] = (1, 2, 3),
     evaluation_icds: Sequence[float] = PAPER_ICD_VALUES,
-    budget_seconds: Optional[float] = None,
+    budget_seconds: float | None = None,
     seed: int = 1,
-    generator: Optional[GroundTruthGenerator] = None,
+    generator: GroundTruthGenerator | None = None,
     scale: str = "calib",
 ) -> ExperimentResult:
     """Table V: best / median / worst MRE when calibrating from ICD subsets.
@@ -274,7 +274,7 @@ def table5_icd_subsets(
         return evaluation_problem.evaluate(problem.calibrated_values(result))
 
     rows = []
-    detail: Dict[str, List[Tuple[Tuple[float, ...], float]]] = {}
+    detail: dict[str, list[tuple[tuple[float, ...], float]]] = {}
     for size in subset_sizes:
         subsets = list(itertools.combinations(subset_universe, size))
         scores = []
@@ -322,7 +322,7 @@ def table5_icd_subsets(
 # Table VI — accuracy vs simulation-time (granularity) trade-off
 # ---------------------------------------------------------------------- #
 #: (block size B, buffer size b) pairs, coarse/fast to fine/slow.
-DEFAULT_GRANULARITIES: Tuple[Tuple[float, float], ...] = (
+DEFAULT_GRANULARITIES: tuple[tuple[float, float], ...] = (
     (1e10, 2e8),
     (5e8, 5e7),
     (2e8, 2e7),
@@ -333,11 +333,11 @@ DEFAULT_GRANULARITIES: Tuple[Tuple[float, float], ...] = (
 def table6_speed_accuracy(
     platform: str = "FCSN",
     algorithms: Sequence[str] = ("gdfix", "grid", "random"),
-    granularities: Sequence[Tuple[float, float]] = DEFAULT_GRANULARITIES,
+    granularities: Sequence[tuple[float, float]] = DEFAULT_GRANULARITIES,
     icd_values: Sequence[float] = REDUCED_ICD_VALUES,
-    budget_seconds: Optional[float] = None,
+    budget_seconds: float | None = None,
     seed: int = 1,
-    generator: Optional[GroundTruthGenerator] = None,
+    generator: GroundTruthGenerator | None = None,
     scale: str = "calib",
 ) -> ExperimentResult:
     """Table VI: MRE vs average simulation time for different granularities.
@@ -352,7 +352,7 @@ def table6_speed_accuracy(
     generator = generator or GroundTruthGenerator()
 
     rows = []
-    detail: Dict[str, Dict[str, float]] = {}
+    detail: dict[str, dict[str, float]] = {}
     for block_size, buffer_size in granularities:
         scenario = {
             "paper": Scenario.paper,
@@ -368,8 +368,8 @@ def table6_speed_accuracy(
         probe_trace = simulator.run_trace(generator.true_values(scenario))
         avg_sim_time = probe_trace.total_simulation_wall_time()
 
-        row: List[object] = [f"B={block_size:.0e}, b={buffer_size:.0e}", format_duration(avg_sim_time)]
-        cell: Dict[str, float] = {"avg_sim_time": avg_sim_time}
+        row: list[object] = [f"B={block_size:.0e}, b={buffer_size:.0e}", format_duration(avg_sim_time)]
+        cell: dict[str, float] = {"avg_sim_time": avg_sim_time}
         for algorithm in algorithms:
             result = problem.calibrate(
                 algorithm=algorithm, budget=TimeBudget(budget_seconds), seed=seed
@@ -401,17 +401,17 @@ def figure2_convergence(
     platform: str = "FCSN",
     algorithms: Sequence[str] = ("grid", "gdfix", "random"),
     icd_values: Sequence[float] = REDUCED_ICD_VALUES,
-    budget_seconds: Optional[float] = None,
+    budget_seconds: float | None = None,
     seed: int = 1,
     samples: int = 10,
-    generator: Optional[GroundTruthGenerator] = None,
+    generator: GroundTruthGenerator | None = None,
     scale: str = "calib",
 ) -> ExperimentResult:
     """Figure 2: best-so-far mean absolute simulation error vs wall-clock time."""
     budget_seconds = budget_seconds or default_time_budget()
     generator = generator or GroundTruthGenerator()
 
-    series: Dict[str, List[Tuple[float, float]]] = {}
+    series: dict[str, list[tuple[float, float]]] = {}
     for algorithm in algorithms:
         scenario = {
             "paper": Scenario.paper,
@@ -429,7 +429,7 @@ def figure2_convergence(
     times = [budget_seconds * (i + 1) / samples for i in range(samples)]
     rows = []
     for t in times:
-        row: List[object] = [f"{t:.1f} s"]
+        row: list[object] = [f"{t:.1f} s"]
         for algorithm in algorithms:
             best = None
             for when, value in series[algorithm]:
@@ -457,9 +457,9 @@ def ablation_sampling_scale(
     platform: str = "FCSN",
     algorithm: str = "random",
     icd_values: Sequence[float] = REDUCED_ICD_VALUES,
-    budget_evaluations: Optional[int] = None,
+    budget_evaluations: int | None = None,
     seed: int = 1,
-    generator: Optional[GroundTruthGenerator] = None,
+    generator: GroundTruthGenerator | None = None,
     scale: str = "calib",
 ) -> ExperimentResult:
     """Ablation: log2 parameter representation vs linear representation.
@@ -508,9 +508,9 @@ def ablation_extension_algorithms(
         "annealing", "de", "cmaes", "tpe", "bayesian",
     ),
     icd_values: Sequence[float] = REDUCED_ICD_VALUES,
-    budget_evaluations: Optional[int] = None,
+    budget_evaluations: int | None = None,
     seed: int = 1,
-    generator: Optional[GroundTruthGenerator] = None,
+    generator: GroundTruthGenerator | None = None,
     scale: str = "calib",
 ) -> ExperimentResult:
     """Extension study: the future-work algorithms vs the paper's simple ones."""

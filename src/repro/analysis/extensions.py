@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.analysis.experiments import (
     default_evaluation_budget,
@@ -74,9 +74,9 @@ def generalization_experiment(
     factors: Sequence[float] = (0.25, 1.0, 4.0),
     algorithm: str = "random",
     icd_values: Sequence[float] = REDUCED_ICD_VALUES,
-    budget_evaluations: Optional[int] = None,
+    budget_evaluations: int | None = None,
     seed: int = 1,
-    generator: Optional[GroundTruthGenerator] = None,
+    generator: GroundTruthGenerator | None = None,
     scale: str = "calib",
 ) -> ExperimentResult:
     """Calibrate at the base ratio, evaluate across ratios.
@@ -129,9 +129,9 @@ def ablation_accuracy_metrics(
     algorithm: str = "random",
     metrics: Sequence[str] = ("mre", "mae", "rmse", "max_re"),
     icd_values: Sequence[float] = REDUCED_ICD_VALUES,
-    budget_evaluations: Optional[int] = None,
+    budget_evaluations: int | None = None,
     seed: int = 1,
-    generator: Optional[GroundTruthGenerator] = None,
+    generator: GroundTruthGenerator | None = None,
     scale: str = "calib",
 ) -> ExperimentResult:
     """Calibrate against several accuracy metrics; report every result's MRE.
@@ -147,7 +147,7 @@ def ablation_accuracy_metrics(
     yardstick = CaseStudyProblem.create(scenario, generator=generator, metric="mre")
 
     rows = []
-    detail: Dict[str, float] = {}
+    detail: dict[str, float] = {}
     for metric in metrics:
         problem = CaseStudyProblem.create(scenario, generator=generator, metric=metric)
         result = problem.calibrate(
@@ -178,7 +178,7 @@ def ablation_reference_noise(
     algorithm: str = "random",
     noise_levels: Sequence[float] = (0.0, 0.02, 0.1),
     icd_values: Sequence[float] = REDUCED_ICD_VALUES,
-    budget_evaluations: Optional[int] = None,
+    budget_evaluations: int | None = None,
     seed: int = 1,
     scale: str = "calib",
 ) -> ExperimentResult:
@@ -191,7 +191,7 @@ def ablation_reference_noise(
     """
     budget_evaluations = budget_evaluations or default_evaluation_budget()
     rows = []
-    detail: Dict[str, Tuple[float, float]] = {}
+    detail: dict[str, tuple[float, float]] = {}
     for sigma in noise_levels:
         config = dataclasses.replace(
             ReferenceSystemConfig(), compute_noise_sigma=sigma, io_noise_sigma=sigma
@@ -225,11 +225,11 @@ def parallel_scaling_experiment(
     worker_counts: Sequence[int] = (1, 2, 4),
     sampler: str = "lhs",
     icd_values: Sequence[float] = REDUCED_ICD_VALUES,
-    budget_seconds: Optional[float] = None,
+    budget_seconds: float | None = None,
     seed: int = 1,
-    generator: Optional[GroundTruthGenerator] = None,
+    generator: GroundTruthGenerator | None = None,
     scale: str = "calib",
-    mode: Optional[str] = None,
+    mode: str | None = None,
 ) -> ExperimentResult:
     """Fixed wall-clock budget, varying number of parallel workers.
 
@@ -246,7 +246,7 @@ def parallel_scaling_experiment(
     problem = _make_problem(platform, icd_values, generator, scale)
 
     rows = []
-    detail: Dict[str, Dict[str, float]] = {}
+    detail: dict[str, dict[str, float]] = {}
     for workers in worker_counts:
         calibrator = ParallelCalibrator(
             problem.space,
@@ -290,9 +290,9 @@ def service_throughput_experiment(
     platform: str = "FCSN",
     algorithm: str = "random",
     icd_values: Sequence[float] = REDUCED_ICD_VALUES,
-    budget_evaluations: Optional[int] = None,
+    budget_evaluations: int | None = None,
     seed: int = 1,
-    generator: Optional[GroundTruthGenerator] = None,
+    generator: GroundTruthGenerator | None = None,
     scale: str = "calib",
 ) -> ExperimentResult:
     """Submit the same calibration twice through the service.
@@ -336,7 +336,7 @@ def service_throughput_experiment(
         warm.wait()
 
     rows = []
-    detail: Dict[str, Dict[str, float]] = {}
+    detail: dict[str, dict[str, float]] = {}
     for label, evaluations, cache_hits, best, elapsed in [
         ("plain", plain.evaluations, 0, plain.best_value, plain.elapsed),
         ("cold job", cold.evaluations, cold.cache_hits, cold.result.best_value, cold.elapsed),

@@ -2,14 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 __all__ = ["render_series", "sample_series"]
 
 
 def sample_series(
-    series: Sequence[Tuple[float, float]], times: Sequence[float]
-) -> List[float]:
+    series: Sequence[tuple[float, float]], times: Sequence[float]
+) -> list[float]:
     """Sample a best-so-far step function at the given times.
 
     ``series`` is a list of (time, best value) points as produced by
@@ -17,7 +17,7 @@ def sample_series(
     at time ``t`` is the last best value achieved at or before ``t``
     (``nan`` before the first evaluation completed).
     """
-    sampled: List[float] = []
+    sampled: list[float] = []
     for t in times:
         value = float("nan")
         for when, best in series:
@@ -30,7 +30,7 @@ def sample_series(
 
 
 def render_series(
-    named_series: Dict[str, Sequence[Tuple[float, float]]],
+    named_series: dict[str, Sequence[tuple[float, float]]],
     width: int = 72,
     height: int = 18,
 ) -> str:

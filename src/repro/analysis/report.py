@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import datetime
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from collections.abc import Sequence
 
 __all__ = ["DEFAULT_ORDER", "collect_results", "render_report", "write_report"]
 
@@ -34,7 +34,7 @@ DEFAULT_ORDER: Sequence[str] = (
 )
 
 #: Section headings for the known experiments.
-_TITLES: Dict[str, str] = {
+_TITLES: dict[str, str] = {
     "table1": "Table I — calibration practice in 114 SimGrid publications",
     "table2": "Table II / Figure 1 — platform configurations",
     "table3": "Table III — MRE per calibration method and platform",
@@ -51,22 +51,22 @@ _TITLES: Dict[str, str] = {
 }
 
 
-def collect_results(results_dir: Union[str, Path]) -> Dict[str, str]:
+def collect_results(results_dir: str | Path) -> dict[str, str]:
     """Read every ``<name>.txt`` under ``results_dir`` into a name -> text map."""
     results_dir = Path(results_dir)
     if not results_dir.is_dir():
         return {}
-    collected: Dict[str, str] = {}
+    collected: dict[str, str] = {}
     for path in sorted(results_dir.glob("*.txt")):
         collected[path.stem] = path.read_text().rstrip("\n")
     return collected
 
 
 def render_report(
-    results: Dict[str, str],
+    results: dict[str, str],
     order: Sequence[str] = DEFAULT_ORDER,
     title: str = "Reproduction report",
-    generated_at: Optional[str] = None,
+    generated_at: str | None = None,
 ) -> str:
     """Render collected experiment outputs as one Markdown document.
 
@@ -76,7 +76,7 @@ def render_report(
     """
     if generated_at is None:
         generated_at = datetime.datetime.now().strftime("%Y-%m-%d %H:%M")
-    lines: List[str] = [
+    lines: list[str] = [
         f"# {title}",
         "",
         f"Generated {generated_at} from the benchmark harness outputs "
@@ -101,8 +101,8 @@ def render_report(
 
 
 def write_report(
-    results_dir: Union[str, Path],
-    output_path: Union[str, Path],
+    results_dir: str | Path,
+    output_path: str | Path,
     order: Sequence[str] = DEFAULT_ORDER,
     title: str = "Reproduction report",
 ) -> Path:

@@ -14,7 +14,6 @@ survey snapshot.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
 
 __all__ = [
     "PublicationRecord",
@@ -61,7 +60,7 @@ PAPER_COUNTS = {
 }
 
 
-def build_survey_dataset() -> List[PublicationRecord]:
+def build_survey_dataset() -> list[PublicationRecord]:
     """Build a synthetic per-publication dataset matching the paper's counts.
 
     The individual records are synthetic (the paper does not list the 114
@@ -71,7 +70,7 @@ def build_survey_dataset() -> List[PublicationRecord]:
     (half of those documenting a manual procedure, half also using simple
     statistical techniques, 8 of the 10 contributing a simulation model).
     """
-    records: List[PublicationRecord] = []
+    records: list[PublicationRecord] = []
     index = 0
 
     def add(count: int, **kwargs) -> None:
@@ -119,11 +118,11 @@ class SurveySummary:
     calibration_mentioned_at_best: int
     calibration_documented: int
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> dict[str, int]:
         return dataclasses.asdict(self)
 
 
-def summarize_survey(records: List[PublicationRecord]) -> SurveySummary:
+def summarize_survey(records: list[PublicationRecord]) -> SurveySummary:
     """Aggregate a survey dataset into the Table I counts."""
     total = len(records)
     simulation_only = sum(1 for r in records if not r.includes_real_world_results)

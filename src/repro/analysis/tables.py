@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 __all__ = ["ExperimentResult", "render_table"]
 
@@ -51,10 +51,10 @@ class ExperimentResult:
 
     name: str
     title: str
-    headers: List[str]
-    rows: List[List[object]]
+    headers: list[str]
+    rows: list[list[object]]
     notes: str = ""
-    extra: Optional[Dict[str, object]] = None
+    extra: dict[str, object] | None = None
 
     def to_text(self) -> str:
         parts = [f"== {self.name}: {self.title} =="]
@@ -75,6 +75,6 @@ class ExperimentResult:
                 return row[col_index]
         raise KeyError(f"no row starting with {row_key!r}")
 
-    def column(self, column: str) -> List[object]:
+    def column(self, column: str) -> list[object]:
         col_index = self.headers.index(column)
         return [row[col_index] for row in self.rows]

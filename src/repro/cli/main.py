@@ -11,7 +11,8 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from collections.abc import Callable, Sequence
 
 from repro.core import ALGORITHMS, EvaluationBudget, TimeBudget
 from repro.core.metrics import METRICS
@@ -27,7 +28,7 @@ _log = get_logger("cli")
 # ---------------------------------------------------------------------- #
 # helpers
 # ---------------------------------------------------------------------- #
-def _parse_icds(text: Optional[str]) -> Optional[List[float]]:
+def _parse_icds(text: str | None) -> list[float] | None:
     if not text:
         return None
     try:
@@ -36,7 +37,7 @@ def _parse_icds(text: Optional[str]) -> Optional[List[float]]:
         raise SystemExit(f"invalid ICD list {text!r}; expected comma-separated numbers") from exc
 
 
-def _scenario(platform: str, scale: str, icds: Optional[Sequence[float]]) -> Scenario:
+def _scenario(platform: str, scale: str, icds: Sequence[float] | None) -> Scenario:
     factory = {
         "paper": Scenario.paper,
         "bench": Scenario.bench,
@@ -321,7 +322,7 @@ def cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_store_summary(spool, store_arg: Optional[str]) -> None:
+def _print_store_summary(spool, store_arg: str | None) -> None:
     """Append the shared store's size and in-flight leases to a status view.
 
     Lease state is only observable across processes for SQLite stores (the
@@ -378,7 +379,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         table6_speed_accuracy,
     )
 
-    registry: Dict[str, Callable[[], object]] = {
+    registry: dict[str, Callable[[], object]] = {
         "table1": table1_survey,
         "table2": table2_platforms,
         "table3": lambda: table3_simulation_accuracy(
@@ -433,7 +434,7 @@ def cmd_top(args: argparse.Namespace) -> int:
     while True:
         iteration += 1
         records = spool.statuses()
-        counts: Dict[str, int] = {}
+        counts: dict[str, int] = {}
         for record in records:
             status = str(record.get("status", "?"))
             counts[status] = counts.get(status, 0) + 1
@@ -452,6 +453,20 @@ def cmd_top(args: argparse.Namespace) -> int:
             time.sleep(args.interval)
         except KeyboardInterrupt:  # pragma: no cover - interactive only
             return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run reprolint (the repo's contract checkers) over the given paths."""
+    from repro.devtools.runner import main as lint_main
+
+    argv: list[str] = [str(path) for path in args.paths]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return lint_main(argv)
 
 
 # ---------------------------------------------------------------------- #
@@ -628,10 +643,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the report to a file instead of stdout")
     p_rep.set_defaults(func=cmd_report)
 
+    p_lint = sub.add_parser("lint", parents=[verbosity],
+                            help="run reprolint, the repo's invariant checkers")
+    p_lint.add_argument("paths", nargs="*", type=Path,
+                        help="files/directories to lint (default: src/)")
+    p_lint.add_argument("--select", metavar="RULES", default=None,
+                        help="comma-separated rule ids to run (default: all)")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    p_lint.set_defaults(func=cmd_lint)
+
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     configure_logging(getattr(args, "verbose", 0) - getattr(args, "quiet", 0))

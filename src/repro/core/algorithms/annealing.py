@@ -16,7 +16,7 @@ original draw order exactly.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 import numpy as np
 
@@ -55,12 +55,12 @@ class SimulatedAnnealing(CalibrationAlgorithm):
 
     def _setup(self) -> None:
         self._phase = "start"
-        self._x: Optional[np.ndarray] = None
+        self._x: np.ndarray | None = None
         self._fx = 0.0
         self._temperature = self.initial_temperature
         self._anneals_done = 0
 
-    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+    def _generate(self, rng: np.random.Generator, n: int) -> list[np.ndarray] | None:
         if self._phase == "start":
             if self._anneals_done > 0 and not self.restarts_forever:
                 return None
@@ -71,7 +71,7 @@ class SimulatedAnnealing(CalibrationAlgorithm):
         )
         return [candidate]
 
-    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+    def _observe(self, candidates: list[np.ndarray], values: list[float]) -> None:
         candidate, value = candidates[0], values[0]
         if self._phase == "start":
             self._x, self._fx = candidate, value
@@ -86,7 +86,7 @@ class SimulatedAnnealing(CalibrationAlgorithm):
             self._anneals_done += 1
             self._phase = "start"
 
-    def _state_dict(self) -> Dict[str, Any]:
+    def _state_dict(self) -> dict[str, Any]:
         return {
             "phase": self._phase,
             "x": floats_or_none(self._x),
@@ -95,7 +95,7 @@ class SimulatedAnnealing(CalibrationAlgorithm):
             "anneals_done": self._anneals_done,
         }
 
-    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+    def _load_state_dict(self, state: dict[str, Any]) -> None:
         self._phase = state["phase"]
         self._x = array_or_none(state["x"])
         self._fx = float(state["fx"])

@@ -71,7 +71,8 @@ so hooks never see a half generation.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence, Type, Union
+from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -94,31 +95,31 @@ __all__ = [
 ]
 
 
-def _as_lists(rows: Sequence[np.ndarray]) -> List[List[float]]:
+def _as_lists(rows: Sequence[np.ndarray]) -> list[list[float]]:
     """Candidate arrays as JSON-compatible nested lists."""
     return [[float(x) for x in row] for row in rows]
 
 
-def _as_arrays(rows: Sequence[Sequence[float]]) -> List[np.ndarray]:
+def _as_arrays(rows: Sequence[Sequence[float]]) -> list[np.ndarray]:
     return [np.asarray(row, dtype=float) for row in rows]
 
 
 # Shared ``_state_dict``/``_load_state_dict`` converters: every algorithm
 # serializes optional vectors/matrices through these, so the canonical
 # JSON representation lives in exactly one place.
-def floats_or_none(vector: Optional[np.ndarray]) -> Optional[List[float]]:
+def floats_or_none(vector: np.ndarray | None) -> list[float] | None:
     return None if vector is None else [float(v) for v in vector]
 
 
-def array_or_none(data: Optional[Sequence[float]]) -> Optional[np.ndarray]:
+def array_or_none(data: Sequence[float] | None) -> np.ndarray | None:
     return None if data is None else np.asarray(data, dtype=float)
 
 
-def rows_or_none(matrix: Optional[np.ndarray]) -> Optional[List[List[float]]]:
+def rows_or_none(matrix: np.ndarray | None) -> list[list[float]] | None:
     return None if matrix is None else _as_lists(np.atleast_2d(matrix))
 
 
-def matrix_or_none(data: Optional[Sequence[Sequence[float]]]) -> Optional[np.ndarray]:
+def matrix_or_none(data: Sequence[Sequence[float]] | None) -> np.ndarray | None:
     return None if data is None else np.array(data, dtype=float)
 
 
@@ -135,17 +136,17 @@ class CalibrationAlgorithm:
     supports_async_tell: bool = False
 
     def __init__(self) -> None:
-        self._space: Optional[ParameterSpace] = None
-        self._rng: Optional[np.random.Generator] = None
+        self._space: ParameterSpace | None = None
+        self._rng: np.random.Generator | None = None
         # ordered-protocol ledger: one internal batch at a time
-        self._batch: List[np.ndarray] = []
+        self._batch: list[np.ndarray] = []
         self._dispatched = 0
         self._told = 0
-        self._values: List[float] = []
+        self._values: list[float] = []
         # async-native ledger: generated-but-unasked surplus + asked-but-
         # untold candidates (used when supports_async_tell is True)
-        self._queue: List[np.ndarray] = []
-        self._outstanding: List[np.ndarray] = []
+        self._queue: list[np.ndarray] = []
+        self._outstanding: list[np.ndarray] = []
         self._finished = False
 
     # ------------------------------------------------------------------ #
@@ -183,7 +184,7 @@ class CalibrationAlgorithm:
     # ------------------------------------------------------------------ #
     # protocol: ask/tell
     # ------------------------------------------------------------------ #
-    def ask(self, rng: np.random.Generator, n: int = 1) -> List[np.ndarray]:
+    def ask(self, rng: np.random.Generator, n: int = 1) -> list[np.ndarray]:
         """Return up to ``n`` candidates (unit-cube points) to evaluate.
 
         Ordered algorithms return fewer than ``n`` (possibly none) when
@@ -211,7 +212,7 @@ class CalibrationAlgorithm:
         ).inc(len(out))
         return out
 
-    def _ask_impl(self, rng: np.random.Generator, n: int) -> List[np.ndarray]:
+    def _ask_impl(self, rng: np.random.Generator, n: int) -> list[np.ndarray]:
         if n < 1:
             raise ValueError("ask() needs n >= 1")
         if self._space is None:
@@ -219,7 +220,7 @@ class CalibrationAlgorithm:
         self._rng = rng  # tell-side draws use the rng of the latest ask
         if self.supports_async_tell:
             return self._ask_freely(rng, n)
-        out: List[np.ndarray] = []
+        out: list[np.ndarray] = []
         while len(out) < n and not self._finished:
             if self._dispatched >= len(self._batch):
                 if self._batch and self._told < len(self._batch):
@@ -237,10 +238,10 @@ class CalibrationAlgorithm:
             self._dispatched += take
         return out
 
-    def _ask_freely(self, rng: np.random.Generator, n: int) -> List[np.ndarray]:
+    def _ask_freely(self, rng: np.random.Generator, n: int) -> list[np.ndarray]:
         """Async-native ask: draw from the surplus queue, generating more
         whenever it runs dry, regardless of outstanding candidates."""
-        out: List[np.ndarray] = []
+        out: list[np.ndarray] = []
         while len(out) < n and not self._finished:
             if not self._queue:
                 batch = self._generate(rng, n - len(out))
@@ -303,9 +304,9 @@ class CalibrationAlgorithm:
     ) -> None:
         """Match each pair against the outstanding ledger (FIFO on equal
         points, so duplicates resolve deterministically) and observe it."""
-        matched: List[np.ndarray] = []
-        observed: List[float] = []
-        for candidate, value in zip(candidates, values):
+        matched: list[np.ndarray] = []
+        observed: list[float] = []
+        for candidate, value in zip(candidates, values, strict=True):
             arr = np.asarray(candidate, dtype=float)
             for i, pending in enumerate(self._outstanding):
                 if pending.shape == arr.shape and np.array_equal(pending, arr):
@@ -323,7 +324,7 @@ class CalibrationAlgorithm:
     # ------------------------------------------------------------------ #
     # protocol: checkpointing
     # ------------------------------------------------------------------ #
-    def state_dict(self) -> Dict[str, Any]:
+    def state_dict(self) -> dict[str, Any]:
         """Snapshot the full search state as JSON-compatible primitives.
 
         Candidates that were asked but never told are treated as pending:
@@ -338,7 +339,7 @@ class CalibrationAlgorithm:
         search state from :meth:`_state_dict`).
         """
         if self.supports_async_tell:
-            base: Dict[str, Any] = {
+            base: dict[str, Any] = {
                 "queue": _as_lists(self._queue),
                 "outstanding": _as_lists(self._outstanding),
                 "finished": self._finished,
@@ -356,7 +357,7 @@ class CalibrationAlgorithm:
             "state": self._state_dict(),
         }
 
-    def load_state_dict(self, state: Dict[str, Any]) -> None:
+    def load_state_dict(self, state: dict[str, Any]) -> None:
         """Restore :meth:`state_dict` output (call :meth:`setup` first)."""
         if self._space is None:
             raise RuntimeError(f"{self.name}: call setup(space) before load_state_dict")
@@ -400,7 +401,7 @@ class CalibrationAlgorithm:
         self,
         objective: Objective,
         rng: np.random.Generator,
-        on_step: Optional[Callable[[], None]] = None,
+        on_step: Callable[[], None] | None = None,
     ) -> None:
         """Drive an already set-up (possibly restored) algorithm serially.
 
@@ -430,7 +431,7 @@ class CalibrationAlgorithm:
 
     def _generate(
         self, rng: np.random.Generator, n: int
-    ) -> Optional[List[np.ndarray]]:  # pragma: no cover - interface
+    ) -> list[np.ndarray] | None:  # pragma: no cover - interface
         """Produce the next natural batch of candidates (``None`` = done).
 
         ``n`` is the driver's capacity hint; algorithms with no natural
@@ -439,14 +440,14 @@ class CalibrationAlgorithm:
         """
         raise NotImplementedError
 
-    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+    def _observe(self, candidates: list[np.ndarray], values: list[float]) -> None:
         """Ingest one completed batch (every candidate told)."""
 
-    def _state_dict(self) -> Dict[str, Any]:
+    def _state_dict(self) -> dict[str, Any]:
         """Algorithm state as JSON-compatible primitives."""
         return {}
 
-    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+    def _load_state_dict(self, state: dict[str, Any]) -> None:
         """Restore :meth:`_state_dict` output."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
@@ -455,13 +456,13 @@ class CalibrationAlgorithm:
 
 #: name -> factory registry.  Factories accept the algorithm's constructor
 #: keyword arguments and return a configured instance.
-ALGORITHMS: Dict[str, Callable[..., CalibrationAlgorithm]] = {}
+ALGORITHMS: dict[str, Callable[..., CalibrationAlgorithm]] = {}
 
 
-def register(name: str) -> Callable[[Type[CalibrationAlgorithm]], Type[CalibrationAlgorithm]]:
+def register(name: str) -> Callable[[type[CalibrationAlgorithm]], type[CalibrationAlgorithm]]:
     """Class decorator registering an algorithm under ``name``."""
 
-    def decorator(cls: Type[CalibrationAlgorithm]) -> Type[CalibrationAlgorithm]:
+    def decorator(cls: type[CalibrationAlgorithm]) -> type[CalibrationAlgorithm]:
         ALGORITHMS[name.lower()] = cls
         return cls
 
@@ -469,7 +470,7 @@ def register(name: str) -> Callable[[Type[CalibrationAlgorithm]], Type[Calibrati
 
 
 def get_algorithm(
-    spec: Union[str, CalibrationAlgorithm], **options: Any
+    spec: str | CalibrationAlgorithm, **options: Any
 ) -> CalibrationAlgorithm:
     """Instantiate an algorithm from its registry name (case-insensitive).
 

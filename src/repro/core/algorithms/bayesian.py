@@ -22,7 +22,7 @@ ones), so its per-iteration cost stays bounded even for long runs.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 import numpy as np
 
@@ -70,7 +70,7 @@ class BayesianOptimization(CalibrationAlgorithm):
     # ------------------------------------------------------------------ #
     # surrogate
     # ------------------------------------------------------------------ #
-    def _select_conditioning(self, xs: List[np.ndarray], ys: List[float]):
+    def _select_conditioning(self, xs: list[np.ndarray], ys: list[float]):
         """Cap the number of GP conditioning points: keep the best half and
         the most recent half of the allowance."""
         n = len(xs)
@@ -117,11 +117,11 @@ class BayesianOptimization(CalibrationAlgorithm):
     # ask/tell hooks
     # ------------------------------------------------------------------ #
     def _setup(self) -> None:
-        self._xs: List[np.ndarray] = []
-        self._ys: List[float] = []
+        self._xs: list[np.ndarray] = []
+        self._ys: list[float] = []
         self._iterations = 0
 
-    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+    def _generate(self, rng: np.random.Generator, n: int) -> list[np.ndarray] | None:
         dimension = self.space.dimension
         if not self._xs:
             # Initial space-filling design (Latin hypercube), one batch.
@@ -140,19 +140,19 @@ class BayesianOptimization(CalibrationAlgorithm):
         ei = self._expected_improvement(mu, sigma, best, self.exploration)
         return [candidates[int(np.argmax(ei))]]
 
-    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
-        for candidate, value in zip(candidates, values):
+    def _observe(self, candidates: list[np.ndarray], values: list[float]) -> None:
+        for candidate, value in zip(candidates, values, strict=True):
             self._xs.append(np.asarray(candidate, dtype=float))
             self._ys.append(float(value))
 
-    def _state_dict(self) -> Dict[str, Any]:
+    def _state_dict(self) -> dict[str, Any]:
         return {
             "xs": _as_lists(self._xs),
             "ys": list(self._ys),
             "iterations": self._iterations,
         }
 
-    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+    def _load_state_dict(self, state: dict[str, Any]) -> None:
         self._xs = _as_arrays(state["xs"])
         self._ys = [float(v) for v in state["ys"]]
         self._iterations = int(state["iterations"])

@@ -19,7 +19,7 @@ trajectory of the original blocking loop.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 import numpy as np
 
@@ -61,13 +61,13 @@ class CMAES(CalibrationAlgorithm):
     # ------------------------------------------------------------------ #
     # strategy constants (deterministic in the dimension, not serialized)
     # ------------------------------------------------------------------ #
-    def _constants(self) -> Dict[str, Any]:
+    def _constants(self) -> dict[str, Any]:
         if self._cst is not None and self._cst["d"] == self.space.dimension:
             return self._cst
         self._cst = self._compute_constants()
         return self._cst
 
-    def _compute_constants(self) -> Dict[str, Any]:
+    def _compute_constants(self) -> dict[str, Any]:
         d = self.space.dimension
         lam = self.population_size or (4 + int(3 * np.log(d)))
         mu = lam // 2
@@ -99,20 +99,20 @@ class CMAES(CalibrationAlgorithm):
         self._phase = "start"
         self._restarts_started = 0
         self._generation = 0
-        self._mean: Optional[np.ndarray] = None
+        self._mean: np.ndarray | None = None
         self._sigma = self.initial_sigma
-        self._covariance: Optional[np.ndarray] = None
-        self._path_sigma: Optional[np.ndarray] = None
-        self._path_c: Optional[np.ndarray] = None
+        self._covariance: np.ndarray | None = None
+        self._path_sigma: np.ndarray | None = None
+        self._path_c: np.ndarray | None = None
         self._previous_best = float("inf")
-        self._unclipped: Optional[np.ndarray] = None
-        self._cst: Optional[Dict[str, Any]] = None
+        self._unclipped: np.ndarray | None = None
+        self._cst: dict[str, Any] | None = None
         #: inverse square root of the covariance the pending generation was
         #: sampled from — kept in memory only; a resumed instance recomputes
         #: it from the (serialized) covariance, deterministically.
-        self._inv_sqrt_cov: Optional[np.ndarray] = None
+        self._inv_sqrt_cov: np.ndarray | None = None
 
-    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+    def _generate(self, rng: np.random.Generator, n: int) -> list[np.ndarray] | None:
         cst = self._constants()
         d = cst["d"]
         while True:
@@ -137,7 +137,7 @@ class CMAES(CalibrationAlgorithm):
             self._unclipped = candidates
             return list(np.clip(candidates, 0.0, 1.0))
 
-    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+    def _observe(self, candidates: list[np.ndarray], values: list[float]) -> None:
         cst = self._constants()
         d, mu, weights, mu_eff = cst["d"], cst["mu"], cst["weights"], cst["mu_eff"]
         c_sigma, d_sigma, c_c = cst["c_sigma"], cst["d_sigma"], cst["c_c"]
@@ -177,7 +177,7 @@ class CMAES(CalibrationAlgorithm):
             c_c * (2.0 - c_c) * mu_eff
         ) * shift
         artifacts = (selected - old_mean) / self._sigma
-        rank_mu = sum(w * np.outer(y, y) for w, y in zip(weights, artifacts))
+        rank_mu = sum(w * np.outer(y, y) for w, y in zip(weights, artifacts, strict=True))
         covariance = (
             (1.0 - c_1 - c_mu) * self._covariance
             + c_1
@@ -200,7 +200,7 @@ class CMAES(CalibrationAlgorithm):
         else:
             self._previous_best = best_value
 
-    def _state_dict(self) -> Dict[str, Any]:
+    def _state_dict(self) -> dict[str, Any]:
         return {
             "phase": self._phase,
             "restarts_started": self._restarts_started,
@@ -214,7 +214,7 @@ class CMAES(CalibrationAlgorithm):
             "unclipped": rows_or_none(self._unclipped),
         }
 
-    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+    def _load_state_dict(self, state: dict[str, Any]) -> None:
         self._phase = state["phase"]
         self._restarts_started = int(state["restarts_started"])
         self._generation = int(state["generation"])

@@ -14,7 +14,7 @@ asked as one batch (a parallel driver evaluates a whole round at once).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 import numpy as np
 
@@ -52,16 +52,16 @@ class CoordinateDescent(CalibrationAlgorithm):
     def _setup(self) -> None:
         self._phase = "restart"
         self._restarts = 0
-        self._x: Optional[np.ndarray] = None
+        self._x: np.ndarray | None = None
         self._fx = 0.0
         self._axis = 0
         self._refinement = 0
         self._low = 0.0
         self._high = 1.0
         self._sweep_start_fx = 0.0
-        self._positions: List[float] = []
+        self._positions: list[float] = []
 
-    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+    def _generate(self, rng: np.random.Generator, n: int) -> list[np.ndarray] | None:
         if self._phase == "restart":
             if self._restarts >= self.max_restarts:
                 return None
@@ -76,7 +76,7 @@ class CoordinateDescent(CalibrationAlgorithm):
             probes.append(probe)
         return probes
 
-    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+    def _observe(self, candidates: list[np.ndarray], values: list[float]) -> None:
         if self._phase == "restart":
             self._x, self._fx = candidates[0], values[0]
             self._axis = 0
@@ -108,7 +108,7 @@ class CoordinateDescent(CalibrationAlgorithm):
         else:
             self._sweep_start_fx = self._fx
 
-    def _state_dict(self) -> Dict[str, Any]:
+    def _state_dict(self) -> dict[str, Any]:
         return {
             "phase": self._phase,
             "restarts": self._restarts,
@@ -122,7 +122,7 @@ class CoordinateDescent(CalibrationAlgorithm):
             "positions": list(self._positions),
         }
 
-    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+    def _load_state_dict(self, state: dict[str, Any]) -> None:
         self._phase = state["phase"]
         self._restarts = int(state["restarts"])
         self._x = array_or_none(state["x"])

@@ -27,7 +27,7 @@ Two selection schemes are available:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 import numpy as np
 
@@ -72,8 +72,8 @@ class DifferentialEvolution(CalibrationAlgorithm):
 
     def _setup(self) -> None:
         self._phase = "init"
-        self._population: Optional[np.ndarray] = None
-        self._fitness: Optional[np.ndarray] = None
+        self._population: np.ndarray | None = None
+        self._fitness: np.ndarray | None = None
         self._member = 0
         self._generation = 0
 
@@ -95,7 +95,7 @@ class DifferentialEvolution(CalibrationAlgorithm):
         cross[rng.integers(d)] = True
         return np.where(cross, mutant, self._population[i])
 
-    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+    def _generate(self, rng: np.random.Generator, n: int) -> list[np.ndarray] | None:
         if self._phase == "init":
             return [self.space.sample_unit(rng) for _ in range(self.population_size)]
         if self._generation >= self.max_generations:
@@ -104,7 +104,7 @@ class DifferentialEvolution(CalibrationAlgorithm):
             return [self._trial(i, rng) for i in range(self.population_size)]
         return [self._trial(self._member, rng)]
 
-    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+    def _observe(self, candidates: list[np.ndarray], values: list[float]) -> None:
         if self._phase == "init":
             self._population = np.array(candidates)
             self._fitness = np.array(values)
@@ -112,7 +112,7 @@ class DifferentialEvolution(CalibrationAlgorithm):
             self._member = 0
             return
         if self.synchronous:
-            for i, (trial, f_trial) in enumerate(zip(candidates, values)):
+            for i, (trial, f_trial) in enumerate(zip(candidates, values, strict=True)):
                 if f_trial <= self._fitness[i]:
                     self._population[i], self._fitness[i] = trial, f_trial
             self._generation += 1
@@ -126,7 +126,7 @@ class DifferentialEvolution(CalibrationAlgorithm):
             self._member = 0
             self._generation += 1
 
-    def _state_dict(self) -> Dict[str, Any]:
+    def _state_dict(self) -> dict[str, Any]:
         return {
             "phase": self._phase,
             "population": rows_or_none(self._population),
@@ -135,7 +135,7 @@ class DifferentialEvolution(CalibrationAlgorithm):
             "generation": self._generation,
         }
 
-    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+    def _load_state_dict(self, state: dict[str, Any]) -> None:
         self._phase = state["phase"]
         self._population = matrix_or_none(state["population"])
         self._fitness = array_or_none(state["fitness"])

@@ -27,7 +27,7 @@ trajectory stays byte-identical to the original nested loops.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 import numpy as np
 
@@ -76,16 +76,16 @@ class GradientDescent(CalibrationAlgorithm):
     def _setup(self) -> None:
         self._phase = "restart"
         self._paths = 0
-        self._x: Optional[np.ndarray] = None
+        self._x: np.ndarray | None = None
         self._fx = 0.0
         self._delta = self.delta
-        self._gradient: Optional[np.ndarray] = None
-        self._directions: List[float] = []
+        self._gradient: np.ndarray | None = None
+        self._directions: list[float] = []
         self._norm_sq = 0.0
         self._step = self.initial_step
         self._ls_iter = 0
 
-    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+    def _generate(self, rng: np.random.Generator, n: int) -> list[np.ndarray] | None:
         if self._phase == "restart":
             if self._paths >= self.max_restarts:
                 return None
@@ -109,7 +109,7 @@ class GradientDescent(CalibrationAlgorithm):
         # line search: one backtracking (Armijo) probe along -gradient
         return [np.clip(self._x - self._step * self._gradient, 0.0, 1.0)]
 
-    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+    def _observe(self, candidates: list[np.ndarray], values: list[float]) -> None:
         if self._phase == "restart":
             self._x, self._fx = candidates[0], values[0]
             self._delta = self.delta
@@ -117,7 +117,7 @@ class GradientDescent(CalibrationAlgorithm):
             return
         if self._phase == "gradient":
             gradient = np.zeros_like(self._x)
-            for i, (direction, fi) in enumerate(zip(self._directions, values)):
+            for i, (direction, fi) in enumerate(zip(self._directions, values, strict=True)):
                 gradient[i] = (fi - self._fx) / (direction * self._delta)
             self._gradient = gradient
             self._norm_sq = float(np.dot(gradient, gradient))
@@ -143,7 +143,7 @@ class GradientDescent(CalibrationAlgorithm):
         if self._ls_iter >= self.max_line_search:
             self._phase = "restart"  # no step length decreased enough
 
-    def _state_dict(self) -> Dict[str, Any]:
+    def _state_dict(self) -> dict[str, Any]:
         return {
             "phase": self._phase,
             "paths": self._paths,
@@ -157,7 +157,7 @@ class GradientDescent(CalibrationAlgorithm):
             "ls_iter": self._ls_iter,
         }
 
-    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+    def _load_state_dict(self, state: dict[str, Any]) -> None:
         self._phase = state["phase"]
         self._paths = int(state["paths"])
         self._x = array_or_none(state["x"])

@@ -25,7 +25,8 @@ the recorded offset.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Iterator, List, Optional
+from collections.abc import Iterator
+from typing import Any
 
 import numpy as np
 
@@ -45,13 +46,13 @@ class GridSearch(CalibrationAlgorithm):
         self.max_level = int(max_level)
 
     @staticmethod
-    def level_coordinates(level: int) -> List[float]:
+    def level_coordinates(level: int) -> list[float]:
         """Normalised coordinates of refinement level ``level``."""
         n = 2**level + 1
         return [i / (n - 1) for i in range(n)]
 
     @staticmethod
-    def new_coordinates(level: int) -> List[float]:
+    def new_coordinates(level: int) -> list[float]:
         """Coordinates introduced at ``level`` (mid-points of the previous level)."""
         if level == 0:
             return GridSearch.level_coordinates(0)
@@ -72,9 +73,9 @@ class GridSearch(CalibrationAlgorithm):
     def _setup(self) -> None:
         self._level = 0
         self._offset = 0  # combinations of the current level already generated
-        self._iter: Optional[Iterator[np.ndarray]] = None
+        self._iter: Iterator[np.ndarray] | None = None
 
-    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+    def _generate(self, rng: np.random.Generator, n: int) -> list[np.ndarray] | None:
         while self._level <= self.max_level:
             if self._iter is None:
                 self._iter = itertools.islice(
@@ -89,10 +90,10 @@ class GridSearch(CalibrationAlgorithm):
             self._iter = None
         return None
 
-    def _state_dict(self) -> Dict[str, Any]:
+    def _state_dict(self) -> dict[str, Any]:
         return {"level": self._level, "offset": self._offset}
 
-    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+    def _load_state_dict(self, state: dict[str, Any]) -> None:
         self._level = int(state["level"])
         self._offset = int(state["offset"])
         self._iter = None

@@ -14,7 +14,7 @@ for the parallel batch driver.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 import numpy as np
 
@@ -53,14 +53,14 @@ class LatinHypercubeSearch(CalibrationAlgorithm):
             samples[:, d] = positions
         return samples
 
-    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+    def _generate(self, rng: np.random.Generator, n: int) -> list[np.ndarray] | None:
         if self._batches >= self.max_batches:
             return None
         self._batches += 1
         return list(self._lhs_batch(self.space.dimension, rng))
 
-    def _state_dict(self) -> Dict[str, Any]:
+    def _state_dict(self) -> dict[str, Any]:
         return {"batches": self._batches}
 
-    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+    def _load_state_dict(self, state: dict[str, Any]) -> None:
         self._batches = int(state["batches"])

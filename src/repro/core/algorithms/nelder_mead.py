@@ -19,7 +19,7 @@ are singleton probes whose outcome picks the next move.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 import numpy as np
 
@@ -91,14 +91,14 @@ class NelderMead(CalibrationAlgorithm):
     def _setup(self) -> None:
         self._phase = "restart"
         self._restarts = 0
-        self._simplex: Optional[np.ndarray] = None
-        self._f: Optional[np.ndarray] = None
+        self._simplex: np.ndarray | None = None
+        self._f: np.ndarray | None = None
         self._iteration = 0
-        self._centroid: Optional[np.ndarray] = None
-        self._reflected: Optional[np.ndarray] = None
+        self._centroid: np.ndarray | None = None
+        self._reflected: np.ndarray | None = None
         self._f_reflected = 0.0
 
-    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+    def _generate(self, rng: np.random.Generator, n: int) -> list[np.ndarray] | None:
         while True:
             if self._phase == "restart":
                 if self._restarts >= self.max_restarts:
@@ -139,7 +139,7 @@ class NelderMead(CalibrationAlgorithm):
                 for i in range(1, len(self._simplex))
             ]
 
-    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+    def _observe(self, candidates: list[np.ndarray], values: list[float]) -> None:
         if self._phase == "restart":
             self._f = np.array(values)
             self._iteration = 0
@@ -175,13 +175,13 @@ class NelderMead(CalibrationAlgorithm):
                 self._phase = "shrink"
             return
         # shrink
-        for i, (vertex, value) in enumerate(zip(candidates, values), start=1):
+        for i, (vertex, value) in enumerate(zip(candidates, values, strict=True), start=1):
             self._simplex[i] = vertex
             self._f[i] = value
         self._iteration += 1
         self._phase = "iterate"
 
-    def _state_dict(self) -> Dict[str, Any]:
+    def _state_dict(self) -> dict[str, Any]:
         return {
             "phase": self._phase,
             "restarts": self._restarts,
@@ -193,7 +193,7 @@ class NelderMead(CalibrationAlgorithm):
             "f_reflected": self._f_reflected,
         }
 
-    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+    def _load_state_dict(self, state: dict[str, Any]) -> None:
         self._phase = state["phase"]
         self._restarts = int(state["restarts"])
         self._simplex = matrix_or_none(state["simplex"])

@@ -21,7 +21,7 @@ axis, direction by direction) → ``pattern`` and back.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 import numpy as np
 
@@ -63,9 +63,9 @@ class PatternSearch(CalibrationAlgorithm):
     def _setup(self) -> None:
         self._phase = "restart"
         self._restarts = 0
-        self._base: Optional[np.ndarray] = None
+        self._base: np.ndarray | None = None
         self._f_base = 0.0
-        self._current: Optional[np.ndarray] = None
+        self._current: np.ndarray | None = None
         self._f_current = 0.0
         self._step = self.initial_step
         self._axis = 0
@@ -78,7 +78,7 @@ class PatternSearch(CalibrationAlgorithm):
         self._direction = 0
         self._phase = "explore"
 
-    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+    def _generate(self, rng: np.random.Generator, n: int) -> list[np.ndarray] | None:
         while True:
             if self._phase == "restart":
                 if self._restarts >= self.max_restarts:
@@ -117,7 +117,7 @@ class PatternSearch(CalibrationAlgorithm):
             self._direction = 0
             self._axis += 1
 
-    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+    def _observe(self, candidates: list[np.ndarray], values: list[float]) -> None:
         candidate, value = candidates[0], values[0]
         if self._phase == "restart":
             self._base, self._f_base = candidate, value
@@ -140,7 +140,7 @@ class PatternSearch(CalibrationAlgorithm):
         else:
             self._advance_direction()
 
-    def _state_dict(self) -> Dict[str, Any]:
+    def _state_dict(self) -> dict[str, Any]:
         return {
             "phase": self._phase,
             "restarts": self._restarts,
@@ -153,7 +153,7 @@ class PatternSearch(CalibrationAlgorithm):
             "direction": self._direction,
         }
 
-    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+    def _load_state_dict(self, state: dict[str, Any]) -> None:
         self._phase = state["phase"]
         self._restarts = int(state["restarts"])
         self._base = array_or_none(state["base"])

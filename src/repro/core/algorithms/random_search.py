@@ -13,7 +13,7 @@ one (the draws just happen ahead of the evaluations).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 import numpy as np
 
@@ -37,7 +37,7 @@ class RandomSearch(CalibrationAlgorithm):
     def _setup(self) -> None:
         self._count = 0
 
-    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+    def _generate(self, rng: np.random.Generator, n: int) -> list[np.ndarray] | None:
         remaining = self.max_iterations - self._count
         if remaining <= 0:
             return None
@@ -46,8 +46,8 @@ class RandomSearch(CalibrationAlgorithm):
         self._count += k
         return samples
 
-    def _state_dict(self) -> Dict[str, Any]:
+    def _state_dict(self) -> dict[str, Any]:
         return {"count": self._count}
 
-    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+    def _load_state_dict(self, state: dict[str, Any]) -> None:
         self._count = int(state["count"])

@@ -17,7 +17,7 @@ fast-forwards past the points already drawn.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 import numpy as np
 from scipy.stats import qmc
@@ -48,9 +48,9 @@ class SobolSearch(CalibrationAlgorithm):
         self.max_batches = int(max_batches)
 
     def _setup(self) -> None:
-        self._sampler: Optional[qmc.Sobol] = None
+        self._sampler: qmc.Sobol | None = None
         self._blocks = 0
-        self._seed_seq: Optional[Dict[str, Any]] = None
+        self._seed_seq: dict[str, Any] | None = None
 
     def _ensure_sampler(self, rng: np.random.Generator) -> qmc.Sobol:
         if self._sampler is None:
@@ -91,17 +91,17 @@ class SobolSearch(CalibrationAlgorithm):
                     self._sampler.fast_forward(self._blocks * self.batch_size)
         return self._sampler
 
-    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+    def _generate(self, rng: np.random.Generator, n: int) -> list[np.ndarray] | None:
         if self._blocks >= self.max_batches:
             return None
         sampler = self._ensure_sampler(rng)
         self._blocks += 1
         return list(sampler.random(self.batch_size))
 
-    def _state_dict(self) -> Dict[str, Any]:
+    def _state_dict(self) -> dict[str, Any]:
         return {"blocks": self._blocks, "seed_seq": self._seed_seq}
 
-    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+    def _load_state_dict(self, state: dict[str, Any]) -> None:
         self._blocks = int(state["blocks"])
         self._seed_seq = state["seed_seq"]
         self._sampler = None

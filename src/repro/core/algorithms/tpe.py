@@ -18,7 +18,7 @@ is a singleton, since each proposal conditions on all previous results.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 import numpy as np
 
@@ -107,8 +107,8 @@ class TPESearch(CalibrationAlgorithm):
     # ask/tell hooks
     # ------------------------------------------------------------------ #
     def _setup(self) -> None:
-        self._points: List[np.ndarray] = []
-        self._scores: List[float] = []
+        self._points: list[np.ndarray] = []
+        self._scores: list[float] = []
         self._iterations = 0
 
     def _propose(self, rng: np.random.Generator) -> np.ndarray:
@@ -140,7 +140,7 @@ class TPESearch(CalibrationAlgorithm):
             log_g += self._log_density(column, bad_centers, bad_bw)
         return candidates[int(np.argmax(log_l - log_g))]
 
-    def _generate(self, rng: np.random.Generator, n: int) -> Optional[List[np.ndarray]]:
+    def _generate(self, rng: np.random.Generator, n: int) -> list[np.ndarray] | None:
         if not self._points:
             return [self.space.sample_unit(rng) for _ in range(self.warmup)]
         if self._iterations >= self.max_iterations:
@@ -148,18 +148,18 @@ class TPESearch(CalibrationAlgorithm):
         self._iterations += 1
         return [self._propose(rng)]
 
-    def _observe(self, candidates: List[np.ndarray], values: List[float]) -> None:
+    def _observe(self, candidates: list[np.ndarray], values: list[float]) -> None:
         self._points.extend(candidates)
         self._scores.extend(values)
 
-    def _state_dict(self) -> Dict[str, Any]:
+    def _state_dict(self) -> dict[str, Any]:
         return {
             "points": _as_lists(self._points),
             "scores": list(self._scores),
             "iterations": self._iterations,
         }
 
-    def _load_state_dict(self, state: Dict[str, Any]) -> None:
+    def _load_state_dict(self, state: dict[str, Any]) -> None:
         self._points = _as_arrays(state["points"])
         self._scores = [float(v) for v in state["scores"]]
         self._iterations = int(state["iterations"])

@@ -40,7 +40,6 @@ from __future__ import annotations
 import dataclasses
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, wait
-from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -52,6 +51,7 @@ from repro.core.evaluation import (
     Claim,
     DictCache,
     Objective,
+    lease_deadline,
     unit_cache_key,
 )
 from repro.core.history import Evaluation
@@ -82,7 +82,7 @@ class OrderedTellAdapter:
     def __init__(self, algorithm: CalibrationAlgorithm) -> None:
         self.algorithm = algorithm
         self._next_release = 0
-        self._parked: Dict[int, Tuple[np.ndarray, float]] = {}
+        self._parked: dict[int, tuple[np.ndarray, float]] = {}
 
     @property
     def buffered(self) -> int:
@@ -91,13 +91,13 @@ class OrderedTellAdapter:
 
     def complete(
         self, seq: int, candidate: np.ndarray, value: float
-    ) -> List[Tuple[int, np.ndarray, float]]:
+    ) -> list[tuple[int, np.ndarray, float]]:
         """Record completion ``seq`` and release the ready prefix, telling
         the wrapped algorithm one (candidate, value) at a time in ask
         order.  Returns the released ``(seq, candidate, value)`` triples
         (possibly empty)."""
         self._parked[seq] = (candidate, value)
-        released: List[Tuple[int, np.ndarray, float]] = []
+        released: list[tuple[int, np.ndarray, float]] = []
         while self._next_release in self._parked:
             cand, val = self._parked.pop(self._next_release)
             self.algorithm.tell([cand], [val])
@@ -113,13 +113,13 @@ class _InFlight:
     seq: int
     candidate: np.ndarray  # as asked (told back verbatim)
     unit: np.ndarray       # clipped unit point actually evaluated
-    mapping: Dict[str, float]
+    mapping: dict[str, float]
     key: CacheKey
     started_at: float
-    future: Optional["Future[Outcome]"] = None  # None: deferred (leased elsewhere)
-    lease_expires_at: Optional[float] = None
-    riders: List[Tuple[int, np.ndarray]] = dataclasses.field(default_factory=list)
-    span: Optional[Span] = None  # open "evaluation" span (tracing enabled only)
+    future: Future[Outcome] | None = None  # None: deferred (leased elsewhere)
+    lease_expires_at: float | None = None
+    riders: list[tuple[int, np.ndarray]] = dataclasses.field(default_factory=list)
+    span: Span | None = None  # open "evaluation" span (tracing enabled only)
 
 
 class AsyncCalibrator:
@@ -174,17 +174,17 @@ class AsyncCalibrator:
         self,
         space: ParameterSpace,
         objective_function: ObjectiveFunction,
-        algorithm: Union[str, CalibrationAlgorithm] = "random",
+        algorithm: str | CalibrationAlgorithm = "random",
         workers: int = 4,
         mode: str = "process",
-        max_pending: Optional[int] = None,
-        budget: Optional[Budget] = None,
+        max_pending: int | None = None,
+        budget: Budget | None = None,
         seed: int = 0,
-        cache: Union[bool, CacheBackend] = True,
-        algorithm_options: Optional[Dict[str, object]] = None,
+        cache: bool | CacheBackend = True,
+        algorithm_options: dict[str, object] | None = None,
         record_cache_hits: bool = False,
         count_cache_hits: bool = False,
-        ordered_tells: Optional[bool] = None,
+        ordered_tells: bool | None = None,
     ) -> None:
         self.space = space
         self.algorithm = get_algorithm(algorithm, **(algorithm_options or {}))
@@ -211,7 +211,7 @@ class AsyncCalibrator:
         self.budget = budget if budget is not None else EvaluationBudget(100)
         self.seed = seed
         if isinstance(cache, CacheBackend):
-            self._cache: Optional[CacheBackend] = cache
+            self._cache: CacheBackend | None = cache
         elif cache:
             self._cache = DictCache()
         else:
@@ -240,12 +240,12 @@ class AsyncCalibrator:
         self.deferred_hits = 0
         self._seq = 0
         self._budget_units = 0
-        self._seen: set = set()
-        self._pending: List[_InFlight] = []
-        self._inflight_keys: Dict[CacheKey, _InFlight] = {}
+        self._seen: set[CacheKey] = set()
+        self._pending: list[_InFlight] = []
+        self._inflight_keys: dict[CacheKey, _InFlight] = {}
         #: per-seq record metadata (mapping, started_at, finished_at, cached),
         #: parked alongside the adapter's buffer until the seq is released
-        self._meta: Dict[int, Tuple[Dict[str, float], float, float, bool]] = {}
+        self._meta: dict[int, tuple[dict[str, float], float, float, bool]] = {}
         self._tracer = current_tracer()
         # Instruments are looked up once per run, only when telemetry is
         # on: the disabled hot path costs one attribute check per use.
@@ -381,7 +381,7 @@ class AsyncCalibrator:
         )
         self._budget_units += 1  # dispatch (or deferred lease) charge
         if claim.status == Claim.LEASED:
-            entry.lease_expires_at = claim.expires_at or (time.time() + 1.0)
+            entry.lease_expires_at = lease_deadline(claim.expires_at)
             if self._reg is not None:
                 self._m_deferred.inc()
         else:
@@ -434,7 +434,7 @@ class AsyncCalibrator:
         self._tracer.end(entry.span, cached=False, value=value, duration_in_worker=duration)
         self._resolve_riders(entry, value)
 
-    def _poll_deferred(self, deferred: List[_InFlight]) -> None:
+    def _poll_deferred(self, deferred: list[_InFlight]) -> None:
         """Resolve leased points that were published, take over expired ones."""
         for entry in deferred:
             value = self._cache.poll(entry.key, entry.mapping)
@@ -464,13 +464,13 @@ class AsyncCalibrator:
                 else:
                     # A backend that reports no expiry must still allow a
                     # takeover retry, or a dead leader would hang the drain.
-                    entry.lease_expires_at = claim.expires_at or (time.time() + 1.0)
+                    entry.lease_expires_at = lease_deadline(claim.expires_at)
 
     def _resolve(
         self,
         seq: int,
         candidate: np.ndarray,
-        mapping: Dict[str, float],
+        mapping: dict[str, float],
         value: float,
         started_at: float,
         finished_at: float,

@@ -14,7 +14,7 @@ framework supports both, and their combination:
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 __all__ = [
     "Budget",
@@ -52,7 +52,7 @@ class TimeBudget(Budget):
         if seconds <= 0:
             raise ValueError(f"the time budget must be positive, got {seconds}")
         self.seconds = float(seconds)
-        self._start: Optional[float] = None
+        self._start: float | None = None
 
     def start(self, elapsed_offset: float = 0.0) -> None:
         self._start = time.perf_counter() - elapsed_offset
@@ -106,7 +106,7 @@ class CombinedBudget(Budget):
         return " and ".join(b.describe() for b in self.budgets)
 
 
-def remaining_evaluations(budget: Budget, evaluations: int) -> Optional[int]:
+def remaining_evaluations(budget: Budget, evaluations: int) -> int | None:
     """How many more evaluations ``budget`` allows, or ``None`` if unbounded.
 
     Recurses into :class:`CombinedBudget`, so batch drivers can trim their

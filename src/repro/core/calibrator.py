@@ -44,7 +44,9 @@ them).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Union
+import contextlib
+from collections.abc import Callable
+from typing import Any
 
 import numpy as np
 
@@ -81,15 +83,15 @@ class Calibrator:
     def __init__(
         self,
         space: ParameterSpace,
-        objective_function: Callable[[Dict[str, float]], float],
-        algorithm: Union[str, CalibrationAlgorithm] = "random",
-        budget: Optional[Budget] = None,
+        objective_function: Callable[[dict[str, float]], float],
+        algorithm: str | CalibrationAlgorithm = "random",
+        budget: Budget | None = None,
         seed: int = 0,
-        cache: Union[bool, CacheBackend] = True,
-        stopping: Optional[StoppingCriterion] = None,
+        cache: bool | CacheBackend = True,
+        stopping: StoppingCriterion | None = None,
         record_cache_hits: bool = False,
         count_cache_hits: bool = False,
-        algorithm_options: Optional[Dict[str, Any]] = None,
+        algorithm_options: dict[str, Any] | None = None,
     ) -> None:
         self.space = space
         self.algorithm = get_algorithm(algorithm, **(algorithm_options or {}))
@@ -99,7 +101,7 @@ class Calibrator:
         if stopping is not None:
             stopper = StoppingBudget(stopping)
             effective_budget = CombinedBudget([self.budget, stopper])
-            self._stopper: Optional[StoppingBudget] = stopper
+            self._stopper: StoppingBudget | None = stopper
         else:
             self._stopper = None
         self.objective = Objective(
@@ -112,18 +114,18 @@ class Calibrator:
         )
         if self._stopper is not None:
             self._stopper.bind(self.objective.history)
-        self._rng: Optional[np.random.Generator] = None
+        self._rng: np.random.Generator | None = None
         self._resume_elapsed = 0.0
         #: serialized history records, memoized across checkpoints —
         #: records are immutable and append-only, so each periodic
         #: checkpoint only serializes the evaluations since the last one
         #: instead of the whole history again
-        self._serialized_history: list = []
+        self._serialized_history: list[dict[str, Any]] = []
 
     # ------------------------------------------------------------------ #
     # checkpointing
     # ------------------------------------------------------------------ #
-    def checkpoint(self) -> Dict[str, Any]:
+    def checkpoint(self) -> dict[str, Any]:
         """A JSON-compatible snapshot of the run (call during/after run).
 
         Bundles everything :meth:`run` needs to continue the trajectory in
@@ -162,7 +164,7 @@ class Calibrator:
             "history": list(self._serialized_history),
         }
 
-    def _restore(self, checkpoint: Dict[str, Any]) -> None:
+    def _restore(self, checkpoint: dict[str, Any]) -> None:
         version = checkpoint.get("version")
         if version != CHECKPOINT_VERSION:
             raise ValueError(
@@ -196,9 +198,9 @@ class Calibrator:
     # ------------------------------------------------------------------ #
     def run(
         self,
-        resume: Optional[Dict[str, Any]] = None,
+        resume: dict[str, Any] | None = None,
         checkpoint_every: int = 0,
-        on_checkpoint: Optional[Callable[[Dict[str, Any]], None]] = None,
+        on_checkpoint: Callable[[dict[str, Any]], None] | None = None,
     ) -> CalibrationResult:
         """Run the calibration until the budget is exhausted (or the
         algorithm decides it is done) and return the best point found.
@@ -224,7 +226,7 @@ class Calibrator:
             self._restore(resume)
         self.objective.start(self._resume_elapsed)
         tracer = current_tracer()
-        try:
+        with contextlib.suppress(BudgetExhausted):
             with tracer.span(
                 "calibration", driver="serial", algorithm=algorithm.name, seed=self.seed
             ):
@@ -245,8 +247,6 @@ class Calibrator:
                     # Legacy algorithm implementing run() directly: no resume,
                     # no checkpoints, but the blocking loop still works.
                     algorithm.run(self.objective, self.space, rng)
-        except BudgetExhausted:
-            pass
         best = self.objective.best
         if best is None:
             raise RuntimeError(

@@ -22,7 +22,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import statistics
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+from collections.abc import Callable, Hashable, Sequence
 
 import numpy as np
 
@@ -41,16 +41,16 @@ __all__ = [
 ]
 
 Key = Hashable
-ProblemBuilder = Callable[[Sequence[Key]], Callable[[Dict[str, float]], float]]
-Evaluator = Callable[[Dict[str, float], Sequence[Key]], float]
+ProblemBuilder = Callable[[Sequence[Key]], Callable[[dict[str, float]], float]]
+Evaluator = Callable[[dict[str, float], Sequence[Key]], float]
 
 
 @dataclasses.dataclass(frozen=True)
 class Fold:
     """One train/test split of the scenario keys."""
 
-    train: Tuple[Key, ...]
-    test: Tuple[Key, ...]
+    train: tuple[Key, ...]
+    test: tuple[Key, ...]
 
     def __post_init__(self) -> None:
         if not self.train:
@@ -67,7 +67,7 @@ class FoldResult:
     fold: Fold
     train_score: float
     test_score: float
-    best_values: Dict[str, float]
+    best_values: dict[str, float]
     evaluations: int
 
     @property
@@ -80,17 +80,17 @@ class FoldResult:
 class CrossValidationResult:
     """Aggregate of all fold results."""
 
-    folds: List[FoldResult]
+    folds: list[FoldResult]
 
     @property
-    def train_scores(self) -> List[float]:
+    def train_scores(self) -> list[float]:
         return [f.train_score for f in self.folds]
 
     @property
-    def test_scores(self) -> List[float]:
+    def test_scores(self) -> list[float]:
         return [f.test_score for f in self.folds]
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         """Best / median / worst test score plus the mean generalisation gap
         (the same best/median/worst framing as the paper's Table V)."""
         tests = self.test_scores
@@ -105,7 +105,7 @@ class CrossValidationResult:
 # ---------------------------------------------------------------------- #
 # split generators
 # ---------------------------------------------------------------------- #
-def k_fold_splits(keys: Sequence[Key], k: int, seed: int = 0) -> List[Fold]:
+def k_fold_splits(keys: Sequence[Key], k: int, seed: int = 0) -> list[Fold]:
     """Shuffle the keys and split them into ``k`` folds; each fold trains on
     the other ``k-1`` folds and tests on its own."""
     keys = list(keys)
@@ -123,7 +123,7 @@ def k_fold_splits(keys: Sequence[Key], k: int, seed: int = 0) -> List[Fold]:
     return folds
 
 
-def leave_one_out_splits(keys: Sequence[Key]) -> List[Fold]:
+def leave_one_out_splits(keys: Sequence[Key]) -> list[Fold]:
     """One fold per key: train on all the others, test on that one."""
     keys = list(keys)
     if len(keys) < 2:
@@ -134,8 +134,8 @@ def leave_one_out_splits(keys: Sequence[Key]) -> List[Fold]:
 
 
 def subset_splits(
-    keys: Sequence[Key], subset_size: int, test_keys: Optional[Sequence[Key]] = None
-) -> List[Fold]:
+    keys: Sequence[Key], subset_size: int, test_keys: Sequence[Key] | None = None
+) -> list[Fold]:
     """The paper's Table V protocol: train on every subset of ``subset_size``
     keys, test on ``test_keys`` (default: all keys not in the subset)."""
     keys = list(keys)
@@ -163,7 +163,7 @@ def cross_validate(
     folds: Sequence[Fold],
     space: ParameterSpace,
     algorithm: str = "random",
-    budget: Optional[Union[Budget, int]] = None,
+    budget: Budget | int | None = None,
     seed: int = 0,
 ) -> CrossValidationResult:
     """Calibrate once per fold and score the result on the held-out scenarios.
@@ -183,7 +183,7 @@ def cross_validate(
     """
     if budget is None:
         budget = EvaluationBudget(100)
-    results: List[FoldResult] = []
+    results: list[FoldResult] = []
     for fold in folds:
         fold_budget = EvaluationBudget(budget) if isinstance(budget, int) else budget
         objective = builder(fold.train)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
+from collections.abc import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -42,11 +42,34 @@ __all__ = [
     "Claim",
     "DictCache",
     "Evaluation",
+    "LEASE_RETRY_SECONDS",
     "Objective",
+    "lease_deadline",
     "unit_cache_key",
 ]
 
-CacheKey = Tuple[float, ...]
+CacheKey = tuple[float, ...]
+
+#: How long (seconds) a driver waits before re-checking a lease whose
+#: backend reported no expiry timestamp.  Short on purpose: a backend
+#: that tracks no expiry gives no signal to wait on, so drivers re-poll
+#: at this cadence and rely on claim-takeover for crash recovery.
+LEASE_RETRY_SECONDS = 1.0
+
+
+def lease_deadline(expires_at: float | None, ttl: float = LEASE_RETRY_SECONDS) -> float:
+    """The wall-clock deadline to treat a lease as settled-or-stale.
+
+    Backends that track leases report ``Claim.expires_at``; backends that
+    don't report ``None``, and every driver must fall back to the *same*
+    short retry horizon (``now + ttl``) or they disagree on when a lease
+    is worth re-polling.  This helper is the single home of that policy —
+    write ``lease_deadline(claim.expires_at)`` instead of an inline
+    ``claim.expires_at or (time.time() + 1.0)``.
+    """
+    if expires_at is not None:
+        return expires_at
+    return time.time() + ttl
 
 
 def unit_cache_key(unit: np.ndarray, decimals: int) -> CacheKey:
@@ -87,8 +110,8 @@ class Claim:
     """
 
     status: str
-    value: Optional[float] = None
-    expires_at: Optional[float] = None
+    value: float | None = None
+    expires_at: float | None = None
 
     HIT = "hit"
     CLAIMED = "claimed"
@@ -125,7 +148,7 @@ class CacheBackend:
     :class:`DictCache` is only touched by its owning driver thread.
     """
 
-    def get(self, key: CacheKey, values: Mapping[str, float]) -> Optional[float]:
+    def get(self, key: CacheKey, values: Mapping[str, float]) -> float | None:
         raise NotImplementedError  # pragma: no cover - interface
 
     def put(self, key: CacheKey, values: Mapping[str, float], value: float) -> None:
@@ -152,7 +175,7 @@ class CacheBackend:
             return Claim(Claim.HIT, value)
         return Claim(Claim.CLAIMED)
 
-    def poll(self, key: CacheKey, values: Mapping[str, float]) -> Optional[float]:
+    def poll(self, key: CacheKey, values: Mapping[str, float]) -> float | None:
         """Check whether a point leased to another owner has been published
         (never blocks, never claims)."""
         return self.get(key, values)
@@ -162,9 +185,9 @@ class DictCache(CacheBackend):
     """The default per-objective cache: a plain dictionary on the unit key."""
 
     def __init__(self) -> None:
-        self._data: Dict[CacheKey, float] = {}
+        self._data: dict[CacheKey, float] = {}
 
-    def get(self, key: CacheKey, values: Mapping[str, float]) -> Optional[float]:
+    def get(self, key: CacheKey, values: Mapping[str, float]) -> float | None:
         return self._data.get(key)
 
     def put(self, key: CacheKey, values: Mapping[str, float], value: float) -> None:
@@ -216,10 +239,10 @@ class Objective:
 
     def __init__(
         self,
-        function: Callable[[Dict[str, float]], float],
+        function: Callable[[dict[str, float]], float],
         space: ParameterSpace,
-        budget: Optional[Budget] = None,
-        cache: Union[bool, CacheBackend] = True,
+        budget: Budget | None = None,
+        cache: bool | CacheBackend = True,
         record_cache_hits: bool = False,
         count_cache_hits: bool = False,
     ) -> None:
@@ -228,7 +251,7 @@ class Objective:
         self.budget = budget
         self.history = CalibrationHistory()
         if isinstance(cache, CacheBackend):
-            self._cache: Optional[CacheBackend] = cache
+            self._cache: CacheBackend | None = cache
         elif cache:
             self._cache = DictCache()
         else:
@@ -405,10 +428,10 @@ class Objective:
     # results
     # ------------------------------------------------------------------ #
     @property
-    def best(self) -> Optional[Evaluation]:
+    def best(self) -> Evaluation | None:
         return self.history.best
 
-    def best_values(self) -> Dict[str, float]:
+    def best_values(self) -> dict[str, float]:
         best = self.history.best
         if best is None:
             raise ValueError("no evaluation has been performed yet")

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import dataclasses
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
 
 __all__ = ["Evaluation", "CalibrationHistory"]
 
@@ -22,8 +21,8 @@ class Evaluation:
     step served from an evaluation cache without invoking the simulator)."""
 
     index: int
-    values: Dict[str, float]
-    unit: Tuple[float, ...]
+    values: dict[str, float]
+    unit: tuple[float, ...]
     value: float
     started_at: float
     finished_at: float
@@ -39,8 +38,8 @@ class CalibrationHistory:
     """Ordered list of evaluations plus convenience aggregations."""
 
     def __init__(self) -> None:
-        self._evaluations: List[Evaluation] = []
-        self._best: Optional[Evaluation] = None
+        self._evaluations: list[Evaluation] = []
+        self._best: Evaluation | None = None
 
     # ------------------------------------------------------------------ #
     # population
@@ -63,11 +62,11 @@ class CalibrationHistory:
         return self._evaluations[index]
 
     @property
-    def evaluations(self) -> List[Evaluation]:
+    def evaluations(self) -> list[Evaluation]:
         return list(self._evaluations)
 
     @property
-    def best(self) -> Optional[Evaluation]:
+    def best(self) -> Evaluation | None:
         """The evaluation with the lowest objective value so far."""
         return self._best
 
@@ -79,27 +78,27 @@ class CalibrationHistory:
     # ------------------------------------------------------------------ #
     # convergence curves
     # ------------------------------------------------------------------ #
-    def best_so_far(self) -> List[float]:
+    def best_so_far(self) -> list[float]:
         """Best objective value after each evaluation (non-increasing)."""
-        curve: List[float] = []
+        curve: list[float] = []
         best = float("inf")
         for evaluation in self._evaluations:
             best = min(best, evaluation.value)
             curve.append(best)
         return curve
 
-    def best_over_time(self) -> List[Tuple[float, float]]:
+    def best_over_time(self) -> list[tuple[float, float]]:
         """(wall-clock time, best value so far) pairs — Figure 2's series."""
-        series: List[Tuple[float, float]] = []
+        series: list[tuple[float, float]] = []
         best = float("inf")
         for evaluation in self._evaluations:
             best = min(best, evaluation.value)
             series.append((evaluation.finished_at, best))
         return series
 
-    def best_at_time(self, elapsed: float) -> Optional[float]:
+    def best_at_time(self, elapsed: float) -> float | None:
         """Best value found within the first ``elapsed`` seconds."""
-        best: Optional[float] = None
+        best: float | None = None
         for evaluation in self._evaluations:
             if evaluation.finished_at > elapsed:
                 break
@@ -107,14 +106,14 @@ class CalibrationHistory:
                 best = evaluation.value
         return best
 
-    def value_curve(self) -> List[float]:
+    def value_curve(self) -> list[float]:
         """Raw objective values in evaluation order."""
         return [e.value for e in self._evaluations]
 
     # ------------------------------------------------------------------ #
     # persistence (JSON Lines)
     # ------------------------------------------------------------------ #
-    def to_jsonl(self, path: Union[str, Path]) -> Path:
+    def to_jsonl(self, path: str | Path) -> Path:
         """Write the history to ``path`` as JSON Lines, one evaluation per
         line — the calibration service's job-result persistence format
         (appendable and streamable, unlike one monolithic JSON document)."""
@@ -124,7 +123,7 @@ class CalibrationHistory:
         return save_history_jsonl(self, path)
 
     @staticmethod
-    def from_jsonl(path: Union[str, Path]) -> "CalibrationHistory":
+    def from_jsonl(path: str | Path) -> CalibrationHistory:
         """Rebuild a history previously written by :meth:`to_jsonl`."""
         from repro.core.serialization import load_history_jsonl
 

@@ -15,7 +15,7 @@ benchmarks.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Hashable, Mapping
+from collections.abc import Callable, Hashable, Mapping
 
 __all__ = [
     "mean_relative_error",
@@ -93,7 +93,7 @@ def mean_absolute_percentage_error(reference: MetricDict, candidate: MetricDict)
 
 
 #: Registry used by the experiment harness to select a metric by name.
-METRICS: Dict[str, MetricFunction] = {
+METRICS: dict[str, MetricFunction] = {
     "mre": mean_relative_error,
     "mae": mean_absolute_error,
     "max_re": max_relative_error,

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -46,6 +46,7 @@ from repro.core.evaluation import (
     Claim,
     DictCache,
     Objective,
+    lease_deadline,
     unit_cache_key,
 )
 from repro.core.history import CalibrationHistory, Evaluation
@@ -59,11 +60,11 @@ _REGISTRY = _metrics_registry()
 
 __all__ = ["ParallelEvaluator", "BatchCalibrator", "ParallelCalibrator"]
 
-ObjectiveFunction = Callable[[Dict[str, float]], float]
-Outcome = Tuple[float, float]  # (objective value, worker-measured duration)
+ObjectiveFunction = Callable[[dict[str, float]], float]
+Outcome = tuple[float, float]  # (objective value, worker-measured duration)
 
 
-def _timed_call(function: ObjectiveFunction, candidate: Dict[str, float]) -> Outcome:
+def _timed_call(function: ObjectiveFunction, candidate: dict[str, float]) -> Outcome:
     """Worker-side wrapper: evaluate and time one candidate.
 
     The duration is measured *on the worker* — ``perf_counter`` deltas
@@ -100,14 +101,14 @@ class ParallelEvaluator:
         #: dispatches many small batches (pool startup would otherwise
         #: dominate); the owner must call :meth:`close` when finished
         self.persistent = bool(persistent)
-        self._executor: Optional[Executor] = None
+        self._executor: Executor | None = None
         self.history = CalibrationHistory()
         self._start_time = time.perf_counter()
 
     # ------------------------------------------------------------------ #
     # plumbing
     # ------------------------------------------------------------------ #
-    def _make_executor(self) -> Optional[Executor]:
+    def _make_executor(self) -> Executor | None:
         if self.mode == "process":
             return ProcessPoolExecutor(max_workers=self.workers)
         if self.mode == "thread":
@@ -128,16 +129,16 @@ class ParallelEvaluator:
             executor, self._executor = self._executor, None
             executor.shutdown(wait=True, cancel_futures=True)
 
-    def __enter__(self) -> "ParallelEvaluator":
+    def __enter__(self) -> ParallelEvaluator:
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------ #
     # evaluation
     # ------------------------------------------------------------------ #
-    def submit(self, candidate: Dict[str, float]) -> "Future[Outcome]":
+    def submit(self, candidate: dict[str, float]) -> Future[Outcome]:
         """Dispatch one candidate to the pool and return its future.
 
         This is the asynchronous driver's entry point: unlike
@@ -155,7 +156,7 @@ class ParallelEvaluator:
         if self._executor is None:
             self._executor = self._make_executor()
         if self._executor is None:  # serial mode
-            future: "Future[Outcome]" = Future()
+            future: Future[Outcome] = Future()
             try:
                 future.set_result(_timed_call(self.function, dict(candidate)))
             except BaseException as exc:  # delivered through future.result()
@@ -164,7 +165,7 @@ class ParallelEvaluator:
         return self._executor.submit(_timed_call, self.function, dict(candidate))
 
     def _record(
-        self, candidate: Dict[str, float], value: float,
+        self, candidate: dict[str, float], value: float,
         started_at: float, finished_at: float,
     ) -> None:
         self.history.record(
@@ -178,7 +179,7 @@ class ParallelEvaluator:
             )
         )
 
-    def evaluate_batch(self, batch: Sequence[Dict[str, float]]) -> List[float]:
+    def evaluate_batch(self, batch: Sequence[dict[str, float]]) -> list[float]:
         """Evaluate every candidate of ``batch`` and record the results.
 
         The whole batch is submitted at once; results are recorded in
@@ -205,9 +206,9 @@ class ParallelEvaluator:
         # fire on worker/executor threads; the per-key dict writes are
         # atomic under the GIL and every key is written before the
         # corresponding future.result() below returns.
-        done_at: Dict[int, float] = {}
+        done_at: dict[int, float] = {}
         try:
-            futures: List["Future[Outcome]"] = []
+            futures: list[Future[Outcome]] = []
             for i, candidate in enumerate(batch):
                 future = executor.submit(_timed_call, self.function, dict(candidate))
                 future.add_done_callback(
@@ -227,7 +228,7 @@ class ParallelEvaluator:
         else:
             executor.shutdown(wait=True, cancel_futures=True)
         values = []
-        for i, (candidate, (value, duration)) in enumerate(zip(batch, outcomes)):
+        for i, (candidate, (value, duration)) in enumerate(zip(batch, outcomes, strict=True)):
             finished_at = done_at.get(i, self.elapsed)
             self._record(candidate, value, max(finished_at - duration, 0.0), finished_at)
             values.append(value)
@@ -299,14 +300,14 @@ class BatchCalibrator:
         self,
         space: ParameterSpace,
         objective_function: ObjectiveFunction,
-        algorithm: Union[str, CalibrationAlgorithm] = "random",
+        algorithm: str | CalibrationAlgorithm = "random",
         workers: int = 4,
         mode: str = "process",
-        batch_size: Optional[int] = None,
-        budget: Optional[Budget] = None,
+        batch_size: int | None = None,
+        budget: Budget | None = None,
         seed: int = 0,
-        cache: Union[bool, CacheBackend] = True,
-        algorithm_options: Optional[Dict[str, object]] = None,
+        cache: bool | CacheBackend = True,
+        algorithm_options: dict[str, object] | None = None,
         record_cache_hits: bool = False,
         count_cache_hits: bool = False,
     ) -> None:
@@ -328,7 +329,7 @@ class BatchCalibrator:
         self.budget = budget if budget is not None else EvaluationBudget(100)
         self.seed = seed
         if isinstance(cache, CacheBackend):
-            self._cache: Optional[CacheBackend] = cache
+            self._cache: CacheBackend | None = cache
         elif cache:
             self._cache = DictCache()
         else:
@@ -337,21 +338,23 @@ class BatchCalibrator:
         self.count_cache_hits = bool(count_cache_hits)
         self.cache_hits = 0
 
-    def _claim(self, key, values: Dict[str, float]) -> Claim:
+    def _claim(self, key: CacheKey, values: dict[str, float]) -> Claim:
         """Non-blocking cache claim (``"claimed"`` when caching is off)."""
         if self._cache is None:
             return Claim(Claim.CLAIMED)
         return self._cache.claim(key, values)
 
-    def _store(self, key, values: Dict[str, float], value: float) -> None:
+    def _store(self, key: CacheKey, values: dict[str, float], value: float) -> None:
         if self._cache is not None:
             self._cache.put(key, values, value)
 
-    def _cancel(self, key, values: Dict[str, float]) -> None:
+    def _cancel(self, key: CacheKey, values: dict[str, float]) -> None:
         if self._cache is not None:
             self._cache.cancel(key, values)
 
-    def _collect_leased(self, key, values: Dict[str, float], expires_at) -> float:
+    def _collect_leased(
+        self, key: CacheKey, values: dict[str, float], expires_at: float | None
+    ) -> float:
         """Wait (bounded) for a point a concurrent driver is computing.
 
         Polls for the leader's published value; if the lease expires
@@ -359,8 +362,7 @@ class BatchCalibrator:
         point and computes it itself — so the wait can never exceed the
         lease TTL plus one evaluation.
         """
-        if expires_at is None:
-            expires_at = time.time() + 1.0
+        expires_at = lease_deadline(expires_at)
         while True:
             value = self._cache.poll(key, values)
             if value is not None:
@@ -382,7 +384,7 @@ class BatchCalibrator:
                         raise
                     self._store(key, values, value)
                     return value
-                expires_at = claim.expires_at or (time.time() + 1.0)
+                expires_at = lease_deadline(claim.expires_at)
             else:
                 time.sleep(0.005)
 
@@ -425,7 +427,7 @@ class BatchCalibrator:
             telemetry=_REGISTRY.snapshot() if _REGISTRY.enabled else None,
         )
 
-    def _record_hit(self, mapping: Dict[str, float], value: float) -> None:
+    def _record_hit(self, mapping: dict[str, float], value: float) -> None:
         at = self.evaluator.elapsed
         history = self.evaluator.history
         # Round-trip the unit through value space, exactly like a computed
@@ -438,9 +440,9 @@ class BatchCalibrator:
             )
         )
 
-    def _drive(self, rng: np.random.Generator, root: Optional[Span] = None) -> None:
+    def _drive(self, rng: np.random.Generator, root: Span | None = None) -> None:
         algorithm = self.algorithm
-        seen: set = set()
+        seen: set[CacheKey] = set()
         budget_units = 0  # dispatched evaluations + counted first-seen hits
         tracer = current_tracer()
         # Instruments are looked up once per run, and only when telemetry
@@ -494,10 +496,10 @@ class BatchCalibrator:
             # now — is neither dispatched nor waited on yet: its value is
             # collected after this batch's own dispatches are in flight.
             remaining = remaining_evaluations(self.budget, budget_units)
-            hits: List[Optional[float]] = [None] * len(candidates)
-            leased: Dict[int, Optional[float]] = {}  # index -> lease expiry
+            hits: list[float | None] = [None] * len(candidates)
+            leased: dict[int, float | None] = {}  # index -> lease expiry
             take, cost = len(candidates), 0
-            first_index: Dict[CacheKey, int] = {}
+            first_index: dict[CacheKey, int] = {}
             for i in range(len(candidates)):
                 if self._cache is not None and keys[i] in first_index:
                     continue  # within-batch revisit: resolved after dispatch
@@ -525,7 +527,7 @@ class BatchCalibrator:
                 if self._cache is not None:
                     first_index[keys[i]] = i
 
-            results: List[Optional[float]] = list(hits[:take])
+            results: list[float | None] = list(hits[:take])
             spans = [
                 tracer.begin("evaluation", parent=root, driver="batch")
                 for _ in range(take)
@@ -558,7 +560,7 @@ class BatchCalibrator:
                 raise
             if reg is not None and misses:
                 m_dispatched.inc(len(misses))
-            for value, i in zip(values, misses):
+            for value, i in zip(values, misses, strict=True):
                 results[i] = value
                 seen.add(keys[i])
                 tracer.end(spans[i], cached=False, value=value)
@@ -626,8 +628,8 @@ class ParallelCalibrator:
         sampler: str = "lhs",
         workers: int = 4,
         mode: str = "process",
-        batch_size: Optional[int] = None,
-        budget: Optional[Budget] = None,
+        batch_size: int | None = None,
+        budget: Budget | None = None,
         seed: int = 0,
     ) -> None:
         self.space = space

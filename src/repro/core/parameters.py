@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -82,7 +82,7 @@ class Parameter:
         """Clamp a value to the parameter range."""
         return min(max(float(value), self.low), self.high)
 
-    def grid(self, n: int) -> List[float]:
+    def grid(self, n: int) -> list[float]:
         """``n`` evenly spaced values across the range (in the search scale)."""
         if n < 1:
             raise ValueError("grid size must be >= 1")
@@ -103,8 +103,8 @@ class ParameterSpace:
         names = [p.name for p in parameters]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate parameter names in {names}")
-        self._parameters: List[Parameter] = list(parameters)
-        self._by_name: Dict[str, Parameter] = {p.name: p for p in parameters}
+        self._parameters: list[Parameter] = list(parameters)
+        self._by_name: dict[str, Parameter] = {p.name: p for p in parameters}
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -114,11 +114,11 @@ class ParameterSpace:
         return len(self._parameters)
 
     @property
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         return [p.name for p in self._parameters]
 
     @property
-    def parameters(self) -> List[Parameter]:
+    def parameters(self) -> list[Parameter]:
         return list(self._parameters)
 
     def __iter__(self) -> Iterator[Parameter]:
@@ -140,7 +140,7 @@ class ParameterSpace:
         """Convert a name->value mapping to normalised coordinates."""
         return np.array([p.to_unit(values[p.name]) for p in self._parameters], dtype=float)
 
-    def from_unit_array(self, x: Sequence[float]) -> Dict[str, float]:
+    def from_unit_array(self, x: Sequence[float]) -> dict[str, float]:
         """Convert normalised coordinates to a name->value mapping."""
         x = np.asarray(x, dtype=float)
         if x.shape != (self.dimension,):
@@ -151,7 +151,7 @@ class ParameterSpace:
         """Clamp normalised coordinates to the unit cube."""
         return np.clip(np.asarray(x, dtype=float), 0.0, 1.0)
 
-    def clip_values(self, values: Mapping[str, float]) -> Dict[str, float]:
+    def clip_values(self, values: Mapping[str, float]) -> dict[str, float]:
         """Clamp a value dictionary to the parameter ranges."""
         return {p.name: p.clip(values[p.name]) for p in self._parameters}
 
@@ -162,18 +162,18 @@ class ParameterSpace:
         """One uniform sample in the unit cube (i.e. log-uniform values)."""
         return rng.uniform(0.0, 1.0, size=self.dimension)
 
-    def sample(self, rng: np.random.Generator) -> Dict[str, float]:
+    def sample(self, rng: np.random.Generator) -> dict[str, float]:
         """One uniform sample as a value dictionary."""
         return self.from_unit_array(self.sample_unit(rng))
 
-    def center(self) -> Dict[str, float]:
+    def center(self) -> dict[str, float]:
         """The mid-point of the space (in the search scale)."""
         return self.from_unit_array(np.full(self.dimension, 0.5))
 
     def describe(self) -> str:
         return "\n".join(str(p) for p in self._parameters)
 
-    def subset(self, names: Sequence[str]) -> "ParameterSpace":
+    def subset(self, names: Sequence[str]) -> ParameterSpace:
         """A new space restricted to the named parameters (keeps order)."""
         missing = [n for n in names if n not in self._by_name]
         if missing:

@@ -22,7 +22,6 @@ dependency on the case study and works for any calibration.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
 
 from repro.core.parameters import ParameterSpace
 from repro.core.result import CalibrationResult
@@ -50,7 +49,7 @@ def convergence_sparkline(result: CalibrationResult, width: int = 50) -> str:
     low, high = min(samples), max(samples)
     if math.isclose(low, high):
         return _SPARK_LEVELS[1] * len(samples)
-    chars: List[str] = []
+    chars: list[str] = []
     for value in samples:
         level = (value - low) / (high - low)
         chars.append(_SPARK_LEVELS[1 + int(round(level * (len(_SPARK_LEVELS) - 2)))])
@@ -65,7 +64,7 @@ def _format_value(value: float) -> str:
 
 def calibration_report(
     result: CalibrationResult,
-    space: Optional[ParameterSpace] = None,
+    space: ParameterSpace | None = None,
     objective_name: str = "objective",
 ) -> str:
     """A multi-line plain-text report for one calibration result."""

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
 
 from repro.core.history import CalibrationHistory
 
@@ -40,14 +39,14 @@ class CalibrationResult:
     """
 
     algorithm: str
-    best_values: Dict[str, float]
+    best_values: dict[str, float]
     best_value: float
     evaluations: int
     elapsed: float
     history: CalibrationHistory
     budget_description: str = ""
-    seed: Optional[int] = None
-    telemetry: Optional[Dict] = None
+    seed: int | None = None
+    telemetry: dict | None = None
 
     def summary(self) -> str:
         """One-line human-readable summary."""

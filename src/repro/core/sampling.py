@@ -13,7 +13,7 @@ to convert rows to parameter-value dictionaries.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List
+from collections.abc import Callable, Iterable
 
 import numpy as np
 from scipy.stats import qmc
@@ -91,7 +91,7 @@ def star_design(center: np.ndarray, delta: float) -> np.ndarray:
         raise ValueError("the center must be a 1-D point")
     if delta <= 0:
         raise ValueError("delta must be positive")
-    points: List[np.ndarray] = [center]
+    points: list[np.ndarray] = [center]
     for i in range(center.size):
         for direction in (+1.0, -1.0):
             point = np.array(center, copy=True)
@@ -109,7 +109,7 @@ def _check(dimension: int, n: int) -> None:
 
 #: Registry of random designs (factorial and star designs have different
 #: signatures and are not included).
-SAMPLERS: Dict[str, Callable[[int, int, np.random.Generator], np.ndarray]] = {
+SAMPLERS: dict[str, Callable[[int, int, np.random.Generator], np.ndarray]] = {
     "uniform": uniform_design,
     "lhs": latin_hypercube_design,
     "sobol": sobol_design,
@@ -125,6 +125,6 @@ def get_sampler(name: str) -> Callable[[int, int, np.random.Generator], np.ndarr
         raise KeyError(f"unknown sampler {name!r}; available: {sorted(SAMPLERS)}") from None
 
 
-def design_to_values(space: ParameterSpace, design: Iterable[np.ndarray]) -> List[Dict[str, float]]:
+def design_to_values(space: ParameterSpace, design: Iterable[np.ndarray]) -> list[dict[str, float]]:
     """Convert unit-cube design rows to parameter-value dictionaries."""
     return [space.from_unit_array(np.clip(row, 0.0, 1.0)) for row in design]

@@ -26,7 +26,7 @@ example and the generalization experiment use them on the case study.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -39,7 +39,7 @@ __all__ = [
     "rank_parameters",
 ]
 
-ObjectiveFunction = Callable[[Dict[str, float]], float]
+ObjectiveFunction = Callable[[dict[str, float]], float]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -63,15 +63,15 @@ class SensitivityResult:
     """
 
     method: str
-    indices: Dict[str, float]
-    spreads: Dict[str, float]
+    indices: dict[str, float]
+    spreads: dict[str, float]
     evaluations: int
 
-    def ranking(self) -> List[str]:
+    def ranking(self) -> list[str]:
         """Parameter names sorted from most to least influential."""
         return sorted(self.indices, key=lambda name: self.indices[name], reverse=True)
 
-    def normalized(self) -> Dict[str, float]:
+    def normalized(self) -> dict[str, float]:
         """Indices rescaled so that the largest equals 1 (all zero if flat)."""
         peak = max(self.indices.values(), default=0.0)
         if peak == 0:
@@ -82,9 +82,9 @@ class SensitivityResult:
 def one_at_a_time(
     objective: ObjectiveFunction,
     space: ParameterSpace,
-    base: Optional[Mapping[str, float]] = None,
+    base: Mapping[str, float] | None = None,
     levels: int = 9,
-    span: Optional[float] = None,
+    span: float | None = None,
 ) -> SensitivityResult:
     """One-at-a-time sweep: vary each parameter over ``levels`` evenly spaced
     values (in its search scale) while the others stay at ``base``.
@@ -108,8 +108,8 @@ def one_at_a_time(
     base_values = dict(base) if base is not None else space.center()
     base_values = space.clip_values({**space.center(), **base_values})
 
-    indices: Dict[str, float] = {}
-    spreads: Dict[str, float] = {}
+    indices: dict[str, float] = {}
+    spreads: dict[str, float] = {}
     evaluations = 0
     for parameter in space:
         if span is None:
@@ -120,7 +120,7 @@ def one_at_a_time(
             sweep_values = [
                 parameter.from_unit(low + (high - low) * i / (levels - 1)) for i in range(levels)
             ]
-        sweep: List[float] = []
+        sweep: list[float] = []
         for value in sweep_values:
             candidate = dict(base_values)
             candidate[parameter.name] = value
@@ -151,7 +151,7 @@ def morris_elementary_effects(
     if not 0.0 < delta < 1.0:
         raise ValueError("delta must be in (0, 1)")
     rng = np.random.default_rng(seed)
-    effects: Dict[str, List[float]] = {name: [] for name in space.names}
+    effects: dict[str, list[float]] = {name: [] for name in space.names}
     evaluations = 0
 
     for _ in range(trajectories):
@@ -177,7 +177,7 @@ def morris_elementary_effects(
 
 def rank_parameters(
     result: SensitivityResult, threshold: float = 0.1
-) -> Dict[str, Sequence[str]]:
+) -> dict[str, Sequence[str]]:
     """Split parameters into influential ("bottleneck") and negligible sets.
 
     A parameter is influential when its normalised index is at least

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Union
 
 from repro.core.history import CalibrationHistory, Evaluation
 from repro.core.result import CalibrationResult
@@ -38,7 +37,7 @@ __all__ = [
 FORMAT_VERSION = 1
 
 
-def evaluation_to_dict(evaluation: Evaluation) -> Dict:
+def evaluation_to_dict(evaluation: Evaluation) -> dict:
     """Convert one :class:`Evaluation` to JSON-compatible primitives."""
     data = {
         "index": evaluation.index,
@@ -53,7 +52,7 @@ def evaluation_to_dict(evaluation: Evaluation) -> Dict:
     return data
 
 
-def evaluation_from_dict(data: Dict) -> Evaluation:
+def evaluation_from_dict(data: dict) -> Evaluation:
     """Rebuild an :class:`Evaluation` from :func:`evaluation_to_dict` output."""
     return Evaluation(
         index=int(data["index"]),
@@ -66,7 +65,7 @@ def evaluation_from_dict(data: Dict) -> Evaluation:
     )
 
 
-def result_to_dict(result: CalibrationResult) -> Dict:
+def result_to_dict(result: CalibrationResult) -> dict:
     """Convert a result (and its history) to JSON-compatible primitives."""
     data = {
         "format_version": FORMAT_VERSION,
@@ -87,7 +86,7 @@ def result_to_dict(result: CalibrationResult) -> Dict:
     return data
 
 
-def result_from_dict(data: Dict) -> CalibrationResult:
+def result_from_dict(data: dict) -> CalibrationResult:
     """Rebuild a :class:`CalibrationResult` from :func:`result_to_dict` output."""
     version = data.get("format_version")
     if version != FORMAT_VERSION:
@@ -111,7 +110,7 @@ def result_from_dict(data: Dict) -> CalibrationResult:
     )
 
 
-def save_result(result: CalibrationResult, path: Union[str, Path], indent: int = 2) -> Path:
+def save_result(result: CalibrationResult, path: str | Path, indent: int = 2) -> Path:
     """Write a result to ``path`` as JSON and return the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -119,12 +118,12 @@ def save_result(result: CalibrationResult, path: Union[str, Path], indent: int =
     return path
 
 
-def load_result(path: Union[str, Path]) -> CalibrationResult:
+def load_result(path: str | Path) -> CalibrationResult:
     """Read a result previously written by :func:`save_result`."""
     return result_from_dict(json.loads(Path(path).read_text()))
 
 
-def save_history_jsonl(history: CalibrationHistory, path: Union[str, Path]) -> Path:
+def save_history_jsonl(history: CalibrationHistory, path: str | Path) -> Path:
     """Write a history to ``path`` as JSON Lines (one evaluation per line)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -134,7 +133,7 @@ def save_history_jsonl(history: CalibrationHistory, path: Union[str, Path]) -> P
     return path
 
 
-def load_history_jsonl(path: Union[str, Path]) -> CalibrationHistory:
+def load_history_jsonl(path: str | Path) -> CalibrationHistory:
     """Read a history previously written by :func:`save_history_jsonl`."""
     history = CalibrationHistory()
     with Path(path).open() as handle:

@@ -20,7 +20,6 @@ budget, so the run stops at whichever comes first.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.budget import Budget
 from repro.core.history import CalibrationHistory
@@ -120,7 +119,7 @@ class StoppingBudget(Budget):
 
     def __init__(self, criterion: StoppingCriterion) -> None:
         self.criterion = criterion
-        self._history: Optional[CalibrationHistory] = None
+        self._history: CalibrationHistory | None = None
 
     def bind(self, history: CalibrationHistory) -> None:
         """Attach the evaluation history the criterion should watch."""

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 __all__ = ["TradeoffPoint", "pareto_front", "knee_point", "dominated_fraction"]
 
@@ -48,9 +48,9 @@ class TradeoffPoint:
     label: str
     simulation_time: float
     accuracy_error: float
-    metadata: Optional[Dict[str, object]] = None
+    metadata: dict[str, object] | None = None
 
-    def dominates(self, other: "TradeoffPoint") -> bool:
+    def dominates(self, other: TradeoffPoint) -> bool:
         """True when this point is at least as good on both axes and strictly
         better on at least one."""
         not_worse = (
@@ -64,7 +64,7 @@ class TradeoffPoint:
         return not_worse and strictly_better
 
 
-def pareto_front(points: Sequence[TradeoffPoint]) -> List[TradeoffPoint]:
+def pareto_front(points: Sequence[TradeoffPoint]) -> list[TradeoffPoint]:
     """The non-dominated subset, sorted by increasing simulation time."""
     front = [
         p
@@ -74,7 +74,7 @@ def pareto_front(points: Sequence[TradeoffPoint]) -> List[TradeoffPoint]:
     return sorted(front, key=lambda p: (p.simulation_time, p.accuracy_error))
 
 
-def knee_point(points: Sequence[TradeoffPoint]) -> Optional[TradeoffPoint]:
+def knee_point(points: Sequence[TradeoffPoint]) -> TradeoffPoint | None:
     """The Pareto point closest (in normalised Euclidean distance) to the
     utopia corner (fastest simulation, lowest error).
 

@@ -1,0 +1,37 @@
+"""reprolint — dependency-free AST lint for the repo's own contracts.
+
+The rule families (see ``docs/static-analysis.md`` for the catalog):
+
+* **RPL0xx** — runner/meta rules (suppression hygiene).
+* **RPL1xx** — determinism: no unseeded randomness or wall-clock values
+  feeding algorithm/simulator state.
+* **RPL2xx** — lock discipline: guarded shared-state writes, no blocking
+  calls under a held lock, consistent acquisition order.
+* **RPL3xx** — telemetry discipline: metric mutations stay behind the
+  enabled guard; metric/span names match ``docs/observability.md``.
+* **RPL4xx** — ask/tell conformance: algorithms implement the batched
+  protocol surface and the async-ledger hooks they advertise.
+
+Run it with ``repro lint`` or ``python -m repro.devtools``.  This
+package imports nothing outside the stdlib so it works without the
+scientific stack installed.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.context import FileContext, Project
+from repro.devtools.findings import Finding
+from repro.devtools.registry import RULES, Rule, register_rule
+from repro.devtools.runner import lint_paths, lint_project, main
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "Project",
+    "RULES",
+    "Rule",
+    "register_rule",
+    "lint_paths",
+    "lint_project",
+    "main",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.devtools`` — run reprolint."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.devtools.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

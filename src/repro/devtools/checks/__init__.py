@@ -1,0 +1,7 @@
+"""Built-in reprolint checker families (importing registers the rules)."""
+
+from __future__ import annotations
+
+from repro.devtools.checks import asktell, determinism, locks, telemetry
+
+__all__ = ["asktell", "determinism", "locks", "telemetry"]

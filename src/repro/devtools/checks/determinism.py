@@ -1,0 +1,198 @@
+"""RPL1xx — determinism.
+
+The paper's reproduction claim rests on seeded trajectories being
+byte-identical (PR 2) even under parallel and out-of-order execution
+(PR 3).  That only holds while no entropy or wall-clock value leaks into
+algorithm or simulator state: all randomness flows through the
+``np.random.Generator`` the driver threads into ``ask()``, and
+wall-clock stays confined to telemetry (``time.perf_counter`` timings)
+and lease bookkeeping in the drivers/store.
+
+* **RPL101** — unseeded ``np.random.default_rng()`` or the legacy
+  ``np.random.*`` global-state API inside the deterministic core.
+* **RPL102** — the stdlib ``random`` module inside the deterministic
+  core (process-global state, not reproducible across drivers).
+* **RPL103** — wall-clock reads (``time.time``, ``datetime.now`` …)
+  inside algorithm/simulator code.  ``time.perf_counter`` (interval
+  timing) is fine; drivers and the store may read the clock for leases.
+* **RPL104** — an inline ``expires_at or (time.time() + …)`` lease
+  fallback instead of :func:`repro.core.evaluation.lease_deadline`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.context import FileContext
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register_rule
+
+#: where *any* nondeterminism source is banned
+DETERMINISTIC_SCOPE = ("repro/core/", "repro/simgrid/", "repro/hepsim/")
+#: where even wall-clock reads are banned (drivers/store may take leases)
+CLOCK_FREE_SCOPE = ("repro/core/algorithms/", "repro/simgrid/", "repro/hepsim/")
+
+_NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64"}
+_WALL_CLOCK_TIME = {"time", "time_ns"}
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_time_time_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = _dotted(node.func)
+    return dotted in {"time.time", "time.time_ns"}
+
+
+@register_rule
+class UnseededNumpyRandom(Rule):
+    id = "RPL101"
+    title = "no unseeded numpy randomness in the deterministic core"
+    scope = DETERMINISTIC_SCOPE
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            tail = dotted.split(".")
+            if tail[-1] == "default_rng" and not node.args and not node.keywords:
+                findings.append(
+                    ctx.finding(
+                        self.id,
+                        node,
+                        "np.random.default_rng() without a seed draws OS entropy",
+                        hint="thread the driver's seeded Generator through, or pass an "
+                        "explicit seed",
+                    )
+                )
+            elif (
+                len(tail) >= 3
+                and tail[0] in {"np", "numpy"}
+                and tail[1] == "random"
+                and tail[2] not in _NP_RANDOM_OK
+            ):
+                findings.append(
+                    ctx.finding(
+                        self.id,
+                        node,
+                        f"legacy global-state API {dotted}() is process-global "
+                        "and not reproducible across drivers",
+                        hint="use the np.random.Generator passed into ask()",
+                    )
+                )
+        return findings
+
+
+@register_rule
+class StdlibRandom(Rule):
+    id = "RPL102"
+    title = "no stdlib `random` module in the deterministic core"
+    scope = DETERMINISTIC_SCOPE
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        aliases: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                findings.append(
+                    ctx.finding(
+                        self.id,
+                        node,
+                        "stdlib random imports share hidden process-global state",
+                        hint="use the np.random.Generator passed into ask()",
+                    )
+                )
+        if aliases:
+            for node in ast.walk(ctx.tree):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in aliases
+                ):
+                    findings.append(
+                        ctx.finding(
+                            self.id,
+                            node,
+                            f"stdlib random.{node.attr} shares hidden process-global state",
+                            hint="use the np.random.Generator passed into ask()",
+                        )
+                    )
+        return findings
+
+
+@register_rule
+class WallClockInCore(Rule):
+    id = "RPL103"
+    title = "no wall-clock reads in algorithm/simulator code"
+    scope = CLOCK_FREE_SCOPE
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            tail = dotted.split(".")
+            wall_clock = (
+                (tail[0] == "time" and tail[-1] in _WALL_CLOCK_TIME)
+                or (tail[0] in {"datetime", "date"} and tail[-1] in _WALL_CLOCK_DATETIME)
+            )
+            if wall_clock:
+                findings.append(
+                    ctx.finding(
+                        self.id,
+                        node,
+                        f"{dotted}() feeds wall-clock into deterministic state",
+                        hint="use time.perf_counter() for interval timing; keep "
+                        "wall-clock in driver lease bookkeeping and telemetry",
+                    )
+                )
+        return findings
+
+
+@register_rule
+class InlineLeaseFallback(Rule):
+    id = "RPL104"
+    title = "no inline `expires_at or time.time()+ttl` lease fallbacks"
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.BoolOp) and isinstance(node.op, ast.Or)):
+                continue
+            if any(
+                _is_time_time_call(sub)
+                for value in node.values
+                for sub in ast.walk(value)
+            ):
+                findings.append(
+                    ctx.finding(
+                        self.id,
+                        node,
+                        "inline wall-clock lease fallback duplicates the retry policy",
+                        hint="use repro.core.evaluation.lease_deadline(expires_at)",
+                    )
+                )
+        return findings

@@ -1,0 +1,294 @@
+"""RPL2xx — lock discipline.
+
+The service layer, telemetry, and the store serialize shared state with
+``threading.Lock/RLock/Condition``.  Three contracts keep that safe:
+
+* **RPL201** — inside a class that uses locks, every write to a
+  ``self._``-prefixed attribute (outside ``__init__``) happens under a
+  ``with self.<lock>:`` block.  A lock-free write racing a locked reader
+  is exactly the bug class that corrupts job tables and metric state.
+* **RPL202** — no blocking call (`future.result()`, sqlite
+  ``execute``/``commit``, ``queue.get``, ``.wait``/``.acquire``,
+  ``time.sleep``, thread ``join``) while holding a lock.  The condition-
+  variable idiom — ``self._cond.wait()`` on the very lock being held —
+  is the one sanctioned exception.
+* **RPL203** — lock acquisition order is globally consistent: if any
+  code path takes lock *A* then nests lock *B*, no other path may nest
+  *A* under *B* (lexical analysis over ``with`` blocks, project-wide).
+
+A class is considered *locked* when it assigns a ``threading`` lock to a
+``self.`` attribute or uses ``with self.<attr>:`` anywhere in its body
+(the latter catches locks inherited from a base class).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.context import FileContext, Project
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register_rule
+
+_LOCK_SCOPE = ("repro/service/", "repro/telemetry/", "repro/core/")
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+_BLOCKING_DB = {"execute", "executemany", "executescript", "commit"}
+_JOINABLE_HINTS = ("thread", "worker", "executor", "pool", "proc")
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_lock_factory(call: ast.AST) -> bool:
+    if not isinstance(call, ast.Call):
+        return False
+    dotted = _dotted(call.func)
+    if dotted is None:
+        return False
+    return dotted.split(".")[-1] in _LOCK_FACTORIES
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``attr`` when node is ``self.attr``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def lock_attrs(classdef: ast.ClassDef) -> set[str]:
+    """Lock attributes of a class: ``self.x = threading.Lock()``-style
+    assignments (directly or through a local), plus any attribute the
+    class body uses as ``with self.x:`` (locks owned by a base class),
+    plus ``self.x: threading.Condition = ...`` annotations."""
+    out: set[str] = set()
+    for node in ast.walk(classdef):
+        if isinstance(node, ast.FunctionDef):
+            lock_locals: set[str] = set()
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Assign):
+                    is_lock_value = _is_lock_factory(sub.value) or (
+                        isinstance(sub.value, ast.Name) and sub.value.id in lock_locals
+                    )
+                    for target in sub.targets:
+                        attr = _self_attr(target)
+                        if attr is not None and is_lock_value:
+                            out.add(attr)
+                        elif isinstance(target, ast.Name) and _is_lock_factory(sub.value):
+                            lock_locals.add(target.id)
+                elif isinstance(sub, ast.AnnAssign) and sub.target is not None:
+                    attr = _self_attr(sub.target)
+                    annotation = ast.dump(sub.annotation) if sub.annotation else ""
+                    if attr is not None and any(
+                        factory in annotation for factory in _LOCK_FACTORIES
+                    ):
+                        out.add(attr)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr is not None:
+                    out.add(attr)
+    return out
+
+
+def _held_locks(ctx: FileContext, node: ast.AST, locks: set[str]) -> list[str]:
+    """Lock attributes held at ``node`` (lexically enclosing ``with`` blocks)."""
+    held: list[str] = []
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, ast.With):
+            for item in ancestor.items:
+                attr = _self_attr(item.context_expr)
+                if attr is not None and attr in locks:
+                    held.append(attr)
+    return held
+
+
+def _methods(classdef: ast.ClassDef) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in classdef.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _class_defs(ctx: FileContext) -> Iterator[ast.ClassDef]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+@register_rule
+class UnguardedSharedWrite(Rule):
+    id = "RPL201"
+    title = "writes to self._* in locked classes happen under the lock"
+    scope = _LOCK_SCOPE
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for classdef in _class_defs(ctx):
+            locks = lock_attrs(classdef)
+            if not locks:
+                continue
+            for method in _methods(classdef):
+                if method.name == "__init__":
+                    continue
+                for node in ast.walk(method):
+                    if isinstance(node, ast.Assign):
+                        targets = node.targets
+                    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                        targets = [node.target]
+                    else:
+                        continue
+                    for target in targets:
+                        attr = _self_attr(target)
+                        if attr is None or not attr.startswith("_") or attr in locks:
+                            continue
+                        if not _held_locks(ctx, node, locks):
+                            findings.append(
+                                ctx.finding(
+                                    self.id,
+                                    node,
+                                    f"{classdef.name}.{method.name} writes self.{attr} "
+                                    "without holding the class lock",
+                                    hint=f"wrap the write in `with self.{sorted(locks)[0]}:`",
+                                )
+                            )
+        return findings
+
+
+@register_rule
+class BlockingCallUnderLock(Rule):
+    id = "RPL202"
+    title = "no blocking calls while holding a lock"
+    scope = _LOCK_SCOPE
+
+    def _blocking_reason(self, call: ast.Call, held: list[str]) -> str | None:
+        dotted = _dotted(call.func)
+        if dotted in {"time.sleep"}:
+            return "time.sleep() while holding a lock stalls every contender"
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        method = call.func.attr
+        receiver = _dotted(call.func.value) or ""
+        receiver_tail = receiver.split(".")[-1].lower()
+        if method == "result":
+            return "future.result() can block indefinitely under a lock"
+        if method in _BLOCKING_DB and ("conn" in receiver_tail or "cur" in receiver_tail):
+            return f"sqlite {method}() under a lock serializes every contender on disk I/O"
+        if method == "get" and "queue" in receiver_tail:
+            return "queue.get() under a lock deadlocks against producers needing it"
+        if method == "acquire":
+            return "nested .acquire() under a held lock invites lock-order deadlocks"
+        if method == "wait":
+            attr = _self_attr(call.func.value)
+            if attr is not None and attr in held:
+                return None  # condition-variable idiom: waiting on the held lock
+            return ".wait() on a foreign object while holding a lock can deadlock"
+        if method == "join" and any(hint in receiver_tail for hint in _JOINABLE_HINTS):
+            return f"{receiver_tail}.join() under a lock blocks until another thread exits"
+        return None
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for classdef in _class_defs(ctx):
+            locks = lock_attrs(classdef)
+            if not locks:
+                continue
+            for method in _methods(classdef):
+                for node in ast.walk(method):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    held = _held_locks(ctx, node, locks)
+                    if not held:
+                        continue
+                    reason = self._blocking_reason(node, held)
+                    if reason is not None:
+                        findings.append(
+                            ctx.finding(
+                                self.id,
+                                node,
+                                f"{classdef.name}.{method.name}: {reason}",
+                                hint=f"move the call outside `with self.{held[0]}:`",
+                            )
+                        )
+        return findings
+
+
+@register_rule
+class InconsistentLockOrder(Rule):
+    id = "RPL203"
+    title = "lock acquisition order is globally consistent"
+    scope = ()
+
+    def check_project(self, project: Project) -> list[Finding]:
+        # Edge (A -> B): some code path acquires B while holding A.  Nodes
+        # are "Class.attr" so same-named locks of unrelated classes don't
+        # alias.  A cycle means two paths disagree on order -> deadlock.
+        edges: dict[tuple[str, str], tuple[FileContext, int]] = {}
+        for ctx in project.files:
+            if not ctx.in_scope(*_LOCK_SCOPE):
+                continue
+            for classdef in _class_defs(ctx):
+                locks = lock_attrs(classdef)
+                if len(locks) < 2:
+                    continue
+                for node in ast.walk(classdef):
+                    if not isinstance(node, ast.With):
+                        continue
+                    inner = {
+                        _self_attr(item.context_expr) for item in node.items
+                    } & locks
+                    if not inner:
+                        continue
+                    outer = set(_held_locks(ctx, node, locks))
+                    for held in outer:
+                        for acquired in inner:
+                            if held != acquired:
+                                edge = (
+                                    f"{classdef.name}.{held}",
+                                    f"{classdef.name}.{acquired}",
+                                )
+                                edges.setdefault(edge, (ctx, node.lineno))
+        findings: list[Finding] = []
+        graph: dict[str, set[str]] = {}
+        for src, dst in edges:
+            graph.setdefault(src, set()).add(dst)
+        for (src, dst), (ctx, lineno) in sorted(
+            edges.items(), key=lambda kv: (kv[1][0].rel, kv[1][1])
+        ):
+            if self._reaches(graph, dst, src):
+                findings.append(
+                    ctx.finding(
+                        self.id,
+                        lineno,
+                        f"acquiring {dst} while holding {src} conflicts with the "
+                        "opposite order elsewhere",
+                        hint="pick one global order for these locks and apply it "
+                        "on every path",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _reaches(graph: dict[str, set[str]], start: str, goal: str) -> bool:
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(graph.get(node, ()))
+        return False

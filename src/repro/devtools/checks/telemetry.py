@@ -1,0 +1,332 @@
+"""RPL3xx — telemetry discipline.
+
+PR 6's contract is "off by default and near-free when off", gated in CI
+at <5% disabled-path overhead, and `docs/observability.md` is the
+user-facing catalog of every metric and span.  Two things rot silently:
+an instrument mutation that sneaks outside the enabled guard (overhead
+creeps back), and a name that drifts between code and the catalog
+(dashboards query metrics that no longer exist, or docs miss ones that
+do).
+
+* **RPL301** — every metric mutation (``.inc``/``.dec``/``.set``/
+  ``.observe`` on an instrument) is reachable only behind an enabled
+  guard: an enclosing ``if …enabled…:`` / ``if reg is not None:`` block,
+  or an early ``if not REGISTRY.enabled: return`` in the same function.
+* **RPL302** — every ``repro_*`` metric name and every span name literal
+  in code appears in the ``docs/observability.md`` catalog.
+* **RPL303** — every metric/span name in the catalog still exists in
+  code (the reverse drift direction).
+
+``repro/telemetry/`` itself is exempt from RPL301 — it *implements* the
+guard.  The doc-drift rules scan all of ``src`` except ``devtools``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.devtools.context import FileContext, Project
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register_rule
+
+_MUTATORS = {"inc", "dec", "set", "observe"}
+_INSTRUMENT_FACTORIES = {"counter", "gauge", "histogram"}
+_METRIC_NAME_RE = re.compile(r"^repro_[a-z0-9_]*[a-z0-9]$")
+_DOC_METRIC_RE = re.compile(r"`(repro_[a-z0-9_]*[a-z0-9])`")
+_SPAN_FACTORIES = {"begin", "span"}
+
+CATALOG_DOC = "docs/observability.md"
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_instrument_receiver(node: ast.AST) -> bool:
+    """Whether ``node`` (the object a mutator is called on) is an
+    instrument: a ``registry.counter(...)``-style chain, or a variable
+    following the ``m_*`` / ``_m_*`` instrument naming convention."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr in _INSTRUMENT_FACTORIES
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is None:
+        return False
+    return name.startswith(("m_", "_m_"))
+
+
+def _test_is_guard(test: ast.AST) -> bool:
+    """Whether an ``if`` test reads as a telemetry-enabled guard."""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr == "enabled":
+            return True
+        if isinstance(node, ast.Compare) and any(
+            isinstance(op, (ast.IsNot, ast.Is)) for op in node.ops
+        ):
+            if any(
+                isinstance(comp, ast.Constant) and comp.value is None
+                for comp in node.comparators
+            ):
+                return True
+    # bare truthiness test on a registry-ish name: `if reg:`
+    name = _dotted(test)
+    if name is not None:
+        tail = name.split(".")[-1].lstrip("_")
+        return tail.startswith("reg") or tail.endswith("registry")
+    return False
+
+
+def _guard_polarity(test: ast.AST) -> bool:
+    """True when the *body* of ``if test:`` is the enabled branch."""
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return not _guard_polarity(test.operand)
+    for node in ast.walk(test):
+        if isinstance(node, ast.Compare) and any(
+            isinstance(op, ast.Is) and not isinstance(op, ast.IsNot)
+            for op in node.ops
+        ):
+            if any(
+                isinstance(comp, ast.Constant) and comp.value is None
+                for comp in node.comparators
+            ):
+                return False  # `if x is None:` body is the DISABLED branch
+    return True
+
+
+@register_rule
+class UnguardedMetricMutation(Rule):
+    id = "RPL301"
+    title = "metric mutations stay behind the enabled guard"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.rel.startswith("repro/") and not ctx.rel.startswith(
+            ("repro/telemetry/", "repro/devtools/")
+        )
+
+    def _guarded(self, ctx: FileContext, node: ast.AST) -> bool:
+        chain: list[ast.AST] = [node]
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, ast.If) and _test_is_guard(ancestor.test):
+                below = chain[-1]
+                in_body = below in ancestor.body
+                in_orelse = below in ancestor.orelse
+                enabled_branch = _guard_polarity(ancestor.test)
+                if (in_body and enabled_branch) or (in_orelse and not enabled_branch):
+                    return True
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if self._early_return_guard(ancestor, chain[-1]):
+                    return True
+                return False
+            chain.append(ancestor)
+        return False
+
+    @staticmethod
+    def _early_return_guard(
+        func: ast.FunctionDef | ast.AsyncFunctionDef, stmt: ast.AST
+    ) -> bool:
+        """``if not REGISTRY.enabled: return`` before ``stmt`` in ``func``."""
+        for top in func.body:
+            if top is stmt:
+                return False
+            if (
+                isinstance(top, ast.If)
+                and not top.orelse
+                and top.body
+                and isinstance(top.body[-1], ast.Return)
+                and isinstance(top.test, ast.UnaryOp)
+                and isinstance(top.test.op, ast.Not)
+                and any(
+                    isinstance(n, ast.Attribute) and n.attr == "enabled"
+                    for n in ast.walk(top.test.operand)
+                )
+            ):
+                return True
+        return False
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATORS
+                and _is_instrument_receiver(node.func.value)
+            ):
+                continue
+            if not self._guarded(ctx, node):
+                findings.append(
+                    ctx.finding(
+                        self.id,
+                        node,
+                        f"metric .{node.func.attr}() outside the enabled guard "
+                        "re-introduces disabled-path overhead",
+                        hint="wrap in `if registry.enabled:` (or hoist behind "
+                        "`reg = REGISTRY if REGISTRY.enabled else None`)",
+                    )
+                )
+        return findings
+
+
+def _code_metric_names(project: Project) -> Iterator[tuple[str, FileContext, int]]:
+    """``(name, ctx, line)`` for every metric-name string literal in code."""
+    for ctx in project.files:
+        if not ctx.rel.startswith("repro/") or ctx.rel.startswith("repro/devtools/"):
+            continue
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and _METRIC_NAME_RE.match(node.value)
+            ):
+                yield node.value, ctx, node.lineno
+
+
+def _code_span_names(project: Project) -> Iterator[tuple[str, FileContext, int]]:
+    """``(name, ctx, line)`` for every span-name literal passed to
+    ``tracer.begin(...)`` / ``tracer.span(...)``."""
+    for ctx in project.files:
+        if not ctx.rel.startswith("repro/") or ctx.rel.startswith("repro/devtools/"):
+            continue
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SPAN_FACTORIES
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                receiver = _dotted(node.func.value) or ""
+                if "tracer" in receiver.lower():
+                    yield node.args[0].value, ctx, node.lineno
+
+
+def _doc_catalog(project: Project) -> tuple[set[str], set[str], dict[str, int]] | None:
+    """``(metric names, span names, name -> doc line)`` from the catalog."""
+    text = project.doc(CATALOG_DOC)
+    if text is None:
+        return None
+    metrics: set[str] = set()
+    spans: set[str] = set()
+    lines_index: dict[str, int] = {}
+    in_span_table = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("|"):
+            cells = [cell.strip() for cell in stripped.strip("|").split("|")]
+            first = cells[0] if cells else ""
+            if first in {"span", "metric"} or set(first) <= {"-", ":"}:
+                in_span_table = first == "span" or (in_span_table and first != "metric")
+                continue
+            token = re.fullmatch(r"`([a-z0-9_]+)`", first)
+            if token:
+                name = token.group(1)
+                if _METRIC_NAME_RE.match(name):
+                    metrics.add(name)
+                    lines_index.setdefault(name, lineno)
+                elif in_span_table:
+                    spans.add(name)
+                    lines_index.setdefault(name, lineno)
+        else:
+            in_span_table = False
+    return metrics, spans, lines_index
+
+
+@register_rule
+class UndocumentedTelemetryName(Rule):
+    id = "RPL302"
+    title = "metric/span names in code appear in the observability catalog"
+
+    def check_project(self, project: Project) -> list[Finding]:
+        catalog = _doc_catalog(project)
+        if catalog is None:
+            return []
+        doc_metrics, doc_spans, _ = catalog
+        findings: list[Finding] = []
+        for name, ctx, lineno in _code_metric_names(project):
+            if name not in doc_metrics:
+                findings.append(
+                    ctx.finding(
+                        self.id,
+                        lineno,
+                        f"metric {name!r} is not in the {CATALOG_DOC} catalog",
+                        hint=f"add a row to the metric catalog in {CATALOG_DOC}",
+                    )
+                )
+        for name, ctx, lineno in _code_span_names(project):
+            if name not in doc_spans:
+                findings.append(
+                    ctx.finding(
+                        self.id,
+                        lineno,
+                        f"span {name!r} is not in the {CATALOG_DOC} span table",
+                        hint=f"add a row to the span table in {CATALOG_DOC}",
+                    )
+                )
+        return findings
+
+
+def _covers_library_tree(project: Project) -> bool:
+    """Whether the scanned file set includes the whole ``src/repro``
+    library.  Absence of a name is only provable on a full-tree lint; a
+    partial run (``repro lint src/repro/core/``) must not report every
+    metric defined elsewhere as stale."""
+    if project.repo_root is None:
+        return True
+    package = project.repo_root / "src" / "repro"
+    if not package.is_dir():
+        return True
+    scanned = {ctx.path.resolve() for ctx in project.files}
+    return all(
+        path.resolve() in scanned
+        for path in package.rglob("*.py")
+        if "devtools" not in path.relative_to(package).parts
+    )
+
+
+@register_rule
+class StaleTelemetryCatalogEntry(Rule):
+    id = "RPL303"
+    title = "catalog entries in the observability doc still exist in code"
+
+    def check_project(self, project: Project) -> list[Finding]:
+        catalog = _doc_catalog(project)
+        if catalog is None or not _covers_library_tree(project):
+            return []
+        doc_metrics, doc_spans, lines_index = catalog
+        code_metrics = {name for name, _, _ in _code_metric_names(project)}
+        code_spans = {name for name, _, _ in _code_span_names(project)}
+        findings: list[Finding] = []
+        for name in sorted(doc_metrics - code_metrics):
+            findings.append(
+                Finding(
+                    path=CATALOG_DOC,
+                    line=lines_index.get(name, 1),
+                    rule=self.id,
+                    message=f"documented metric {name!r} no longer exists in code",
+                    hint="remove the stale catalog row or restore the metric",
+                )
+            )
+        for name in sorted(doc_spans - code_spans):
+            findings.append(
+                Finding(
+                    path=CATALOG_DOC,
+                    line=lines_index.get(name, 1),
+                    rule=self.id,
+                    message=f"documented span {name!r} no longer exists in code",
+                    hint="remove the stale span row or restore the span",
+                )
+            )
+        return findings

@@ -1,0 +1,141 @@
+"""Per-file and per-project lint context: sources, ASTs, suppressions.
+
+A :class:`FileContext` bundles everything a rule needs to inspect one
+file — the parsed AST, the raw lines, and the suppression directives
+found in comments.  A :class:`Project` is the set of files of one lint
+run plus the repository root, which project-level rules use to reach
+cross-file state (the telemetry catalog in ``docs/observability.md``,
+the module lock graph).
+
+Suppression syntax (``RULE`` is a rule id like ``RPL201``; several ids
+may be given, comma-separated)::
+
+    x = 1  # reprolint: disable=RPL101            — this line only
+    # reprolint: disable=RPL202 -- justification  — whole file
+
+A *file-level* directive is a suppression comment standing on its own
+line; it must carry a ``-- justification`` explaining why the file is
+exempt, otherwise the runner reports it as an ``RPL001`` finding.  The
+special rule name ``all`` suppresses every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+
+from repro.devtools.findings import Finding
+
+__all__ = ["FileContext", "Project", "parse_suppressions"]
+
+#: matches ``# reprolint: disable=RPL101,RPL202 -- reason``
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclasses.dataclass
+class Suppressions:
+    """Parsed suppression directives of one file."""
+
+    #: rules disabled for the whole file (directives on their own line)
+    file_rules: set[str] = dataclasses.field(default_factory=set)
+    #: line number -> rules disabled on that line (trailing directives)
+    line_rules: dict[int, set[str]] = dataclasses.field(default_factory=dict)
+    #: file-level directives missing the ``-- justification`` part, as
+    #: (line, rules) pairs — surfaced as RPL001 findings by the runner
+    unjustified: list[tuple[int, frozenset[str]]] = dataclasses.field(default_factory=list)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        for rules in (self.file_rules, self.line_rules.get(line, set())):
+            if rule in rules or "all" in rules:
+                return True
+        return False
+
+
+def parse_suppressions(lines: list[str]) -> Suppressions:
+    """Extract ``# reprolint: disable=...`` directives from source lines."""
+    out = Suppressions()
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+        if not rules:
+            continue
+        standalone = text.strip().startswith("#")
+        if standalone:
+            out.file_rules.update(rules)
+            if not match.group("reason"):
+                out.unjustified.append((number, frozenset(rules)))
+        else:
+            out.line_rules.setdefault(number, set()).update(rules)
+    return out
+
+
+class FileContext:
+    """One parsed source file under lint."""
+
+    def __init__(self, path: Path, rel: str, source: str) -> None:
+        self.path = path
+        #: display / scope path, posix-style, rooted at the ``repro``
+        #: package when the file lives inside one (``repro/core/...``)
+        self.rel = rel
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.suppressions = parse_suppressions(self.lines)
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    # ------------------------------------------------------------------ #
+    # helpers shared by the checkers
+    # ------------------------------------------------------------------ #
+    def in_scope(self, *prefixes: str) -> bool:
+        """Whether this file falls under any of the given ``repro/...``
+        path prefixes (empty prefix list means "everywhere")."""
+        if not prefixes:
+            return True
+        return any(self.rel.startswith(prefix) for prefix in prefixes)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The AST parent of ``node`` (lazily indexed, cached)."""
+        if self._parents is None:
+            self._parents = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    self._parents[child] = parent
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> list[ast.AST]:
+        """Ancestors of ``node``, innermost first."""
+        out: list[ast.AST] = []
+        current = self.parent(node)
+        while current is not None:
+            out.append(current)
+            current = self.parent(current)
+        return out
+
+    def finding(self, rule: str, node: ast.AST | int, message: str, hint: str = "") -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(path=self.rel, line=line, rule=rule, message=message, hint=hint)
+
+
+class Project:
+    """All files of one lint run plus repository-level context."""
+
+    def __init__(self, files: list[FileContext], repo_root: Path | None = None) -> None:
+        self.files = files
+        self.repo_root = repo_root
+
+    def doc(self, rel: str) -> str | None:
+        """The text of a repository document (``docs/observability.md``),
+        or ``None`` when the repository root (or the file) is absent."""
+        if self.repo_root is None:
+            return None
+        path = self.repo_root / rel
+        if not path.is_file():
+            return None
+        return path.read_text(encoding="utf-8")

@@ -1,0 +1,39 @@
+"""Findings: what a reprolint rule reports.
+
+A :class:`Finding` pins one contract violation to a file and line, names
+the rule that produced it and carries a *fix hint* — the one-line answer
+to "so what do I do about it?".  Findings are plain data so the runner
+can render them as text or JSON and the tests can compare them as golden
+values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        """The canonical one-line text rendering: ``path:line: RULE message``."""
+        text = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+        }

@@ -1,0 +1,75 @@
+"""The reprolint rule registry: a plugin point for checkers.
+
+A rule is a class with an ``id`` (``RPLnnn``), a one-line ``title``, a
+``hint`` template and one or both of
+
+* :meth:`Rule.check_file` — called once per file with its
+  :class:`~repro.devtools.context.FileContext`;
+* :meth:`Rule.check_project` — called once per run with the whole
+  :class:`~repro.devtools.context.Project` (cross-file rules: lock-order
+  graphs, doc/code drift).
+
+Registering is one decorator::
+
+    @register_rule
+    class MyRule(Rule):
+        id = "RPL999"
+        title = "what the rule enforces"
+
+        def check_file(self, ctx):
+            ...
+
+Anything importable can add rules; the built-in families live under
+:mod:`repro.devtools.checks` and are imported by the runner.  Rule ids
+are grouped by hundreds: RPL0xx runner/meta, RPL1xx determinism, RPL2xx
+lock discipline, RPL3xx telemetry discipline, RPL4xx ask/tell
+conformance.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.context import FileContext, Project
+from repro.devtools.findings import Finding
+
+__all__ = ["Rule", "RULES", "register_rule", "all_rules"]
+
+
+class Rule:
+    """Base class for reprolint rules (see the module docstring)."""
+
+    #: unique id, ``RPL`` + three digits
+    id: str = "RPL000"
+    #: one-line summary shown by ``--list-rules``
+    title: str = ""
+    #: default fix hint attached to findings (rules may override per-site)
+    hint: str = ""
+    #: ``repro/...`` path prefixes the rule applies to (empty = all files)
+    scope: tuple[str, ...] = ()
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_scope(*self.scope)
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        return []
+
+    def check_project(self, project: Project) -> list[Finding]:
+        return []
+
+
+#: id -> rule instance; populated by :func:`register_rule`
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    rule = cls()
+    if not rule.id or rule.id in RULES:
+        raise ValueError(f"duplicate or empty rule id {rule.id!r}")
+    RULES[rule.id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, sorted by id (built-in checkers are imported on
+    first use by the runner)."""
+    return [RULES[rule_id] for rule_id in sorted(RULES)]

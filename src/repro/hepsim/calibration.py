@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from typing import Callable, Dict, Mapping, Optional, Sequence, Union
+from collections.abc import Callable, Mapping, Sequence
 
 from repro.core.budget import Budget, EvaluationBudget
 from repro.core.calibrator import Calibrator
@@ -74,7 +74,7 @@ def build_parameter_space(
 def scenario_fingerprint(
     scenario: Scenario,
     metric: str = "mre",
-    icd_values: Optional[Sequence[float]] = None,
+    icd_values: Sequence[float] | None = None,
 ) -> str:
     """A stable content address for one calibration objective.
 
@@ -137,8 +137,8 @@ class CaseStudyObjective:
         self,
         scenario: Scenario,
         ground_truth: ExecutionTrace,
-        metric: Union[str, MetricFunction] = "mre",
-        icd_values: Optional[Sequence[float]] = None,
+        metric: str | MetricFunction = "mre",
+        icd_values: Sequence[float] | None = None,
     ) -> None:
         self.scenario = scenario
         self.metric_name = metric if isinstance(metric, str) else getattr(metric, "__name__", "custom")
@@ -154,7 +154,7 @@ class CaseStudyObjective:
         calibration = _values_from_mapping(values)
         return self._simulator.run_trace(calibration, icd_values=self.icd_values)
 
-    def __call__(self, values: Dict[str, float]) -> float:
+    def __call__(self, values: dict[str, float]) -> float:
         trace = self.simulate(values)
         candidate_metrics = trace.metrics(nodes=self.scenario.node_names, icds=self.icd_values)
         return self._metric_fn(self.reference_metrics, candidate_metrics)
@@ -163,8 +163,8 @@ class CaseStudyObjective:
 def make_objective(
     scenario: Scenario,
     ground_truth: ExecutionTrace,
-    metric: Union[str, MetricFunction] = "mre",
-    icd_values: Optional[Sequence[float]] = None,
+    metric: str | MetricFunction = "mre",
+    icd_values: Sequence[float] | None = None,
 ) -> CaseStudyObjective:
     """Build the accuracy objective for one scenario.
 
@@ -182,7 +182,7 @@ class CaseStudyProblem:
     scenario: Scenario
     ground_truth: ExecutionTrace
     space: ParameterSpace
-    objective: Callable[[Dict[str, float]], float]
+    objective: Callable[[dict[str, float]], float]
     generator: GroundTruthGenerator
     metric_name: str = "mre"
 
@@ -192,10 +192,10 @@ class CaseStudyProblem:
     @staticmethod
     def create(
         scenario: Scenario,
-        generator: Optional[GroundTruthGenerator] = None,
+        generator: GroundTruthGenerator | None = None,
         metric: str = "mre",
-        parameter_space: Optional[ParameterSpace] = None,
-    ) -> "CaseStudyProblem":
+        parameter_space: ParameterSpace | None = None,
+    ) -> CaseStudyProblem:
         generator = generator if generator is not None else GroundTruthGenerator()
         ground_truth = generator.get(scenario)
         if parameter_space is not None:
@@ -220,7 +220,7 @@ class CaseStudyProblem:
     # ------------------------------------------------------------------ #
     # evaluation helpers
     # ------------------------------------------------------------------ #
-    def evaluate(self, values: Union[CalibrationValues, Mapping[str, float]]) -> float:
+    def evaluate(self, values: CalibrationValues | Mapping[str, float]) -> float:
         """Accuracy of an arbitrary calibration (e.g. HUMAN or the truth)."""
         mapping = values.to_dict() if isinstance(values, CalibrationValues) else dict(values)
         return float(self.objective(mapping))
@@ -240,14 +240,14 @@ class CaseStudyProblem:
     def calibrate(
         self,
         algorithm: str = "random",
-        budget: Optional[Budget] = None,
+        budget: Budget | None = None,
         seed: int = 0,
         workers: int = 1,
         mode: str = "process",
-        algorithm_options: Optional[Dict[str, object]] = None,
+        algorithm_options: dict[str, object] | None = None,
         asynchronous: bool = False,
-        max_pending: Optional[int] = None,
-        cache: Optional[object] = None,
+        max_pending: int | None = None,
+        cache: object | None = None,
     ) -> CalibrationResult:
         """Run one automated calibration and return its result.
 
@@ -273,7 +273,7 @@ class CaseStudyProblem:
         evaluation-budget run replays the cold run's trajectory.
         """
         budget = budget if budget is not None else EvaluationBudget(100)
-        cache_kwargs: Dict[str, object] = {}
+        cache_kwargs: dict[str, object] = {}
         if cache is not None:
             cache_kwargs = {
                 "cache": cache,

@@ -31,7 +31,6 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Dict, Optional
 
 import numpy as np
 
@@ -105,7 +104,7 @@ class ReferenceRealism(RealismModel):
         self.disk_read_latency = config.disk_seek_latency
         self.disk_write_latency = config.disk_seek_latency
         self._rng = np.random.default_rng(config.seed)
-        self._compute_factors: Dict[str, float] = {}
+        self._compute_factors: dict[str, float] = {}
 
     def begin_run(self, platform_name: str, icd: float) -> None:
         # Deterministic per-(platform, ICD) stream so that ground truth is
@@ -160,8 +159,8 @@ class GroundTruthGenerator:
 
     def __init__(
         self,
-        config: Optional[ReferenceSystemConfig] = None,
-        cache_dir: Optional[str] = None,
+        config: ReferenceSystemConfig | None = None,
+        cache_dir: str | None = None,
         use_disk_cache: bool = True,
     ) -> None:
         self.config = config if config is not None else ReferenceSystemConfig()
@@ -171,7 +170,7 @@ class GroundTruthGenerator:
             )
         self.cache_dir = Path(cache_dir) if cache_dir else None
         self.use_disk_cache = use_disk_cache and self.cache_dir is not None
-        self._memory_cache: Dict[str, ExecutionTrace] = {}
+        self._memory_cache: dict[str, ExecutionTrace] = {}
 
     # ------------------------------------------------------------------ #
     # cache plumbing
@@ -189,7 +188,7 @@ class GroundTruthGenerator:
     def _cache_key(self, scenario: Scenario) -> str:
         return f"gt-{self._base_scenario(scenario).cache_key()}-{self.config.fingerprint()}"
 
-    def _cache_path(self, scenario: Scenario) -> Optional[Path]:
+    def _cache_path(self, scenario: Scenario) -> Path | None:
         if self.cache_dir is None:
             return None
         return self.cache_dir / f"{self._cache_key(scenario)}.json"

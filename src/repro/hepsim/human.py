@@ -26,7 +26,6 @@ reference system) rather than from SCSN.
 
 from __future__ import annotations
 
-from typing import Dict
 
 from repro.hepsim.groundtruth import GroundTruthGenerator
 from repro.hepsim.platforms import CalibrationValues
@@ -42,7 +41,7 @@ HUMAN_ASSUMED_PAGE_CACHE = GBps(1)
 HUMAN_ASSUMED_LAN = gbps(10)
 
 
-def _jobs_per_node(scenario: Scenario) -> Dict[str, int]:
+def _jobs_per_node(scenario: Scenario) -> dict[str, int]:
     """How many jobs each node runs (one job per core, cores fill up)."""
     per_node = {node.name: 0 for node in scenario.nodes}
     remaining = scenario.workload.n_jobs

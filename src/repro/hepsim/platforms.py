@@ -26,7 +26,6 @@ see DESIGN.md §3 — the page-cache bandwidth.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
 
 from repro.hepsim.units import GBps, format_bandwidth, format_disk_bandwidth, format_speed, gbps
 from repro.simgrid.platform import Platform
@@ -54,14 +53,14 @@ class NodeSpec:
 
 
 #: The paper's compute site: two 12-core nodes and one 24-core node.
-PAPER_NODES: Tuple[NodeSpec, ...] = (
+PAPER_NODES: tuple[NodeSpec, ...] = (
     NodeSpec("node1", 12),
     NodeSpec("node2", 12),
     NodeSpec("node3", 24),
 )
 
 #: Scaled-down site used by the benchmark harness (same 1:1:2 shape).
-BENCH_NODES: Tuple[NodeSpec, ...] = (
+BENCH_NODES: tuple[NodeSpec, ...] = (
     NodeSpec("node1", 3),
     NodeSpec("node2", 3),
     NodeSpec("node3", 6),
@@ -69,14 +68,14 @@ BENCH_NODES: Tuple[NodeSpec, ...] = (
 
 #: Small site used by the calibration benchmarks (same 1:1:2 node shape,
 #: enough per-node concurrency to preserve the cache/disk sharing effects).
-CALIB_NODES: Tuple[NodeSpec, ...] = (
+CALIB_NODES: tuple[NodeSpec, ...] = (
     NodeSpec("node1", 2),
     NodeSpec("node2", 2),
     NodeSpec("node3", 4),
 )
 
 #: Minimal site used by the unit tests.
-TINY_NODES: Tuple[NodeSpec, ...] = (
+TINY_NODES: tuple[NodeSpec, ...] = (
     NodeSpec("node1", 1),
     NodeSpec("node2", 1),
     NodeSpec("node3", 2),
@@ -101,7 +100,7 @@ class PlatformConfig:
 
 
 #: Table II.  FC/SC = fast/slow cache (page cache on/off); FN/SN = 10/1 Gbps WAN.
-PLATFORM_CONFIGS: Dict[str, PlatformConfig] = {
+PLATFORM_CONFIGS: dict[str, PlatformConfig] = {
     "SCFN": PlatformConfig("SCFN", page_cache_enabled=False, wan_nominal_bandwidth=gbps(10)),
     "FCFN": PlatformConfig("FCFN", page_cache_enabled=True, wan_nominal_bandwidth=gbps(10)),
     "SCSN": PlatformConfig("SCSN", page_cache_enabled=False, wan_nominal_bandwidth=gbps(1)),
@@ -124,11 +123,11 @@ class CalibrationValues:
     wan_bandwidth: float
     page_cache_bandwidth: float
 
-    def to_dict(self) -> Dict[str, float]:
+    def to_dict(self) -> dict[str, float]:
         return dataclasses.asdict(self)
 
     @staticmethod
-    def from_dict(values: Dict[str, float]) -> "CalibrationValues":
+    def from_dict(values: dict[str, float]) -> CalibrationValues:
         return CalibrationValues(
             core_speed=float(values["core_speed"]),
             disk_bandwidth=float(values["disk_bandwidth"]),
@@ -165,10 +164,10 @@ class BuiltPlatform:
 
     platform: Platform
     config: PlatformConfig
-    compute_hosts: List
+    compute_hosts: list
     storage_host: object
-    node_disks: Dict[str, object]
-    node_memories: Dict[str, object]
+    node_disks: dict[str, object]
+    node_memories: dict[str, object]
     remote_disk: object
     lan_link: object
     wan_link: object
@@ -181,7 +180,7 @@ class BuiltPlatform:
 def build_platform(
     config: PlatformConfig,
     values: CalibrationValues,
-    nodes: Tuple[NodeSpec, ...] = BENCH_NODES,
+    nodes: tuple[NodeSpec, ...] = BENCH_NODES,
     disk_read_latency: float = 0.0,
     disk_write_latency: float = 0.0,
 ) -> BuiltPlatform:
@@ -210,8 +209,8 @@ def build_platform(
     lan = platform.add_link("lan", values.lan_bandwidth, LAN_LATENCY)
 
     compute_hosts = []
-    node_disks: Dict[str, object] = {}
-    node_memories: Dict[str, object] = {}
+    node_disks: dict[str, object] = {}
+    node_memories: dict[str, object] = {}
     for node in nodes:
         host = platform.add_host(node.name, speed=values.core_speed, cores=node.cores)
         disk = platform.add_disk(
@@ -242,7 +241,7 @@ def build_platform(
     )
 
 
-def platform_ascii_art(nodes: Tuple[NodeSpec, ...] = PAPER_NODES) -> str:
+def platform_ascii_art(nodes: tuple[NodeSpec, ...] = PAPER_NODES) -> str:
     """ASCII rendering of Figure 1 (the execution platform)."""
     lines = [
         "+--------------------- Compute site ----------------------+",

@@ -19,7 +19,7 @@ Three site scales are provided:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.hepsim.platforms import (
     BENCH_NODES,
@@ -41,10 +41,10 @@ from repro.hepsim.workload import (
 __all__ = ["Scenario", "PAPER_ICD_VALUES", "REDUCED_ICD_VALUES"]
 
 #: The paper's ground-truth ICD grid: 0 to 1 in 0.1 increments (11 values).
-PAPER_ICD_VALUES: Tuple[float, ...] = tuple(round(i / 10, 1) for i in range(11))
+PAPER_ICD_VALUES: tuple[float, ...] = tuple(round(i / 10, 1) for i in range(11))
 
 #: The 5-element ICD universe used for the Table V subset study.
-REDUCED_ICD_VALUES: Tuple[float, ...] = (0.0, 0.3, 0.5, 0.7, 1.0)
+REDUCED_ICD_VALUES: tuple[float, ...] = (0.0, 0.3, 0.5, 0.7, 1.0)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,8 +53,8 @@ class Scenario:
 
     platform_name: str
     workload: WorkloadSpec
-    nodes: Tuple[NodeSpec, ...] = BENCH_NODES
-    icd_values: Tuple[float, ...] = PAPER_ICD_VALUES
+    nodes: tuple[NodeSpec, ...] = BENCH_NODES
+    icd_values: tuple[float, ...] = PAPER_ICD_VALUES
     block_size: float = 5e8
     buffer_size: float = 1.5e8
     label: str = "bench"
@@ -79,7 +79,7 @@ class Scenario:
         return PLATFORM_CONFIGS[self.platform_name]
 
     @property
-    def node_names(self) -> Tuple[str, ...]:
+    def node_names(self) -> tuple[str, ...]:
         return tuple(node.name for node in self.nodes)
 
     @property
@@ -100,22 +100,22 @@ class Scenario:
     # ------------------------------------------------------------------ #
     # derivation helpers
     # ------------------------------------------------------------------ #
-    def with_icds(self, icd_values: Sequence[float]) -> "Scenario":
+    def with_icds(self, icd_values: Sequence[float]) -> Scenario:
         """Same scenario restricted to a subset of ICD values (Table V)."""
         return dataclasses.replace(self, icd_values=tuple(icd_values))
 
-    def with_granularity(self, block_size: float, buffer_size: float) -> "Scenario":
+    def with_granularity(self, block_size: float, buffer_size: float) -> Scenario:
         """Same scenario at a different simulation granularity (Table VI)."""
         return dataclasses.replace(self, block_size=block_size, buffer_size=buffer_size)
 
-    def with_platform(self, platform_name: str) -> "Scenario":
+    def with_platform(self, platform_name: str) -> Scenario:
         return dataclasses.replace(self, platform_name=platform_name)
 
     # ------------------------------------------------------------------ #
     # presets
     # ------------------------------------------------------------------ #
     @staticmethod
-    def bench(platform_name: str = "FCSN", icd_values: Sequence[float] = PAPER_ICD_VALUES) -> "Scenario":
+    def bench(platform_name: str = "FCSN", icd_values: Sequence[float] = PAPER_ICD_VALUES) -> Scenario:
         """The scaled-down scenario used by tests and benchmarks."""
         return Scenario(
             platform_name=platform_name,
@@ -126,7 +126,7 @@ class Scenario:
         )
 
     @staticmethod
-    def paper(platform_name: str = "FCSN", icd_values: Sequence[float] = PAPER_ICD_VALUES) -> "Scenario":
+    def paper(platform_name: str = "FCSN", icd_values: Sequence[float] = PAPER_ICD_VALUES) -> Scenario:
         """The full-size scenario matching the paper's dimensions."""
         return Scenario(
             platform_name=platform_name,
@@ -141,7 +141,7 @@ class Scenario:
     @staticmethod
     def calib(
         platform_name: str = "FCSN", icd_values: Sequence[float] = PAPER_ICD_VALUES
-    ) -> "Scenario":
+    ) -> Scenario:
         """The smallest scenario that preserves the case-study phenomenology;
         used by the calibration benchmarks (hundreds of simulator
         invocations per experiment)."""
@@ -156,7 +156,7 @@ class Scenario:
         )
 
     @staticmethod
-    def tiny(platform_name: str = "FCSN", icd_values: Sequence[float] = (0.0, 0.5, 1.0)) -> "Scenario":
+    def tiny(platform_name: str = "FCSN", icd_values: Sequence[float] = (0.0, 0.5, 1.0)) -> Scenario:
         """A minimal scenario for fast unit tests."""
         return Scenario(
             platform_name=platform_name,

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.hepsim.platforms import BuiltPlatform, CalibrationValues, build_platform
 from repro.hepsim.scenario import Scenario
@@ -96,7 +96,7 @@ class _RunContext:
         block_size: float,
         buffer_size: float,
         page_cache_enabled: bool,
-        realism: Optional[RealismModel],
+        realism: RealismModel | None,
     ) -> None:
         self.built = built
         self.icd = icd
@@ -110,22 +110,22 @@ class _RunContext:
 class HEPSimulator:
     """Simulator of the case-study workload on the Figure 1 platform."""
 
-    def __init__(self, scenario: Scenario, realism: Optional[RealismModel] = None) -> None:
+    def __init__(self, scenario: Scenario, realism: RealismModel | None = None) -> None:
         self.scenario = scenario
         self.realism = realism
-        self._jobs: List[JobSpec] = make_workload(scenario.workload)
+        self._jobs: list[JobSpec] = make_workload(scenario.workload)
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
     @property
-    def job_specs(self) -> List[JobSpec]:
+    def job_specs(self) -> list[JobSpec]:
         """The workload instance simulated by every invocation."""
         return list(self._jobs)
 
     def simulate(
         self, values: CalibrationValues, icd: float
-    ) -> Tuple[List[JobResult], Dict[str, float]]:
+    ) -> tuple[list[JobResult], dict[str, float]]:
         """Simulate one execution of the workload at the given ICD value.
 
         Returns the per-job results and a statistics dictionary with the
@@ -188,7 +188,7 @@ class HEPSimulator:
     def run_trace(
         self,
         values: CalibrationValues,
-        icd_values: Optional[Sequence[float]] = None,
+        icd_values: Sequence[float] | None = None,
     ) -> ExecutionTrace:
         """Simulate the workload for every ICD value and return the trace."""
         icds = list(icd_values) if icd_values is not None else list(self.scenario.icd_values)

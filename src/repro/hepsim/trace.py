@@ -11,14 +11,14 @@ computations live in :mod:`repro.core.metrics`.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 from repro.wrench.jobs import JobResult, average_execution_time, group_by_node, makespan
 
 __all__ = ["ExecutionTrace", "MetricKey"]
 
 #: A metric is identified by (node name, ICD value).
-MetricKey = Tuple[str, float]
+MetricKey = tuple[str, float]
 
 
 def _round_icd(icd: float) -> float:
@@ -31,9 +31,9 @@ class ExecutionTrace:
 
     def __init__(self, platform_name: str, node_names: Sequence[str]) -> None:
         self.platform_name = platform_name
-        self.node_names: List[str] = list(node_names)
-        self._runs: Dict[float, List[JobResult]] = {}
-        self._stats: Dict[float, Dict[str, float]] = {}
+        self.node_names: list[str] = list(node_names)
+        self._runs: dict[float, list[JobResult]] = {}
+        self._stats: dict[float, dict[str, float]] = {}
 
     # ------------------------------------------------------------------ #
     # population
@@ -42,7 +42,7 @@ class ExecutionTrace:
         self,
         icd: float,
         results: Sequence[JobResult],
-        stats: Optional[Dict[str, float]] = None,
+        stats: dict[str, float] | None = None,
     ) -> None:
         """Record the job results of the execution at one ICD value."""
         if not results:
@@ -55,13 +55,13 @@ class ExecutionTrace:
     # access
     # ------------------------------------------------------------------ #
     @property
-    def icd_values(self) -> List[float]:
+    def icd_values(self) -> list[float]:
         return sorted(self._runs)
 
-    def results(self, icd: float) -> List[JobResult]:
+    def results(self, icd: float) -> list[JobResult]:
         return list(self._runs[_round_icd(icd)])
 
-    def stats(self, icd: float) -> Dict[str, float]:
+    def stats(self, icd: float) -> dict[str, float]:
         return dict(self._stats.get(_round_icd(icd), {}))
 
     def total_simulation_wall_time(self) -> float:
@@ -80,16 +80,16 @@ class ExecutionTrace:
 
     def metrics(
         self,
-        nodes: Optional[Iterable[str]] = None,
-        icds: Optional[Iterable[float]] = None,
-    ) -> Dict[MetricKey, float]:
+        nodes: Iterable[str] | None = None,
+        icds: Iterable[float] | None = None,
+    ) -> dict[MetricKey, float]:
         """The paper's metric dictionary: (node, ICD) -> average job time.
 
         With the paper's 3 nodes and 11 ICD values this has 33 entries.
         """
         nodes = list(nodes) if nodes is not None else list(self.node_names)
         icds = [_round_icd(i) for i in icds] if icds is not None else self.icd_values
-        metrics: Dict[MetricKey, float] = {}
+        metrics: dict[MetricKey, float] = {}
         for icd in icds:
             if icd not in self._runs:
                 raise KeyError(f"trace has no run at ICD {icd}")
@@ -104,10 +104,10 @@ class ExecutionTrace:
         """Workload makespan of the run at ``icd``."""
         return makespan(self._runs[_round_icd(icd)])
 
-    def makespans(self) -> Dict[float, float]:
+    def makespans(self) -> dict[float, float]:
         return {icd: self.makespan(icd) for icd in self.icd_values}
 
-    def job_time_quantiles(self, icd: float, quantiles: Sequence[float]) -> List[float]:
+    def job_time_quantiles(self, icd: float, quantiles: Sequence[float]) -> list[float]:
         """Per-run job execution time quantiles (for richer accuracy metrics)."""
         times = sorted(r.execution_time for r in self._runs[_round_icd(icd)])
         out = []
@@ -121,7 +121,7 @@ class ExecutionTrace:
     # ------------------------------------------------------------------ #
     # (de)serialisation — used to cache ground-truth traces on disk
     # ------------------------------------------------------------------ #
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> dict:
         return {
             "platform_name": self.platform_name,
             "node_names": self.node_names,
@@ -132,7 +132,7 @@ class ExecutionTrace:
         }
 
     @staticmethod
-    def from_dict(data: Dict) -> "ExecutionTrace":
+    def from_dict(data: dict) -> ExecutionTrace:
         trace = ExecutionTrace(data["platform_name"], data["node_names"])
         for icd_str, results in data["runs"].items():
             trace._runs[_round_icd(float(icd_str))] = [JobResult.from_dict(r) for r in results]
@@ -144,7 +144,7 @@ class ExecutionTrace:
         return json.dumps(self.to_dict())
 
     @staticmethod
-    def from_json(text: str) -> "ExecutionTrace":
+    def from_json(text: str) -> ExecutionTrace:
         return ExecutionTrace.from_dict(json.loads(text))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import List, Optional, Sequence, Union
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -36,7 +36,7 @@ class Distribution:
     high: float = 0.0
     sigma: float = 0.0
 
-    def sample(self, rng: Optional[np.random.Generator] = None) -> float:
+    def sample(self, rng: np.random.Generator | None = None) -> float:
         if self.kind == "constant" or rng is None:
             return self.value
         if self.kind == "uniform":
@@ -143,7 +143,7 @@ def tiny_scale() -> WorkloadSpec:
     )
 
 
-def make_workload(spec: WorkloadSpec) -> List[JobSpec]:
+def make_workload(spec: WorkloadSpec) -> list[JobSpec]:
     """Instantiate the workload: one :class:`JobSpec` per job.
 
     File sizes / compute volumes are sampled from the spec's distributions
@@ -151,8 +151,8 @@ def make_workload(spec: WorkloadSpec) -> List[JobSpec]:
     generation is reproducible and independent of any other random stream.
     """
     rng = np.random.default_rng(spec.seed)
-    jobs: List[JobSpec] = []
-    shared_files: Optional[List[DataFile]] = None
+    jobs: list[JobSpec] = []
+    shared_files: list[DataFile] | None = None
     if spec.shared_input_files:
         shared_files = [
             DataFile(f"input_{i:04d}", spec.file_size.sample(rng))
@@ -190,7 +190,7 @@ def cached_file_count(files_per_job: int, icd: float) -> int:
     return min(files_per_job, max(0, int(round(icd * files_per_job))))
 
 
-def unique_input_files(jobs: Sequence[JobSpec]) -> List[DataFile]:
+def unique_input_files(jobs: Sequence[JobSpec]) -> list[DataFile]:
     """All distinct input files of a workload."""
     seen = {}
     for job in jobs:

@@ -30,9 +30,9 @@ from __future__ import annotations
 import threading
 import time
 import uuid
-from typing import Mapping, Optional
+from collections.abc import Mapping
 
-from repro.core.evaluation import CacheBackend, Claim
+from repro.core.evaluation import CacheBackend, Claim, lease_deadline
 from repro.service.store import DEFAULT_LEASE_TTL, EvaluationStore, StoreClaim
 
 __all__ = ["StoreBackedCache"]
@@ -101,7 +101,7 @@ class StoreBackedCache(CacheBackend):
     # ------------------------------------------------------------------ #
     # CacheBackend interface: serial path
     # ------------------------------------------------------------------ #
-    def get(self, key, values: Mapping[str, float]) -> Optional[float]:
+    def get(self, key, values: Mapping[str, float]) -> float | None:
         """Store lookup; on a leased point, wait (bounded) for its value.
 
         Returning ``None`` means the caller owns the computation and must
@@ -132,7 +132,7 @@ class StoreBackedCache(CacheBackend):
             # publishers notify the condition so the common case wakes
             # immediately.
             self.waited += 1
-            remaining = (claim.expires_at or time.time()) - time.time()
+            remaining = lease_deadline(claim.expires_at, ttl=0.0) - time.time()
             with self._cond:
                 self._cond.wait(timeout=min(max(remaining, 0.001), 0.05))
 
@@ -160,7 +160,7 @@ class StoreBackedCache(CacheBackend):
             return Claim(Claim.CLAIMED)
         return Claim(Claim.LEASED, expires_at=outcome.expires_at)
 
-    def poll(self, key, values: Mapping[str, float]) -> Optional[float]:
+    def poll(self, key, values: Mapping[str, float]) -> float | None:
         """Has a point leased to another owner been published yet?"""
         return self.store.peek(self.fingerprint, values)
 

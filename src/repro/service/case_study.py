@@ -13,7 +13,8 @@ for each scenario's ground truth at most once.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from repro.core.budget import Budget, EvaluationBudget, TimeBudget
 from repro.hepsim.calibration import CaseStudyProblem
@@ -31,7 +32,7 @@ _SCALES = {
 }
 
 
-def spec_budget(spec: Dict[str, Any]) -> Budget:
+def spec_budget(spec: dict[str, Any]) -> Budget:
     """The budget described by a job specification.
 
     ``seconds`` (wall-clock, the paper's bound T) wins over
@@ -51,15 +52,15 @@ class CaseStudyRequestFactory:
     ``seconds`` and ``seed`` — exactly what ``repro submit`` persists.
     """
 
-    def __init__(self, generator: Optional[GroundTruthGenerator] = None) -> None:
+    def __init__(self, generator: GroundTruthGenerator | None = None) -> None:
         self.generator = generator if generator is not None else GroundTruthGenerator()
-        self._problems: Dict[str, CaseStudyProblem] = {}
+        self._problems: dict[str, CaseStudyProblem] = {}
 
     def problem(
         self,
         platform: str,
         scale: str = "calib",
-        icds: Optional[Sequence[float]] = None,
+        icds: Sequence[float] | None = None,
         metric: str = "mre",
     ) -> CaseStudyProblem:
         """The (cached) case-study problem for one scenario specification."""
@@ -79,7 +80,7 @@ class CaseStudyRequestFactory:
             )
         return self._problems[problem_key]
 
-    def request(self, spec: Dict[str, Any]) -> CalibrationRequest:
+    def request(self, spec: dict[str, Any]) -> CalibrationRequest:
         """Build the calibration request for one job specification."""
         problem = self.problem(
             platform=spec.get("platform", "FCSN"),

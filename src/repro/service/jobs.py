@@ -18,7 +18,8 @@ from __future__ import annotations
 import dataclasses
 import enum
 import threading
-from typing import Any, Callable, Dict, List, Optional
+from collections.abc import Callable
+from typing import Any
 
 from repro.core.budget import Budget
 from repro.core.parameters import ParameterSpace
@@ -38,25 +39,25 @@ class CalibrationRequest:
     """Everything needed to run one calibration as a service job."""
 
     space: ParameterSpace
-    objective: Callable[[Dict[str, float]], float]
+    objective: Callable[[dict[str, float]], float]
     fingerprint: str
     algorithm: str = "random"
-    budget: Optional[Budget] = None
+    budget: Budget | None = None
     seed: int = 0
     label: str = ""
     #: free-form request metadata, echoed into status reports (the CLI puts
     #: the platform/scale/metric specification here)
-    metadata: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    metadata: dict[str, Any] = dataclasses.field(default_factory=dict)
     #: constructor keyword arguments forwarded to the algorithm factory
     #: (e.g. ``{"population_size": 8}`` for ``"cmaes"``)
-    algorithm_options: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    algorithm_options: dict[str, Any] = dataclasses.field(default_factory=dict)
     #: emit a ``checkpoint`` job event (carrying the full
     #: :meth:`repro.core.calibrator.Calibrator.checkpoint` snapshot in its
     #: payload) every this many completed evaluations; 0 disables
     checkpoint_every: int = 0
     #: a previously emitted checkpoint snapshot to resume from — the job
     #: finishes the interrupted trajectory instead of replaying it
-    checkpoint: Optional[Dict[str, Any]] = None
+    checkpoint: dict[str, Any] | None = None
 
 
 class JobStatus(str, enum.Enum):
@@ -73,7 +74,7 @@ class JobEvent:
     seq: int
     kind: str
     message: str
-    payload: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    payload: dict[str, Any] = dataclasses.field(default_factory=dict)
 
 
 class CalibrationJob:
@@ -83,12 +84,12 @@ class CalibrationJob:
         self.id = job_id
         self.request = request
         self.status = JobStatus.PENDING
-        self.result: Optional[CalibrationResult] = None
-        self.error: Optional[str] = None
+        self.result: CalibrationResult | None = None
+        self.error: str | None = None
         self.cache_hits = 0
         self.evaluations = 0
         self.elapsed = 0.0
-        self.events: List[JobEvent] = []
+        self.events: list[JobEvent] = []
         self._seq = 0
         self._done = threading.Event()
         self._lock = threading.Lock()
@@ -112,7 +113,7 @@ class CalibrationJob:
     def mark_done(self) -> None:
         self._done.set()
 
-    def wait(self, timeout: Optional[float] = None) -> bool:
+    def wait(self, timeout: float | None = None) -> bool:
         """Block until the job finished (or failed); returns False on timeout."""
         return self._done.wait(timeout)
 
@@ -123,9 +124,9 @@ class CalibrationJob:
     # ------------------------------------------------------------------ #
     # reporting
     # ------------------------------------------------------------------ #
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-compatible status snapshot (used by ``repro status``)."""
-        data: Dict[str, Any] = {
+        data: dict[str, Any] = {
             "id": self.id,
             "status": self.status.value,
             "algorithm": self.request.algorithm,
@@ -149,7 +150,7 @@ class JobQueue:
     """Thread-safe FIFO of pending jobs, closable for worker shutdown."""
 
     def __init__(self) -> None:
-        self._jobs: List[CalibrationJob] = []
+        self._jobs: list[CalibrationJob] = []
         self._cond = threading.Condition()
         self._closed = False
 
@@ -160,7 +161,7 @@ class JobQueue:
             self._jobs.append(job)
             self._cond.notify()
 
-    def pop(self, timeout: Optional[float] = None) -> Optional[CalibrationJob]:
+    def pop(self, timeout: float | None = None) -> CalibrationJob | None:
         """Next pending job; ``None`` once the queue is closed and drained
         (or on timeout)."""
         with self._cond:

@@ -40,12 +40,12 @@ from __future__ import annotations
 
 import threading
 import traceback
-from typing import Callable, Dict, List, Optional
+from collections.abc import Callable
 
 from repro.core.budget import EvaluationBudget
 from repro.core.calibrator import Calibrator
 from repro.service.cache import StoreBackedCache
-from repro.service.jobs import CalibrationJob, CalibrationRequest, JobQueue, JobStatus
+from repro.service.jobs import CalibrationJob, CalibrationRequest, JobEvent, JobQueue, JobStatus
 from repro.service.store import EvaluationStore, InMemoryStore
 from repro.telemetry.metrics import registry as _metrics_registry
 
@@ -53,7 +53,7 @@ _REGISTRY = _metrics_registry()
 
 __all__ = ["CalibrationServer"]
 
-EventCallback = Callable[[CalibrationJob, "JobEvent"], None]  # noqa: F821
+EventCallback = Callable[[CalibrationJob, JobEvent], None]
 
 
 class CalibrationServer:
@@ -78,9 +78,9 @@ class CalibrationServer:
 
     def __init__(
         self,
-        store: Optional[EvaluationStore] = None,
+        store: EvaluationStore | None = None,
         workers: int = 2,
-        on_event: Optional[EventCallback] = None,
+        on_event: EventCallback | None = None,
         progress_every: int = 25,
         dedupe_in_flight: bool = True,
     ) -> None:
@@ -91,10 +91,10 @@ class CalibrationServer:
         self.progress_every = int(progress_every)
         self.dedupe_in_flight = bool(dedupe_in_flight)
         self.queue = JobQueue()
-        self.jobs: Dict[str, CalibrationJob] = {}
+        self.jobs: dict[str, CalibrationJob] = {}
         self._jobs_lock = threading.Lock()
         self._job_counter = 0
-        self._workers: List[threading.Thread] = []
+        self._workers: list[threading.Thread] = []
         self._shutdown = False
         for index in range(int(workers)):
             thread = threading.Thread(
@@ -106,7 +106,7 @@ class CalibrationServer:
     # ------------------------------------------------------------------ #
     # submission
     # ------------------------------------------------------------------ #
-    def submit(self, request: CalibrationRequest, job_id: Optional[str] = None) -> CalibrationJob:
+    def submit(self, request: CalibrationRequest, job_id: str | None = None) -> CalibrationJob:
         """Enqueue one calibration request and return its job handle."""
         if self._shutdown:
             raise RuntimeError("the server has been shut down")
@@ -135,7 +135,7 @@ class CalibrationServer:
         with self._jobs_lock:
             return self.jobs[job_id]
 
-    def snapshot(self) -> List[Dict]:
+    def snapshot(self) -> list[dict]:
         """Status of every known job, in submission order."""
         with self._jobs_lock:
             return [job.to_dict() for job in self.jobs.values()]
@@ -143,7 +143,7 @@ class CalibrationServer:
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
-    def drain(self, timeout: Optional[float] = None) -> bool:
+    def drain(self, timeout: float | None = None) -> bool:
         """Block until every submitted job has finished.
 
         Returns False if ``timeout`` elapsed first.
@@ -157,13 +157,14 @@ class CalibrationServer:
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting jobs; optionally wait for the backlog to finish."""
-        self._shutdown = True
+        with self._jobs_lock:
+            self._shutdown = True
         self.queue.close()
         if wait:
             for thread in self._workers:
                 thread.join()
 
-    def __enter__(self) -> "CalibrationServer":
+    def __enter__(self) -> CalibrationServer:
         return self
 
     def __exit__(self, *exc_info) -> None:

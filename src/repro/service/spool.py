@@ -36,7 +36,8 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from collections.abc import Sequence
+from typing import Any
 
 from repro.core.result import CalibrationResult
 from repro.core.serialization import load_result, save_result
@@ -47,7 +48,7 @@ __all__ = ["JobSpool"]
 class JobSpool:
     """A directory of job specifications, statuses and results."""
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.jobs_dir = self.root / "jobs"
         self.results_dir = self.root / "results"
@@ -104,7 +105,7 @@ class JobSpool:
         os.close(fd)
         return path
 
-    def submit(self, spec: Dict[str, Any], job_id: Optional[str] = None) -> str:
+    def submit(self, spec: dict[str, Any], job_id: str | None = None) -> str:
         """Persist one job specification as pending; returns the job id."""
         if job_id is not None:
             try:
@@ -128,10 +129,10 @@ class JobSpool:
     # ------------------------------------------------------------------ #
     # access
     # ------------------------------------------------------------------ #
-    def load(self, job_id: str) -> Dict[str, Any]:
+    def load(self, job_id: str) -> dict[str, Any]:
         return json.loads(self.job_path(job_id).read_text())
 
-    def _try_load(self, job_id: str) -> Optional[Dict[str, Any]]:
+    def _try_load(self, job_id: str) -> dict[str, Any] | None:
         """Like :meth:`load`, but ``None`` for a job mid-submission (a
         concurrent submitter has reserved the id and not yet written the
         spec) instead of raising."""
@@ -140,10 +141,10 @@ class JobSpool:
         except (ValueError, OSError):
             return None
 
-    def job_ids(self) -> List[str]:
+    def job_ids(self) -> list[str]:
         return sorted(path.stem for path in self.jobs_dir.glob("job-*.json"))
 
-    def _ids_with_status(self, statuses: Sequence[str]) -> List[str]:
+    def _ids_with_status(self, statuses: Sequence[str]) -> list[str]:
         result = []
         for jid in self.job_ids():
             record = self._try_load(jid)
@@ -151,11 +152,11 @@ class JobSpool:
                 result.append(jid)
         return result
 
-    def pending(self) -> List[str]:
+    def pending(self) -> list[str]:
         """Ids of jobs not yet picked up by a server, in submission order."""
         return self._ids_with_status(("pending",))
 
-    def runnable(self) -> List[str]:
+    def runnable(self) -> list[str]:
         """Pending jobs plus jobs stranded in ``running`` by a server that
         died before finishing them (the spool assumes one server process
         per directory, so a ``running`` job with no live server is stale
@@ -163,14 +164,14 @@ class JobSpool:
         against the shared store)."""
         return self._ids_with_status(("pending", "running"))
 
-    def statuses(self) -> List[Dict[str, Any]]:
+    def statuses(self) -> list[dict[str, Any]]:
         records = (self._try_load(jid) for jid in self.job_ids())
         return [record for record in records if record is not None]
 
     # ------------------------------------------------------------------ #
     # server-side updates
     # ------------------------------------------------------------------ #
-    def update(self, job_id: str, **fields: Any) -> Dict[str, Any]:
+    def update(self, job_id: str, **fields: Any) -> dict[str, Any]:
         """Merge ``fields`` into the job record (atomic rewrite)."""
         record = self.load(job_id)
         record.update(fields)
@@ -189,7 +190,7 @@ class JobSpool:
     # ------------------------------------------------------------------ #
     # checkpoints (crash/resume support)
     # ------------------------------------------------------------------ #
-    def write_checkpoint(self, job_id: str, state: Dict[str, Any]) -> Path:
+    def write_checkpoint(self, job_id: str, state: dict[str, Any]) -> Path:
         """Persist the latest calibrator snapshot of a job.
 
         The evaluation history is split out into the append-only sidecar
@@ -231,7 +232,7 @@ class JobSpool:
         self._write_json(path, slim)
         return path
 
-    def read_checkpoint(self, job_id: str) -> Optional[Dict[str, Any]]:
+    def read_checkpoint(self, job_id: str) -> dict[str, Any] | None:
         """The last persisted snapshot, or ``None`` if there is none.
 
         Splices the history sidecar back into the returned state, so
@@ -248,7 +249,7 @@ class JobSpool:
         count = state.pop("history_count", None)
         state.pop("history_sidecar", None)
         if count is not None and "history" not in state:
-            records: List[Dict[str, Any]] = []
+            records: list[dict[str, Any]] = []
             sidecar = self.checkpoint_history_path(job_id)
             if sidecar.exists():
                 with sidecar.open() as handle:
@@ -270,16 +271,13 @@ class JobSpool:
         """Drop a job's snapshot and sidecar (called once the job is done)."""
         self._sidecar_counts.pop(job_id, None)
         for path in (self.checkpoint_path(job_id), self.checkpoint_history_path(job_id)):
-            try:
-                path.unlink()
-            except FileNotFoundError:
-                pass
+            path.unlink(missing_ok=True)
 
     # ------------------------------------------------------------------ #
     # plumbing
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _write_json(path: Path, record: Dict[str, Any]) -> None:
+    def _write_json(path: Path, record: dict[str, Any]) -> None:
         # Atomic replace so `repro status` never reads a half-written file.
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:

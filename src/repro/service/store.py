@@ -50,7 +50,7 @@ import sqlite3
 import threading
 import time
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from collections.abc import Iterable, Mapping
 
 from repro.telemetry.metrics import registry as _metrics_registry
 
@@ -85,7 +85,7 @@ _METRIC_HELP = {
 }
 
 
-def canonical_params(values: Mapping[str, float]) -> Tuple[Tuple[str, float], ...]:
+def canonical_params(values: Mapping[str, float]) -> tuple[tuple[str, float], ...]:
     """Canonicalize a parameter-value mapping: sorted names, float values."""
     return tuple(sorted((str(name), float(value)) for name, value in values.items()))
 
@@ -110,11 +110,11 @@ class StoredEvaluation:
 
     key: str
     fingerprint: str
-    values: Dict[str, float]
+    values: dict[str, float]
     value: float
     created_at: float
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> dict[str, object]:
         return {
             "key": self.key,
             "fingerprint": self.fingerprint,
@@ -124,7 +124,7 @@ class StoredEvaluation:
         }
 
     @staticmethod
-    def from_dict(data: Mapping) -> "StoredEvaluation":
+    def from_dict(data: Mapping[str, object]) -> StoredEvaluation:
         return StoredEvaluation(
             key=str(data["key"]),
             fingerprint=str(data["fingerprint"]),
@@ -145,9 +145,9 @@ class StoreClaim:
     """
 
     status: str
-    value: Optional[float] = None
-    owner: Optional[str] = None
-    expires_at: Optional[float] = None
+    value: float | None = None
+    owner: str | None = None
+    expires_at: float | None = None
 
     HIT = "hit"
     CLAIMED = "claimed"
@@ -176,10 +176,10 @@ class EvaluationStore:
         self.lease_conflicts = 0
         #: default in-memory lease table (overridden by SqliteStore):
         #: key -> (owner, expires_at)
-        self._leases: Dict[str, Tuple[str, float]] = {}
+        self._leases: dict[str, tuple[str, float]] = {}
 
     # -- backend interface --------------------------------------------- #
-    def _load_entry(self, key: str) -> Optional[StoredEvaluation]:
+    def _load_entry(self, key: str) -> StoredEvaluation | None:
         raise NotImplementedError  # pragma: no cover - interface
 
     def _save_entry(self, entry: StoredEvaluation) -> None:
@@ -192,7 +192,7 @@ class EvaluationStore:
         return sum(1 for _ in self._iter_entries())
 
     # -- lease backend (in-memory default; SqliteStore overrides) ------- #
-    def _load_lease(self, key: str) -> Optional[Tuple[str, float]]:
+    def _load_lease(self, key: str) -> tuple[str, float] | None:
         return self._leases.get(key)
 
     def _save_lease(self, key: str, owner: str, expires_at: float) -> None:
@@ -203,7 +203,7 @@ class EvaluationStore:
 
     def _try_acquire_lease(
         self, key: str, owner: str, now: float, expires_at: float
-    ) -> Optional[Tuple[str, float]]:
+    ) -> tuple[str, float] | None:
         """Atomically acquire (or renew) the lease on ``key`` for ``owner``.
 
         Returns ``None`` on success, or the blocking ``(owner,
@@ -226,7 +226,7 @@ class EvaluationStore:
             self._drop_lease(key)
 
     # -- public API ---------------------------------------------------- #
-    def get(self, fingerprint: str, values: Mapping[str, float]) -> Optional[float]:
+    def get(self, fingerprint: str, values: Mapping[str, float]) -> float | None:
         """Look up the objective value for a (scenario, point), or ``None``."""
         key = evaluation_key(fingerprint, values)
         with self._lock:
@@ -239,7 +239,7 @@ class EvaluationStore:
             self._count("repro_store_hits_total")
             return entry.value
 
-    def peek(self, fingerprint: str, values: Mapping[str, float]) -> Optional[float]:
+    def peek(self, fingerprint: str, values: Mapping[str, float]) -> float | None:
         """Like :meth:`get`, but without hit/miss accounting — used by
         drivers polling for a point another owner is computing, so a tight
         poll loop does not distort the store statistics."""
@@ -317,13 +317,13 @@ class EvaluationStore:
     def _count_leases(self) -> int:
         return len(self._leases)
 
-    def _iter_leases(self) -> Iterable[Tuple[str, str, float]]:
+    def _iter_leases(self) -> Iterable[tuple[str, str, float]]:
         """All ``(key, owner, expires_at)`` lease rows (including expired
         ones not yet reaped); overridden by backends with external lease
         state."""
         return [(key, owner, expires_at) for key, (owner, expires_at) in self._leases.items()]
 
-    def active_leases(self, now: Optional[float] = None) -> List[Dict[str, object]]:
+    def active_leases(self, now: float | None = None) -> list[dict[str, object]]:
         """The unexpired leases — evaluations currently being computed.
 
         Returns ``{"key", "owner", "expires_at"}`` dictionaries sorted by
@@ -341,7 +341,7 @@ class EvaluationStore:
         live.sort(key=lambda lease: lease["expires_at"])
         return live
 
-    def __contains__(self, item: Tuple[str, Mapping[str, float]]) -> bool:
+    def __contains__(self, item: tuple[str, Mapping[str, float]]) -> bool:
         fingerprint, values = item
         with self._lock:
             return self._load_entry(evaluation_key(fingerprint, values)) is not None
@@ -350,7 +350,7 @@ class EvaluationStore:
         with self._lock:
             return self._count_entries()
 
-    def entries(self, fingerprint: Optional[str] = None) -> List[StoredEvaluation]:
+    def entries(self, fingerprint: str | None = None) -> list[StoredEvaluation]:
         """All stored evaluations, optionally restricted to one scenario."""
         with self._lock:
             return [
@@ -358,12 +358,12 @@ class EvaluationStore:
                 if fingerprint is None or e.fingerprint == fingerprint
             ]
 
-    def fingerprints(self) -> List[str]:
+    def fingerprints(self) -> list[str]:
         """The distinct scenario fingerprints present in the store."""
         with self._lock:
             return sorted({e.fingerprint for e in self._iter_entries()})
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> dict[str, int]:
         with self._lock:
             return {
                 "entries": self._count_entries(),
@@ -384,10 +384,10 @@ class EvaluationStore:
     def close(self) -> None:
         """Release any backend resources (file handles, connections)."""
 
-    def __enter__(self) -> "EvaluationStore":
+    def __enter__(self) -> EvaluationStore:
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -396,9 +396,9 @@ class InMemoryStore(EvaluationStore):
 
     def __init__(self) -> None:
         super().__init__()
-        self._data: Dict[str, StoredEvaluation] = {}
+        self._data: dict[str, StoredEvaluation] = {}
 
-    def _load_entry(self, key: str) -> Optional[StoredEvaluation]:
+    def _load_entry(self, key: str) -> StoredEvaluation | None:
         return self._data.get(key)
 
     def _save_entry(self, entry: StoredEvaluation) -> None:
@@ -420,11 +420,11 @@ class JsonlStore(EvaluationStore):
     since the file was last read.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: str | Path) -> None:
         super().__init__()
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._data: Dict[str, StoredEvaluation] = {}
+        self._data: dict[str, StoredEvaluation] = {}
         if self.path.exists():
             self.reload()
 
@@ -444,7 +444,7 @@ class JsonlStore(EvaluationStore):
                         self._data[entry.key] = entry
             return len(self._data)
 
-    def _load_entry(self, key: str) -> Optional[StoredEvaluation]:
+    def _load_entry(self, key: str) -> StoredEvaluation | None:
         return self._data.get(key)
 
     def _save_entry(self, entry: StoredEvaluation) -> None:
@@ -465,42 +465,44 @@ class JsonlStore(EvaluationStore):
 class SqliteStore(EvaluationStore):
     """SQLite-backed store; safe under concurrent writer processes."""
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: str | Path) -> None:
         super().__init__()
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(str(self.path), check_same_thread=False, timeout=30.0)
-        with self._lock:
-            self._conn.execute(
-                """
-                CREATE TABLE IF NOT EXISTS evaluations (
-                    key         TEXT PRIMARY KEY,
-                    fingerprint TEXT NOT NULL,
-                    params      TEXT NOT NULL,
-                    value       REAL NOT NULL,
-                    created_at  REAL NOT NULL
-                )
-                """
+        # No lock here: nothing else can hold the connection during
+        # construction, and SQLite's own busy timeout covers concurrent
+        # *processes* creating the schema.
+        self._conn.execute(
+            """
+            CREATE TABLE IF NOT EXISTS evaluations (
+                key         TEXT PRIMARY KEY,
+                fingerprint TEXT NOT NULL,
+                params      TEXT NOT NULL,
+                value       REAL NOT NULL,
+                created_at  REAL NOT NULL
             )
-            self._conn.execute(
-                "CREATE INDEX IF NOT EXISTS idx_evaluations_fingerprint "
-                "ON evaluations (fingerprint)"
+            """
+        )
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_evaluations_fingerprint "
+            "ON evaluations (fingerprint)"
+        )
+        # In-flight leases live in the database too, so the claim/lease
+        # single-flight protocol deduplicates across *processes*.
+        self._conn.execute(
+            """
+            CREATE TABLE IF NOT EXISTS leases (
+                key        TEXT PRIMARY KEY,
+                owner      TEXT NOT NULL,
+                expires_at REAL NOT NULL
             )
-            # In-flight leases live in the database too, so the claim/lease
-            # single-flight protocol deduplicates across *processes*.
-            self._conn.execute(
-                """
-                CREATE TABLE IF NOT EXISTS leases (
-                    key        TEXT PRIMARY KEY,
-                    owner      TEXT NOT NULL,
-                    expires_at REAL NOT NULL
-                )
-                """
-            )
-            self._conn.commit()
+            """
+        )
+        self._conn.commit()
 
     @staticmethod
-    def _row_to_entry(row: Tuple) -> StoredEvaluation:
+    def _row_to_entry(row: tuple[str, str, str, float, float]) -> StoredEvaluation:
         key, fingerprint, params, value, created_at = row
         return StoredEvaluation(
             key=key,
@@ -510,7 +512,7 @@ class SqliteStore(EvaluationStore):
             created_at=float(created_at),
         )
 
-    def _load_entry(self, key: str) -> Optional[StoredEvaluation]:
+    def _load_entry(self, key: str) -> StoredEvaluation | None:
         row = self._conn.execute(
             "SELECT key, fingerprint, params, value, created_at "
             "FROM evaluations WHERE key = ?",
@@ -542,7 +544,7 @@ class SqliteStore(EvaluationStore):
         (count,) = self._conn.execute("SELECT COUNT(*) FROM evaluations").fetchone()
         return int(count)
 
-    def _load_lease(self, key: str) -> Optional[Tuple[str, float]]:
+    def _load_lease(self, key: str) -> tuple[str, float] | None:
         row = self._conn.execute(
             "SELECT owner, expires_at FROM leases WHERE key = ?", (key,)
         ).fetchone()
@@ -561,7 +563,7 @@ class SqliteStore(EvaluationStore):
 
     def _try_acquire_lease(
         self, key: str, owner: str, now: float, expires_at: float
-    ) -> Optional[Tuple[str, float]]:
+    ) -> tuple[str, float] | None:
         # One atomic upsert instead of the base class's read-then-write:
         # the store lock only serialises threads of *this* process, while
         # concurrent server processes race on the same database file — the
@@ -590,7 +592,7 @@ class SqliteStore(EvaluationStore):
         (count,) = self._conn.execute("SELECT COUNT(*) FROM leases").fetchone()
         return int(count)
 
-    def _iter_leases(self) -> Iterable[Tuple[str, str, float]]:
+    def _iter_leases(self) -> Iterable[tuple[str, str, float]]:
         rows = self._conn.execute("SELECT key, owner, expires_at FROM leases").fetchall()
         return [(str(key), str(owner), float(expires_at)) for key, owner, expires_at in rows]
 
@@ -599,7 +601,7 @@ class SqliteStore(EvaluationStore):
             self._conn.close()
 
 
-def open_store(path: Optional[Union[str, Path]] = None) -> EvaluationStore:
+def open_store(path: str | Path | None = None) -> EvaluationStore:
     """Open the evaluation store for ``path``.
 
     ``None`` returns an :class:`InMemoryStore`; a ``.db`` / ``.sqlite`` /

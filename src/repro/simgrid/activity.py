@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING
 
 from repro.simgrid.errors import InvalidStateError
 
@@ -76,8 +76,8 @@ class Activity:
         self,
         name: str,
         amount: float,
-        usages: Dict["Resource", float],
-        rate_cap: Optional[float] = None,
+        usages: dict[Resource, float],
+        rate_cap: float | None = None,
         latency: float = 0.0,
     ) -> None:
         if amount < 0:
@@ -94,10 +94,10 @@ class Activity:
         self.latency = float(latency)
         self.state = ActivityState.NEW
         self.rate = 0.0
-        self.start_time: Optional[float] = None
-        self.finish_time: Optional[float] = None
+        self.start_time: float | None = None
+        self.finish_time: float | None = None
         self.uid = next(_activity_counter)
-        self._engine: Optional["SimulationEngine"] = None
+        self._engine: SimulationEngine | None = None
         self._waiters: list = []
 
     # ------------------------------------------------------------------ #
@@ -135,7 +135,7 @@ class Activity:
     # ------------------------------------------------------------------ #
     # engine-facing hooks
     # ------------------------------------------------------------------ #
-    def _bind(self, engine: "SimulationEngine") -> None:
+    def _bind(self, engine: SimulationEngine) -> None:
         if self._engine is not None and self._engine is not engine:
             raise InvalidStateError(f"activity {self.name!r} is already bound to another engine")
         self._engine = engine

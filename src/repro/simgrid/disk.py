@@ -16,7 +16,7 @@ but the ground-truth reference system uses it.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.simgrid.activity import Activity
 from repro.simgrid.errors import PlatformError
@@ -32,10 +32,10 @@ class Disk:
 
     def __init__(
         self,
-        engine: "SimulationEngine",
+        engine: SimulationEngine,
         name: str,
         read_bandwidth: float,
-        write_bandwidth: Optional[float] = None,
+        write_bandwidth: float | None = None,
         read_latency: float = 0.0,
         write_latency: float = 0.0,
     ) -> None:
@@ -51,7 +51,7 @@ class Disk:
         self.read_latency = float(read_latency)
         self.write_latency = float(write_latency)
         self.resource = Resource(f"{name}.io", max(self._read_bw, self._write_bw))
-        self.host: Optional["Host"] = None
+        self.host: Host | None = None
 
     # ------------------------------------------------------------------ #
     # configuration
@@ -64,7 +64,7 @@ class Disk:
     def write_bandwidth(self) -> float:
         return self._write_bw
 
-    def set_bandwidth(self, read_bandwidth: float, write_bandwidth: Optional[float] = None) -> None:
+    def set_bandwidth(self, read_bandwidth: float, write_bandwidth: float | None = None) -> None:
         """Re-parameterise the disk bandwidth (used by calibration)."""
         if read_bandwidth <= 0:
             raise PlatformError(f"disk {self.name!r} needs a positive read bandwidth")

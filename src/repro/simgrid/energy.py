@@ -16,7 +16,7 @@ CPU resource's own usage integral, so no extra engine hooks are needed.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, Optional
+from collections.abc import Iterable
 
 from repro.simgrid.errors import PlatformError
 from repro.simgrid.host import Host
@@ -63,8 +63,8 @@ class EnergyMeter:
     """
 
     def __init__(self) -> None:
-        self._profiles: Dict[str, PowerProfile] = {}
-        self._hosts: Dict[str, Host] = {}
+        self._profiles: dict[str, PowerProfile] = {}
+        self._hosts: dict[str, Host] = {}
 
     # ------------------------------------------------------------------ #
     # registration
@@ -79,7 +79,7 @@ class EnergyMeter:
         for host in hosts:
             self.register(host, profile)
 
-    def profile(self, host: Host) -> Optional[PowerProfile]:
+    def profile(self, host: Host) -> PowerProfile | None:
         return self._profiles.get(host.name)
 
     # ------------------------------------------------------------------ #
@@ -104,7 +104,7 @@ class EnergyMeter:
         """Total energy over all registered hosts, in joules."""
         return sum(self.energy(host, now) for host in self._hosts.values())
 
-    def report(self, now: float) -> Dict[str, float]:
+    def report(self, now: float) -> dict[str, float]:
         """Per-host energy in joules plus a ``"total"`` entry."""
         report = {name: self.energy(host, now) for name, host in self._hosts.items()}
         report["total"] = sum(report.values())

@@ -20,7 +20,7 @@ import heapq
 import itertools
 import math
 from time import perf_counter
-from typing import Callable, Dict, List, Optional, Set
+from collections.abc import Callable
 
 from repro.simgrid.activity import Activity, ActivityState
 from repro.simgrid.errors import DeadlockError, InvalidStateError, SimulationError
@@ -49,16 +49,16 @@ class SimulationEngine:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._timers: List[tuple] = []
+        self._timers: list[tuple] = []
         self._timer_seq = itertools.count()
-        self._active: Set[Activity] = set()
+        self._active: set[Activity] = set()
         self._rates_dirty = True
-        self._processes: List[Process] = []
+        self._processes: list[Process] = []
         self._alive_processes = 0
-        self._failures: List[tuple] = []
+        self._failures: list[tuple] = []
         self._completed_activities = 0
         self._sharing_updates = 0
-        self._observers: List[object] = []
+        self._observers: list[object] = []
         #: optional :class:`repro.telemetry.profiling.SimulationProfile`
         #: (or any object with ``add(name, seconds, count)``); attach one
         #: before :meth:`run` to attribute wall-clock and event counts to
@@ -238,7 +238,7 @@ class SimulationEngine:
     # ------------------------------------------------------------------ #
     # main loop
     # ------------------------------------------------------------------ #
-    def run(self, until: Optional[float] = None) -> float:
+    def run(self, until: float | None = None) -> float:
         """Run the simulation until no event remains (or until the given
         simulated time).  Returns the final simulated time.
 

@@ -9,7 +9,7 @@ its multicore hosts.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING
 
 from repro.simgrid.activity import Activity
 from repro.simgrid.errors import PlatformError
@@ -29,7 +29,7 @@ class Host:
     hardware platform descriptions used by the paper's simulator.
     """
 
-    def __init__(self, engine: "SimulationEngine", name: str, speed: float, cores: int = 1) -> None:
+    def __init__(self, engine: SimulationEngine, name: str, speed: float, cores: int = 1) -> None:
         if speed <= 0:
             raise PlatformError(f"host {name!r} must have positive speed, got {speed}")
         if cores < 1:
@@ -39,9 +39,9 @@ class Host:
         self._speed = float(speed)
         self._cores = int(cores)
         self.cpu = Resource(f"{name}.cpu", self._speed * self._cores)
-        self.disks: Dict[str, "Disk"] = {}
-        self.memories: Dict[str, "Memory"] = {}
-        self.properties: Dict[str, object] = {}
+        self.disks: dict[str, Disk] = {}
+        self.memories: dict[str, Memory] = {}
+        self.properties: dict[str, object] = {}
 
     # ------------------------------------------------------------------ #
     # configuration
@@ -62,13 +62,13 @@ class Host:
         self._speed = float(speed)
         self.cpu.set_capacity(self._speed * self._cores)
 
-    def attach_disk(self, disk: "Disk") -> None:
+    def attach_disk(self, disk: Disk) -> None:
         if disk.name in self.disks:
             raise PlatformError(f"host {self.name!r} already has a disk named {disk.name!r}")
         self.disks[disk.name] = disk
         disk.host = self
 
-    def attach_memory(self, memory: "Memory") -> None:
+    def attach_memory(self, memory: Memory) -> None:
         if memory.name in self.memories:
             raise PlatformError(f"host {self.name!r} already has a memory named {memory.name!r}")
         self.memories[memory.name] = memory

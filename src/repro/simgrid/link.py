@@ -22,7 +22,7 @@ class Link:
 
     def __init__(
         self,
-        engine: "SimulationEngine",
+        engine: SimulationEngine,
         name: str,
         bandwidth: float,
         latency: float = 0.0,

@@ -8,7 +8,7 @@ the SC platforms do not, and reads fall through to the HDD.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.simgrid.activity import Activity
 from repro.simgrid.errors import PlatformError
@@ -24,7 +24,7 @@ class Memory:
 
     def __init__(
         self,
-        engine: "SimulationEngine",
+        engine: SimulationEngine,
         name: str,
         bandwidth: float,
         latency: float = 0.0,
@@ -37,7 +37,7 @@ class Memory:
         self.name = str(name)
         self.resource = Resource(f"{name}.mem", bandwidth)
         self.latency = float(latency)
-        self.host: Optional["Host"] = None
+        self.host: Host | None = None
 
     @property
     def bandwidth(self) -> float:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.simgrid.activity import Activity
 from repro.simgrid.errors import PlatformError
@@ -15,7 +15,7 @@ def communicate(
     name: str,
     size: float,
     links: Iterable[Link],
-    rate_cap: Optional[float] = None,
+    rate_cap: float | None = None,
 ) -> Activity:
     """Create (without starting) a data transfer of ``size`` bytes across the
     given sequence of links.

@@ -9,7 +9,6 @@ the paper's simulator.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
 
 from repro.simgrid.activity import Activity
 from repro.simgrid.disk import Disk
@@ -26,14 +25,14 @@ __all__ = ["Platform"]
 class Platform:
     """A named collection of hosts, links, disks, memories and routes."""
 
-    def __init__(self, name: str = "platform", engine: Optional[SimulationEngine] = None) -> None:
+    def __init__(self, name: str = "platform", engine: SimulationEngine | None = None) -> None:
         self.name = name
         self.engine = engine if engine is not None else SimulationEngine()
-        self.hosts: Dict[str, Host] = {}
-        self.links: Dict[str, Link] = {}
-        self.disks: Dict[str, Disk] = {}
-        self.memories: Dict[str, Memory] = {}
-        self._routes: Dict[Tuple[str, str], List[Link]] = {}
+        self.hosts: dict[str, Host] = {}
+        self.links: dict[str, Link] = {}
+        self.disks: dict[str, Disk] = {}
+        self.memories: dict[str, Memory] = {}
+        self._routes: dict[tuple[str, str], list[Link]] = {}
 
     # ------------------------------------------------------------------ #
     # factories
@@ -57,7 +56,7 @@ class Platform:
         host: Host,
         name: str,
         read_bandwidth: float,
-        write_bandwidth: Optional[float] = None,
+        write_bandwidth: float | None = None,
         read_latency: float = 0.0,
         write_latency: float = 0.0,
     ) -> Disk:
@@ -79,7 +78,7 @@ class Platform:
     # ------------------------------------------------------------------ #
     # routes
     # ------------------------------------------------------------------ #
-    def add_route(self, src: Host, dst: Host, links: List[Link], symmetric: bool = True) -> None:
+    def add_route(self, src: Host, dst: Host, links: list[Link], symmetric: bool = True) -> None:
         """Declare that traffic from ``src`` to ``dst`` traverses ``links``."""
         if not links:
             raise PlatformError(f"route {src.name!r}->{dst.name!r} must contain at least one link")
@@ -87,7 +86,7 @@ class Platform:
         if symmetric:
             self._routes[(dst.name, src.name)] = list(links)
 
-    def route(self, src: Host, dst: Host) -> List[Link]:
+    def route(self, src: Host, dst: Host) -> list[Link]:
         """Return the links between two hosts (empty list for a loopback)."""
         if src.name == dst.name:
             return []
@@ -108,7 +107,7 @@ class Platform:
         size: float,
         src: Host,
         dst: Host,
-        rate_cap: Optional[float] = None,
+        rate_cap: float | None = None,
     ) -> Activity:
         """Create a communication between two hosts using the route table.
 

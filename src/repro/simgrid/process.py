@@ -18,7 +18,8 @@ Sub-behaviours are composed with ``yield from helper(...)`` and the helper's
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Any, Generator, Iterable, List, Optional
+from collections.abc import Generator, Iterable
+from typing import Any, TYPE_CHECKING
 
 from repro.simgrid.activity import Activity
 from repro.simgrid.errors import ActivityCanceledError, InvalidStateError
@@ -49,7 +50,7 @@ class _Combinator:
     __slots__ = ("items",)
 
     def __init__(self, items: Iterable[Any]) -> None:
-        self.items: List[Any] = list(items)
+        self.items: list[Any] = list(items)
 
 
 class AllOf(_Combinator):
@@ -85,7 +86,7 @@ class Process:
         "_pending_wait",
     )
 
-    def __init__(self, engine: "SimulationEngine", generator: Generator, name: str) -> None:
+    def __init__(self, engine: SimulationEngine, generator: Generator, name: str) -> None:
         self.name = name
         self.uid = next(_process_counter)
         self.generator = generator
@@ -93,9 +94,9 @@ class Process:
         self.finished = False
         self.failed = False
         self.result: Any = None
-        self.exception: Optional[BaseException] = None
+        self.exception: BaseException | None = None
         self._waiters: list = []
-        self._pending_wait: Optional[object] = None
+        self._pending_wait: object | None = None
 
     # ------------------------------------------------------------------ #
     # waitable protocol
@@ -118,7 +119,7 @@ class Process:
     # ------------------------------------------------------------------ #
     # execution (driven by the engine)
     # ------------------------------------------------------------------ #
-    def _step(self, value: Any = None, exception: Optional[BaseException] = None) -> None:
+    def _step(self, value: Any = None, exception: BaseException | None = None) -> None:
         """Advance the generator by one step and register the next wait."""
         try:
             if exception is not None:

@@ -9,7 +9,8 @@ activities currently using it with max-min fairness.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.simgrid.errors import PlatformError
 
@@ -35,7 +36,7 @@ class Resource:
             raise PlatformError(f"resource {name!r} must have a positive capacity, got {capacity}")
         self.name = str(name)
         self._capacity = float(capacity)
-        self._activities: Dict["Activity", float] = {}
+        self._activities: dict[Activity, float] = {}
         self._usage_integral = 0.0
         self._last_usage_update = 0.0
 
@@ -59,18 +60,18 @@ class Resource:
     # ------------------------------------------------------------------ #
     # activity bookkeeping (engine-facing)
     # ------------------------------------------------------------------ #
-    def _register(self, activity: "Activity", usage: float) -> None:
+    def _register(self, activity: Activity, usage: float) -> None:
         self._activities[activity] = usage
 
-    def _unregister(self, activity: "Activity") -> None:
+    def _unregister(self, activity: Activity) -> None:
         self._activities.pop(activity, None)
 
     @property
-    def activities(self) -> Iterator["Activity"]:
+    def activities(self) -> Iterator[Activity]:
         """Iterate over the activities currently registered on the resource."""
         return iter(self._activities)
 
-    def usage_of(self, activity: "Activity") -> float:
+    def usage_of(self, activity: Activity) -> float:
         """Usage weight of ``activity`` on this resource (0 if unregistered)."""
         return self._activities.get(activity, 0.0)
 

@@ -20,7 +20,6 @@ gateways.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
@@ -41,7 +40,7 @@ class NetworkTopology:
     def __init__(self, platform: Platform) -> None:
         self.platform = platform
         self.graph = nx.Graph()
-        self._link_by_edge: Dict[Tuple[str, str], Link] = {}
+        self._link_by_edge: dict[tuple[str, str], Link] = {}
 
     # ------------------------------------------------------------------ #
     # construction
@@ -77,7 +76,7 @@ class NetworkTopology:
     # ------------------------------------------------------------------ #
     # route computation
     # ------------------------------------------------------------------ #
-    def shortest_route(self, src: str, dst: str, weight: str = "hops") -> List[Link]:
+    def shortest_route(self, src: str, dst: str, weight: str = "hops") -> list[Link]:
         """The list of links on the shortest path between two nodes."""
         if weight not in _WEIGHTS:
             raise PlatformError(f"unknown weight policy {weight!r}; expected one of {_WEIGHTS}")
@@ -85,9 +84,9 @@ class NetworkTopology:
             path = nx.shortest_path(self.graph, src, dst, weight=weight)
         except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
             raise PlatformError(f"no path between {src!r} and {dst!r}") from exc
-        return [self._link_by_edge[(a, b)] for a, b in zip(path, path[1:])]
+        return [self._link_by_edge[(a, b)] for a, b in zip(path, path[1:], strict=False)]
 
-    def apply(self, weight: str = "hops", hosts: Optional[List[Host]] = None) -> int:
+    def apply(self, weight: str = "hops", hosts: list[Host] | None = None) -> int:
         """Compute and register routes between every pair of hosts.
 
         Parameters

@@ -22,7 +22,7 @@ common path.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from collections.abc import Iterable
 
 from repro.simgrid.activity import Activity
 from repro.simgrid.resources import Resource
@@ -32,7 +32,7 @@ __all__ = ["solve_max_min"]
 _EPSILON = 1e-12
 
 
-def solve_max_min(activities: Iterable[Activity]) -> Dict[Activity, float]:
+def solve_max_min(activities: Iterable[Activity]) -> dict[Activity, float]:
     """Compute max-min fair rates for ``activities``.
 
     Returns a mapping from each activity to its rate in work units per
@@ -40,12 +40,12 @@ def solve_max_min(activities: Iterable[Activity]) -> Dict[Activity, float]:
     rate cap (infinite rate if they have none — callers normally give such
     activities an amount of zero).
     """
-    pending: List[Activity] = [a for a in activities]
-    rates: Dict[Activity, float] = {}
+    pending: list[Activity] = [a for a in activities]
+    rates: dict[Activity, float] = {}
 
     # Remaining capacity of every resource involved.
-    remaining: Dict[Resource, float] = {}
-    users: Dict[Resource, List[Activity]] = {}
+    remaining: dict[Resource, float] = {}
+    users: dict[Resource, list[Activity]] = {}
     for activity in pending:
         for resource, usage in activity.usages.items():
             if usage <= 0:

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Dict, List, Optional, Sequence
 
 from repro.simgrid.activity import Activity
 
@@ -42,7 +41,7 @@ class TraceRecord:
     def duration(self) -> float:
         return self.end - self.start
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> dict[str, object]:
         return {
             "name": self.name,
             "kind": self.kind,
@@ -81,8 +80,8 @@ class ActivityTracer:
 
     def __init__(self, keep_zero_work: bool = False) -> None:
         self.keep_zero_work = keep_zero_work
-        self.records: List[TraceRecord] = []
-        self._open: Dict[int, float] = {}
+        self.records: list[TraceRecord] = []
+        self._open: dict[int, float] = {}
 
     # ------------------------------------------------------------------ #
     # observer protocol
@@ -112,11 +111,11 @@ class ActivityTracer:
     def __len__(self) -> int:
         return len(self.records)
 
-    def by_kind(self, kind: str) -> List[TraceRecord]:
+    def by_kind(self, kind: str) -> list[TraceRecord]:
         """All records of one kind (``"compute"``, ``"network"``, ``"disk"``...)."""
         return [r for r in self.records if r.kind == kind]
 
-    def busy_time(self, kind: Optional[str] = None) -> float:
+    def busy_time(self, kind: str | None = None) -> float:
         """Total (possibly overlapping) activity time, optionally per kind."""
         records = self.records if kind is None else self.by_kind(kind)
         return sum(r.duration for r in records)
@@ -127,10 +126,10 @@ class ActivityTracer:
             return 0.0
         return max(r.end for r in self.records) - min(r.start for r in self.records)
 
-    def to_dicts(self) -> List[Dict[str, object]]:
+    def to_dicts(self) -> list[dict[str, object]]:
         return [r.to_dict() for r in self.records]
 
-    def to_json(self, indent: Optional[int] = None) -> str:
+    def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dicts(), indent=indent)
 
     # ------------------------------------------------------------------ #
@@ -159,9 +158,9 @@ class ActivityTracer:
             lines.append(f"... ({len(self.records) - max_rows} more activities)")
         return "\n".join(lines)
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         """Aggregate statistics per activity kind (count and busy time)."""
-        stats: Dict[str, float] = {}
+        stats: dict[str, float] = {}
         for kind in sorted({r.kind for r in self.records}):
             stats[f"{kind}_count"] = float(len(self.by_kind(kind)))
             stats[f"{kind}_busy_time"] = self.busy_time(kind)

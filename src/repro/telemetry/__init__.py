@@ -102,14 +102,14 @@ __all__ = [
 ]
 
 
-def enable_metrics() -> "MetricsRegistry":
+def enable_metrics() -> MetricsRegistry:
     """Enable the process-wide metrics registry and return it."""
     reg = registry()
     reg.enable()
     return reg
 
 
-def disable_metrics() -> "MetricsRegistry":
+def disable_metrics() -> MetricsRegistry:
     """Disable the process-wide metrics registry and return it."""
     reg = registry()
     reg.disable()

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import logging
 import sys
-from typing import Optional
 
 __all__ = ["configure", "console", "get_logger"]
 
@@ -48,7 +47,7 @@ class _DynamicStdoutHandler(logging.StreamHandler):
         pass
 
 
-def get_logger(name: Optional[str] = None) -> logging.Logger:
+def get_logger(name: str | None = None) -> logging.Logger:
     """A logger under the shared ``repro`` tree.
 
     ``get_logger()`` returns the root ``repro`` logger;

@@ -33,7 +33,7 @@ import json
 import threading
 import time
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from collections.abc import Iterable
 
 __all__ = [
     "Counter",
@@ -47,28 +47,29 @@ __all__ = [
 #: Default histogram buckets, tuned for wall-clock durations in seconds:
 #: exponentially spaced from 1 ms to 2 minutes (simulator invocations in
 #: the case study span exactly this range), plus the +Inf catch-all.
-DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
     1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
 )
 
-LabelSet = Tuple[Tuple[str, str], ...]
+LabelSet = tuple[tuple[str, str], ...]
 
 
-def _labelset(labels: Dict[str, object]) -> LabelSet:
+def _labelset(labels: dict[str, object]) -> LabelSet:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
-def _render_labels(labels: LabelSet, extra: Optional[Tuple[str, str]] = None) -> str:
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _render_labels(labels: LabelSet, extra: tuple[str, str] | None = None) -> str:
     pairs = list(labels)
     if extra is not None:
         pairs.append(extra)
     if not pairs:
         return ""
-    body = ",".join(
-        '{}="{}"'.format(k, v.replace("\\", "\\\\").replace('"', '\\"'))
-        for k, v in pairs
-    )
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + body + "}"
 
 
@@ -83,7 +84,7 @@ class _Instrument:
 
     kind = "untyped"
 
-    def __init__(self, registry: "MetricsRegistry", name: str, labels: LabelSet) -> None:
+    def __init__(self, registry: MetricsRegistry, name: str, labels: LabelSet) -> None:
         self._registry = registry
         self.name = name
         self.labels = labels
@@ -104,7 +105,7 @@ class Counter(_Instrument):
 
     kind = "counter"
 
-    def __init__(self, registry: "MetricsRegistry", name: str, labels: LabelSet) -> None:
+    def __init__(self, registry: MetricsRegistry, name: str, labels: LabelSet) -> None:
         super().__init__(registry, name, labels)
         self._value = 0.0
 
@@ -129,7 +130,7 @@ class Gauge(_Instrument):
 
     kind = "gauge"
 
-    def __init__(self, registry: "MetricsRegistry", name: str, labels: LabelSet) -> None:
+    def __init__(self, registry: MetricsRegistry, name: str, labels: LabelSet) -> None:
         super().__init__(registry, name, labels)
         self._value = 0.0
 
@@ -170,7 +171,7 @@ class Histogram(_Instrument):
 
     def __init__(
         self,
-        registry: "MetricsRegistry",
+        registry: MetricsRegistry,
         name: str,
         labels: LabelSet,
         buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
@@ -181,7 +182,7 @@ class Histogram(_Instrument):
             raise ValueError("a histogram needs at least one bucket bound")
         if bounds[-1] != float("inf"):
             bounds.append(float("inf"))
-        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.bounds: tuple[float, ...] = tuple(bounds)
         self._counts = [0] * len(self.bounds)
         self._sum = 0.0
         self._count = 0
@@ -198,7 +199,7 @@ class Histogram(_Instrument):
                     self._counts[i] += 1
                     break
 
-    def time(self) -> "_HistogramTimer":
+    def time(self) -> _HistogramTimer:
         """Context manager observing the elapsed wall-clock on exit."""
         return _HistogramTimer(self)
 
@@ -212,12 +213,12 @@ class Histogram(_Instrument):
         with self._lock:
             return self._sum
 
-    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
         """``(le, cumulative count)`` pairs, Prometheus-style."""
         with self._lock:
-            out: List[Tuple[float, int]] = []
+            out: list[tuple[float, int]] = []
             running = 0
-            for bound, count in zip(self.bounds, self._counts):
+            for bound, count in zip(self.bounds, self._counts, strict=True):
                 running += count
                 out.append((bound, running))
             return out
@@ -234,7 +235,7 @@ class _HistogramTimer:
         self._histogram = histogram
         self._start = 0.0
 
-    def __enter__(self) -> "_HistogramTimer":
+    def __enter__(self) -> _HistogramTimer:
         self._start = time.perf_counter()
         return self
 
@@ -256,8 +257,8 @@ class MetricsRegistry:
     def __init__(self, enabled: bool = False) -> None:
         self._enabled = bool(enabled)
         self._lock = threading.Lock()
-        self._instruments: Dict[Tuple[str, LabelSet], _Instrument] = {}
-        self._descriptions: Dict[str, str] = {}
+        self._instruments: dict[tuple[str, LabelSet], _Instrument] = {}
+        self._descriptions: dict[str, str] = {}
 
     # -- gating --------------------------------------------------------- #
     @property
@@ -265,14 +266,16 @@ class MetricsRegistry:
         return self._enabled
 
     def enable(self) -> None:
-        self._enabled = True
+        with self._lock:
+            self._enabled = True
 
     def disable(self) -> None:
-        self._enabled = False
+        with self._lock:
+            self._enabled = False
 
     # -- instrument access ---------------------------------------------- #
     def _get(
-        self, cls, name: str, description: str, labels: Dict[str, object], **kwargs
+        self, cls, name: str, description: str, labels: dict[str, object], **kwargs
     ) -> _Instrument:
         key = (name, _labelset(labels))
         with self._lock:
@@ -312,17 +315,17 @@ class MetricsRegistry:
         for instrument in instruments:
             instrument._zero()
 
-    def instruments(self) -> List[_Instrument]:
+    def instruments(self) -> list[_Instrument]:
         with self._lock:
             return [self._instruments[key] for key in sorted(self._instruments)]
 
     # -- export ---------------------------------------------------------- #
     def render_text(self) -> str:
         """Prometheus text exposition of every instrument."""
-        by_name: Dict[str, List[_Instrument]] = {}
+        by_name: dict[str, list[_Instrument]] = {}
         for instrument in self.instruments():
             by_name.setdefault(instrument.name, []).append(instrument)
-        lines: List[str] = []
+        lines: list[str] = []
         for name in sorted(by_name):
             description = self._descriptions.get(name, "")
             if description:
@@ -340,11 +343,11 @@ class MetricsRegistry:
                     lines.append(f"{name}{_render_labels(labels)} {instrument.value:g}")
         return "\n".join(lines) + ("\n" if lines else "")
 
-    def snapshot(self) -> Dict:
+    def snapshot(self) -> dict:
         """A JSON-compatible snapshot of every instrument."""
-        metrics: List[Dict] = []
+        metrics: list[dict] = []
         for instrument in self.instruments():
-            entry: Dict = {
+            entry: dict = {
                 "name": instrument.name,
                 "type": instrument.kind,
                 "labels": dict(instrument.labels),
@@ -364,7 +367,7 @@ class MetricsRegistry:
             metrics.append(entry)
         return {"enabled": self._enabled, "metrics": metrics}
 
-    def save_snapshot(self, path: Union[str, Path], indent: int = 2) -> Path:
+    def save_snapshot(self, path: str | Path, indent: int = 2) -> Path:
         """Write :meth:`snapshot` to ``path`` as JSON and return the path."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -27,7 +27,6 @@ spawn-based platform would need the flag set per worker.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 __all__ = [
     "SimulationProfile",
@@ -47,7 +46,7 @@ class SimulationProfile:
     __slots__ = ("phases",)
 
     def __init__(self) -> None:
-        self.phases: Dict[str, Tuple[float, int]] = {}
+        self.phases: dict[str, tuple[float, int]] = {}
 
     def add(self, name: str, seconds: float, count: int = 1) -> None:
         """Attribute ``seconds`` of wall-clock (and ``count`` events) to
@@ -65,16 +64,16 @@ class SimulationProfile:
     def total_seconds(self) -> float:
         return sum(seconds for seconds, _ in self.phases.values())
 
-    def to_dict(self) -> Dict[str, float]:
+    def to_dict(self) -> dict[str, float]:
         """Flatten to ``phase_<name>_seconds`` / ``phase_<name>_count``
         float entries (the shape merged into simulator stats dicts)."""
-        out: Dict[str, float] = {}
+        out: dict[str, float] = {}
         for name, (seconds, count) in sorted(self.phases.items()):
             out[f"phase_{name}_seconds"] = seconds
             out[f"phase_{name}_count"] = float(count)
         return out
 
-    def merge(self, other: "SimulationProfile") -> None:
+    def merge(self, other: SimulationProfile) -> None:
         """Fold another profile's phases into this one."""
         for name, (seconds, count) in other.phases.items():
             self.add(name, seconds, count)

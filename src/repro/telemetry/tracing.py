@@ -37,7 +37,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from collections.abc import Iterator
 
 __all__ = [
     "Span",
@@ -64,23 +64,23 @@ class Span:
     span_id: str
     name: str
     trace_id: str
-    parent_id: Optional[str] = None
+    parent_id: str | None = None
     start: float = 0.0
-    end: Optional[float] = None
-    attrs: Dict[str, object] = field(default_factory=dict)
+    end: float | None = None
+    attrs: dict[str, object] = field(default_factory=dict)
 
     @property
-    def duration(self) -> Optional[float]:
+    def duration(self) -> float | None:
         if self.end is None:
             return None
         return self.end - self.start
 
-    def set(self, **attrs: object) -> "Span":
+    def set(self, **attrs: object) -> Span:
         """Attach attributes to the span (chainable)."""
         self.attrs.update(attrs)
         return self
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> dict[str, object]:
         return {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
@@ -106,11 +106,12 @@ class TraceSink:
 class JsonlTraceSink(TraceSink):
     """Append each finished span to a JSONL file (thread-safe)."""
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
-        self._file = self.path.open("a")
+        # Long-lived sink handle, closed by close(); not a with-block resource.
+        self._file = self.path.open("a")  # noqa: SIM115
 
     def emit(self, span: Span) -> None:
         line = json.dumps(span.to_dict())
@@ -131,13 +132,13 @@ class InMemoryTraceSink(TraceSink):
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self.spans: List[Span] = []
+        self.spans: list[Span] = []
 
     def emit(self, span: Span) -> None:
         with self._lock:
             self.spans.append(span)
 
-    def by_name(self, name: str) -> List[Span]:
+    def by_name(self, name: str) -> list[Span]:
         with self._lock:
             return [s for s in self.spans if s.name == name]
 
@@ -172,7 +173,7 @@ class Tracer:
             self._counter += 1
             return format(self._counter, "x")
 
-    def _ambient_stack(self) -> List[Span]:
+    def _ambient_stack(self) -> list[Span]:
         stack = getattr(self._ambient, "stack", None)
         if stack is None:
             stack = []
@@ -181,8 +182,8 @@ class Tracer:
 
     # -- explicit API ----------------------------------------------------- #
     def begin(
-        self, name: str, parent: Optional[Span] = None, **attrs: object
-    ) -> Optional[Span]:
+        self, name: str, parent: Span | None = None, **attrs: object
+    ) -> Span | None:
         """Open a span.  Returns ``None`` on a disabled tracer."""
         if parent is None:
             stack = self._ambient_stack()
@@ -198,7 +199,7 @@ class Tracer:
             attrs=dict(attrs),
         )
 
-    def end(self, span: Optional[Span], **attrs: object) -> None:
+    def end(self, span: Span | None, **attrs: object) -> None:
         """Close a span and emit it.  ``None`` (from a disabled tracer)
         is accepted and ignored, so call sites never need a guard."""
         if span is None:
@@ -210,7 +211,7 @@ class Tracer:
 
     # -- ambient API ------------------------------------------------------ #
     @contextmanager
-    def span(self, name: str, parent: Optional[Span] = None, **attrs: object) -> Iterator[Optional[Span]]:
+    def span(self, name: str, parent: Span | None = None, **attrs: object) -> Iterator[Span | None]:
         """Open a span for the duration of a ``with`` block, parenting
         any span begun inside the block (on the same thread) to it."""
         span = self.begin(name, parent=parent, **attrs)
@@ -235,14 +236,14 @@ class _NullTracer(Tracer):
     def __init__(self) -> None:  # no sink
         self._ambient = threading.local()
 
-    def begin(self, name: str, parent: Optional[Span] = None, **attrs: object) -> None:
+    def begin(self, name: str, parent: Span | None = None, **attrs: object) -> None:
         return None
 
-    def end(self, span: Optional[Span], **attrs: object) -> None:
+    def end(self, span: Span | None, **attrs: object) -> None:
         return None
 
     @contextmanager
-    def span(self, name: str, parent: Optional[Span] = None, **attrs: object) -> Iterator[None]:
+    def span(self, name: str, parent: Span | None = None, **attrs: object) -> Iterator[None]:
         yield None
 
     def close(self) -> None:
@@ -261,7 +262,7 @@ def current_tracer() -> Tracer:
     return _current
 
 
-def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+def set_tracer(tracer: Tracer | None) -> Tracer:
     """Install ``tracer`` as the process-wide tracer (``None`` resets to
     the no-op tracer).  Returns the previously installed tracer."""
     global _current

@@ -12,7 +12,9 @@ reference system.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Callable, Deque, Generator, List, Optional
+from collections import deque
+from collections.abc import Callable, Generator
+from typing import TYPE_CHECKING
 
 from repro.simgrid.errors import SimulationError
 from repro.wrench.jobs import Job
@@ -28,13 +30,13 @@ JobBody = Callable[[Job, "Host"], Generator]
 class BareMetalComputeService:
     """A compute service exposing the cores of a single host."""
 
-    def __init__(self, name: str, host: "Host") -> None:
+    def __init__(self, name: str, host: Host) -> None:
         self.name = str(name)
         self.host = host
-        self.engine: "SimulationEngine" = host.engine
+        self.engine: SimulationEngine = host.engine
         self._free_cores = host.cores
-        self._queue: Deque[tuple] = deque()
-        self._completed: List[Job] = []
+        self._queue: deque[tuple] = deque()
+        self._completed: list[Job] = []
         self._running = 0
 
     # ------------------------------------------------------------------ #
@@ -57,7 +59,7 @@ class BareMetalComputeService:
         return self._running
 
     @property
-    def completed_jobs(self) -> List[Job]:
+    def completed_jobs(self) -> list[Job]:
         return list(self._completed)
 
     # ------------------------------------------------------------------ #

@@ -8,7 +8,8 @@ registry service plays for its simulators.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Set
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from repro.simgrid.errors import SimulationError
 
@@ -41,23 +42,23 @@ class FileRegistry:
     """Tracks which storage services hold which files."""
 
     def __init__(self) -> None:
-        self._locations: Dict[DataFile, Set["StorageService"]] = {}
+        self._locations: dict[DataFile, set[StorageService]] = {}
 
-    def add_entry(self, file: DataFile, storage: "StorageService") -> None:
+    def add_entry(self, file: DataFile, storage: StorageService) -> None:
         self._locations.setdefault(file, set()).add(storage)
 
-    def remove_entry(self, file: DataFile, storage: "StorageService") -> None:
+    def remove_entry(self, file: DataFile, storage: StorageService) -> None:
         holders = self._locations.get(file)
         if holders is not None:
             holders.discard(storage)
             if not holders:
                 del self._locations[file]
 
-    def lookup(self, file: DataFile) -> List["StorageService"]:
+    def lookup(self, file: DataFile) -> list[StorageService]:
         """All storage services currently holding a copy of ``file``."""
         return sorted(self._locations.get(file, ()), key=lambda s: s.name)
 
-    def holds(self, file: DataFile, storage: "StorageService") -> bool:
+    def holds(self, file: DataFile, storage: StorageService) -> bool:
         return storage in self._locations.get(file, ())
 
     def files(self) -> Iterable[DataFile]:

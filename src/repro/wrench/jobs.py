@@ -11,7 +11,6 @@ execution time per node per ICD value) are derived.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
 
 from repro.wrench.files import DataFile
 
@@ -23,7 +22,7 @@ class JobSpec:
     name: str
     input_files: tuple
     flops_per_byte: float
-    output_file: Optional[DataFile] = None
+    output_file: DataFile | None = None
     flops_baseline: float = 0.0
 
     @property
@@ -36,7 +35,7 @@ class JobSpec:
         """Total computation volume of the job."""
         return self.flops_baseline + self.flops_per_byte * self.input_bytes
 
-    def with_name(self, name: str) -> "JobSpec":
+    def with_name(self, name: str) -> JobSpec:
         return dataclasses.replace(self, name=name)
 
 
@@ -45,10 +44,10 @@ class Job:
 
     def __init__(self, spec: JobSpec) -> None:
         self.spec = spec
-        self.node_name: Optional[str] = None
-        self.submit_time: Optional[float] = None
-        self.start_time: Optional[float] = None
-        self.end_time: Optional[float] = None
+        self.node_name: str | None = None
+        self.submit_time: float | None = None
+        self.start_time: float | None = None
+        self.end_time: float | None = None
         self.bytes_from_cache: float = 0.0
         self.bytes_from_remote: float = 0.0
 
@@ -70,7 +69,7 @@ class Job:
             raise ValueError(f"job {self.name!r} has not started")
         return self.start_time - self.submit_time
 
-    def to_result(self) -> "JobResult":
+    def to_result(self) -> JobResult:
         return JobResult(
             name=self.name,
             node_name=self.node_name or "",
@@ -105,30 +104,30 @@ class JobResult:
     def turnaround_time(self) -> float:
         return self.end_time - self.submit_time
 
-    def to_dict(self) -> Dict[str, float]:
+    def to_dict(self) -> dict[str, float]:
         return dataclasses.asdict(self)
 
     @staticmethod
-    def from_dict(data: Dict[str, float]) -> "JobResult":
+    def from_dict(data: dict[str, float]) -> JobResult:
         return JobResult(**data)
 
 
-def group_by_node(results: List[JobResult]) -> Dict[str, List[JobResult]]:
+def group_by_node(results: list[JobResult]) -> dict[str, list[JobResult]]:
     """Group job results by the compute node that executed them."""
-    grouped: Dict[str, List[JobResult]] = {}
+    grouped: dict[str, list[JobResult]] = {}
     for result in results:
         grouped.setdefault(result.node_name, []).append(result)
     return grouped
 
 
-def average_execution_time(results: List[JobResult]) -> float:
+def average_execution_time(results: list[JobResult]) -> float:
     """Average job execution time over a list of results."""
     if not results:
         raise ValueError("cannot average an empty list of job results")
     return sum(r.execution_time for r in results) / len(results)
 
 
-def makespan(results: List[JobResult]) -> float:
+def makespan(results: list[JobResult]) -> float:
     """Time between the earliest start and the latest completion."""
     if not results:
         raise ValueError("cannot compute the makespan of an empty list of job results")

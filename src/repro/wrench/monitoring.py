@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import dataclasses
 import statistics
-from typing import Dict, List, Optional
 
 __all__ = ["MonitorEvent", "ServiceMonitor"]
 
@@ -35,16 +34,16 @@ class MonitorEvent:
 
     name: str
     time: float
-    attributes: Dict[str, object]
+    attributes: dict[str, object]
 
 
 class ServiceMonitor:
     """Counters, observations and time-stamped events for one simulation."""
 
     def __init__(self) -> None:
-        self._counters: Dict[str, float] = {}
-        self._observations: Dict[str, List[float]] = {}
-        self._events: List[MonitorEvent] = []
+        self._counters: dict[str, float] = {}
+        self._observations: dict[str, list[float]] = {}
+        self._events: list[MonitorEvent] = []
 
     # ------------------------------------------------------------------ #
     # counters
@@ -62,7 +61,7 @@ class ServiceMonitor:
         return self._counters.get(name, 0.0)
 
     @property
-    def counters(self) -> Dict[str, float]:
+    def counters(self) -> dict[str, float]:
         return dict(self._counters)
 
     # ------------------------------------------------------------------ #
@@ -72,10 +71,10 @@ class ServiceMonitor:
         """Record one sample of the distribution ``name``."""
         self._observations.setdefault(name, []).append(float(value))
 
-    def observations(self, name: str) -> List[float]:
+    def observations(self, name: str) -> list[float]:
         return list(self._observations.get(name, ()))
 
-    def statistics(self, name: str) -> Dict[str, float]:
+    def statistics(self, name: str) -> dict[str, float]:
         """count / mean / min / max / stdev of one observation series."""
         samples = self._observations.get(name)
         if not samples:
@@ -95,7 +94,7 @@ class ServiceMonitor:
         """Append a time-stamped event with free-form attributes."""
         self._events.append(MonitorEvent(name, float(time), dict(attributes)))
 
-    def events(self, name: Optional[str] = None) -> List[MonitorEvent]:
+    def events(self, name: str | None = None) -> list[MonitorEvent]:
         """All events, optionally filtered by name, in recording order."""
         if name is None:
             return list(self._events)
@@ -104,7 +103,7 @@ class ServiceMonitor:
     # ------------------------------------------------------------------ #
     # aggregation
     # ------------------------------------------------------------------ #
-    def merge(self, other: "ServiceMonitor") -> None:
+    def merge(self, other: ServiceMonitor) -> None:
         """Fold another monitor's data into this one (counters add up)."""
         for name, value in other._counters.items():
             self.increment(name, value)
@@ -112,7 +111,7 @@ class ServiceMonitor:
             self._observations.setdefault(name, []).extend(samples)
         self._events.extend(other._events)
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         """Flat dictionary of every counter plus per-observation means."""
         summary = dict(self._counters)
         for name in self._observations:

@@ -22,7 +22,7 @@ efficiency alongside job performance.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING
 
 from repro.simgrid.errors import SimulationError
 from repro.wrench.files import DataFile, FileRegistry
@@ -52,12 +52,12 @@ class ProxyCacheService(SimpleStorageService):
     def __init__(
         self,
         name: str,
-        host: "Host",
-        disk: "Disk",
+        host: Host,
+        disk: Disk,
         origin: SimpleStorageService,
-        capacity: Optional[float] = None,
+        capacity: float | None = None,
         buffer_size: float = 1e6,
-        registry: Optional[FileRegistry] = None,
+        registry: FileRegistry | None = None,
     ) -> None:
         super().__init__(name, host, disk, buffer_size=buffer_size, registry=registry)
         if capacity is not None and capacity <= 0:
@@ -68,7 +68,7 @@ class ProxyCacheService(SimpleStorageService):
         self.misses = 0
         self.evictions = 0
         self.bypasses = 0
-        self._lru: "OrderedDict[DataFile, None]" = OrderedDict()
+        self._lru: OrderedDict[DataFile, None] = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # cache bookkeeping
@@ -106,7 +106,7 @@ class ProxyCacheService(SimpleStorageService):
     # ------------------------------------------------------------------ #
     # the proxied read path
     # ------------------------------------------------------------------ #
-    def fetch_file(self, file: DataFile, platform: "Platform", cache_write: bool = True):
+    def fetch_file(self, file: DataFile, platform: Platform, cache_write: bool = True):
         """Generator: obtain ``file`` through the proxy.
 
         On a hit the file is read from the proxy's disk; on a miss it is
@@ -153,7 +153,7 @@ class ProxyCacheService(SimpleStorageService):
         """Fraction of requests served from the cache (0 when unused)."""
         return self.hits / self.requests if self.requests else 0.0
 
-    def statistics(self) -> Dict[str, float]:
+    def statistics(self) -> dict[str, float]:
         return {
             "hits": float(self.hits),
             "misses": float(self.misses),

@@ -9,7 +9,7 @@ order), and queue locally when every core is busy.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, List, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.simgrid.errors import SimulationError
 from repro.wrench.compute import BareMetalComputeService, JobBody
@@ -23,7 +23,7 @@ class FCFSScheduler:
         if not services:
             raise SimulationError("the scheduler needs at least one compute service")
         self.services = list(services)
-        self.jobs: List[Job] = []
+        self.jobs: list[Job] = []
 
     @property
     def total_cores(self) -> int:
@@ -48,13 +48,13 @@ class FCFSScheduler:
 
     def submit_all(
         self, specs: Sequence[JobSpec], body_factory: Callable[[Job], JobBody]
-    ) -> List[Job]:
+    ) -> list[Job]:
         """Submit a whole workload in order."""
         return [self.submit(spec, body_factory) for spec in specs]
 
-    def placement(self) -> Dict[str, int]:
+    def placement(self) -> dict[str, int]:
         """Number of jobs per node (after submission)."""
-        counts: Dict[str, int] = {}
+        counts: dict[str, int] = {}
         for job in self.jobs:
             counts[job.node_name or "?"] = counts.get(job.node_name or "?", 0) + 1
         return counts

@@ -9,7 +9,7 @@ job results.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.simgrid.disk import Disk
 from repro.simgrid.host import Host
@@ -29,10 +29,10 @@ class Simulation:
         self.platform = platform
         self.engine = platform.engine
         self.registry = FileRegistry()
-        self.storage_services: Dict[str, SimpleStorageService] = {}
-        self.page_caches: Dict[str, PageCache] = {}
-        self.compute_services: Dict[str, BareMetalComputeService] = {}
-        self.scheduler: Optional[FCFSScheduler] = None
+        self.storage_services: dict[str, SimpleStorageService] = {}
+        self.page_caches: dict[str, PageCache] = {}
+        self.compute_services: dict[str, BareMetalComputeService] = {}
+        self.scheduler: FCFSScheduler | None = None
 
     # ------------------------------------------------------------------ #
     # service creation
@@ -54,7 +54,7 @@ class Simulation:
         self.compute_services[name] = service
         return service
 
-    def create_scheduler(self, services: Optional[Sequence[BareMetalComputeService]] = None) -> FCFSScheduler:
+    def create_scheduler(self, services: Sequence[BareMetalComputeService] | None = None) -> FCFSScheduler:
         services = list(services) if services is not None else list(self.compute_services.values())
         self.scheduler = FCFSScheduler(services)
         return self.scheduler
@@ -73,20 +73,20 @@ class Simulation:
         self,
         specs: Sequence[JobSpec],
         body_factory: Callable[[Job], Callable],
-    ) -> List[Job]:
+    ) -> list[Job]:
         """Submit every job of a workload through the scheduler."""
         if self.scheduler is None:
             self.create_scheduler()
         assert self.scheduler is not None
         return self.scheduler.submit_all(specs, body_factory)
 
-    def run(self, until: Optional[float] = None) -> float:
+    def run(self, until: float | None = None) -> float:
         """Run the simulation to completion; returns the final simulated time."""
         return self.engine.run(until=until)
 
-    def job_results(self) -> List[JobResult]:
+    def job_results(self) -> list[JobResult]:
         """Results of every completed job, in completion order."""
-        results: List[JobResult] = []
+        results: list[JobResult] = []
         for service in self.compute_services.values():
             for job in service.completed_jobs:
                 results.append(job.to_result())

@@ -19,7 +19,8 @@ with ``yield from`` inside simulated processes.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Iterable, Optional, Set
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from repro.simgrid.errors import SimulationError
 from repro.simgrid.process import AllOf
@@ -35,11 +36,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class StorageService:
     """Base class: a named service attached to a host that holds files."""
 
-    def __init__(self, name: str, host: "Host", registry: Optional[FileRegistry] = None) -> None:
+    def __init__(self, name: str, host: Host, registry: FileRegistry | None = None) -> None:
         self.name = str(name)
         self.host = host
         self.registry = registry
-        self._files: Set[DataFile] = set()
+        self._files: set[DataFile] = set()
 
     # ------------------------------------------------------------------ #
     # file bookkeeping
@@ -59,7 +60,7 @@ class StorageService:
         return file in self._files
 
     @property
-    def files(self) -> Set[DataFile]:
+    def files(self) -> set[DataFile]:
         return set(self._files)
 
     @property
@@ -99,10 +100,10 @@ class SimpleStorageService(StorageService):
     def __init__(
         self,
         name: str,
-        host: "Host",
-        disk: "Disk",
+        host: Host,
+        disk: Disk,
         buffer_size: float = 1e6,
-        registry: Optional[FileRegistry] = None,
+        registry: FileRegistry | None = None,
     ) -> None:
         super().__init__(name, host, registry)
         if buffer_size <= 0:
@@ -132,7 +133,7 @@ class SimpleStorageService(StorageService):
     # ------------------------------------------------------------------ #
     # remote transfers
     # ------------------------------------------------------------------ #
-    def chunk_sizes(self, amount: float, other_buffer: Optional[float] = None) -> Iterable[float]:
+    def chunk_sizes(self, amount: float, other_buffer: float | None = None) -> Iterable[float]:
         """Split ``amount`` bytes into pipeline chunks.
 
         The effective chunk size is the smaller of this service's buffer and
@@ -149,10 +150,10 @@ class SimpleStorageService(StorageService):
 
     def stream_to(
         self,
-        destination: "SimpleStorageService",
+        destination: SimpleStorageService,
         label: str,
         amount: float,
-        platform: "Platform",
+        platform: Platform,
         write_at_destination: bool = True,
     ):
         """Generator: stream ``amount`` bytes to another storage service.
@@ -181,9 +182,9 @@ class SimpleStorageService(StorageService):
 
     def stream_file_to(
         self,
-        destination: "SimpleStorageService",
+        destination: SimpleStorageService,
         file: DataFile,
-        platform: "Platform",
+        platform: Platform,
         register: bool = True,
     ):
         """Generator: copy a whole file to another service (pipelined)."""
@@ -207,9 +208,9 @@ class PageCache(StorageService):
     def __init__(
         self,
         name: str,
-        host: "Host",
-        memory: "Memory",
-        registry: Optional[FileRegistry] = None,
+        host: Host,
+        memory: Memory,
+        registry: FileRegistry | None = None,
         enabled: bool = True,
     ) -> None:
         super().__init__(name, host, registry)

@@ -22,7 +22,7 @@ selection policy, and optional proxy caches in front of the client.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING
 
 from repro.simgrid.errors import SimulationError
 from repro.wrench.files import DataFile, FileRegistry
@@ -59,8 +59,8 @@ class Redirector:
     def __init__(
         self,
         name: str,
-        platform: "Platform",
-        registry: Optional[FileRegistry] = None,
+        platform: Platform,
+        registry: FileRegistry | None = None,
         policy: str = "hops",
     ) -> None:
         if policy not in POLICIES:
@@ -69,7 +69,7 @@ class Redirector:
         self.platform = platform
         self.registry = registry
         self.policy = policy
-        self.endpoints: List[SimpleStorageService] = []
+        self.endpoints: list[SimpleStorageService] = []
         self.local_reads = 0
         self.remote_reads = 0
         self.failed_lookups = 0
@@ -82,7 +82,7 @@ class Redirector:
         if endpoint not in self.endpoints:
             self.endpoints.append(endpoint)
 
-    def _candidate_endpoints(self, file: DataFile) -> List[SimpleStorageService]:
+    def _candidate_endpoints(self, file: DataFile) -> list[SimpleStorageService]:
         holders = [endpoint for endpoint in self.endpoints if endpoint.has_file(file)]
         if self.registry is not None:
             for service in self.registry.lookup(file):
@@ -93,7 +93,7 @@ class Redirector:
     # ------------------------------------------------------------------ #
     # replica selection
     # ------------------------------------------------------------------ #
-    def _route_metrics(self, client: "Host", endpoint: SimpleStorageService) -> Dict[str, float]:
+    def _route_metrics(self, client: Host, endpoint: SimpleStorageService) -> dict[str, float]:
         if endpoint.host.name == client.name:
             return {"hops": 0.0, "bandwidth": float("inf")}
         if not self.platform.has_route(client, endpoint.host):
@@ -105,8 +105,8 @@ class Redirector:
         }
 
     def locate(
-        self, file: DataFile, client: "Host", policy: Optional[str] = None
-    ) -> List[SimpleStorageService]:
+        self, file: DataFile, client: Host, policy: str | None = None
+    ) -> list[SimpleStorageService]:
         """Endpoints holding ``file``, best-first according to the policy."""
         policy = policy or self.policy
         if policy not in POLICIES:
@@ -126,8 +126,8 @@ class Redirector:
         self,
         file: DataFile,
         client_storage: SimpleStorageService,
-        proxy: Optional[ProxyCacheService] = None,
-        policy: Optional[str] = None,
+        proxy: ProxyCacheService | None = None,
+        policy: str | None = None,
     ):
         """Generator: read ``file`` from the best replica.
 
@@ -160,7 +160,7 @@ class Redirector:
     # ------------------------------------------------------------------ #
     # statistics
     # ------------------------------------------------------------------ #
-    def statistics(self) -> Dict[str, float]:
+    def statistics(self) -> dict[str, float]:
         total = self.local_reads + self.remote_reads
         return {
             "endpoints": float(len(self.endpoints)),

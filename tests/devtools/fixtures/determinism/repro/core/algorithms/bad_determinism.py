@@ -1,0 +1,19 @@
+"""Known-bad fixture for the RPL1xx determinism rules.
+
+Never imported — parsed by reprolint only.  Each violation is labelled
+with the rule id the test suite expects on that line.
+"""
+import random
+import time
+
+import numpy as np
+from random import shuffle  # RPL102: from-import of stdlib random
+
+
+def entropy_leak():
+    rng = np.random.default_rng()  # RPL101: unseeded generator
+    legacy = np.random.rand(3)  # RPL101: legacy global-state API
+    jitter = random.random()  # RPL102: process-global stdlib state
+    stamp = time.time()  # RPL103: wall clock in algorithm code
+    shuffle(legacy)
+    return rng, legacy, jitter, stamp

@@ -1,0 +1,13 @@
+"""Known-bad fixture for RPL104: inline lease-expiry fallback.
+
+Never imported — parsed by reprolint only.  This file sits in
+``repro/core/`` (not ``algorithms/``), where wall-clock reads are
+allowed (lease bookkeeping) but the inline ``or`` fallback is not.
+"""
+import time
+
+LEASE_TTL = 1.0
+
+
+def lease_expiry(expires_at):
+    return expires_at or (time.time() + LEASE_TTL)  # RPL104

@@ -1,0 +1,23 @@
+"""Known-bad fixture for RPL201/RPL202: lock discipline.
+
+Never imported — parsed by reprolint only.
+"""
+import threading
+import time
+
+
+class LeakyTable:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        self._count += 1  # RPL201: write outside the lock
+
+    def read(self):
+        with self._lock:
+            return self._count
+
+    def slow_scan(self):
+        with self._lock:
+            time.sleep(0.1)  # RPL202: blocking call under the lock

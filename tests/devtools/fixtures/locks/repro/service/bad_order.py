@@ -1,0 +1,23 @@
+"""Known-bad fixture for RPL203: inconsistent lock acquisition order.
+
+Never imported — parsed by reprolint only.  ``forward`` nests B under A,
+``backward`` nests A under B: a cycle, hence a potential deadlock.
+"""
+import threading
+
+
+class TwoLocks:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self._data = {}
+
+    def forward(self):
+        with self._a:
+            with self._b:  # RPL203: A -> B ...
+                return len(self._data)
+
+    def backward(self):
+        with self._b:
+            with self._a:  # RPL203: ... conflicts with B -> A
+                return len(self._data)

@@ -1,0 +1,29 @@
+"""Known-bad fixture for RPL301: unguarded metric mutation.
+
+Never imported — parsed by reprolint only.
+"""
+from repro.telemetry.metrics import registry as _metrics_registry
+
+_REGISTRY = _metrics_registry()
+
+
+def record_unguarded(n):
+    _REGISTRY.counter("repro_fixture_dispatches_total").inc(n)  # RPL301
+
+
+def record_guarded(n):
+    if _REGISTRY.enabled:
+        _REGISTRY.counter("repro_fixture_dispatches_total").inc(n)  # OK
+
+
+def record_early_return(n):
+    if not _REGISTRY.enabled:
+        return
+    _REGISTRY.counter("repro_fixture_dispatches_total").inc(n)  # OK
+
+
+def record_hoisted(n):
+    reg = _REGISTRY if _REGISTRY.enabled else None
+    m_dispatches = None if reg is None else reg.counter("repro_fixture_dispatches_total")
+    if m_dispatches is not None:
+        m_dispatches.inc(n)  # OK

@@ -1,0 +1,120 @@
+"""The reprolint runner: exit codes, output formats, CLI wiring, and the
+self-check that the shipped source tree is clean."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.devtools.registry import RULES, all_rules
+from repro.devtools.runner import lint_paths, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+EXPECTED_RULES = [
+    "RPL001",
+    "RPL101",
+    "RPL102",
+    "RPL103",
+    "RPL104",
+    "RPL201",
+    "RPL202",
+    "RPL203",
+    "RPL301",
+    "RPL302",
+    "RPL303",
+    "RPL401",
+    "RPL402",
+]
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main([str(clean)]) == 0
+
+    def test_findings_exit_one(self, capsys):
+        assert main([str(FIXTURES / "locks")]) == 1
+        out = capsys.readouterr().out
+        assert "RPL201" in out
+        assert "finding(s)" in out
+
+    def test_parse_error_exits_two(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        assert main([str(broken)]) == 2
+        assert "cannot lint" in capsys.readouterr().err
+
+    def test_unknown_rule_id_exits_two(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main([str(clean), "--select", "RPL999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestOutput:
+    def test_text_format_renders_path_line_rule(self, capsys):
+        main([str(FIXTURES / "determinism"), "--select", "RPL104"])
+        out = capsys.readouterr().out
+        assert "repro/core/bad_lease.py:13: RPL104" in out
+        assert "hint:" in out
+
+    def test_json_format_is_machine_readable(self, capsys):
+        main([str(FIXTURES / "determinism"), "--format", "json"])
+        records = json.loads(capsys.readouterr().out)
+        assert records, "expected findings from the determinism fixture"
+        for record in records:
+            assert set(record) == {"path", "line", "rule", "message", "hint"}
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in EXPECTED_RULES:
+            assert rule_id in out
+
+    def test_select_narrows_the_run(self, capsys):
+        main([str(FIXTURES / "locks"), "--select", "RPL203"])
+        out = capsys.readouterr().out
+        assert "RPL203" in out
+        assert "RPL201" not in out
+
+
+class TestRegistry:
+    def test_all_expected_rules_registered(self):
+        main(["--list-rules"])  # forces the builtin checks to load
+        assert sorted(RULES) == EXPECTED_RULES
+
+    def test_rules_sorted_by_id(self):
+        assert [r.id for r in all_rules()] == sorted(r.id for r in all_rules())
+
+
+class TestSelfCheck:
+    def test_shipped_source_tree_is_clean(self):
+        findings, errors = lint_paths([REPO_ROOT / "src"])
+        assert errors == []
+        rendered = "\n".join(f.render() for f in findings)
+        assert findings == [], f"src/ must stay reprolint-clean:\n{rendered}"
+
+    def test_every_bad_fixture_fails_through_the_cli(self):
+        for family in ("determinism", "locks", "telemetry", "asktell"):
+            assert main([str(FIXTURES / family)]) == 1, family
+
+
+class TestEntryPoints:
+    def test_python_dash_m_module_entry(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.devtools", str(clean)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_repro_lint_subcommand(self):
+        from repro.cli.main import main as cli_main
+
+        assert cli_main(["lint", "--list-rules"]) == 0
+        assert cli_main(["lint", str(FIXTURES / "locks")]) == 1

@@ -1,0 +1,94 @@
+"""Suppression directives: parsing, scoping, and the RPL001 meta-rule."""
+
+from pathlib import Path
+
+from repro.devtools.context import parse_suppressions
+from repro.devtools.runner import lint_paths
+
+#: a one-line RPL104 violation usable from any path (the rule is
+#: scope-free, so tmp_path fixtures need no repro/ tree)
+VIOLATION = "import time\n\n\ndef f(expires_at):\n    return expires_at or (time.time() + 1.0)\n"
+
+
+def lint_file(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source)
+    return lint_paths([path], repo_root=tmp_path)
+
+
+class TestParsing:
+    def test_trailing_directive_is_line_scoped(self):
+        sup = parse_suppressions(["x = 1  # reprolint: disable=RPL101"])
+        assert sup.line_rules == {1: {"RPL101"}}
+        assert sup.file_rules == set()
+        assert sup.unjustified == []
+
+    def test_standalone_directive_is_file_scoped(self):
+        sup = parse_suppressions(["# reprolint: disable=RPL202 -- sqlite DDL at init"])
+        assert sup.file_rules == {"RPL202"}
+        assert sup.unjustified == []
+
+    def test_standalone_without_reason_is_unjustified(self):
+        sup = parse_suppressions(["# reprolint: disable=RPL202"])
+        assert sup.file_rules == {"RPL202"}
+        assert sup.unjustified == [(1, frozenset({"RPL202"}))]
+
+    def test_multiple_rules_split_on_comma(self):
+        sup = parse_suppressions(["y = 2  # reprolint: disable=RPL101, RPL103"])
+        assert sup.line_rules == {1: {"RPL101", "RPL103"}}
+
+    def test_all_wildcard(self):
+        sup = parse_suppressions(["z = 3  # reprolint: disable=all"])
+        assert sup.is_suppressed("RPL999", 1)
+        assert not sup.is_suppressed("RPL999", 2)
+
+
+class TestRunnerIntegration:
+    def test_unsuppressed_violation_is_reported(self, tmp_path):
+        findings, errors = lint_file(tmp_path, "plain.py", VIOLATION)
+        assert errors == []
+        assert [f.rule for f in findings] == ["RPL104"]
+
+    def test_trailing_directive_suppresses_that_line(self, tmp_path):
+        source = VIOLATION.replace(
+            "+ 1.0)", "+ 1.0)  # reprolint: disable=RPL104"
+        )
+        findings, errors = lint_file(tmp_path, "line.py", source)
+        assert errors == []
+        assert findings == []
+
+    def test_justified_file_directive_suppresses_the_file(self, tmp_path):
+        source = "# reprolint: disable=RPL104 -- exercised by lease tests\n" + VIOLATION
+        findings, errors = lint_file(tmp_path, "file.py", source)
+        assert errors == []
+        assert findings == []
+
+    def test_unjustified_file_directive_raises_rpl001(self, tmp_path):
+        source = "# reprolint: disable=RPL104\n" + VIOLATION
+        findings, errors = lint_file(tmp_path, "nojust.py", source)
+        assert errors == []
+        # The RPL104 finding is suppressed, but the naked directive
+        # itself becomes an RPL001 finding.
+        assert [f.rule for f in findings] == ["RPL001"]
+        assert "justification" in findings[0].message
+
+    def test_rpl001_cannot_be_suppressed(self, tmp_path):
+        source = "# reprolint: disable=all\n" + VIOLATION
+        findings, errors = lint_file(tmp_path, "meta.py", source)
+        assert errors == []
+        assert [f.rule for f in findings] == ["RPL001"]
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        source = VIOLATION.replace(
+            "+ 1.0)", "+ 1.0)  # reprolint: disable=RPL101"
+        )
+        findings, errors = lint_file(tmp_path, "wrong.py", source)
+        assert errors == []
+        assert [f.rule for f in findings] == ["RPL104"]
+
+
+def test_src_tree_has_no_unjustified_suppressions():
+    src = Path(__file__).resolve().parents[2] / "src"
+    findings, errors = lint_paths([src], select={"RPL001"})
+    assert errors == []
+    assert findings == []
