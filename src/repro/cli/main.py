@@ -185,9 +185,6 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
-    from repro.service import JobSpool
-
-    spool = JobSpool(args.serve_dir)
     spec = {
         "platform": args.platform,
         "scale": args.scale,
@@ -198,6 +195,16 @@ def cmd_submit(args: argparse.Namespace) -> int:
         "seconds": args.seconds,
         "seed": args.seed,
     }
+    if args.url:
+        from repro.service.fleet import FleetClient
+
+        job_id = FleetClient(args.url).submit(spec)
+        console(f"submitted {job_id} ({args.algorithm} on {args.platform}/{args.scale}) "
+                f"to {args.url}")
+        return 0
+    from repro.service import JobSpool
+
+    spool = JobSpool(args.serve_dir)
     job_id = spool.submit(spec)
     console(f"submitted {job_id} ({args.algorithm} on {args.platform}/{args.scale}) "
             f"to {spool.root}")
@@ -283,7 +290,193 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Serve the spool like ``repro serve``, but evaluate through the
+    distributed worker fleet: jobs run asynchronous drivers that post
+    candidates to a task board, and pull-based ``repro worker`` processes
+    (any number, on any host that can reach the front-end URL and the
+    shared store file) claim, evaluate and publish them."""
+    from repro.service import CaseStudyRequestFactory, JobSpool, open_store
+    from repro.service.fleet import FleetFrontend, FleetServer
+
+    spool = JobSpool(args.serve_dir)
+    # The fleet needs cross-process leases, which only the SQLite backend
+    # provides — default to DIR/store.db rather than serve's store.jsonl.
+    store_path = args.store if args.store is not None else str(Path(args.serve_dir) / "store.db")
+    store = open_store(None if store_path == ":memory:" else store_path)
+    factory = CaseStudyRequestFactory()
+
+    def on_event(job, event):
+        if event.kind == "checkpoint":
+            spool.write_checkpoint(job.id, event.payload["state"])
+        elif event.kind != "submitted":
+            _log.info("[%-9s] %s", event.kind, event.message)
+
+    server = FleetServer(
+        store=store, workers=args.workers, on_event=on_event, max_pending=args.max_pending
+    )
+
+    def status_view():
+        live = {record["id"]: record for record in server.snapshot()}
+        merged = [live.get(record.get("id"), record) for record in spool.statuses()]
+        return merged
+
+    frontend = FleetFrontend(
+        server,
+        host=args.host,
+        port=args.port,
+        submit=lambda spec: spool.submit(dict(spec)),
+        status_view=status_view,
+    ).start()
+    console(f"fleet front-end listening on {frontend.url}")
+    console(f"shared store: {store_path}")
+    _log.info("start workers with: repro worker --url %s --store %s", frontend.url, store_path)
+    if args.url_file:
+        # Written atomically-enough for the integration tests that poll it
+        # to discover an ephemeral --port 0 binding.
+        Path(args.url_file).write_text(frontend.url + "\n")
+
+    processed = 0
+    try:
+        first_scan = True
+        while True:
+            pending = spool.runnable() if first_scan else spool.pending()
+            first_scan = False
+            jobs = []
+            for job_id in pending:
+                spec = spool.load(job_id)
+                try:
+                    request = factory.request(spec)
+                except Exception as exc:
+                    spool.update(job_id, status="failed", error=f"{type(exc).__name__}: {exc}")
+                    _log.warning("[failed   ] %s: %s", job_id, exc)
+                    continue
+                request.checkpoint_every = args.checkpoint_every
+                if args.resume:
+                    request.checkpoint = spool.read_checkpoint(job_id)
+                    if request.checkpoint is not None:
+                        done = len(request.checkpoint.get("history", []))
+                        _log.info("[resumed  ] %s: from checkpoint "
+                                  "(%d evaluations already done)", job_id, done)
+                spool.update(job_id, status="running")
+                jobs.append(server.submit(request, job_id=job_id))
+            for job in jobs:
+                job.wait()
+                processed += 1
+                record = job.to_dict()
+                if job.result is not None:
+                    spool.write_result(job.id, job.result)
+                spool.update(
+                    job.id,
+                    status=record["status"],
+                    best_value=record.get("best_value"),
+                    evaluations=record["evaluations"],
+                    cache_hits=record["cache_hits"],
+                    elapsed=record["elapsed"],
+                    error=record.get("error"),
+                )
+                if record["status"] == "done":
+                    spool.clear_checkpoint(job.id)
+            if args.poll is None:
+                break
+            try:
+                time.sleep(args.poll)
+            except KeyboardInterrupt:  # pragma: no cover - interactive only
+                break
+    finally:
+        frontend.close()
+        # wait=False: a fleet job with no workers left can never finish —
+        # front-end and threads are daemonic, exiting the process is safe.
+        server.shutdown(wait=False)
+        store.close()
+    console(f"served {processed} fleet job(s)")
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """One pull-based fleet evaluation process (see ``repro fleet``)."""
+    from repro.service import open_store
+    from repro.service.fleet import FaultInjector, FleetClient, FleetWorker
+    from repro.service.store import DEFAULT_LEASE_TTL
+
+    lease_ttl = DEFAULT_LEASE_TTL if args.lease_ttl is None else args.lease_ttl
+    fault = FaultInjector(
+        kill_after_claims=args.fault_kill_after_claims,
+        drop_publish=args.fault_drop_publish,
+        publish_delay=args.fault_publish_delay,
+    )
+    with open_store(args.store) as store:
+        worker = FleetWorker(
+            FleetClient(args.url),
+            store,
+            owner=args.owner,
+            lease_ttl=lease_ttl,
+            poll=args.poll,
+            fault=fault,
+            stats_path=args.stats,
+        )
+        _log.info("worker %s pulling from %s (store %s)", worker.owner, args.url, args.store)
+        try:
+            settled = worker.run(max_tasks=args.max_tasks, max_idle=args.max_idle)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            settled = worker.stats["publishes"]
+    console(f"worker {worker.owner} settled {settled} task(s) "
+            f"({worker.stats['evaluations']} evaluations, "
+            f"{worker.stats['store_hits']} store hits, "
+            f"{worker.stats['lease_skips']} lease skips)")
+    return 0
+
+
+def _print_job_table(records: list[dict]) -> None:
+    header = f"{'job':10s} {'status':8s} {'algorithm':12s} {'platform':8s} " \
+             f"{'best':>10s} {'evals':>6s} {'hits':>6s} {'elapsed':>8s}"
+    console(header)
+    console("-" * len(header))
+    for record in records:
+        best = record.get("best_value")
+        elapsed = record.get("elapsed")
+        platform = record.get("platform", record.get("metadata", {}).get("platform", "?"))
+        if record.get("status") != "done":
+            # Before completion the spec's "evaluations" is the requested
+            # budget, not work performed — don't show it as progress.
+            record = {**record, "evaluations": "-", "cache_hits": "-"}
+        console(
+            f"{record.get('id', '?'):10s} "
+            f"{record.get('status', '?'):8s} "
+            f"{record.get('algorithm', '?'):12s} "
+            f"{platform:8s} "
+            f"{(f'{best:.4g}' if best is not None else '-'):>10s} "
+            f"{record.get('evaluations', '-')!s:>6s} "
+            f"{record.get('cache_hits', '-')!s:>6s} "
+            f"{(f'{elapsed:.1f}s' if elapsed is not None else '-'):>8s}"
+        )
+        if record.get("error"):
+            console(f"  error: {record['error']}")
+
+
 def cmd_status(args: argparse.Namespace) -> int:
+    if args.url:
+        # Lease-aware remote status: the job table comes from the fleet
+        # front-end; --store additionally summarises the shared store
+        # (and its live leases) from the local file.
+        from repro.service.fleet import FleetClient
+
+        client = FleetClient(args.url)
+        records = client.jobs()
+        if args.job:
+            records = [r for r in records if r.get("id") == args.job]
+            if not records:
+                raise SystemExit(f"unknown job {args.job!r} at {args.url}")
+        if not records:
+            console(f"no jobs at {args.url}")
+        else:
+            _print_job_table(records)
+        health = client.health()
+        console(f"fleet: {health.get('open_tasks', 0)} open evaluation task(s), "
+                f"{health.get('store_entries', 0)} stored evaluation(s)")
+        if args.store:
+            _print_store_summary(None, args.store)
+        return 0
     from repro.service import JobSpool
 
     spool = JobSpool(args.serve_dir)
@@ -295,29 +488,7 @@ def cmd_status(args: argparse.Namespace) -> int:
     if not records:
         console(f"no jobs in {spool.root}")
         return 0
-    header = f"{'job':10s} {'status':8s} {'algorithm':12s} {'platform':8s} " \
-             f"{'best':>10s} {'evals':>6s} {'hits':>6s} {'elapsed':>8s}"
-    console(header)
-    console("-" * len(header))
-    for record in records:
-        best = record.get("best_value")
-        elapsed = record.get("elapsed")
-        if record.get("status") != "done":
-            # Before completion the spec's "evaluations" is the requested
-            # budget, not work performed — don't show it as progress.
-            record = {**record, "evaluations": "-", "cache_hits": "-"}
-        console(
-            f"{record.get('id', '?'):10s} "
-            f"{record.get('status', '?'):8s} "
-            f"{record.get('algorithm', '?'):12s} "
-            f"{record.get('platform', '?'):8s} "
-            f"{(f'{best:.4g}' if best is not None else '-'):>10s} "
-            f"{record.get('evaluations', '-')!s:>6s} "
-            f"{record.get('cache_hits', '-')!s:>6s} "
-            f"{(f'{elapsed:.1f}s' if elapsed is not None else '-'):>8s}"
-        )
-        if record.get("error"):
-            console(f"  error: {record['error']}")
+    _print_job_table(records)
     _print_store_summary(spool, args.store)
     return 0
 
@@ -334,6 +505,8 @@ def _print_store_summary(spool, store_arg: str | None) -> None:
 
     from repro.service import open_store
 
+    if store_arg is None and spool is None:
+        return
     store_path = store_arg if store_arg is not None else str(spool.default_store_path)
     if store_path == ":memory:" or not Path(store_path).exists():
         return
@@ -593,6 +766,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub.add_argument("--evaluations", type=int, default=100, help="evaluation budget")
     p_sub.add_argument("--seconds", type=float, default=None,
                        help="time budget (overrides --evaluations)")
+    p_sub.add_argument("--url", default=None, metavar="URL",
+                       help="post the job to a running fleet front-end "
+                            "instead of the local spool")
     p_sub.set_defaults(func=cmd_submit)
 
     p_srv = sub.add_parser("serve", parents=[verbosity],
@@ -614,6 +790,64 @@ def build_parser() -> argparse.ArgumentParser:
                             "instead of re-running them from scratch")
     p_srv.set_defaults(func=cmd_serve)
 
+    p_flt = sub.add_parser("fleet", parents=[verbosity],
+                           help="serve queued jobs through the distributed worker fleet")
+    p_flt.add_argument("--serve-dir", default="service", metavar="DIR",
+                       help="service spool directory")
+    p_flt.add_argument("--store", default=None, metavar="PATH",
+                       help="shared evaluation store; workers must open the same "
+                            "file, so use a SQLite path (default DIR/store.db)")
+    p_flt.add_argument("--host", default="127.0.0.1", help="front-end bind address")
+    p_flt.add_argument("--port", type=int, default=8765,
+                       help="front-end port (0 picks an ephemeral port)")
+    p_flt.add_argument("--url-file", default=None, metavar="PATH",
+                       help="write the front-end URL here once it is listening "
+                            "(how scripts discover an ephemeral --port 0)")
+    p_flt.add_argument("--workers", type=int, default=2, help="concurrent jobs")
+    p_flt.add_argument("--max-pending", type=int, default=4, metavar="N",
+                       help="in-flight evaluations per job (default: 4)")
+    p_flt.add_argument("--poll", type=float, default=None, metavar="SECONDS",
+                       help="keep serving, re-scanning the queue every SECONDS "
+                            "(default: drain once and exit)")
+    p_flt.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                       help="persist a resumable snapshot of each running job "
+                            "every N evaluations (default: off)")
+    p_flt.add_argument("--resume", action="store_true",
+                       help="continue crashed jobs from their last snapshot "
+                            "instead of re-running them from scratch")
+    p_flt.set_defaults(func=cmd_fleet)
+
+    p_wrk = sub.add_parser("worker", parents=[verbosity],
+                           help="run one pull-based fleet evaluation worker")
+    p_wrk.add_argument("--url", required=True, metavar="URL",
+                       help="fleet front-end, e.g. http://127.0.0.1:8765")
+    p_wrk.add_argument("--store", required=True, metavar="PATH",
+                       help="the fleet's shared evaluation store "
+                            "(the same SQLite file the server opened)")
+    p_wrk.add_argument("--owner", default=None,
+                       help="lease-owner identity (default: worker-<pid>-<random>)")
+    p_wrk.add_argument("--lease-ttl", type=float, default=None, metavar="SECONDS",
+                       help="how long an unpublished claim blocks other workers "
+                            "(default: 300s; lower it for fail-over tests)")
+    p_wrk.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                       help="task long-poll duration (default: 0.5s)")
+    p_wrk.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                       help="exit after settling N tasks")
+    p_wrk.add_argument("--max-idle", type=float, default=None, metavar="SECONDS",
+                       help="exit after this long without any open task")
+    p_wrk.add_argument("--stats", default=None, metavar="PATH",
+                       help="rewrite worker counters to this JSON file after "
+                            "every step (survives an abrupt death)")
+    p_wrk.add_argument("--fault-kill-after-claims", type=int, default=0, metavar="N",
+                       help="fault injection: die (exit 43) on the Nth claim, "
+                            "before evaluating")
+    p_wrk.add_argument("--fault-drop-publish", type=int, default=0, metavar="N",
+                       help="fault injection: die (exit 44) on the Nth publish, "
+                            "after evaluating but before the result lands")
+    p_wrk.add_argument("--fault-publish-delay", type=float, default=0.0,
+                       metavar="SECONDS", help="fault injection: delay each publish")
+    p_wrk.set_defaults(func=cmd_worker)
+
     p_sta = sub.add_parser("status", parents=[verbosity],
                            help="show the status of service jobs")
     p_sta.add_argument("--serve-dir", default="service", metavar="DIR",
@@ -621,6 +855,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sta.add_argument("--job", default=None, metavar="ID", help="show one job only")
     p_sta.add_argument("--store", default=None, metavar="PATH",
                        help="evaluation store to summarise (default DIR/store.jsonl)")
+    p_sta.add_argument("--url", default=None, metavar="URL",
+                       help="query a running fleet front-end instead of the spool")
     p_sta.set_defaults(func=cmd_status)
 
     p_top = sub.add_parser("top", parents=[verbosity],

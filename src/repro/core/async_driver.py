@@ -39,12 +39,15 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from collections.abc import Callable
 from concurrent.futures import FIRST_COMPLETED, Future, wait
+from typing import Any
 
 import numpy as np
 
 from repro.core.algorithms import CalibrationAlgorithm, get_algorithm
 from repro.core.budget import Budget, EvaluationBudget, remaining_evaluations
+from repro.core.calibrator import CHECKPOINT_VERSION
 from repro.core.evaluation import (
     CacheBackend,
     CacheKey,
@@ -58,6 +61,7 @@ from repro.core.history import Evaluation
 from repro.core.parallel import ObjectiveFunction, Outcome, ParallelEvaluator
 from repro.core.parameters import ParameterSpace
 from repro.core.result import CalibrationResult
+from repro.core.serialization import evaluation_from_dict, evaluation_to_dict
 from repro.telemetry.metrics import registry as _metrics_registry
 from repro.telemetry.tracing import Span, current_tracer
 
@@ -164,6 +168,16 @@ class AsyncCalibrator:
         out-of-order tells (``False`` — rejected if the algorithm cannot),
         or pick automatically from ``supports_async_tell`` (``None``, the
         default).
+    evaluator:
+        Inject the evaluation transport instead of constructing a local
+        :class:`~repro.core.parallel.ParallelEvaluator` pool (in which
+        case ``workers``/``mode`` are ignored).  Anything implementing
+        the same surface works — ``submit(mapping) -> Future[(value,
+        duration)]``, ``history``, ``elapsed``, ``reset_clock()``,
+        ``close()`` — notably the distributed fleet's task-board
+        evaluator (:class:`repro.service.fleet.FleetEvaluator`), which
+        hands candidates to pull-based worker processes instead of a
+        local pool.
     """
 
     #: deferred-lease poll cadence while futures are also pending / not
@@ -185,6 +199,7 @@ class AsyncCalibrator:
         record_cache_hits: bool = False,
         count_cache_hits: bool = False,
         ordered_tells: bool | None = None,
+        evaluator: ParallelEvaluator | None = None,
     ) -> None:
         self.space = space
         self.algorithm = get_algorithm(algorithm, **(algorithm_options or {}))
@@ -202,9 +217,12 @@ class AsyncCalibrator:
                     f"algorithm {self.algorithm.name!r} does not support out-of-order "
                     "tells; leave ordered_tells unset (or True) to use the buffering adapter"
                 )
-        self.evaluator = ParallelEvaluator(
-            objective_function, space, workers=workers, mode=mode, persistent=True
-        )
+        if evaluator is not None:
+            self.evaluator = evaluator
+        else:
+            self.evaluator = ParallelEvaluator(
+                objective_function, space, workers=workers, mode=mode, persistent=True
+            )
         self.max_pending = int(workers) if max_pending is None else int(max_pending)
         if self.max_pending < 1:
             raise ValueError("max_pending must be at least 1")
@@ -220,29 +238,142 @@ class AsyncCalibrator:
         self.count_cache_hits = bool(count_cache_hits)
         self.cache_hits = 0
         self.deferred_hits = 0  # points resolved from a concurrent driver's lease
+        self._rng: np.random.Generator | None = None
+        self._resume_elapsed = 0.0
+        #: serialized history records, memoized across checkpoints exactly
+        #: like the serial calibrator's (records are append-only)
+        self._serialized_history: list[dict[str, Any]] = []
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> dict[str, Any]:
+        """A JSON-compatible snapshot of the run, in the exact format of
+        :meth:`repro.core.calibrator.Calibrator.checkpoint` (same
+        ``CHECKPOINT_VERSION``, same keys), so the job spool persists both
+        interchangeably and an async snapshot can even be finished by the
+        serial driver.
+
+        The in-flight ledger is snapshotted through the algorithm's own
+        ``state_dict()``: candidates asked but not yet told — dispatched
+        futures, deferred leases, riders and completions parked in the
+        ordered adapter — are exactly the algorithm's asked-but-untold
+        ledger, which ``load_state_dict`` re-dispatches on resume.  A
+        resumed run therefore redoes precisely the work the interruption
+        lost (against a shared store those re-dispatches usually resolve
+        as cache hits) and nothing else; the history holds only released
+        (told) evaluations, so trajectory and budget accounting line up.
+
+        Only call between events on the driver thread (``on_checkpoint``)
+        or after :meth:`run` returns — the driver takes its own snapshots
+        at consistent points only.
+
+        With ``count_cache_hits`` on, pair it with ``record_cache_hits``
+        (the service does): counted first-seen hits must be visible in the
+        snapshot's history or the resumed budget loses their charges.
+        """
+        if self._rng is None:
+            raise RuntimeError("checkpoint() is only meaningful once run() has started")
+        history = self.evaluator.history
+        for index in range(len(self._serialized_history), len(history)):
+            self._serialized_history.append(evaluation_to_dict(history[index]))
+        return {
+            "version": CHECKPOINT_VERSION,
+            "algorithm": self.algorithm.name,
+            "seed": self.seed,
+            "elapsed": self.evaluator.elapsed,
+            "rng_state": self._rng.bit_generator.state,
+            "algorithm_state": self.algorithm.state_dict(),
+            "history": list(self._serialized_history),
+        }
+
+    def _restore(self, checkpoint: dict[str, Any], rng: np.random.Generator) -> None:
+        """Rebuild driver state from a snapshot (the async counterpart of
+        :meth:`Calibrator._restore` plus :meth:`Objective.preload`)."""
+        version = checkpoint.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this library reads version {CHECKPOINT_VERSION})"
+            )
+        if checkpoint.get("algorithm") != self.algorithm.name:
+            raise ValueError(
+                f"checkpoint is for algorithm {checkpoint.get('algorithm')!r}, "
+                f"not {self.algorithm.name!r}"
+            )
+        self.algorithm.setup(self.space)
+        self.algorithm.load_state_dict(checkpoint["algorithm_state"])
+        rng.bit_generator.state = checkpoint["rng_state"]
+        history = self.evaluator.history
+        for entry in checkpoint.get("history", []):
+            evaluation = evaluation_from_dict(entry)
+            unit = np.asarray(evaluation.unit, dtype=float)
+            key = unit_cache_key(unit, Objective.CACHE_DECIMALS)
+            if evaluation.cached:
+                self.cache_hits += 1
+                if self.count_cache_hits and key not in self._seen:
+                    self._budget_units += 1
+            else:
+                self._budget_units += 1
+                if self._cache is not None:
+                    self._cache.put(key, dict(evaluation.values), evaluation.value)
+            self._seen.add(key)
+            history.record(evaluation)
+            self._serialized_history.append(dict(entry))
+        # Continue the interrupted run's wall-clock so timestamps stay
+        # monotone and a time budget only gets its remaining seconds.
+        self._resume_elapsed = float(checkpoint.get("elapsed", 0.0))
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
-    def run(self) -> CalibrationResult:
+    def run(
+        self,
+        resume: dict[str, Any] | None = None,
+        checkpoint_every: int = 0,
+        on_checkpoint: Callable[[dict[str, Any]], None] | None = None,
+    ) -> CalibrationResult:
         """Ask speculatively, evaluate concurrently, tell out of order.
 
         The run ends when the budget is exhausted or the algorithm says it
         is done; in-flight work is always drained (and told), never
         discarded, so evaluation budgets are met exactly.
+
+        Parameters
+        ----------
+        resume:
+            A :meth:`checkpoint` snapshot to continue from; the restored
+            run finishes the interrupted trajectory (re-dispatching the
+            work that was in flight when the snapshot was taken) instead
+            of replaying it.
+        checkpoint_every:
+            Emit a snapshot to ``on_checkpoint`` roughly every this many
+            recorded evaluations (0 disables).  Snapshots are taken only
+            at consistent points — between completions on the driver
+            thread, never while the ordered adapter is mid-release.
+        on_checkpoint:
+            Callback receiving each snapshot (e.g. to persist it).
         """
-        rng = np.random.default_rng(self.seed)
-        self.algorithm.setup(self.space)
-        self._adapter = OrderedTellAdapter(self.algorithm) if self.ordered_tells else None
-        self.budget.start()
-        self.evaluator.reset_clock()
+        self._rng = rng = np.random.default_rng(self.seed)
         self.cache_hits = 0
         self.deferred_hits = 0
         self._seq = 0
         self._budget_units = 0
+        self._resume_elapsed = 0.0
+        self._serialized_history = []
         self._seen: set[CacheKey] = set()
         self._pending: list[_InFlight] = []
         self._inflight_keys: dict[CacheKey, _InFlight] = {}
+        if resume is None:
+            self.algorithm.setup(self.space)
+        else:
+            self._restore(resume, rng)
+        self._adapter = OrderedTellAdapter(self.algorithm) if self.ordered_tells else None
+        self._checkpoint_every = int(checkpoint_every)
+        self._on_checkpoint = on_checkpoint
+        self._last_checkpoint_len = len(self.evaluator.history)
+        self.budget.start(self._resume_elapsed)
+        self.evaluator.reset_clock(self._resume_elapsed)
         #: per-seq record metadata (mapping, started_at, finished_at, cached),
         #: parked alongside the adapter's buffer until the seq is released
         self._meta: dict[int, tuple[dict[str, float], float, float, bool]] = {}
@@ -301,16 +432,36 @@ class AsyncCalibrator:
     def _drive(self, rng: np.random.Generator) -> None:
         while True:
             asked = self._refill(rng)
+            self._maybe_checkpoint()
             if not self._pending:
                 if asked:
                     continue  # everything asked was answered by the cache
                 break  # nothing in flight and nothing left to ask: done
             self._await_completions()
+            self._maybe_checkpoint()
         # Budget exhausted (or algorithm done) with work still in flight:
         # drain it — the dispatches were charged, their results belong to
         # the history and the algorithm.
         while self._pending:
             self._await_completions()
+            self._maybe_checkpoint()
+
+    def _maybe_checkpoint(self) -> None:
+        """Emit a periodic snapshot between completions.
+
+        Called only at consistent points of the event loop: every release
+        burst of the ordered adapter has fully landed in the history, so
+        the algorithm's told-ledger and the snapshot's history agree —
+        checkpointing *inside* a release burst would snapshot an algorithm
+        that has been told results the history does not carry yet, and the
+        resumed run would lose them.
+        """
+        if self._checkpoint_every <= 0 or self._on_checkpoint is None:
+            return
+        recorded = len(self.evaluator.history)
+        if recorded - self._last_checkpoint_len >= self._checkpoint_every:
+            self._last_checkpoint_len = recorded
+            self._on_checkpoint(self.checkpoint())
 
     def _refill(self, rng: np.random.Generator) -> int:
         """Ask and launch candidates until capacity or budget runs out.

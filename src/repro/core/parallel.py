@@ -120,8 +120,11 @@ class ParallelEvaluator:
         """Wall-clock seconds since the evaluator was created (or reset)."""
         return time.perf_counter() - self._start_time
 
-    def reset_clock(self) -> None:
-        self._start_time = time.perf_counter()
+    def reset_clock(self, elapsed_offset: float = 0.0) -> None:
+        """Restart the clock; a resumed run passes the wall-clock its
+        checkpoint had already spent so new timestamps stay monotone
+        after the restored ones."""
+        self._start_time = time.perf_counter() - elapsed_offset
 
     def close(self) -> None:
         """Shut down a persistent pool (no-op otherwise)."""

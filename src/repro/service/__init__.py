@@ -20,7 +20,10 @@ calibration traffic:
 * :mod:`repro.service.case_study` — builds requests for the HEP case
   study from plain job specifications;
 * :mod:`repro.service.spool` — the directory layout behind the ``repro
-  submit`` / ``repro serve`` / ``repro status`` CLI subcommands.
+  submit`` / ``repro serve`` / ``repro status`` CLI subcommands;
+* :mod:`repro.service.fleet` — the distributed worker fleet: an HTTP
+  front-end plus pull-based ``repro worker`` processes claiming
+  evaluations through the store's lease protocol (``repro fleet``).
 
 Quick start (in-process):
 
@@ -38,7 +41,7 @@ Quick start (in-process):
         print(job.result.summary(), job.cache_hits)
 """
 
-from repro.service.cache import StoreBackedCache
+from repro.service.cache import JobCache, StoreBackedCache
 from repro.service.case_study import CaseStudyRequestFactory, spec_budget
 from repro.service.jobs import (
     CalibrationJob,
@@ -68,6 +71,7 @@ __all__ = [
     "CaseStudyRequestFactory",
     "EvaluationStore",
     "InMemoryStore",
+    "JobCache",
     "JobEvent",
     "JobQueue",
     "JobSpool",

@@ -35,10 +35,20 @@ from collections.abc import Mapping
 from repro.core.evaluation import CacheBackend, Claim, lease_deadline
 from repro.service.store import DEFAULT_LEASE_TTL, EvaluationStore, StoreClaim
 
-__all__ = ["StoreBackedCache"]
+__all__ = ["JobCache", "StoreBackedCache"]
 
 
-class StoreBackedCache(CacheBackend):
+class JobCache(CacheBackend):
+    """A cache a server job runs against: any
+    :class:`~repro.core.evaluation.CacheBackend` that additionally counts
+    first-seen store hits in ``hits`` for the job report.  The server's
+    ``_make_cache`` template hook returns one; the fleet server swaps in
+    a read-only variant that never takes leases."""
+
+    hits: int = 0
+
+
+class StoreBackedCache(JobCache):
     """A shared-store cache backend for one scenario fingerprint.
 
     Parameters

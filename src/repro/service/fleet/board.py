@@ -1,0 +1,207 @@
+"""The task board: open evaluation tasks a fleet server wants computed.
+
+A fleet job's driver posts one task per candidate; pull-based workers
+fetch the open tasks over HTTP, claim them through the store's lease
+protocol and publish results back, which resolves the posted future and
+lets the driver continue.  The board itself knows nothing about leases —
+cross-process single-flight is the *store's* job — it only deduplicates
+identical open points (two jobs on the same scenario reaching the same
+candidate share one task) and routes results to futures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any
+
+from repro.service.store import evaluation_key
+from repro.telemetry.metrics import registry as _metrics_registry
+
+_REGISTRY = _metrics_registry()
+
+__all__ = ["FleetTask", "TaskBoard"]
+
+Outcome = tuple[float, float]  # (objective value, worker-measured duration)
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetTask:
+    """One open evaluation: a candidate some job wants computed."""
+
+    id: str
+    job_id: str
+    fingerprint: str
+    values: dict[str, float]
+    #: the job specification the worker rebuilds the objective from
+    #: (platform / scale / icds / metric for case-study jobs)
+    spec: dict[str, Any]
+    created_at: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "id": self.id,
+            "job_id": self.job_id,
+            "fingerprint": self.fingerprint,
+            "values": dict(self.values),
+            "spec": dict(self.spec),
+            "created_at": self.created_at,
+        }
+
+
+@dataclasses.dataclass
+class _Entry:
+    task: FleetTask
+    futures: list[Future[Outcome]]
+
+
+class TaskBoard:
+    """Thread-safe registry of open tasks, deduplicated by content key."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._entries: dict[str, _Entry] = {}
+        self._by_key: dict[str, str] = {}  # evaluation key -> open task id
+        self._counter = 0
+
+    # ------------------------------------------------------------------ #
+    # producer side (the fleet server's drivers)
+    # ------------------------------------------------------------------ #
+    def post(
+        self,
+        job_id: str,
+        fingerprint: str,
+        values: dict[str, float],
+        spec: dict[str, Any],
+    ) -> Future[Outcome]:
+        """Register one candidate; returns the future its result lands on.
+
+        An identical point already open (same fingerprint and canonical
+        values, from any job) is *joined*, not re-posted: the new future
+        rides on the existing task and one worker evaluation settles both.
+        """
+        key = evaluation_key(fingerprint, values)
+        future: Future[Outcome] = Future()
+        with self._cond:
+            task_id = self._by_key.get(key)
+            if task_id is not None:
+                self._entries[task_id].futures.append(future)
+                return future
+            self._counter += 1
+            task_id = f"task-{self._counter:06d}"
+            task = FleetTask(
+                id=task_id,
+                job_id=job_id,
+                fingerprint=fingerprint,
+                values=dict(values),
+                spec=dict(spec),
+                created_at=time.time(),
+            )
+            self._entries[task_id] = _Entry(task, [future])
+            self._by_key[key] = task_id
+            self._cond.notify_all()
+        reg = _REGISTRY if _REGISTRY.enabled else None
+        if reg is not None:
+            reg.counter(
+                "repro_fleet_tasks_posted_total", "Evaluation tasks posted to the board."
+            ).inc()
+            reg.gauge(
+                "repro_fleet_tasks_open", "Evaluation tasks currently open on the board."
+            ).set(len(self))
+        return future
+
+    def withdraw_job(self, job_id: str) -> int:
+        """Drop a job's still-open tasks (its driver is done or failed).
+
+        Futures other jobs attached to a shared task keep the task alive;
+        only tasks whose *owning* job matches and are still unresolved are
+        removed, their futures cancelled.
+        """
+        cancelled: list[Future[Outcome]] = []
+        with self._cond:
+            for task_id in [
+                tid for tid, e in self._entries.items() if e.task.job_id == job_id
+            ]:
+                entry = self._entries.pop(task_id)
+                self._by_key.pop(
+                    evaluation_key(entry.task.fingerprint, entry.task.values), None
+                )
+                cancelled.extend(entry.futures)
+        for future in cancelled:
+            future.cancel()
+        return len(cancelled)
+
+    # ------------------------------------------------------------------ #
+    # consumer side (the HTTP front-end, on behalf of workers)
+    # ------------------------------------------------------------------ #
+    def open_tasks(self) -> list[FleetTask]:
+        with self._cond:
+            return [entry.task for entry in self._entries.values()]
+
+    def wait_for_tasks(self, timeout: float) -> list[FleetTask]:
+        """Open tasks, long-polling up to ``timeout`` seconds for one."""
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._cond:
+            while not self._entries:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    break
+            return [entry.task for entry in self._entries.values()]
+
+    def resolve(self, task_id: str, value: float, duration: float = 0.0) -> bool:
+        """Publish a result; resolves every future riding on the task.
+
+        Idempotent in effect: a second publish of an already-resolved
+        task returns ``False`` and changes nothing (two workers racing a
+        lease takeover are expected to collide here occasionally).
+        """
+        with self._cond:
+            entry = self._entries.pop(task_id, None)
+            if entry is None:
+                return False
+            self._by_key.pop(
+                evaluation_key(entry.task.fingerprint, entry.task.values), None
+            )
+        # Futures are settled outside the lock: set_result wakes driver
+        # threads immediately and must not do so while holding the board.
+        for future in entry.futures:
+            future.set_result((float(value), float(duration)))
+        reg = _REGISTRY if _REGISTRY.enabled else None
+        if reg is not None:
+            reg.counter(
+                "repro_fleet_tasks_resolved_total", "Evaluation tasks resolved by workers."
+            ).inc()
+            reg.gauge(
+                "repro_fleet_tasks_open", "Evaluation tasks currently open on the board."
+            ).set(len(self))
+        return True
+
+    def fail(self, task_id: str, message: str) -> bool:
+        """A worker reports the evaluation itself raised: the error is
+        delivered through the futures so the owning driver fails loudly
+        instead of waiting forever.  (A worker *dying* is not a failure —
+        its lease expires and another worker takes the task over.)"""
+        with self._cond:
+            entry = self._entries.pop(task_id, None)
+            if entry is None:
+                return False
+            self._by_key.pop(
+                evaluation_key(entry.task.fingerprint, entry.task.values), None
+            )
+        for future in entry.futures:
+            future.set_exception(RuntimeError(message))
+        reg = _REGISTRY if _REGISTRY.enabled else None
+        if reg is not None:
+            reg.counter(
+                "repro_fleet_tasks_failed_total", "Evaluation tasks failed by workers."
+            ).inc()
+            reg.gauge(
+                "repro_fleet_tasks_open", "Evaluation tasks currently open on the board."
+            ).set(len(self))
+        return True
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._entries)

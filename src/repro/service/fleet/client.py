@@ -1,0 +1,125 @@
+"""The thin HTTP client for the fleet front-end (stdlib ``urllib`` only).
+
+Spoken by three parties: ``repro submit --url`` (post a job
+specification), ``repro status --url`` (read job status and live
+leases), and ``repro worker`` (fetch open tasks, publish results).
+Every method is one JSON round-trip; transport failures surface as
+:class:`FleetClientError` so callers can distinguish "front-end is
+down" from evaluation errors.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+__all__ = ["FleetClient", "FleetClientError"]
+
+
+class FleetClientError(RuntimeError):
+    """The front-end was unreachable or answered with an error status."""
+
+
+class FleetClient:
+    """Talks to one fleet front-end at ``url`` (e.g. ``http://host:8123``)."""
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _request(
+        self,
+        path: str,
+        payload: dict[str, Any] | None = None,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        request = urllib.request.Request(
+            f"{self.url}{path}",
+            data=None if payload is None else json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="GET" if payload is None else "POST",
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            ) as response:
+                data = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:
+                pass
+            raise FleetClientError(
+                f"{request.method} {path} -> HTTP {exc.code}" + (f": {detail}" if detail else "")
+            ) from None
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+            raise FleetClientError(f"{request.method} {path} failed: {exc}") from None
+        if not isinstance(data, dict):
+            raise FleetClientError(f"{request.method} {path}: expected a JSON object")
+        return data
+
+    # ------------------------------------------------------------------ #
+    # job side
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict[str, Any]:
+        return self._request("/api/health")
+
+    def submit(self, spec: dict[str, Any]) -> str:
+        """Post one job specification; returns the assigned job id."""
+        return str(self._request("/api/jobs", payload=dict(spec))["id"])
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return list(self._request("/api/jobs")["jobs"])
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request(f"/api/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The finished job's full result (raises while it is running)."""
+        return self._request(f"/api/jobs/{job_id}/result")
+
+    def events(self, job_id: str, since: int = 0) -> list[dict[str, Any]]:
+        return list(self._request(f"/api/jobs/{job_id}/events?since={int(since)}")["events"])
+
+    def wait(self, job_id: str, timeout: float = 300.0, poll: float = 0.25) -> dict[str, Any]:
+        """Poll until the job reaches a terminal status; returns its record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record.get("status") in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise FleetClientError(
+                    f"job {job_id!r} still {record.get('status')!r} after {timeout:g}s"
+                )
+            time.sleep(poll)
+
+    # ------------------------------------------------------------------ #
+    # worker side
+    # ------------------------------------------------------------------ #
+    def tasks(self, wait: float = 0.0) -> list[dict[str, Any]]:
+        """Open evaluation tasks; ``wait`` long-polls until one appears."""
+        suffix = f"?wait={wait:g}" if wait > 0 else ""
+        # The HTTP timeout must outlive the server-side long-poll.
+        return list(
+            self._request(f"/api/tasks{suffix}", timeout=self.timeout + wait)["tasks"]
+        )
+
+    def publish(self, task_id: str, value: float, duration: float = 0.0) -> bool:
+        """Publish a computed result; False if the task was already gone."""
+        data = self._request(
+            f"/api/tasks/{task_id}/publish",
+            payload={"value": float(value), "duration": float(duration)},
+        )
+        return bool(data.get("resolved"))
+
+    def fail(self, task_id: str, message: str) -> bool:
+        data = self._request(f"/api/tasks/{task_id}/fail", payload={"message": message})
+        return bool(data.get("failed"))

@@ -1,0 +1,65 @@
+"""Deterministic fault injection for fleet workers.
+
+Worker failure must be a first-class, testable event — not an accident a
+test tries to time with signals.  A :class:`FaultInjector` is threaded
+into the worker's claim/publish path and fires at exact, configurable
+points:
+
+* ``kill_after_claims=N`` — die on the Nth successful claim, *before*
+  evaluating.  ``os._exit`` skips every ``finally``/``atexit`` cleanup,
+  which is as close to SIGKILL as the process can do to itself: the
+  store lease stays live and must expire via its TTL before another
+  worker can take the point over.  Because death precedes evaluation,
+  recovery costs **zero** duplicate simulator invocations.
+* ``drop_publish=N`` — die on the Nth publish, *after* evaluating but
+  before the result reaches the store or the front-end.  The computed
+  value is lost with the process, so recovery re-evaluates the point:
+  exactly **one** duplicate invocation.
+* ``publish_delay`` — sleep this long before each publish (result
+  arrives, just late), for exercising poll/timeout paths.
+
+The exit codes are distinct so tests can assert the worker died at the
+intended point and not by accident.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+__all__ = ["FaultInjector", "KILLED_ON_CLAIM", "DIED_IN_PUBLISH"]
+
+#: exit status of a worker killed by ``kill_after_claims``
+KILLED_ON_CLAIM = 43
+#: exit status of a worker killed by ``drop_publish``
+DIED_IN_PUBLISH = 44
+
+
+class FaultInjector:
+    """Injects failures at exact points of the worker loop."""
+
+    def __init__(
+        self,
+        kill_after_claims: int = 0,
+        drop_publish: int = 0,
+        publish_delay: float = 0.0,
+    ) -> None:
+        self.kill_after_claims = int(kill_after_claims)
+        self.drop_publish = int(drop_publish)
+        self.publish_delay = float(publish_delay)
+        self.claims = 0
+        self.publishes = 0
+
+    def on_claim(self) -> None:
+        """Called right after each successful store claim."""
+        self.claims += 1
+        if self.kill_after_claims and self.claims >= self.kill_after_claims:
+            os._exit(KILLED_ON_CLAIM)
+
+    def on_publish(self) -> None:
+        """Called after evaluation, before the store put + HTTP publish."""
+        self.publishes += 1
+        if self.publish_delay > 0:
+            time.sleep(self.publish_delay)
+        if self.drop_publish and self.publishes >= self.drop_publish:
+            os._exit(DIED_IN_PUBLISH)

@@ -1,0 +1,266 @@
+"""The pull-based fleet worker: claim, evaluate, publish.
+
+A worker process owns no job state.  It long-polls the front-end for
+open tasks, races other workers for each one through the *store's* lease
+protocol (the only cross-process arbiter), evaluates the claimed points
+with a locally reconstructed objective, writes results to the shared
+store and publishes them back over HTTP:
+
+.. code-block:: text
+
+    fetch tasks ──> store.claim(point, owner, ttl)
+                       │
+           ┌───────────┼───────────────┐
+           hit         claimed         leased (another worker owns it)
+           │           │               │
+           publish     evaluate        skip — repoll; if its lease
+           stored      store.put       expires unpublished, a later
+           value       publish         claim takes the point over
+
+A worker that dies mid-claim simply stops renewing its lease: after the
+TTL any other worker's ``claim`` returns ``claimed`` and the point is
+recomputed.  No heartbeats, no membership protocol — the lease table is
+the entire failure model.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import uuid
+from collections.abc import Callable
+from pathlib import Path
+from typing import Any
+
+from repro.service.fleet.client import FleetClient, FleetClientError
+from repro.service.fleet.faults import FaultInjector
+from repro.service.store import DEFAULT_LEASE_TTL, EvaluationStore, StoreClaim
+from repro.telemetry.metrics import registry as _metrics_registry
+
+_REGISTRY = _metrics_registry()
+
+__all__ = ["FleetWorker", "case_study_resolver"]
+
+ObjectiveFunction = Callable[[dict[str, float]], float]
+ObjectiveResolver = Callable[[dict[str, Any]], ObjectiveFunction]
+
+
+def case_study_resolver() -> ObjectiveResolver:
+    """The default resolver: rebuild a case-study objective from a task's
+    job specification (platform / scale / icds / metric), caching the
+    ground truth per scenario exactly like the server side does."""
+    from repro.service.case_study import CaseStudyRequestFactory
+
+    factory = CaseStudyRequestFactory()
+
+    def resolve(spec: dict[str, Any]) -> ObjectiveFunction:
+        if "platform" not in spec:
+            raise ValueError(
+                "task carries no case-study specification; this worker "
+                "cannot reconstruct its objective"
+            )
+        problem = factory.problem(
+            platform=spec["platform"],
+            scale=spec.get("scale", "calib"),
+            icds=spec.get("icds"),
+            metric=spec.get("metric", "mre"),
+        )
+        return problem.objective
+
+    return resolve
+
+
+class FleetWorker:
+    """One pull-based evaluation process.
+
+    Parameters
+    ----------
+    client:
+        The front-end connection (tasks / publish / fail).
+    store:
+        The shared evaluation store — must be the same backend the server
+        reads (for separate processes: the same SQLite file).
+    resolver:
+        Maps a task's job specification to an objective callable;
+        defaults to the case-study resolver.
+    owner:
+        Lease-owner identity; defaults to ``worker-<pid>-<random>``.
+    lease_ttl:
+        Seconds a claim may stay unpublished before other workers may
+        take the point over.  Make it comfortably longer than one
+        evaluation.
+    poll:
+        Long-poll duration for the task fetch (also the retry pause when
+        the front-end is unreachable).
+    fault:
+        Optional :class:`~repro.service.fleet.faults.FaultInjector`.
+    stats_path:
+        When set, worker counters are rewritten (atomically) to this
+        JSON file after every step — the fault-injection tests read the
+        file back to prove zero-duplicate accounting even though the
+        process dies without warning.
+    """
+
+    def __init__(
+        self,
+        client: FleetClient,
+        store: EvaluationStore,
+        resolver: ObjectiveResolver | None = None,
+        owner: str | None = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        poll: float = 0.5,
+        fault: FaultInjector | None = None,
+        stats_path: str | Path | None = None,
+    ) -> None:
+        self.client = client
+        self.store = store
+        self.resolver = resolver if resolver is not None else case_study_resolver()
+        self.owner = owner or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        self.lease_ttl = float(lease_ttl)
+        self.poll = float(poll)
+        self.fault = fault if fault is not None else FaultInjector()
+        self.stats_path = Path(stats_path) if stats_path is not None else None
+        self.stats: dict[str, int] = {
+            "claims": 0,
+            "evaluations": 0,
+            "publishes": 0,
+            "store_hits": 0,
+            "lease_skips": 0,
+            "failures": 0,
+        }
+        self._objectives: dict[str, ObjectiveFunction] = {}
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    def _bump(self, counter: str) -> None:
+        self.stats[counter] += 1
+        reg = _REGISTRY if _REGISTRY.enabled else None
+        if reg is not None and counter in ("claims", "evaluations", "publishes"):
+            name = f"repro_fleet_worker_{counter}_total"
+            reg.counter(name, _WORKER_METRIC_HELP[name], owner=self.owner).inc()
+        self._write_stats()
+
+    def _write_stats(self) -> None:
+        if self.stats_path is None:
+            return
+        record = {"owner": self.owner, **self.stats}
+        fd, tmp = tempfile.mkstemp(dir=str(self.stats_path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle)
+            os.replace(tmp, self.stats_path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def _objective_for(self, spec: dict[str, Any]) -> ObjectiveFunction:
+        key = json.dumps(spec, sort_keys=True)
+        if key not in self._objectives:
+            self._objectives[key] = self.resolver(spec)
+        return self._objectives[key]
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+    def handle_task(self, task: dict[str, Any]) -> bool:
+        """Race for one task; returns True when this worker settled it
+        (published a value or reported a failure), False when it was
+        leased to someone else (or already resolved)."""
+        fingerprint = str(task["fingerprint"])
+        values = {str(k): float(v) for k, v in task["values"].items()}
+        claim = self.store.claim(fingerprint, values, owner=self.owner, ttl=self.lease_ttl)
+        if claim.status == StoreClaim.LEASED:
+            # Another worker is computing this point right now.  If it
+            # dies, its lease expires after the TTL and a later claim
+            # here returns "claimed" — the takeover needs no extra code.
+            self._bump("lease_skips")
+            return False
+        if claim.status == StoreClaim.HIT:
+            # Stored already (e.g. published between the fetch and now):
+            # just relay the value so the task resolves promptly.
+            self._bump("store_hits")
+            self._publish(str(task["id"]), float(claim.value or 0.0), 0.0)
+            return True
+        self._bump("claims")
+        self.fault.on_claim()  # may never return
+        try:
+            objective = self._objective_for(dict(task.get("spec") or {}))
+            started = time.perf_counter()
+            value = float(objective(values))
+            duration = time.perf_counter() - started
+        except Exception as exc:
+            # The evaluation itself is broken (not the worker): release
+            # the lease so nobody waits out the TTL, and fail the task
+            # loudly so the owning job errors instead of hanging.
+            self.store.release(fingerprint, values, owner=self.owner)
+            self._bump("failures")
+            try:
+                self.client.fail(str(task["id"]), f"{type(exc).__name__}: {exc}")
+            except FleetClientError:
+                pass  # the lease is released; the task will be re-claimed
+            return True
+        self._bump("evaluations")
+        self.fault.on_publish()  # may sleep, may never return
+        self.store.put(fingerprint, values, value)  # also drops our lease
+        if self._publish(str(task["id"]), value, duration):
+            self._bump("publishes")
+        return True
+
+    def _publish(self, task_id: str, value: float, duration: float) -> bool:
+        """Publish over HTTP, tolerating a dead front-end: the value is
+        already in the store at this point, so a restarted front-end's
+        store poller (or the next worker's hit-relay) resolves the task
+        — losing the round-trip must not kill this worker."""
+        try:
+            return self.client.publish(task_id, value, duration)
+        except FleetClientError:
+            return False
+
+    def run(self, max_tasks: int | None = None, max_idle: float | None = None) -> int:
+        """Pull and evaluate until told to stop; returns tasks settled.
+
+        ``max_tasks`` bounds settled tasks; ``max_idle`` exits after that
+        many consecutive seconds without any open task (how test and
+        batch workers terminate once the fleet goes quiet).
+        """
+        settled = 0
+        self._write_stats()
+        last_activity = time.monotonic()
+        while True:
+            try:
+                tasks = self.client.tasks(wait=self.poll)
+            except FleetClientError:
+                # Front-end briefly unreachable (restart, not yet up):
+                # retry after a pause rather than dying — the worker's
+                # only state is its leases, which survive regardless.
+                tasks = []
+                time.sleep(self.poll)
+            progressed = False
+            for task in tasks:
+                if self.handle_task(task):
+                    settled += 1
+                    progressed = True
+                if max_tasks is not None and settled >= max_tasks:
+                    return settled
+            if tasks:
+                # Open tasks count as activity even when every one is
+                # leased elsewhere: a worker waiting out a dead peer's
+                # lease TTL must not give up as "idle" first.
+                last_activity = time.monotonic()
+                if not progressed:
+                    # Pause one poll interval so the skip loop cannot
+                    # spin hot while waiting on other workers' leases.
+                    time.sleep(self.poll)
+            elif max_idle is not None and time.monotonic() - last_activity >= max_idle:
+                return settled
+
+
+_WORKER_METRIC_HELP = {
+    "repro_fleet_worker_claims_total": "Store claims won by fleet workers.",
+    "repro_fleet_worker_evaluations_total": "Objective evaluations run by fleet workers.",
+    "repro_fleet_worker_publishes_total": "Results published by fleet workers.",
+}

@@ -39,12 +39,15 @@ snapshots next to the job spool).
 from __future__ import annotations
 
 import threading
+import time
 import traceback
 from collections.abc import Callable
+from typing import Any
 
 from repro.core.budget import EvaluationBudget
 from repro.core.calibrator import Calibrator
-from repro.service.cache import StoreBackedCache
+from repro.core.result import CalibrationResult
+from repro.service.cache import JobCache, StoreBackedCache
 from repro.service.jobs import CalibrationJob, CalibrationRequest, JobEvent, JobQueue, JobStatus
 from repro.service.store import EvaluationStore, InMemoryStore
 from repro.telemetry.metrics import registry as _metrics_registry
@@ -146,23 +149,49 @@ class CalibrationServer:
     def drain(self, timeout: float | None = None) -> bool:
         """Block until every submitted job has finished.
 
-        Returns False if ``timeout`` elapsed first.
+        Returns ``False`` when ``timeout`` elapsed first — the timeout is
+        a global deadline, not per-job — or as soon as the whole worker
+        pool has died with jobs still unfinished: a job whose worker was
+        killed mid-run can never complete, so waiting on it (even without
+        a timeout) would hang forever.
         """
-        with self._jobs_lock:
-            jobs = list(self.jobs.values())
-        for job in jobs:
-            if not job.wait(timeout):
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._jobs_lock:
+                jobs = list(self.jobs.values())
+            pending = [job for job in jobs if not job.wait(0)]
+            if not pending:
+                return True
+            if not any(thread.is_alive() for thread in self._workers):
                 return False
-        return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            # Short slices so a dead pool / elapsed deadline is noticed
+            # promptly even while some job will never set its event.
+            pending[0].wait(0.1)
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting jobs; optionally wait for the backlog to finish."""
+        """Stop accepting jobs; optionally wait for the backlog to finish.
+
+        Workers only exit once the queue backlog drains, so after the
+        joins anything still queued was stranded by a dying pool (every
+        worker thread crashed out): those jobs are failed and released so
+        no waiter blocks on work that can never run.
+        """
         with self._jobs_lock:
             self._shutdown = True
         self.queue.close()
         if wait:
             for thread in self._workers:
                 thread.join()
+            while True:
+                job = self.queue.pop(timeout=0)
+                if job is None:
+                    break
+                job.status = JobStatus.FAILED
+                job.error = "the worker pool died before the job ran"
+                self._emit(job, "failed", f"{job.id} failed: {job.error}")
+                job.mark_done()
 
     def __enter__(self) -> CalibrationServer:
         return self
@@ -178,35 +207,72 @@ class CalibrationServer:
             job = self.queue.pop()
             if job is None:
                 return
-            self._run_job(job)
+            try:
+                self._run_job(job)
+            except BaseException:
+                # _run_job only lets non-Exception escapes through
+                # (SystemExit/KeyboardInterrupt raised by an objective,
+                # interpreter teardown).  The thread is about to die —
+                # fail the job and release its waiters first so drain()
+                # and shutdown() don't block on it forever.
+                if not job.finished:
+                    job.status = JobStatus.FAILED
+                    job.error = "worker died mid-job"
+                    self._emit(job, "failed", f"{job.id} failed: {job.error}")
+                job.mark_done()
+                raise
+
+    # ------------------------------------------------------------------ #
+    # template hooks — subclasses (the fleet server) override these to
+    # swap the cache claim semantics and the calibration driver without
+    # re-implementing job lifecycle, events or metrics.
+    # ------------------------------------------------------------------ #
+    def _make_cache(self, request: CalibrationRequest) -> JobCache:
+        """Build the evaluation cache one job runs against."""
+        return StoreBackedCache(
+            self.store, request.fingerprint, dedupe_in_flight=self.dedupe_in_flight
+        )
+
+    def _execute(
+        self,
+        job: CalibrationJob,
+        objective: Callable[[dict[str, float]], float],
+        cache: JobCache,
+        on_checkpoint: Callable[[dict[str, Any]], None] | None,
+    ) -> CalibrationResult:
+        """Run one job's calibration to completion."""
+        request = job.request
+        calibrator = Calibrator(
+            request.space,
+            objective,
+            algorithm=request.algorithm,
+            budget=request.budget if request.budget is not None else EvaluationBudget(100),
+            seed=request.seed,
+            cache=cache,
+            # First-seen cache hits stay visible in the history and
+            # charge the budget: a fully warm job performs zero
+            # simulator invocations yet replays the cold run's
+            # trajectory and terminates at the same point (in-run
+            # revisits stay free, as in a plain calibrator).
+            record_cache_hits=True,
+            count_cache_hits=True,
+            algorithm_options=request.algorithm_options,
+        )
+        return calibrator.run(
+            resume=request.checkpoint,
+            checkpoint_every=request.checkpoint_every,
+            on_checkpoint=on_checkpoint,
+        )
 
     def _run_job(self, job: CalibrationJob) -> None:
         request = job.request
         job.status = JobStatus.RUNNING
         self._emit(job, "started", f"{job.id} running ({request.algorithm})")
-        cache = StoreBackedCache(
-            self.store, request.fingerprint, dedupe_in_flight=self.dedupe_in_flight
-        )
+        cache = self._make_cache(request)
         objective = request.objective
         if self.progress_every > 0:
             objective = self._with_progress(job, objective)
         try:
-            calibrator = Calibrator(
-                request.space,
-                objective,
-                algorithm=request.algorithm,
-                budget=request.budget if request.budget is not None else EvaluationBudget(100),
-                seed=request.seed,
-                cache=cache,
-                # First-seen cache hits stay visible in the history and
-                # charge the budget: a fully warm job performs zero
-                # simulator invocations yet replays the cold run's
-                # trajectory and terminates at the same point (in-run
-                # revisits stay free, as in a plain calibrator).
-                record_cache_hits=True,
-                count_cache_hits=True,
-                algorithm_options=request.algorithm_options,
-            )
             on_checkpoint = None
             if request.checkpoint_every > 0:
 
@@ -222,11 +288,7 @@ class CalibrationServer:
                         state=state,
                     )
 
-            result = calibrator.run(
-                resume=request.checkpoint,
-                checkpoint_every=request.checkpoint_every,
-                on_checkpoint=on_checkpoint,
-            )
+            result = self._execute(job, objective, cache, on_checkpoint)
         except Exception as exc:
             job.status = JobStatus.FAILED
             job.error = f"{type(exc).__name__}: {exc}"
@@ -254,7 +316,7 @@ class CalibrationServer:
         job.mark_done()
 
     @staticmethod
-    def _count_job(job: CalibrationJob, cache: StoreBackedCache) -> None:
+    def _count_job(job: CalibrationJob, cache: JobCache) -> None:
         """Mirror one finished/failed job into the metrics registry."""
         if not _REGISTRY.enabled:
             return

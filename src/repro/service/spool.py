@@ -39,6 +39,11 @@ from pathlib import Path
 from collections.abc import Sequence
 from typing import Any
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
 from repro.core.result import CalibrationResult
 from repro.core.serialization import load_result, save_result
 
@@ -172,10 +177,31 @@ class JobSpool:
     # server-side updates
     # ------------------------------------------------------------------ #
     def update(self, job_id: str, **fields: Any) -> dict[str, Any]:
-        """Merge ``fields`` into the job record (atomic rewrite)."""
-        record = self.load(job_id)
-        record.update(fields)
-        self._write_json(self.job_path(job_id), record)
+        """Merge ``fields`` into the job record.
+
+        The rewrite itself is atomic (temp file + ``os.replace``), and
+        the read-modify-write cycle is serialised across threads *and*
+        processes by an exclusive ``flock`` on a ``.lock`` file next to
+        the record — two concurrent writers updating different fields of
+        one job (a fleet front-end recording progress while a worker
+        publishes counters) can no longer silently drop each other's
+        merge.  The lock file does not match the ``job-*.json`` listing
+        glob and is left in place.
+        """
+        path = self.job_path(job_id)
+        if fcntl is None:  # pragma: no cover - non-POSIX: atomic rewrite only
+            record = self.load(job_id)
+            record.update(fields)
+            self._write_json(path, record)
+            return record
+        with open(path.with_suffix(".lock"), "w") as lock:
+            fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+            try:
+                record = self.load(job_id)
+                record.update(fields)
+                self._write_json(path, record)
+            finally:
+                fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
         return record
 
     def write_result(self, job_id: str, result: CalibrationResult) -> Path:

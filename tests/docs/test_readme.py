@@ -20,6 +20,7 @@ README = REPO_ROOT / "README.md"
 DOCS = [
     README,
     REPO_ROOT / "docs" / "architecture.md",
+    REPO_ROOT / "docs" / "distributed.md",
     REPO_ROOT / "docs" / "observability.md",
 ]
 

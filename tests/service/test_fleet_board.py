@@ -1,0 +1,156 @@
+"""Fleet building blocks: the task board, the lease-free job cache, the
+evaluator transport, and the fault injector's counting."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import Parameter, ParameterSpace
+from repro.core.evaluation import Claim
+from repro.service import InMemoryStore
+from repro.service.fleet import FaultInjector, FleetEvaluator, StoreReadCache, TaskBoard
+
+
+def make_space():
+    return ParameterSpace([Parameter("x", 1.0, 16.0), Parameter("y", 1.0, 16.0)])
+
+
+class TestTaskBoard:
+    def test_post_resolve_round_trip(self):
+        board = TaskBoard()
+        future = board.post("job-1", "fp", {"x": 2.0, "y": 3.0}, {"platform": "FCSN"})
+        assert len(board) == 1
+        (task,) = board.open_tasks()
+        assert task.job_id == "job-1"
+        assert task.values == {"x": 2.0, "y": 3.0}
+        assert task.spec == {"platform": "FCSN"}
+        assert board.resolve(task.id, 7.5, 0.25) is True
+        assert future.result(timeout=1) == (7.5, 0.25)
+        assert len(board) == 0
+
+    def test_identical_open_points_share_one_task(self):
+        board = TaskBoard()
+        first = board.post("job-1", "fp", {"x": 2.0, "y": 3.0}, {})
+        second = board.post("job-2", "fp", {"x": 2.0, "y": 3.0}, {})
+        assert len(board) == 1, "the identical point must join, not re-post"
+        (task,) = board.open_tasks()
+        board.resolve(task.id, 1.0)
+        assert first.result(timeout=1)[0] == 1.0
+        assert second.result(timeout=1)[0] == 1.0
+
+    def test_different_fingerprints_do_not_share(self):
+        board = TaskBoard()
+        board.post("job-1", "fp-a", {"x": 2.0, "y": 3.0}, {})
+        board.post("job-1", "fp-b", {"x": 2.0, "y": 3.0}, {})
+        assert len(board) == 2
+
+    def test_double_resolve_is_benign(self):
+        board = TaskBoard()
+        board.post("job-1", "fp", {"x": 2.0, "y": 3.0}, {})
+        (task,) = board.open_tasks()
+        assert board.resolve(task.id, 1.0) is True
+        # A second worker losing the publish race must get False, not an error.
+        assert board.resolve(task.id, 2.0) is False
+
+    def test_fail_delivers_the_error_through_the_future(self):
+        board = TaskBoard()
+        future = board.post("job-1", "fp", {"x": 2.0, "y": 3.0}, {})
+        (task,) = board.open_tasks()
+        assert board.fail(task.id, "simulator exploded") is True
+        with pytest.raises(RuntimeError, match="simulator exploded"):
+            future.result(timeout=1)
+
+    def test_withdraw_job_cancels_only_that_jobs_tasks(self):
+        board = TaskBoard()
+        mine = board.post("job-1", "fp", {"x": 2.0, "y": 3.0}, {})
+        other = board.post("job-2", "fp", {"x": 5.0, "y": 6.0}, {})
+        assert board.withdraw_job("job-1") == 1
+        assert mine.cancelled()
+        assert not other.cancelled()
+        assert len(board) == 1
+
+    def test_wait_for_tasks_long_polls_until_a_post(self):
+        board = TaskBoard()
+
+        def post_later():
+            time.sleep(0.1)
+            board.post("job-1", "fp", {"x": 2.0, "y": 3.0}, {})
+
+        thread = threading.Thread(target=post_later)
+        start = time.monotonic()
+        thread.start()
+        tasks = board.wait_for_tasks(5.0)
+        elapsed = time.monotonic() - start
+        thread.join()
+        assert len(tasks) == 1
+        assert elapsed < 4.0, "the long-poll must return on the post, not the timeout"
+
+    def test_wait_for_tasks_times_out_empty(self):
+        board = TaskBoard()
+        start = time.monotonic()
+        assert board.wait_for_tasks(0.1) == []
+        assert time.monotonic() - start < 2.0
+
+
+class TestStoreReadCache:
+    def test_never_leases(self):
+        store = InMemoryStore()
+        cache = StoreReadCache(store, "fp")
+        claim = cache.claim(("fp", "k"), {"x": 2.0})
+        assert claim.status == Claim.CLAIMED
+        # Unlike StoreBackedCache, no lease was recorded in the store.
+        assert store.lease_count() == 0
+
+    def test_hits_count_stored_points(self):
+        store = InMemoryStore()
+        store.put("fp", {"x": 2.0}, 9.0)
+        cache = StoreReadCache(store, "fp")
+        claim = cache.claim(("fp", "k"), {"x": 2.0})
+        assert claim.status == Claim.HIT and claim.value == 9.0
+        assert cache.hits == 1
+        assert cache.get(("fp", "k"), {"x": 2.0}) == 9.0
+        assert cache.hits == 2
+
+    def test_put_and_poll_round_trip(self):
+        store = InMemoryStore()
+        cache = StoreReadCache(store, "fp")
+        assert cache.poll(("fp", "k"), {"x": 2.0}) is None
+        cache.put(("fp", "k"), {"x": 2.0}, 4.5)
+        assert cache.poll(("fp", "k"), {"x": 2.0}) == 4.5
+        cache.cancel(("fp", "k"), {"x": 2.0})  # must be a harmless no-op
+
+
+class TestFleetEvaluator:
+    def test_submit_posts_and_close_withdraws(self):
+        board = TaskBoard()
+        evaluator = FleetEvaluator(board, "job-1", "fp", spec={"platform": "FCSN"},
+                                   space=make_space())
+        future = evaluator.submit({"x": 2.0, "y": 3.0})
+        (task,) = board.open_tasks()
+        assert task.spec == {"platform": "FCSN"}
+        board.resolve(task.id, 3.25, 0.5)
+        assert future.result(timeout=1) == (3.25, 0.5)
+        evaluator.submit({"x": 4.0, "y": 5.0})
+        evaluator.close()
+        assert len(board) == 0
+
+    def test_clock_surface(self):
+        evaluator = FleetEvaluator(TaskBoard(), "job-1", "fp")
+        evaluator.reset_clock(elapsed_offset=10.0)
+        assert evaluator.elapsed >= 10.0
+
+
+class TestFaultInjector:
+    def test_disabled_injector_never_fires(self):
+        fault = FaultInjector()
+        for _ in range(100):
+            fault.on_claim()
+            fault.on_publish()
+        assert fault.claims == 100 and fault.publishes == 100
+
+    def test_publish_delay_sleeps_without_dying(self):
+        fault = FaultInjector(publish_delay=0.05)
+        start = time.monotonic()
+        fault.on_publish()
+        assert time.monotonic() - start >= 0.05

@@ -1,0 +1,299 @@
+"""The in-process fleet: server + HTTP front-end + worker over one store.
+
+Everything here runs in one process (workers as threads) so the tests are
+fast and deterministic; the cross-process story — real subprocesses dying
+mid-lease — lives in ``tests/integration/test_fleet.py``.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.core import Calibrator, EvaluationBudget, Parameter, ParameterSpace
+from repro.service import CalibrationRequest, InMemoryStore, JobStatus
+from repro.service.fleet import (
+    FleetClient,
+    FleetClientError,
+    FleetFrontend,
+    FleetServer,
+    FleetWorker,
+)
+
+
+def make_space():
+    return ParameterSpace([Parameter("x", 1.0, 16.0), Parameter("y", 1.0, 16.0)])
+
+
+def quadratic(values):
+    return (values["x"] - 4.0) ** 2 + (values["y"] - 9.0) ** 2
+
+
+def forbidden(values):
+    raise AssertionError("a fleet job must evaluate on workers, not the server")
+
+
+def make_request(space, fn=forbidden, algorithm="random", evaluations=20, seed=7,
+                 fingerprint="fp-fleet"):
+    return CalibrationRequest(
+        space=space,
+        objective=fn,
+        fingerprint=fingerprint,
+        algorithm=algorithm,
+        budget=EvaluationBudget(evaluations),
+        seed=seed,
+    )
+
+
+def run_worker_thread(client, store, calls=None, **kwargs):
+    """A fleet worker as a daemon thread with a local quadratic resolver."""
+
+    def objective(values):
+        if calls is not None:
+            calls.append(dict(values))
+        return quadratic(values)
+
+    worker = FleetWorker(
+        client, store, resolver=lambda spec: objective, poll=0.1, **kwargs
+    )
+    thread = threading.Thread(target=worker.run, kwargs={"max_idle": 2.0}, daemon=True)
+    thread.start()
+    return worker, thread
+
+
+@pytest.fixture()
+def fleet():
+    store = InMemoryStore()
+    server = FleetServer(store=store, workers=1, max_pending=3, poll_interval=0.1)
+    frontend = FleetFrontend(server, port=0).start()
+    client = FleetClient(frontend.url, timeout=10.0)
+    try:
+        yield store, server, frontend, client
+    finally:
+        frontend.close()
+        server.shutdown(wait=False)
+
+
+class TestFleetCalibration:
+    def test_fleet_run_is_byte_identical_to_serial(self, fleet):
+        store, server, frontend, client = fleet
+        space = make_space()
+        serial = Calibrator(
+            space, quadratic, algorithm="random", budget=EvaluationBudget(20), seed=7
+        ).run()
+
+        calls = []
+        worker, thread = run_worker_thread(client, store, calls=calls)
+        job = server.submit(make_request(space))
+        assert job.wait(60)
+        thread.join(timeout=30)
+
+        assert job.status is JobStatus.DONE
+        assert job.result.best_value == serial.best_value
+        assert json.dumps(job.result.best_values, sort_keys=True) == json.dumps(
+            serial.best_values, sort_keys=True
+        )
+        fleet_points = [(e.unit, e.value) for e in job.result.history]
+        serial_points = [(e.unit, e.value) for e in serial.history]
+        assert fleet_points == serial_points
+
+        # Zero duplicate simulator invocations: every evaluation ran exactly
+        # once, on the worker, and landed in the shared store.
+        assert len(calls) == 20
+        assert len(store) == 20
+        assert worker.stats["evaluations"] == 20
+        assert worker.stats["publishes"] == 20
+
+    def test_two_worker_threads_split_the_work_without_duplicates(self, fleet):
+        store, server, frontend, client = fleet
+        space = make_space()
+        calls = []
+        w1, t1 = run_worker_thread(client, store, calls=calls)
+        w2, t2 = run_worker_thread(client, store, calls=calls)
+        job = server.submit(make_request(space, evaluations=30))
+        assert job.wait(60)
+        t1.join(timeout=30)
+        t2.join(timeout=30)
+        assert job.status is JobStatus.DONE
+        assert len(calls) == 30, "no point may be evaluated twice"
+        assert w1.stats["evaluations"] + w2.stats["evaluations"] == 30
+
+    def test_warm_store_serves_a_repeat_job_without_workers(self, fleet):
+        store, server, frontend, client = fleet
+        space = make_space()
+        _, thread = run_worker_thread(client, store)
+        cold = server.submit(make_request(space))
+        assert cold.wait(60)
+        thread.join(timeout=30)
+        # The warm job replays entirely from the store: no worker running.
+        warm = server.submit(make_request(space))
+        assert warm.wait(60)
+        assert warm.status is JobStatus.DONE
+        assert warm.cache_hits == 20 and warm.evaluations == 0
+        assert warm.result.best_value == cold.result.best_value
+
+    def test_worker_failure_fails_the_job_loudly(self, fleet):
+        store, server, frontend, client = fleet
+        space = make_space()
+
+        def broken(values):
+            raise ValueError("simulator exploded")
+
+        worker = FleetWorker(client, store, resolver=lambda spec: broken, poll=0.1)
+        thread = threading.Thread(target=worker.run, kwargs={"max_idle": 2.0}, daemon=True)
+        thread.start()
+        job = server.submit(make_request(space))
+        assert job.wait(60)
+        thread.join(timeout=30)
+        assert job.status is JobStatus.FAILED
+        assert "simulator exploded" in (job.error or "")
+        assert worker.stats["failures"] >= 1
+        # The broken evaluation's lease was released, not left to expire.
+        assert store.lease_count() == 0
+
+    def test_store_poller_resolves_a_put_without_a_publish(self, fleet):
+        """A worker that stores its result but dies before the HTTP publish
+        still completes the job: the server's store poller backstops it."""
+        store, server, frontend, client = fleet
+        space = make_space()
+
+        def put_only():
+            seen = set()
+            while True:
+                tasks = client.tasks(wait=0.5)
+                for task in tasks:
+                    if task["id"] in seen:
+                        continue
+                    seen.add(task["id"])
+                    values = {k: float(v) for k, v in task["values"].items()}
+                    store.put(task["fingerprint"], values, quadratic(values))
+                    # ...and "die" before client.publish: no HTTP round-trip.
+                if done.is_set():
+                    return
+
+        done = threading.Event()
+        thread = threading.Thread(target=put_only, daemon=True)
+        thread.start()
+        try:
+            job = server.submit(make_request(space, evaluations=10))
+            assert job.wait(60), "the poller should resolve put-only results"
+            assert job.status is JobStatus.DONE
+        finally:
+            done.set()
+            thread.join(timeout=10)
+
+
+class TestFrontendEndpoints:
+    def test_health_and_job_endpoints(self, fleet):
+        store, server, frontend, client = fleet
+        space = make_space()
+        health = client.health()
+        assert health["status"] == "ok" and health["jobs"] == 0
+
+        _, thread = run_worker_thread(client, store)
+        job = server.submit(make_request(space, evaluations=5))
+        assert job.wait(60)
+        thread.join(timeout=30)
+
+        record = client.job(job.id)
+        assert record["status"] == "done"
+        assert record["evaluations"] == 5
+        assert any(r["id"] == job.id for r in client.jobs())
+
+        result = client.result(job.id)
+        assert result["best_value"] == job.result.best_value
+        assert len(result["history"]) == 5
+
+        events = client.events(job.id)
+        kinds = [e["kind"] for e in events]
+        assert "submitted" in kinds and "finished" in kinds
+        later = client.events(job.id, since=events[-1]["seq"])
+        assert len(later) == 1
+
+    def test_unknown_job_is_a_clean_404(self, fleet):
+        _, _, _, client = fleet
+        with pytest.raises(FleetClientError, match="404"):
+            client.job("job-nope")
+
+    def test_result_before_done_is_409(self, fleet):
+        store, server, frontend, client = fleet
+        space = make_space()
+        job = server.submit(make_request(space, evaluations=5))  # no worker running
+        try:
+            with pytest.raises(FleetClientError, match="409"):
+                client.result(job.id)
+        finally:
+            server.board.withdraw_job(job.id)
+
+    def test_submit_without_handler_is_503(self, fleet):
+        _, _, _, client = fleet
+        with pytest.raises(FleetClientError, match="503"):
+            client.submit({"algorithm": "random"})
+
+    def test_submit_handler_round_trip(self):
+        store = InMemoryStore()
+        server = FleetServer(store=store, workers=1)
+        submitted = []
+
+        def accept(spec):
+            submitted.append(spec)
+            return f"job-{len(submitted):04d}"
+
+        with FleetFrontend(server, port=0, submit=accept) as frontend:
+            client = FleetClient(frontend.url, timeout=10.0)
+            job_id = client.submit({"algorithm": "random", "evaluations": 3})
+            assert job_id == "job-0001"
+            assert submitted == [{"algorithm": "random", "evaluations": 3}]
+        server.shutdown(wait=False)
+
+    def test_unknown_endpoint_is_404_and_bad_json_is_400(self, fleet):
+        _, _, frontend, client = fleet
+        with pytest.raises(FleetClientError, match="404"):
+            client._request("/api/nonsense")
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{frontend.url}/api/tasks/task-000001/publish",
+            data=b"not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+
+class TestWorkerProtocol:
+    def test_lease_held_elsewhere_is_skipped_not_stolen(self, fleet):
+        store, server, frontend, client = fleet
+        # Some other worker holds a live lease on the only open point.
+        values = {"x": 2.0, "y": 3.0}
+        store.claim("fp-fleet", values, owner="other-worker", ttl=60.0)
+        server.board.post("job-x", "fp-fleet", values, {})
+        worker = FleetWorker(client, store, resolver=lambda spec: quadratic, poll=0.1)
+        (task,) = client.tasks()
+        assert worker.handle_task(task) is False
+        assert worker.stats["lease_skips"] == 1
+        assert worker.stats["evaluations"] == 0
+
+    def test_stored_point_is_relayed_not_recomputed(self, fleet):
+        store, server, frontend, client = fleet
+        values = {"x": 2.0, "y": 3.0}
+        store.put("fp-fleet", values, 42.0)
+        future = server.board.post("job-x", "fp-fleet", values, {})
+        worker = FleetWorker(client, store, resolver=lambda spec: forbidden, poll=0.1)
+        (task,) = client.tasks()
+        assert worker.handle_task(task) is True
+        assert worker.stats["store_hits"] == 1
+        assert worker.stats["evaluations"] == 0
+        assert future.result(timeout=1)[0] == 42.0
+
+    def test_losing_the_publish_race_is_benign(self, fleet):
+        store, server, frontend, client = fleet
+        values = {"x": 2.0, "y": 3.0}
+        server.board.post("job-x", "fp-fleet", values, {})
+        (task,) = client.tasks()
+        assert client.publish(task["id"], 1.0) is True
+        # The loser of a takeover race publishes into the void: HTTP 200,
+        # resolved=false, nobody crashes.
+        assert client.publish(task["id"], 2.0) is False

@@ -1,0 +1,82 @@
+"""JobSpool under concurrent writers: no torn files, no lost merges.
+
+``update()`` is a read-modify-write cycle over a shared JSON record; the
+fleet front-end and the CLI can both rewrite one job's status file.  The
+rewrite was already atomic (``os.replace``), but without the ``flock``
+serialisation two concurrent updates could interleave load/store and one
+writer's fields vanished silently.  ``flock`` excludes between distinct
+file descriptors, so threads over independent :class:`JobSpool`
+instances exercise exactly the cross-process interleaving.
+"""
+
+import threading
+
+from repro.service.spool import JobSpool
+
+WRITERS = 8
+ROUNDS = 25
+
+
+def test_concurrent_updates_lose_no_fields(tmp_path):
+    spool = JobSpool(tmp_path)
+    job_id = spool.submit({"algorithm": "random"})
+    errors = []
+
+    def writer(index):
+        # A private spool instance per writer: the in-process lock-free
+        # path must not mask the cross-process race.
+        own = JobSpool(tmp_path)
+        try:
+            for round_ in range(ROUNDS):
+                own.update(job_id, **{f"w{index}-{round_}": round_})
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(WRITERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    record = spool.load(job_id)
+    missing = [
+        f"w{i}-{j}"
+        for i in range(WRITERS)
+        for j in range(ROUNDS)
+        if f"w{i}-{j}" not in record
+    ]
+    assert not missing, f"lost {len(missing)} concurrent merges: {missing[:5]}..."
+    assert record["id"] == job_id and record["status"] == "pending"
+
+
+def test_readers_never_see_a_torn_record(tmp_path):
+    spool = JobSpool(tmp_path)
+    job_id = spool.submit({"algorithm": "random"})
+    stop = threading.Event()
+    problems = []
+
+    def reader():
+        while not stop.is_set():
+            record = spool.load(job_id)  # raises on torn/partial JSON
+            if record.get("id") != job_id:
+                problems.append(record)
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    try:
+        for round_ in range(200):
+            spool.update(job_id, round=round_, status="running")
+    finally:
+        stop.set()
+        thread.join()
+    assert not problems
+    assert spool.load(job_id)["round"] == 199
+
+
+def test_lock_files_do_not_pollute_job_listings(tmp_path):
+    spool = JobSpool(tmp_path)
+    job_id = spool.submit({"algorithm": "random"})
+    spool.update(job_id, status="running")
+    assert spool.job_ids() == [job_id]
+    assert spool.runnable() == [job_id]
