@@ -71,6 +71,23 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_policies(args: argparse.Namespace):
+    """Translate the calibrate parser's fault-tolerance flags into core
+    policies (``None``/``None`` when no flag was given, which keeps every
+    trajectory byte-identical to a fault-tolerance-unaware run)."""
+    from repro.core.faults import FailurePolicy, RetryPolicy
+
+    retry_policy = RetryPolicy(max_attempts=args.retries + 1) if args.retries > 0 else None
+    failure_policy = None
+    if args.on_failure is not None or args.max_failure_rate is not None:
+        failure_policy = FailurePolicy(
+            on_failure=args.on_failure or "penalty",
+            penalty=args.penalty,
+            failure_rate_threshold=args.max_failure_rate,
+        )
+    return retry_policy, failure_policy
+
+
 def cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.core.reporting import calibration_report
     from repro.core.serialization import save_result
@@ -101,11 +118,14 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
 
         store = open_store(args.store)
         cache = StoreBackedCache(store, problem.fingerprint())
+    retry_policy, failure_policy = _fault_policies(args)
     try:
         result = problem.calibrate(
             algorithm=args.algorithm, budget=_budget(args), seed=args.seed,
             workers=args.workers, asynchronous=args.use_async,
             max_pending=args.max_pending, cache=cache,
+            retry_policy=retry_policy, failure_policy=failure_policy,
+            eval_timeout=args.eval_timeout,
         )
     finally:
         if tracer is not None:
@@ -404,6 +424,9 @@ def cmd_worker(args: argparse.Namespace) -> int:
         kill_after_claims=args.fault_kill_after_claims,
         drop_publish=args.fault_drop_publish,
         publish_delay=args.fault_publish_delay,
+        raise_every_evals=args.fault_raise_every_evals,
+        hang_on_eval=args.fault_hang_on_eval,
+        hang_seconds=args.fault_hang_seconds,
     )
     with open_store(args.store) as store:
         worker = FleetWorker(
@@ -414,6 +437,7 @@ def cmd_worker(args: argparse.Namespace) -> int:
             poll=args.poll,
             fault=fault,
             stats_path=args.stats,
+            max_eval_attempts=args.max_eval_attempts,
         )
         _log.info("worker %s pulling from %s (store %s)", worker.owner, args.url, args.store)
         try:
@@ -740,6 +764,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write per-evaluation spans (JSON Lines) to PATH — one "
                             "record per ask/dispatch/simulate/tell step, with "
                             "parent/child span ids")
+    p_cal.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="retry each failed evaluation up to N times with "
+                            "seeded exponential backoff before giving up "
+                            "(default: 0, no fault-tolerance layer)")
+    p_cal.add_argument("--eval-timeout", type=float, default=None, metavar="SECONDS",
+                       help="kill any single evaluation exceeding this "
+                            "wall-clock bound and treat it as a failure")
+    p_cal.add_argument("--on-failure", default=None, choices=["raise", "penalty"],
+                       help="what a failed evaluation becomes: 'penalty' "
+                            "records a large penalty value and continues, "
+                            "'raise' quarantines the point and aborts "
+                            "(default: no failure policy — errors propagate)")
+    p_cal.add_argument("--penalty", type=float, default=1.0e6, metavar="X",
+                       help="objective value recorded for failed evaluations "
+                            "under --on-failure penalty (default: 1e6)")
+    p_cal.add_argument("--max-failure-rate", type=float, default=None, metavar="R",
+                       help="abort the run early (circuit breaker) once the "
+                            "failure rate exceeds R in [0, 1]")
     p_cal.add_argument("--store", default=None, metavar="PATH",
                        help="back the run's cache with a persistent evaluation "
                             "store (.jsonl or .db/.sqlite), reusing simulations "
@@ -846,6 +888,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "after evaluating but before the result lands")
     p_wrk.add_argument("--fault-publish-delay", type=float, default=0.0,
                        metavar="SECONDS", help="fault injection: delay each publish")
+    p_wrk.add_argument("--fault-raise-every-evals", type=int, default=0, metavar="N",
+                       help="fault injection: raise a transient error on "
+                            "every Nth evaluation")
+    p_wrk.add_argument("--fault-hang-on-eval", type=int, default=0, metavar="N",
+                       help="fault injection: hang the Nth evaluation for "
+                            "--fault-hang-seconds")
+    p_wrk.add_argument("--fault-hang-seconds", type=float, default=3600.0,
+                       metavar="SECONDS",
+                       help="how long a --fault-hang-on-eval evaluation blocks "
+                            "(default: 3600)")
+    p_wrk.add_argument("--max-eval-attempts", type=int, default=3, metavar="N",
+                       help="transient-failure attempts per point before this "
+                            "worker quarantines it in the store (default: 3)")
     p_wrk.set_defaults(func=cmd_worker)
 
     p_sta = sub.add_parser("status", parents=[verbosity],

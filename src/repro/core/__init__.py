@@ -55,6 +55,17 @@ from repro.core.evaluation import (
     Evaluation,
     Objective,
 )
+from repro.core.faults import (
+    CircuitBreaker,
+    CircuitOpen,
+    EvaluationFailed,
+    EvaluationFailure,
+    EvaluationOutcome,
+    EvaluationTimeout,
+    FailurePolicy,
+    RetryPolicy,
+    TransientEvaluationError,
+)
 from repro.core.history import CalibrationHistory
 from repro.core.metrics import (
     max_relative_error,
@@ -100,6 +111,8 @@ __all__ = [
     "CalibrationHistory",
     "CalibrationResult",
     "Calibrator",
+    "CircuitBreaker",
+    "CircuitOpen",
     "CombinedBudget",
     "CoordinateDescent",
     "CrossValidationResult",
@@ -107,6 +120,11 @@ __all__ = [
     "DifferentialEvolution",
     "Evaluation",
     "EvaluationBudget",
+    "EvaluationFailed",
+    "EvaluationFailure",
+    "EvaluationOutcome",
+    "EvaluationTimeout",
+    "FailurePolicy",
     "Fold",
     "FoldResult",
     "GradientDescent",
@@ -123,6 +141,7 @@ __all__ = [
     "PatternSearch",
     "RandomSearch",
     "RelativePlateauStopper",
+    "RetryPolicy",
     "SensitivityResult",
     "SimulatedAnnealing",
     "SobolSearch",
@@ -131,6 +150,7 @@ __all__ = [
     "TargetValueStopper",
     "TimeBudget",
     "TradeoffPoint",
+    "TransientEvaluationError",
     "calibration_report",
     "convergence_sparkline",
     "cross_validate",

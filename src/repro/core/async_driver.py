@@ -57,6 +57,14 @@ from repro.core.evaluation import (
     lease_deadline,
     unit_cache_key,
 )
+from repro.core.faults import (
+    EVAL_METRIC_HELP,
+    CircuitBreaker,
+    EvaluationFailed,
+    EvaluationFailure,
+    FailurePolicy,
+    RetryPolicy,
+)
 from repro.core.history import Evaluation
 from repro.core.parallel import ObjectiveFunction, Outcome, ParallelEvaluator
 from repro.core.parameters import ParameterSpace
@@ -124,6 +132,9 @@ class _InFlight:
     lease_expires_at: float | None = None
     riders: list[tuple[int, np.ndarray]] = dataclasses.field(default_factory=list)
     span: Span | None = None  # open "evaluation" span (tracing enabled only)
+    #: wall-clock at dispatch, for the driver-side hard deadline (None
+    #: while deferred behind another driver's lease)
+    dispatched_wall: float | None = None
 
 
 class AsyncCalibrator:
@@ -200,6 +211,9 @@ class AsyncCalibrator:
         count_cache_hits: bool = False,
         ordered_tells: bool | None = None,
         evaluator: ParallelEvaluator | None = None,
+        retry_policy: RetryPolicy | None = None,
+        failure_policy: FailurePolicy | None = None,
+        eval_timeout: float | None = None,
     ) -> None:
         self.space = space
         self.algorithm = get_algorithm(algorithm, **(algorithm_options or {}))
@@ -221,11 +235,30 @@ class AsyncCalibrator:
             self.evaluator = evaluator
         else:
             self.evaluator = ParallelEvaluator(
-                objective_function, space, workers=workers, mode=mode, persistent=True
+                objective_function, space, workers=workers, mode=mode, persistent=True,
+                eval_timeout=eval_timeout, retry_policy=retry_policy,
+                guard_failures=failure_policy is not None,
             )
+        self.retry_policy = retry_policy
+        self.failure_policy = failure_policy
+        self.eval_timeout = eval_timeout
+        self.failures = 0
+        self._breaker: CircuitBreaker | None = None
         self.max_pending = int(workers) if max_pending is None else int(max_pending)
         if self.max_pending < 1:
             raise ValueError("max_pending must be at least 1")
+        # Driver-side hard deadline: long enough for every in-worker
+        # attempt (plus backoff) and for queueing behind pool-mates, so it
+        # only fires for hangs the in-worker SIGALRM could not interrupt.
+        # Killing a wedged worker needs a killable pool, hence process
+        # mode on the local evaluator only.
+        self._hard_timeout: float | None = None
+        if eval_timeout is not None and getattr(self.evaluator, "mode", "") == "process":
+            attempts = retry_policy.max_attempts if retry_policy is not None else 1
+            backoff = retry_policy.max_total_backoff() if retry_policy is not None else 0.0
+            per_point = eval_timeout * attempts + backoff
+            rounds = -(-self.max_pending // max(int(workers), 1))
+            self._hard_timeout = per_point * rounds + max(5.0, per_point)
         self.budget = budget if budget is not None else EvaluationBudget(100)
         self.seed = seed
         if isinstance(cache, CacheBackend):
@@ -315,7 +348,10 @@ class AsyncCalibrator:
                     self._budget_units += 1
             else:
                 self._budget_units += 1
-                if self._cache is not None:
+                # A failed record's value is the penalty, not a simulator
+                # output: it must not re-enter the cache as a real value
+                # (the store-side quarantine already remembers the point).
+                if self._cache is not None and not evaluation.failed:
                     self._cache.put(key, dict(evaluation.values), evaluation.value)
             self._seen.add(key)
             history.record(evaluation)
@@ -357,6 +393,10 @@ class AsyncCalibrator:
         self._rng = rng = np.random.default_rng(self.seed)
         self.cache_hits = 0
         self.deferred_hits = 0
+        self.failures = 0
+        self._breaker = (
+            self.failure_policy.breaker() if self.failure_policy is not None else None
+        )
         self._seq = 0
         self._budget_units = 0
         self._resume_elapsed = 0.0
@@ -374,9 +414,10 @@ class AsyncCalibrator:
         self._last_checkpoint_len = len(self.evaluator.history)
         self.budget.start(self._resume_elapsed)
         self.evaluator.reset_clock(self._resume_elapsed)
-        #: per-seq record metadata (mapping, started_at, finished_at, cached),
-        #: parked alongside the adapter's buffer until the seq is released
-        self._meta: dict[int, tuple[dict[str, float], float, float, bool]] = {}
+        #: per-seq record metadata (mapping, started_at, finished_at,
+        #: cached, failed), parked alongside the adapter's buffer until
+        #: the seq is released
+        self._meta: dict[int, tuple[dict[str, float], float, float, bool, bool]] = {}
         self._tracer = current_tracer()
         # Instruments are looked up once per run, only when telemetry is
         # on: the disabled hot path costs one attribute check per use.
@@ -523,6 +564,18 @@ class AsyncCalibrator:
             self._tracer.end(span, cached=True, value=claim.value)
             return
 
+        if (
+            claim.status == Claim.QUARANTINED
+            and claim.failure is not None
+            and self.failure_policy is not None
+        ):
+            # Known poison point: resolve from the recorded failure, one
+            # budget charge, no dispatch and no lease wait.  (Without a
+            # failure policy the claim falls through to a dispatch — the
+            # run re-attempts the point, pre-quarantine behavior.)
+            self._skip_quarantined(seq, candidate, mapping, key, claim.failure)
+            return
+
         entry = _InFlight(
             seq=seq, candidate=candidate, unit=unit, mapping=mapping, key=key,
             started_at=self.evaluator.elapsed,
@@ -537,6 +590,7 @@ class AsyncCalibrator:
                 self._m_deferred.inc()
         else:
             entry.future = self.evaluator.submit(mapping)
+            entry.dispatched_wall = time.time()
             if self._reg is not None:
                 self._m_dispatched.inc()
         self._pending.append(entry)
@@ -551,17 +605,78 @@ class AsyncCalibrator:
         deferred = [e for e in self._pending if e.future is None]
         if futures:
             timeout = self._POLL_WITH_FUTURES if deferred else None
+            if self._hard_timeout is not None:
+                # Bound the wait by the earliest hard deadline so a wedged
+                # worker is noticed even with nothing else to poll.
+                deadline = min(
+                    e.dispatched_wall + self._hard_timeout
+                    for e in futures.values()
+                    if e.dispatched_wall is not None
+                )
+                slack = max(deadline - time.time(), 0.01)
+                timeout = slack if timeout is None else min(timeout, slack)
             done, _ = wait(futures, timeout=timeout, return_when=FIRST_COMPLETED)
             for future in done:
                 self._complete(futures[future])
+            if not done:
+                self._reap_stalled()
         elif deferred:
             time.sleep(self._POLL_DEFERRED_ONLY)
         if deferred:
             self._poll_deferred(deferred)
 
+    def _reap_stalled(self) -> None:
+        """Driver-side hard-deadline backstop: kill and replace the pool
+        when a dispatched evaluation has been running past any possible
+        in-worker timeout schedule (a hang the ``SIGALRM`` guard could
+        not interrupt), deliver timeout failures for the stalled entries
+        and resubmit the innocent in-flight ones on the fresh pool."""
+        if self._hard_timeout is None:
+            return
+        now = time.time()
+        stalled = [
+            e for e in self._pending
+            if e.future is not None and e.dispatched_wall is not None
+            and now - e.dispatched_wall >= self._hard_timeout
+        ]
+        if not stalled:
+            return
+        replace = getattr(self.evaluator, "replace_pool", None)
+        if replace is None:
+            return  # transport owns its workers (fleet); its lease TTL recovers
+        innocent = [
+            e for e in self._pending if e.future is not None and e not in stalled
+        ]
+        replace()
+        for entry in innocent:
+            # Their futures died with the killed pool through no fault of
+            # their own evaluation: dispatch them again, deadline reset.
+            entry.future = self.evaluator.submit(entry.mapping)
+            entry.dispatched_wall = time.time()
+        for entry in stalled:
+            elapsed = now - (entry.dispatched_wall or now)
+            self._deliver_failure(
+                entry,
+                EvaluationFailure(
+                    error=(
+                        "EvaluationTimeout: evaluation exceeded the "
+                        f"{self._hard_timeout:g}s hard deadline; "
+                        "its pool worker was killed and replaced"
+                    ),
+                    kind="timeout",
+                    attempts=1,
+                    elapsed=elapsed,
+                ),
+            )
+
     def _complete(self, entry: _InFlight) -> None:
         try:
             value, duration = entry.future.result()
+        except EvaluationFailed as error:
+            # The evaluation exhausted its in-worker attempts; the pool
+            # itself is healthy.  Quarantine and apply the failure policy.
+            self._deliver_failure(entry, error.failure, duration=error.failure.elapsed)
+            return
         except BaseException:
             # The objective raised in a worker: release every leadership
             # this run announced (concurrent drivers must not wait on
@@ -576,6 +691,8 @@ class AsyncCalibrator:
         started_at = max(finished_at - duration, entry.started_at)
         if self._cache is not None:
             self._cache.put(entry.key, entry.mapping, value)
+        if self._breaker is not None:
+            self._breaker.record(None)
         self._seen.add(entry.key)
         self._remove(entry)
         self._resolve(
@@ -584,6 +701,100 @@ class AsyncCalibrator:
         )
         self._tracer.end(entry.span, cached=False, value=value, duration_in_worker=duration)
         self._resolve_riders(entry, value)
+
+    # ------------------------------------------------------------------ #
+    # failure outcomes
+    # ------------------------------------------------------------------ #
+    def _account_failure(
+        self,
+        key: CacheKey,
+        mapping: dict[str, float],
+        failure: EvaluationFailure,
+        quarantined: bool,
+    ) -> None:
+        """Shared failure bookkeeping: metrics, quarantine persistence
+        (for fresh failures), circuit-breaker accounting."""
+        self.failures += 1
+        if self._reg is not None:
+            if quarantined:
+                self._reg.counter(
+                    "repro_eval_quarantined_total",
+                    EVAL_METRIC_HELP["repro_eval_quarantined_total"],
+                ).inc()
+            else:
+                self._reg.counter(
+                    "repro_eval_failures_total",
+                    EVAL_METRIC_HELP["repro_eval_failures_total"],
+                ).inc()
+                if failure.kind == "timeout":
+                    self._reg.counter(
+                        "repro_eval_timeouts_total",
+                        EVAL_METRIC_HELP["repro_eval_timeouts_total"],
+                    ).inc()
+        if not quarantined and self._cache is not None:
+            if self.failure_policy is not None and self.failure_policy.quarantine:
+                self._cache.mark_failed(key, mapping, failure)
+            else:
+                self._cache.cancel(key, mapping)
+        if self._breaker is not None:
+            self._breaker.record(failure)
+
+    def _deliver_failure(
+        self,
+        entry: _InFlight,
+        failure: EvaluationFailure,
+        duration: float = 0.0,
+        quarantined: bool = False,
+    ) -> None:
+        """Settle an in-flight entry whose evaluation is a failure
+        outcome: penalty-tell it (riders included) or abort per policy."""
+        self._account_failure(entry.key, entry.mapping, failure, quarantined)
+        self._seen.add(entry.key)
+        self._remove(entry)
+        if self.failure_policy is not None and self.failure_policy.penalize:
+            penalty = self.failure_policy.penalty
+            finished_at = self.evaluator.elapsed
+            started_at = max(finished_at - duration, entry.started_at)
+            self._resolve(
+                entry.seq, entry.candidate, entry.mapping, penalty,
+                started_at, finished_at, cached=False, failed=True,
+            )
+            self._tracer.end(entry.span, failed=True, value=penalty)
+            self._resolve_riders(entry, penalty)
+            if self._breaker is not None:
+                self._breaker.check()
+            return
+        self._tracer.end(entry.span, failed=True)
+        self._abandon_claims()
+        raise EvaluationFailed(failure)
+
+    def _skip_quarantined(
+        self,
+        seq: int,
+        candidate: np.ndarray,
+        mapping: dict[str, float],
+        key: CacheKey,
+        failure: EvaluationFailure,
+    ) -> None:
+        """Resolve a freshly-asked candidate whose point is already
+        quarantined: one budget charge, zero simulator time."""
+        self._budget_units += 1
+        self._account_failure(key, mapping, failure, quarantined=True)
+        self._seen.add(key)
+        if self.failure_policy is not None and self.failure_policy.penalize:
+            penalty = self.failure_policy.penalty
+            span = self._tracer.begin(
+                "evaluation", parent=self._root, driver="async", seq=seq
+            )
+            at = self.evaluator.elapsed
+            self._resolve(seq, candidate, mapping, penalty, at, at,
+                          cached=False, failed=True)
+            self._tracer.end(span, failed=True, quarantined=True, value=penalty)
+            if self._breaker is not None:
+                self._breaker.check()
+            return
+        self._abandon_claims()
+        raise EvaluationFailed(failure)
 
     def _poll_deferred(self, deferred: list[_InFlight]) -> None:
         """Resolve leased points that were published, take over expired ones."""
@@ -602,14 +813,33 @@ class AsyncCalibrator:
                 self._tracer.end(entry.span, cached=True, leased=True, value=value)
                 self._resolve_riders(entry, value)
                 continue
+            if self.failure_policy is not None:
+                # The leader may have quarantined the point instead of
+                # publishing: its lease was *released* on failure, so the
+                # failure record — not lease expiry — is the signal.
+                known = self._cache.get_failure(entry.key, entry.mapping)
+                if known is not None:
+                    self._deliver_failure(entry, known, quarantined=True)
+                    continue
             if entry.lease_expires_at is not None and time.time() >= entry.lease_expires_at:
                 claim = self._cache.claim(entry.key, entry.mapping)
                 if claim.status == Claim.HIT:
                     continue  # published between poll and claim: next poll gets it
-                if claim.status == Claim.CLAIMED:
+                if claim.status == Claim.QUARANTINED and claim.failure is not None:
+                    if self.failure_policy is not None:
+                        self._deliver_failure(entry, claim.failure, quarantined=True)
+                        continue
+                    # No policy: re-attempt the point ourselves (pre-
+                    # quarantine behavior) by taking the claim over below.
+                    entry.future = self.evaluator.submit(entry.mapping)
+                    entry.dispatched_wall = time.time()
+                    entry.started_at = self.evaluator.elapsed
+                    entry.lease_expires_at = None
+                elif claim.status == Claim.CLAIMED:
                     # Lease takeover: the original owner died; compute it
                     # ourselves (the defer already paid the budget charge).
                     entry.future = self.evaluator.submit(entry.mapping)
+                    entry.dispatched_wall = time.time()
                     entry.started_at = self.evaluator.elapsed
                     entry.lease_expires_at = None
                 else:
@@ -626,6 +856,7 @@ class AsyncCalibrator:
         started_at: float,
         finished_at: float,
         cached: bool,
+        failed: bool = False,
     ) -> None:
         """Tell one completed candidate and record it in the history.
 
@@ -634,7 +865,7 @@ class AsyncCalibrator:
         lands in ask order — byte-for-byte the serial sequence; native
         tells and their records land immediately, in completion order.
         """
-        self._meta[seq] = (mapping, started_at, finished_at, cached)
+        self._meta[seq] = (mapping, started_at, finished_at, cached, failed)
         if self._adapter is None:
             self.algorithm.tell([candidate], [value])
             self._record(seq, value)
@@ -645,7 +876,7 @@ class AsyncCalibrator:
                 self._record(released_seq, released_value)
 
     def _record(self, seq: int, value: float) -> None:
-        mapping, started_at, finished_at, cached = self._meta.pop(seq)
+        mapping, started_at, finished_at, cached, failed = self._meta.pop(seq)
         if cached and not self.record_cache_hits:
             return
         history = self.evaluator.history
@@ -658,6 +889,7 @@ class AsyncCalibrator:
                 started_at=started_at,
                 finished_at=finished_at,
                 cached=cached,
+                failed=failed,
             )
         )
 

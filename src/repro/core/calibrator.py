@@ -53,6 +53,7 @@ import numpy as np
 from repro.core.algorithms import CalibrationAlgorithm, get_algorithm
 from repro.core.budget import Budget, CombinedBudget, EvaluationBudget
 from repro.core.evaluation import BudgetExhausted, CacheBackend, Objective
+from repro.core.faults import FailurePolicy, RetryPolicy
 from repro.core.history import CalibrationHistory
 from repro.core.parameters import ParameterSpace
 from repro.core.result import CalibrationResult
@@ -78,6 +79,11 @@ class Calibrator:
     criterion triggers first.  ``algorithm_options`` are forwarded to the
     algorithm's constructor, so ``Calibrator(..., algorithm="cmaes",
     algorithm_options={"population_size": 8})`` needs no manual import.
+
+    ``retry_policy``, ``failure_policy`` and ``eval_timeout`` are forwarded
+    verbatim to the :class:`~repro.core.evaluation.Objective` (see
+    :mod:`repro.core.faults`); all three default to ``None``, which keeps
+    every code path byte-identical to a fault-tolerance-unaware run.
     """
 
     def __init__(
@@ -92,6 +98,9 @@ class Calibrator:
         record_cache_hits: bool = False,
         count_cache_hits: bool = False,
         algorithm_options: dict[str, Any] | None = None,
+        retry_policy: RetryPolicy | None = None,
+        failure_policy: FailurePolicy | None = None,
+        eval_timeout: float | None = None,
     ) -> None:
         self.space = space
         self.algorithm = get_algorithm(algorithm, **(algorithm_options or {}))
@@ -111,6 +120,9 @@ class Calibrator:
             cache=cache,
             record_cache_hits=record_cache_hits,
             count_cache_hits=count_cache_hits,
+            retry_policy=retry_policy,
+            failure_policy=failure_policy,
+            eval_timeout=eval_timeout,
         )
         if self._stopper is not None:
             self._stopper.bind(self.objective.history)

@@ -29,6 +29,15 @@ from collections.abc import Callable, Mapping, Sequence
 import numpy as np
 
 from repro.core.budget import Budget
+from repro.core.faults import (
+    EVAL_METRIC_HELP,
+    CircuitBreaker,
+    EvaluationFailed,
+    EvaluationFailure,
+    FailurePolicy,
+    RetryPolicy,
+    run_guarded,
+)
 from repro.core.history import CalibrationHistory, Evaluation
 from repro.core.parameters import ParameterSpace
 from repro.telemetry.metrics import registry as _metrics_registry
@@ -107,15 +116,23 @@ class Claim:
         ``expires_at`` (a ``time.time()`` timestamp, when the backend
         tracks one) bounds how long the lease can stay unresolved before
         a re-``claim`` takes it over.
+    ``"quarantined"``
+        The point is recorded as a known failure (a poison point):
+        ``failure`` carries the recorded
+        :class:`~repro.core.faults.EvaluationFailure`.  The caller must
+        not evaluate it — apply the failure policy (penalty or raise)
+        instead of waiting out a lease that will never resolve.
     """
 
     status: str
     value: float | None = None
     expires_at: float | None = None
+    failure: EvaluationFailure | None = None
 
     HIT = "hit"
     CLAIMED = "claimed"
     LEASED = "leased"
+    QUARANTINED = "quarantined"
 
 
 class CacheBackend:
@@ -158,6 +175,22 @@ class CacheBackend:
         """Called when a computation announced by ``get`` -> miss (or by a
         ``claim`` -> ``"claimed"``) fails; releases any waiters/leases."""
 
+    def mark_failed(
+        self, key: CacheKey, values: Mapping[str, float], failure: EvaluationFailure
+    ) -> None:
+        """Quarantine a poison point: record that evaluating it failed
+        permanently, so this run and any other run sharing the backend
+        skip it instead of re-evaluating (or waiting on a lease for) it.
+        The default merely releases waiters like :meth:`cancel`; backends
+        with persistence (the store-backed cache) record the failure."""
+        self.cancel(key, values)
+
+    def get_failure(
+        self, key: CacheKey, values: Mapping[str, float]
+    ) -> EvaluationFailure | None:
+        """The recorded failure for a quarantined point, or ``None``."""
+        return None
+
     def claim(self, key: CacheKey, values: Mapping[str, float]) -> Claim:
         """Non-blocking single-flight lookup (see the class docstring).
 
@@ -173,6 +206,9 @@ class CacheBackend:
         value = self.get(key, values)
         if value is not None:
             return Claim(Claim.HIT, value)
+        failure = self.get_failure(key, values)
+        if failure is not None:
+            return Claim(Claim.QUARANTINED, failure=failure)
         return Claim(Claim.CLAIMED)
 
     def poll(self, key: CacheKey, values: Mapping[str, float]) -> float | None:
@@ -186,12 +222,26 @@ class DictCache(CacheBackend):
 
     def __init__(self) -> None:
         self._data: dict[CacheKey, float] = {}
+        self._failures: dict[CacheKey, EvaluationFailure] = {}
 
     def get(self, key: CacheKey, values: Mapping[str, float]) -> float | None:
         return self._data.get(key)
 
     def put(self, key: CacheKey, values: Mapping[str, float], value: float) -> None:
         self._data[key] = value
+        # A later success un-quarantines the point (e.g. a transient
+        # environment problem cleared up and a retry path landed a value).
+        self._failures.pop(key, None)
+
+    def mark_failed(
+        self, key: CacheKey, values: Mapping[str, float], failure: EvaluationFailure
+    ) -> None:
+        self._failures[key] = failure
+
+    def get_failure(
+        self, key: CacheKey, values: Mapping[str, float]
+    ) -> EvaluationFailure | None:
+        return self._failures.get(key)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -232,6 +282,24 @@ class Objective:
         with an empty store therefore behaves identically to a plain
         calibrator even for algorithms that revisit points (grid corners,
         coordinate/pattern stalls).  Off by default.
+    retry_policy:
+        Optional :class:`~repro.core.faults.RetryPolicy`: transient
+        failures (including timeouts) are retried in place with
+        deterministic backoff before becoming failure outcomes.
+    failure_policy:
+        Optional :class:`~repro.core.faults.FailurePolicy`: what happens
+        once an evaluation *is* a failure outcome — tell the algorithm a
+        penalty value and continue (``"penalty"``), or re-raise
+        (``"raise"``).  Also controls poison-point quarantine and arms
+        the per-job circuit breaker.  Without a policy, failures abort
+        the run exactly as before.
+    eval_timeout:
+        Optional per-attempt wall-clock timeout in seconds (see
+        :func:`~repro.core.faults.call_with_timeout` for where it can
+        actually interrupt).
+
+    When none of the three fault-tolerance knobs is set, every code path
+    is byte-identical to the pre-fault-tolerance objective.
     """
 
     #: number of decimals used for the cache key in unit coordinates
@@ -245,6 +313,9 @@ class Objective:
         cache: bool | CacheBackend = True,
         record_cache_hits: bool = False,
         count_cache_hits: bool = False,
+        retry_policy: RetryPolicy | None = None,
+        failure_policy: FailurePolicy | None = None,
+        eval_timeout: float | None = None,
     ) -> None:
         self.function = function
         self.space = space
@@ -258,7 +329,18 @@ class Objective:
             self._cache = None
         self.record_cache_hits = bool(record_cache_hits)
         self.count_cache_hits = bool(count_cache_hits)
+        self.retry_policy = retry_policy
+        self.failure_policy = failure_policy
+        self.eval_timeout = eval_timeout
+        self._fault_tolerant = (
+            retry_policy is not None
+            or failure_policy is not None
+            or eval_timeout is not None
+        )
+        self._breaker = failure_policy.breaker() if failure_policy is not None else None
         self.cache_hits = 0
+        self.failures = 0
+        self.quarantine_skips = 0
         self._invocations = 0
         self._counted_hits = 0
         self._seen_keys: set = set()
@@ -294,7 +376,7 @@ class Objective:
     @property
     def steps(self) -> int:
         """Simulator invocations plus cache hits (the algorithm's step count)."""
-        return self._invocations + self.cache_hits
+        return self._invocations + self.cache_hits + self.quarantine_skips
 
     # ------------------------------------------------------------------ #
     # evaluation
@@ -303,14 +385,12 @@ class Objective:
         return unit_cache_key(unit, self.CACHE_DECIMALS)
 
     def _budget_units(self) -> int:
-        return (
-            self._invocations + self._counted_hits
-            if self.count_cache_hits
-            else self._invocations
-        )
+        base = self._invocations + self.quarantine_skips
+        return base + self._counted_hits if self.count_cache_hits else base
 
     def _record(self, values: Mapping[str, float], unit: np.ndarray, value: float,
-                started_at: float, finished_at: float, cached: bool) -> None:
+                started_at: float, finished_at: float, cached: bool,
+                failed: bool = False) -> None:
         self.history.record(
             Evaluation(
                 index=len(self.history),
@@ -320,6 +400,7 @@ class Objective:
                 started_at=started_at,
                 finished_at=finished_at,
                 cached=cached,
+                failed=failed,
             )
         )
 
@@ -345,7 +426,10 @@ class Objective:
                     self._counted_hits += 1
             else:
                 self._invocations += 1
-                if self._cache is not None:
+                # A failed record carries the penalty value, not a real
+                # simulator output: keep it out of the cache (any
+                # quarantine lives in the shared backend already).
+                if self._cache is not None and not evaluation.failed:
                     self._cache.put(key, dict(evaluation.values), evaluation.value)
             self._seen_keys.add(key)
             self._record(
@@ -389,13 +473,28 @@ class Objective:
                         "Evaluations answered from the cache.",
                     ).inc()
                 return cached
+        if self._fault_tolerant and self._cache is not None:
+            known = self._cache.get_failure(key, values)
+            if known is not None:
+                return self._skip_quarantined(values, unit, key, known)
         tracer = current_tracer()
         try:
             if self.budget is not None and self.budget.exhausted(self._budget_units()):
                 raise BudgetExhausted(self.budget.describe())
             started_at = self.elapsed
             sim_span = tracer.begin("simulate")
-            value = float(self.function(dict(values)))
+            if self._fault_tolerant:
+                value, retries = run_guarded(
+                    self.function, dict(values), self.retry_policy, self.eval_timeout
+                )
+                if retries:
+                    self._note_retries(retries)
+            else:
+                value = float(self.function(dict(values)))
+        except EvaluationFailed as error:
+            # The evaluation exhausted its attempts: quarantine (or at
+            # least release) the point, then apply the failure policy.
+            return self._settle_failure(values, unit, key, error, started_at)
         except BaseException:
             # A blocking backend (single-flight dedup) may have announced
             # this computation to other workers; release them.
@@ -404,6 +503,8 @@ class Objective:
             raise
         finished_at = self.elapsed
         tracer.end(sim_span, value=value)
+        if self._breaker is not None:
+            self._breaker.record(None)
         if _REGISTRY.enabled:
             _REGISTRY.counter(
                 "repro_objective_evaluations_total",
@@ -419,6 +520,99 @@ class Objective:
         if self._cache is not None:
             self._cache.put(key, values, value)
         return value
+
+    # ------------------------------------------------------------------ #
+    # failure outcomes
+    # ------------------------------------------------------------------ #
+    def _note_retries(self, retries: int) -> None:
+        reg = _REGISTRY if _REGISTRY.enabled else None
+        if reg is not None and retries > 0:
+            reg.counter(
+                "repro_eval_retries_total",
+                EVAL_METRIC_HELP["repro_eval_retries_total"],
+            ).inc(retries)
+
+    def _settle_failure(
+        self,
+        values: Mapping[str, float],
+        unit: np.ndarray,
+        key: CacheKey,
+        error: EvaluationFailed,
+        started_at: float,
+    ) -> float:
+        """An evaluation exhausted its attempts: quarantine the point,
+        account the failure, then apply the failure policy (penalty tell
+        or re-raise).  The failed attempt *is* a budget charge — the
+        simulator ran — so penalty runs terminate on schedule."""
+        failure = error.failure
+        if self._cache is not None:
+            if self.failure_policy is not None and self.failure_policy.quarantine:
+                self._cache.mark_failed(key, values, failure)
+            else:
+                self._cache.cancel(key, values)
+        self.failures += 1
+        self._invocations += 1
+        self._seen_keys.add(key)
+        self._note_retries(failure.attempts - 1)
+        reg = _REGISTRY if _REGISTRY.enabled else None
+        if reg is not None:
+            reg.counter(
+                "repro_eval_failures_total",
+                EVAL_METRIC_HELP["repro_eval_failures_total"],
+            ).inc()
+            if failure.kind == "timeout":
+                reg.counter(
+                    "repro_eval_timeouts_total",
+                    EVAL_METRIC_HELP["repro_eval_timeouts_total"],
+                ).inc()
+        if self._breaker is not None:
+            self._breaker.record(failure)
+        if self.failure_policy is not None and self.failure_policy.penalize:
+            penalty = self.failure_policy.penalty
+            self._record(
+                values, unit, penalty, started_at, self.elapsed,
+                cached=False, failed=True,
+            )
+            if self._breaker is not None:
+                self._breaker.check()
+            return penalty
+        raise error
+
+    def _skip_quarantined(
+        self,
+        values: Mapping[str, float],
+        unit: np.ndarray,
+        key: CacheKey,
+        failure: EvaluationFailure,
+    ) -> float:
+        """The point is already quarantined (by this run or a peer): no
+        simulator call, no lease wait — serve the failure policy.  Each
+        skip charges one budget unit so an algorithm stuck proposing a
+        poison point still terminates."""
+        if self.budget is not None and self.budget.exhausted(self._budget_units()):
+            raise BudgetExhausted(self.budget.describe())
+        if self._cache is not None:
+            # Harmless when no lease is held; releases the claim a racing
+            # peer's quarantine may have left us holding.
+            self._cache.cancel(key, values)
+        reg = _REGISTRY if _REGISTRY.enabled else None
+        if reg is not None:
+            reg.counter(
+                "repro_eval_quarantined_total",
+                EVAL_METRIC_HELP["repro_eval_quarantined_total"],
+            ).inc()
+        at = self.elapsed
+        self.quarantine_skips += 1
+        self._seen_keys.add(key)
+        if self._breaker is not None:
+            self._breaker.record(failure)
+        if self.failure_policy is not None and self.failure_policy.penalize:
+            penalty = self.failure_policy.penalty
+            self._record(values, unit, penalty, at, at, cached=False, failed=True)
+            if self._breaker is not None:
+                self._breaker.check()
+            return penalty
+        raise EvaluationFailed(failure)
 
     def evaluate_unit(self, x: Sequence[float]) -> float:
         """Evaluate the objective at normalised unit-cube coordinates."""

@@ -27,6 +27,10 @@ class Evaluation:
     started_at: float
     finished_at: float
     cached: bool = False
+    #: True when the invocation failed and ``value`` is the configured
+    #: penalty (see :class:`repro.core.faults.FailurePolicy`), not a
+    #: simulator output.
+    failed: bool = False
 
     @property
     def duration(self) -> float:

@@ -49,6 +49,16 @@ from repro.core.evaluation import (
     lease_deadline,
     unit_cache_key,
 )
+from repro.core.faults import (
+    EVAL_METRIC_HELP,
+    CircuitBreaker,
+    EvaluationFailed,
+    EvaluationFailure,
+    EvaluationOutcome,
+    FailurePolicy,
+    RetryPolicy,
+    run_guarded,
+)
 from repro.core.history import CalibrationHistory, Evaluation
 from repro.core.parameters import ParameterSpace
 from repro.core.result import CalibrationResult
@@ -78,6 +88,30 @@ def _timed_call(function: ObjectiveFunction, candidate: dict[str, float]) -> Out
     return value, time.perf_counter() - started
 
 
+#: (value, worker-measured duration, retries burned) — the fault-tolerant
+#: sibling of :data:`Outcome`
+GuardedOutcome = tuple[float, float, int]
+
+
+def _guarded_timed_call(
+    function: ObjectiveFunction,
+    candidate: dict[str, float],
+    timeout: float | None,
+    retry: RetryPolicy | None,
+) -> GuardedOutcome:
+    """Worker-side fault-tolerant wrapper: retries and timeouts run *in*
+    the worker (a process pool pickles the callable per submission, so
+    per-attempt state cannot live on the driver side), and the per-attempt
+    ``SIGALRM`` timeout works precisely because this is the worker
+    process's main thread.  Exhaustion raises
+    :class:`~repro.core.faults.EvaluationFailed`, which pickles back
+    through the future.  Top-level so process pools can pickle it.
+    """
+    started = time.perf_counter()
+    value, retries = run_guarded(function, candidate, retry, timeout)
+    return value, time.perf_counter() - started, retries
+
+
 class ParallelEvaluator:
     """Evaluates batches of candidate calibrations concurrently."""
 
@@ -88,6 +122,9 @@ class ParallelEvaluator:
         workers: int = 4,
         mode: str = "process",
         persistent: bool = False,
+        eval_timeout: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        guard_failures: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("the number of workers must be at least 1")
@@ -101,6 +138,21 @@ class ParallelEvaluator:
         #: dispatches many small batches (pool startup would otherwise
         #: dominate); the owner must call :meth:`close` when finished
         self.persistent = bool(persistent)
+        #: per-attempt wall-clock timeout and retry policy, applied inside
+        #: the worker (see :func:`_guarded_timed_call`); when both are
+        #: ``None`` every dispatch path is the original unguarded one —
+        #: unless ``guard_failures`` asks for guarding anyway, so a driver
+        #: holding a :class:`~repro.core.faults.FailurePolicy` (but no
+        #: retries/timeout) still receives structured
+        #: :class:`~repro.core.faults.EvaluationFailed` outcomes
+        self.eval_timeout = eval_timeout
+        self.retry_policy = retry_policy
+        self._guarded = (
+            eval_timeout is not None or retry_policy is not None or bool(guard_failures)
+        )
+        #: retries burned across all dispatches (transient failures that
+        #: were re-attempted in a worker and eventually succeeded or not)
+        self.retries_total = 0
         self._executor: Executor | None = None
         self.history = CalibrationHistory()
         self._start_time = time.perf_counter()
@@ -132,6 +184,26 @@ class ParallelEvaluator:
             executor, self._executor = self._executor, None
             executor.shutdown(wait=True, cancel_futures=True)
 
+    def replace_pool(self) -> None:
+        """Hard-replace a wedged pool: kill its worker processes and drop
+        the executor, so the next dispatch starts a fresh one.
+
+        This is the driver-side backstop for evaluations the in-worker
+        ``SIGALRM`` timeout could not interrupt (C extensions holding the
+        GIL, platforms without alarms).  Pending futures on the old pool
+        fail with ``BrokenProcessPool``; the caller decides which of them
+        to resubmit.  Only process pools can be killed — in thread mode
+        this just detaches the executor (threads are not interruptible).
+        """
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        processes = getattr(executor, "_processes", None)
+        if processes:
+            for process in list(processes.values()):
+                process.kill()
+        executor.shutdown(wait=False, cancel_futures=True)
+
     def __enter__(self) -> ParallelEvaluator:
         return self
 
@@ -161,11 +233,58 @@ class ParallelEvaluator:
         if self._executor is None:  # serial mode
             future: Future[Outcome] = Future()
             try:
-                future.set_result(_timed_call(self.function, dict(candidate)))
+                if self._guarded:
+                    value, duration, retries = _guarded_timed_call(
+                        self.function, dict(candidate), self.eval_timeout, self.retry_policy
+                    )
+                    self._note_retries(retries)
+                    future.set_result((value, duration))
+                else:
+                    future.set_result(_timed_call(self.function, dict(candidate)))
             except BaseException as exc:  # delivered through future.result()
                 future.set_exception(exc)
             return future
-        return self._executor.submit(_timed_call, self.function, dict(candidate))
+        if not self._guarded:
+            return self._executor.submit(_timed_call, self.function, dict(candidate))
+        # The guarded worker call reports (value, duration, retries); the
+        # contract of submit() is a (value, duration) future, so relay the
+        # inner future into an outer one — retries are accounted here and
+        # failures (EvaluationFailed) pass through unchanged.
+        inner = self._executor.submit(
+            _guarded_timed_call,
+            self.function,
+            dict(candidate),
+            self.eval_timeout,
+            self.retry_policy,
+        )
+        outer: Future[Outcome] = Future()
+
+        def _relay(done: Future[GuardedOutcome]) -> None:
+            if done.cancelled():
+                outer.cancel()
+                outer.set_running_or_notify_cancel()
+                return
+            error = done.exception()
+            if error is not None:
+                outer.set_exception(error)
+                return
+            value, duration, retries = done.result()
+            self._note_retries(retries)
+            outer.set_result((value, duration))
+
+        inner.add_done_callback(_relay)
+        return outer
+
+    def _note_retries(self, retries: int) -> None:
+        if retries <= 0:
+            return
+        self.retries_total += retries
+        reg = _REGISTRY if _REGISTRY.enabled else None
+        if reg is not None:
+            reg.counter(
+                "repro_eval_retries_total",
+                EVAL_METRIC_HELP["repro_eval_retries_total"],
+            ).inc(retries)
 
     def _record(
         self, candidate: dict[str, float], value: float,
@@ -201,7 +320,7 @@ class ParallelEvaluator:
             values = []
             for candidate in batch:
                 started_at = self.elapsed
-                value = float(self.function(dict(candidate)))
+                value = self._serial_call(dict(candidate))
                 self._record(candidate, value, started_at, self.elapsed)
                 values.append(value)
             return values
@@ -211,9 +330,9 @@ class ParallelEvaluator:
         # corresponding future.result() below returns.
         done_at: dict[int, float] = {}
         try:
-            futures: list[Future[Outcome]] = []
+            futures = []
             for i, candidate in enumerate(batch):
-                future = executor.submit(_timed_call, self.function, dict(candidate))
+                future = self._dispatch(executor, candidate)
                 future.add_done_callback(
                     lambda _f, i=i: done_at.__setitem__(i, self.elapsed)
                 )
@@ -231,11 +350,101 @@ class ParallelEvaluator:
         else:
             executor.shutdown(wait=True, cancel_futures=True)
         values = []
-        for i, (candidate, (value, duration)) in enumerate(zip(batch, outcomes, strict=True)):
+        for i, (candidate, outcome) in enumerate(zip(batch, outcomes, strict=True)):
+            value, duration = outcome[0], outcome[1]
+            if len(outcome) > 2:
+                self._note_retries(int(outcome[2]))
             finished_at = done_at.get(i, self.elapsed)
             self._record(candidate, value, max(finished_at - duration, 0.0), finished_at)
             values.append(value)
         return values
+
+    def _serial_call(self, candidate: dict[str, float]) -> float:
+        if self._guarded:
+            value, _duration, retries = _guarded_timed_call(
+                self.function, candidate, self.eval_timeout, self.retry_policy
+            )
+            self._note_retries(retries)
+            return value
+        return float(self.function(candidate))
+
+    def _dispatch(
+        self, executor: Executor, candidate: dict[str, float]
+    ) -> Future[tuple[float, ...]]:
+        """Submit one candidate, guarded when fault tolerance is on.  Both
+        wrappers report ``(value, duration, …)``, so callers unpack by
+        index."""
+        if self._guarded:
+            return executor.submit(
+                _guarded_timed_call,
+                self.function,
+                dict(candidate),
+                self.eval_timeout,
+                self.retry_policy,
+            )
+        return executor.submit(_timed_call, self.function, dict(candidate))
+
+    def evaluate_batch_outcomes(
+        self, batch: Sequence[dict[str, float]]
+    ) -> list[EvaluationOutcome]:
+        """Like :meth:`evaluate_batch`, but failure is a *result*, not an
+        exception: each candidate resolves to an
+        :class:`~repro.core.faults.EvaluationOutcome` carrying either the
+        value or the structured failure, so one poison point cannot abort
+        its batch-mates.  Only successful evaluations enter the history —
+        the driver owns failure records (penalty value, ``failed=True``).
+        Non-evaluation errors (a broken pool, ``KeyboardInterrupt``)
+        still shut the pool down and raise.
+        """
+        if not batch:
+            return []
+        executor = self._executor if self._executor is not None else self._make_executor()
+        if executor is None:
+            serial: list[EvaluationOutcome] = []
+            for candidate in batch:
+                started_at = self.elapsed
+                try:
+                    value = self._serial_call(dict(candidate))
+                except EvaluationFailed as error:
+                    serial.append(EvaluationOutcome.failed(error.failure))
+                    continue
+                finished_at = self.elapsed
+                self._record(candidate, value, started_at, finished_at)
+                serial.append(
+                    EvaluationOutcome.success(value, finished_at - started_at)
+                )
+            return serial
+        done_at: dict[int, float] = {}
+        results: list[EvaluationOutcome] = []
+        try:
+            futures = []
+            for i, candidate in enumerate(batch):
+                future = self._dispatch(executor, candidate)
+                future.add_done_callback(
+                    lambda _f, i=i: done_at.__setitem__(i, self.elapsed)
+                )
+                futures.append(future)
+            for i, (candidate, future) in enumerate(zip(batch, futures, strict=True)):
+                try:
+                    outcome = future.result()
+                except EvaluationFailed as error:
+                    results.append(EvaluationOutcome.failed(error.failure))
+                    continue
+                value, duration = outcome[0], outcome[1]
+                retries = int(outcome[2]) if len(outcome) > 2 else 0
+                self._note_retries(retries)
+                finished_at = done_at.get(i, self.elapsed)
+                self._record(candidate, value, max(finished_at - duration, 0.0), finished_at)
+                results.append(EvaluationOutcome.success(value, duration, retries))
+        except BaseException:
+            self._executor = None
+            executor.shutdown(wait=True, cancel_futures=True)
+            raise
+        if self.persistent:
+            self._executor = executor
+        else:
+            executor.shutdown(wait=True, cancel_futures=True)
+        return results
 
 
 class BatchCalibrator:
@@ -297,6 +506,19 @@ class BatchCalibrator:
         while in-run revisits stay free.  Supply ``count_cache_hits=True``
         whenever an evaluation-budget run uses a warm shared cache,
         otherwise a fully-warm run would never exhaust its budget.
+    retry_policy, failure_policy, eval_timeout:
+        The fault-tolerance knobs, with the same semantics as on
+        :class:`~repro.core.evaluation.Objective`: retries and per-attempt
+        timeouts run inside the pool workers; once a point is a failure
+        outcome, ``failure_policy`` decides between a penalty tell (the
+        batch-mates and the rest of the run are unaffected) and a raise —
+        and quarantines the point through the cache backend so this run,
+        resumed runs and concurrent drivers skip it.  A claim that comes
+        back ``"quarantined"`` is resolved from the recorded failure
+        without dispatching, and a leased point whose leader quarantines
+        it is *not* waited out (the failure is observed directly).  All
+        ``None`` (the default) leaves every code path byte-identical to
+        the non-fault-tolerant driver.
     """
 
     def __init__(
@@ -313,6 +535,9 @@ class BatchCalibrator:
         algorithm_options: dict[str, object] | None = None,
         record_cache_hits: bool = False,
         count_cache_hits: bool = False,
+        retry_policy: RetryPolicy | None = None,
+        failure_policy: FailurePolicy | None = None,
+        eval_timeout: float | None = None,
     ) -> None:
         self.space = space
         self.algorithm = get_algorithm(algorithm, **(algorithm_options or {}))
@@ -324,8 +549,15 @@ class BatchCalibrator:
         # The pool persists across asks: sequential algorithms dispatch many
         # small batches and must not pay a pool startup for each.
         self.evaluator = ParallelEvaluator(
-            objective_function, space, workers=workers, mode=mode, persistent=True
+            objective_function, space, workers=workers, mode=mode, persistent=True,
+            eval_timeout=eval_timeout, retry_policy=retry_policy,
+            guard_failures=failure_policy is not None,
         )
+        self.retry_policy = retry_policy
+        self.failure_policy = failure_policy
+        self.eval_timeout = eval_timeout
+        self._breaker: CircuitBreaker | None = None
+        self.failures = 0
         self.batch_size = int(workers) if batch_size is None else int(batch_size)
         if self.batch_size < 1:
             raise ValueError("the batch size must be at least 1")
@@ -373,15 +605,35 @@ class BatchCalibrator:
                 if self.record_cache_hits:
                     self._record_hit(values, value)
                 return value
+            if self.failure_policy is not None:
+                # The leader may have *quarantined* the point instead of
+                # publishing a value: its lease is released on failure, so
+                # waiting it out would spin until TTL — check directly.
+                known = self._cache.get_failure(key, values)
+                if known is not None:
+                    return self._apply_failure(key, values, known, quarantined=True)
             if time.time() >= expires_at:
                 claim = self._cache.claim(key, values)
                 if claim.status == Claim.HIT:
                     continue  # published between poll and claim
+                if claim.status == Claim.QUARANTINED and claim.failure is not None:
+                    return self._apply_failure(
+                        key, values, claim.failure, quarantined=True
+                    )
                 if claim.status == Claim.CLAIMED:
                     # Takeover: the budget charge was already paid when the
                     # point was deferred; just compute and publish it.
                     try:
-                        value = self.evaluator.evaluate_batch([values])[0]
+                        if self.failure_policy is not None:
+                            outcome = self.evaluator.evaluate_batch_outcomes([values])[0]
+                            if outcome.failure is not None:
+                                return self._apply_failure(
+                                    key, values, outcome.failure,
+                                    quarantined=False, duration=outcome.duration,
+                                )
+                            value = outcome.unwrap()
+                        else:
+                            value = self.evaluator.evaluate_batch([values])[0]
                     except BaseException:
                         self._cancel(key, values)
                         raise
@@ -390,6 +642,72 @@ class BatchCalibrator:
                 expires_at = lease_deadline(claim.expires_at)
             else:
                 time.sleep(0.005)
+
+    def _record_failed(
+        self, mapping: dict[str, float], value: float,
+        started_at: float, finished_at: float,
+    ) -> None:
+        history = self.evaluator.history
+        history.record(
+            Evaluation(
+                index=len(history), values=dict(mapping),
+                unit=tuple(float(u) for u in self.space.to_unit_array(mapping)),
+                value=value, started_at=started_at, finished_at=finished_at,
+                failed=True,
+            )
+        )
+
+    def _apply_failure(
+        self,
+        key: CacheKey,
+        mapping: dict[str, float],
+        failure: EvaluationFailure,
+        quarantined: bool,
+        duration: float = 0.0,
+    ) -> float:
+        """Account one failure outcome and serve the failure policy.
+
+        ``quarantined`` distinguishes a *skip* of an already-known poison
+        point (no simulator ran) from a fresh failure (which is recorded
+        into the cache's quarantine).  Returns the penalty value, or
+        raises :class:`~repro.core.faults.EvaluationFailed` /
+        :class:`~repro.core.faults.CircuitOpen` per policy.
+        """
+        self.failures += 1
+        reg = _REGISTRY if _REGISTRY.enabled else None
+        if reg is not None:
+            if quarantined:
+                reg.counter(
+                    "repro_eval_quarantined_total",
+                    EVAL_METRIC_HELP["repro_eval_quarantined_total"],
+                ).inc()
+            else:
+                reg.counter(
+                    "repro_eval_failures_total",
+                    EVAL_METRIC_HELP["repro_eval_failures_total"],
+                ).inc()
+                if failure.kind == "timeout":
+                    reg.counter(
+                        "repro_eval_timeouts_total",
+                        EVAL_METRIC_HELP["repro_eval_timeouts_total"],
+                    ).inc()
+        if not quarantined and self._cache is not None:
+            if self.failure_policy is not None and self.failure_policy.quarantine:
+                self._cache.mark_failed(key, mapping, failure)
+            else:
+                self._cancel(key, mapping)
+        if self._breaker is not None:
+            self._breaker.record(failure)
+        if self.failure_policy is not None and self.failure_policy.penalize:
+            finished_at = self.evaluator.elapsed
+            self._record_failed(
+                mapping, self.failure_policy.penalty,
+                max(finished_at - duration, 0.0), finished_at,
+            )
+            if self._breaker is not None:
+                self._breaker.check()
+            return self.failure_policy.penalty
+        raise EvaluationFailed(failure)
 
     def run(self) -> CalibrationResult:
         """Ask, evaluate concurrently and tell until a stop condition.
@@ -403,6 +721,10 @@ class BatchCalibrator:
         self.budget.start()
         self.evaluator.reset_clock()
         self.cache_hits = 0
+        self.failures = 0
+        self._breaker = (
+            self.failure_policy.breaker() if self.failure_policy is not None else None
+        )
         history = self.evaluator.history
 
         tracer = current_tracer()
@@ -501,6 +823,7 @@ class BatchCalibrator:
             remaining = remaining_evaluations(self.budget, budget_units)
             hits: list[float | None] = [None] * len(candidates)
             leased: dict[int, float | None] = {}  # index -> lease expiry
+            quarantined: dict[int, EvaluationFailure] = {}  # index -> known failure
             take, cost = len(candidates), 0
             first_index: dict[CacheKey, int] = {}
             for i in range(len(candidates)):
@@ -509,6 +832,16 @@ class BatchCalibrator:
                 claim = self._claim(keys[i], mappings[i])
                 if claim.status == Claim.HIT:
                     hits[i] = claim.value
+                if (
+                    claim.status == Claim.QUARANTINED
+                    and claim.failure is not None
+                    and self.failure_policy is not None
+                ):
+                    # Known poison point: never dispatched, never waited
+                    # on — the failure policy resolves it below.  Without
+                    # a policy the claim falls through to a dispatch (the
+                    # run re-attempts the point, pre-quarantine behavior).
+                    quarantined[i] = claim.failure
                 # A dispatch costs 1, so does a leased point (a concurrent
                 # driver is doing the work this run consumes); a hit costs
                 # 1 only when it is first-seen and counting is on (serial
@@ -547,27 +880,66 @@ class BatchCalibrator:
                 seen.add(keys[i])
                 if self.record_cache_hits:
                     self._record_hit(mappings[i], hits[i])
+            # Quarantined points resolve from the recorded failure — a
+            # budget charge like a dispatch (so an algorithm stuck on a
+            # poison point still terminates), but zero simulator time.
+            for i in sorted(quarantined):
+                if i >= take:
+                    continue
+                results[i] = self._apply_failure(
+                    keys[i], mappings[i], quarantined[i], quarantined=True
+                )
+                seen.add(keys[i])
+                budget_units += 1
+                tracer.end(spans[i], failed=True, value=results[i])
             misses = [
                 i for i in range(take)
-                if hits[i] is None and i not in leased
+                if hits[i] is None and i not in leased and i not in quarantined
                 and (self._cache is None or first_index[keys[i]] == i)
             ]
             try:
-                values = self.evaluator.evaluate_batch([mappings[i] for i in misses])
+                if self.failure_policy is not None:
+                    # Failure-tolerant dispatch: one poison point becomes a
+                    # penalty outcome instead of aborting its batch-mates.
+                    outcomes = self.evaluator.evaluate_batch_outcomes(
+                        [mappings[i] for i in misses]
+                    )
+                    for outcome, i in zip(outcomes, misses, strict=True):
+                        if outcome.failure is not None:
+                            results[i] = self._apply_failure(
+                                keys[i], mappings[i], outcome.failure,
+                                quarantined=False, duration=outcome.duration,
+                            )
+                            seen.add(keys[i])
+                            tracer.end(spans[i], failed=True, value=results[i])
+                            continue
+                        value = outcome.unwrap()
+                        if self._breaker is not None:
+                            self._breaker.record(None)
+                        results[i] = value
+                        seen.add(keys[i])
+                        tracer.end(spans[i], cached=False, value=value)
+                        self._store(keys[i], mappings[i], value)
+                else:
+                    values = self.evaluator.evaluate_batch(
+                        [mappings[i] for i in misses]
+                    )
+                    for value, i in zip(values, misses, strict=True):
+                        results[i] = value
+                        seen.add(keys[i])
+                        tracer.end(spans[i], cached=False, value=value)
+                        self._store(keys[i], mappings[i], value)
             except BaseException:
                 # The pool failed mid-batch: release the in-flight
                 # leaderships this run announced, or concurrent jobs
-                # waiting on these points would block forever.
+                # waiting on these points would block forever.  (Cancel
+                # after put/mark_failed is a no-op, so settled points of
+                # a partially-processed outcome batch are unaffected.)
                 for i in misses:
                     self._cancel(keys[i], mappings[i])
                 raise
             if reg is not None and misses:
                 m_dispatched.inc(len(misses))
-            for value, i in zip(values, misses, strict=True):
-                results[i] = value
-                seen.add(keys[i])
-                tracer.end(spans[i], cached=False, value=value)
-                self._store(keys[i], mappings[i], value)
             budget_units += len(misses)
             # Only now — with every dispatch of ours already done — collect
             # the leased points.  The wait is bounded: the leader publishes

@@ -49,6 +49,10 @@ def evaluation_to_dict(evaluation: Evaluation) -> dict:
     }
     if evaluation.cached:
         data["cached"] = True
+    # Same optional-key convention: zero-failure histories are unchanged
+    # byte for byte, and the format version stays at 1.
+    if evaluation.failed:
+        data["failed"] = True
     return data
 
 
@@ -62,6 +66,7 @@ def evaluation_from_dict(data: dict) -> Evaluation:
         started_at=float(data["started_at"]),
         finished_at=float(data["finished_at"]),
         cached=bool(data.get("cached", False)),
+        failed=bool(data.get("failed", False)),
     )
 
 

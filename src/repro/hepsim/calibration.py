@@ -23,6 +23,7 @@ from collections.abc import Callable, Mapping, Sequence
 
 from repro.core.budget import Budget, EvaluationBudget
 from repro.core.calibrator import Calibrator
+from repro.core.faults import FailurePolicy, RetryPolicy
 from repro.core.parallel import BatchCalibrator
 from repro.core.metrics import MetricFunction, get_metric
 from repro.core.parameters import Parameter, ParameterSpace
@@ -248,6 +249,9 @@ class CaseStudyProblem:
         asynchronous: bool = False,
         max_pending: int | None = None,
         cache: object | None = None,
+        retry_policy: RetryPolicy | None = None,
+        failure_policy: FailurePolicy | None = None,
+        eval_timeout: float | None = None,
     ) -> CalibrationResult:
         """Run one automated calibration and return its result.
 
@@ -271,6 +275,12 @@ class CaseStudyProblem:
         caches record first-seen hits in the history and charge them
         against the budget (as the service does), so a warm
         evaluation-budget run replays the cold run's trajectory.
+
+        ``retry_policy``, ``failure_policy`` and ``eval_timeout`` forward
+        to whichever driver runs the calibration (see
+        :mod:`repro.core.faults` and ``docs/robustness.md``); all three
+        default to ``None``, leaving every trajectory byte-identical to a
+        fault-tolerance-unaware run.
         """
         budget = budget if budget is not None else EvaluationBudget(100)
         cache_kwargs: dict[str, object] = {}
@@ -280,6 +290,13 @@ class CaseStudyProblem:
                 "record_cache_hits": True,
                 "count_cache_hits": True,
             }
+        fault_kwargs: dict[str, object] = {}
+        if retry_policy is not None:
+            fault_kwargs["retry_policy"] = retry_policy
+        if failure_policy is not None:
+            fault_kwargs["failure_policy"] = failure_policy
+        if eval_timeout is not None:
+            fault_kwargs["eval_timeout"] = eval_timeout
         if asynchronous:
             from repro.core.async_driver import AsyncCalibrator
 
@@ -294,6 +311,7 @@ class CaseStudyProblem:
                 max_pending=max_pending,
                 algorithm_options=algorithm_options,
                 **cache_kwargs,
+                **fault_kwargs,
             ).run()
         if workers > 1:
             return BatchCalibrator(
@@ -306,6 +324,7 @@ class CaseStudyProblem:
                 mode=mode,
                 algorithm_options=algorithm_options,
                 **cache_kwargs,
+                **fault_kwargs,
             ).run()
         calibrator = Calibrator(
             self.space,
@@ -315,6 +334,7 @@ class CaseStudyProblem:
             seed=seed,
             algorithm_options=algorithm_options,
             **cache_kwargs,
+            **fault_kwargs,
         )
         return calibrator.run()
 

@@ -59,6 +59,7 @@ from repro.service.store import (
     SqliteStore,
     StoreClaim,
     StoredEvaluation,
+    StoredFailure,
     canonical_params,
     evaluation_key,
     open_store,
@@ -81,6 +82,7 @@ __all__ = [
     "StoreBackedCache",
     "StoreClaim",
     "StoredEvaluation",
+    "StoredFailure",
     "canonical_params",
     "evaluation_key",
     "open_store",

@@ -33,7 +33,8 @@ import uuid
 from collections.abc import Mapping
 
 from repro.core.evaluation import CacheBackend, Claim, lease_deadline
-from repro.service.store import DEFAULT_LEASE_TTL, EvaluationStore, StoreClaim
+from repro.core.faults import EvaluationFailure
+from repro.service.store import DEFAULT_LEASE_TTL, EvaluationStore, StoreClaim, StoredFailure
 
 __all__ = ["JobCache", "StoreBackedCache"]
 
@@ -136,6 +137,12 @@ class StoreBackedCache(JobCache):
             if claim.status == StoreClaim.CLAIMED:
                 self.misses += 1
                 return None
+            if claim.status == StoreClaim.QUARANTINED:
+                # Known-bad point: report a miss so a fault-aware objective
+                # finds the diagnosis via get_failure() next; a fault-unaware
+                # caller recomputes it, which is the pre-quarantine behavior.
+                self.misses += 1
+                return None
             # Leased to another owner: wait for its publish (or for the
             # lease to expire, upon which the next claim() takes over).
             # The wait is bounded — never hold-and-wait — and in-process
@@ -168,12 +175,41 @@ class StoreBackedCache(JobCache):
         if outcome.status == StoreClaim.CLAIMED:
             self.misses += 1
             return Claim(Claim.CLAIMED)
+        if outcome.status == StoreClaim.QUARANTINED and outcome.failure is not None:
+            return Claim(Claim.QUARANTINED, failure=_to_core_failure(outcome.failure))
         return Claim(Claim.LEASED, expires_at=outcome.expires_at)
 
     def poll(self, key, values: Mapping[str, float]) -> float | None:
         """Has a point leased to another owner been published yet?"""
         return self.store.peek(self.fingerprint, values)
 
+    # ------------------------------------------------------------------ #
+    # CacheBackend interface: failure quarantine
+    # ------------------------------------------------------------------ #
+    def mark_failed(self, key, values: Mapping[str, float], failure: EvaluationFailure) -> None:
+        """Quarantine the point in the shared store (releases its lease, so
+        concurrent drivers deferring behind it learn the failure at their
+        next poll instead of waiting out the TTL)."""
+        self.store.record_failure(
+            self.fingerprint,
+            values,
+            failure.error,
+            kind=failure.kind,
+            attempts=failure.attempts,
+        )
+        self._notify()
+
+    def get_failure(self, key, values: Mapping[str, float]) -> EvaluationFailure | None:
+        stored = self.store.get_failure(self.fingerprint, values)
+        return None if stored is None else _to_core_failure(stored)
+
     def _notify(self) -> None:
         with self._cond:
             self._cond.notify_all()
+
+
+def _to_core_failure(stored: StoredFailure) -> EvaluationFailure:
+    """Map a store-layer quarantine record to the core failure type."""
+    return EvaluationFailure(
+        error=stored.error, kind=stored.kind, attempts=stored.attempts
+    )

@@ -30,7 +30,7 @@ from evaluation so N hosts can share one evaluation store (ROADMAP item
 from repro.service.fleet.board import FleetTask, TaskBoard
 from repro.service.fleet.client import FleetClient, FleetClientError
 from repro.service.fleet.evaluator import FleetEvaluator, StoreReadCache
-from repro.service.fleet.faults import FaultInjector
+from repro.service.fleet.faults import FaultInjector, FaultyObjective
 from repro.service.fleet.frontend import FleetFrontend
 from repro.service.fleet.server import FleetServer
 from repro.service.fleet.worker import FleetWorker
@@ -43,6 +43,7 @@ __all__ = [
     "FleetEvaluator",
     "StoreReadCache",
     "FaultInjector",
+    "FaultyObjective",
     "FleetFrontend",
     "FleetServer",
     "FleetWorker",

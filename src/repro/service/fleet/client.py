@@ -6,6 +6,14 @@ leases), and ``repro worker`` (fetch open tasks, publish results).
 Every method is one JSON round-trip; transport failures surface as
 :class:`FleetClientError` so callers can distinguish "front-end is
 down" from evaluation errors.
+
+Transient transport faults — connection refused/reset
+(``URLError``/``OSError``) and 5xx answers — are retried with capped
+exponential backoff before surfacing, because a worker fleet rides out
+front-end restarts all the time and every server endpoint is idempotent
+per task id.  4xx answers and malformed JSON are terminal on the first
+attempt: repeating a request the server already understood and rejected
+cannot change the answer.
 """
 
 from __future__ import annotations
@@ -20,20 +28,63 @@ __all__ = ["FleetClient", "FleetClientError"]
 
 
 class FleetClientError(RuntimeError):
-    """The front-end was unreachable or answered with an error status."""
+    """The front-end was unreachable or answered with an error status.
+
+    ``retryable`` distinguishes transient transport faults (connection
+    errors, 5xx) from terminal answers (4xx, malformed JSON); the client
+    has already exhausted its retry budget by the time one escapes.
+    """
+
+    def __init__(self, message: str, retryable: bool = False) -> None:
+        super().__init__(message)
+        self.retryable = retryable
+
+
+#: ceiling on the per-attempt retry backoff, in seconds
+MAX_RETRY_BACKOFF = 2.0
 
 
 class FleetClient:
-    """Talks to one fleet front-end at ``url`` (e.g. ``http://host:8123``)."""
+    """Talks to one fleet front-end at ``url`` (e.g. ``http://host:8123``).
 
-    def __init__(self, url: str, timeout: float = 60.0) -> None:
+    ``retries`` transient transport failures are absorbed per request
+    with capped exponential backoff (``retry_backoff * 2**attempt``,
+    capped at ``MAX_RETRY_BACKOFF`` seconds); ``retries=0`` restores
+    single-shot behavior.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 60.0,
+        retries: int = 2,
+        retry_backoff: float = 0.2,
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.retry_backoff = float(retry_backoff)
 
     # ------------------------------------------------------------------ #
     # transport
     # ------------------------------------------------------------------ #
     def _request(
+        self,
+        path: str,
+        payload: dict[str, Any] | None = None,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        attempt = 0
+        while True:
+            try:
+                return self._attempt(path, payload, timeout)
+            except FleetClientError as exc:
+                if not exc.retryable or attempt >= self.retries:
+                    raise
+                time.sleep(min(self.retry_backoff * (2.0 ** attempt), MAX_RETRY_BACKOFF))
+                attempt += 1
+
+    def _attempt(
         self,
         path: str,
         payload: dict[str, Any] | None = None,
@@ -57,10 +108,16 @@ class FleetClient:
             except Exception:
                 pass
             raise FleetClientError(
-                f"{request.method} {path} -> HTTP {exc.code}" + (f": {detail}" if detail else "")
+                f"{request.method} {path} -> HTTP {exc.code}" + (f": {detail}" if detail else ""),
+                retryable=exc.code >= 500,
             ) from None
-        except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+        except json.JSONDecodeError as exc:
+            # The server answered 200 with garbage: retrying cannot help.
             raise FleetClientError(f"{request.method} {path} failed: {exc}") from None
+        except (urllib.error.URLError, OSError) as exc:
+            raise FleetClientError(
+                f"{request.method} {path} failed: {exc}", retryable=True
+            ) from None
         if not isinstance(data, dict):
             raise FleetClientError(f"{request.method} {path}: expected a JSON object")
         return data

@@ -23,6 +23,7 @@ from collections.abc import Mapping
 from typing import Any
 
 from repro.core.evaluation import CacheKey, Claim
+from repro.core.faults import EvaluationFailure
 from repro.core.history import CalibrationHistory
 from repro.core.parameters import ParameterSpace
 from repro.service.cache import JobCache
@@ -64,10 +65,24 @@ class StoreReadCache(JobCache):
         value = self.get(key, values)
         if value is not None:
             return Claim(Claim.HIT, value)
+        known = self.get_failure(key, values)
+        if known is not None:
+            return Claim(Claim.QUARANTINED, failure=known)
         return Claim(Claim.CLAIMED)
 
     def poll(self, key: CacheKey, values: Mapping[str, float]) -> float | None:
         return self.store.peek(self.fingerprint, values)
+
+    def get_failure(
+        self, key: CacheKey, values: Mapping[str, float]
+    ) -> EvaluationFailure | None:
+        """Surface worker-recorded quarantines to a fault-aware driver."""
+        stored = self.store.get_failure(self.fingerprint, values)
+        if stored is None:
+            return None
+        return EvaluationFailure(
+            error=stored.error, kind=stored.kind, attempts=stored.attempts
+        )
 
 
 class FleetEvaluator:

@@ -20,7 +20,16 @@ store and publishes them back over HTTP:
 A worker that dies mid-claim simply stops renewing its lease: after the
 TTL any other worker's ``claim`` returns ``claimed`` and the point is
 recomputed.  No heartbeats, no membership protocol — the lease table is
-the entire failure model.
+the entire failure model for *worker* death.
+
+*Evaluation* failure is classified before it is reported (see
+:mod:`repro.core.faults`): a transient error releases the lease and
+leaves the task open, so this or another worker re-claims and retries
+the point (bounded by ``max_eval_attempts`` per worker); a deterministic
+error — or an exhausted retry budget — quarantines the point in the
+store via :meth:`~repro.service.store.EvaluationStore.record_failure`
+and fails the task with the diagnosis, so no member of the fleet ever
+recomputes a known-bad point.
 """
 
 from __future__ import annotations
@@ -34,9 +43,15 @@ from collections.abc import Callable
 from pathlib import Path
 from typing import Any
 
+from repro.core.faults import KIND_DETERMINISTIC, RetryPolicy
 from repro.service.fleet.client import FleetClient, FleetClientError
 from repro.service.fleet.faults import FaultInjector
-from repro.service.store import DEFAULT_LEASE_TTL, EvaluationStore, StoreClaim
+from repro.service.store import (
+    DEFAULT_LEASE_TTL,
+    EvaluationStore,
+    StoreClaim,
+    evaluation_key,
+)
 from repro.telemetry.metrics import registry as _metrics_registry
 
 _REGISTRY = _metrics_registry()
@@ -96,6 +111,10 @@ class FleetWorker:
         the front-end is unreachable).
     fault:
         Optional :class:`~repro.service.fleet.faults.FaultInjector`.
+    max_eval_attempts:
+        How many times *this worker* will attempt a point whose
+        evaluation keeps failing transiently before quarantining it in
+        the store (deterministic errors quarantine on the first attempt).
     stats_path:
         When set, worker counters are rewritten (atomically) to this
         JSON file after every step — the fault-injection tests read the
@@ -113,6 +132,7 @@ class FleetWorker:
         poll: float = 0.5,
         fault: FaultInjector | None = None,
         stats_path: str | Path | None = None,
+        max_eval_attempts: int = 3,
     ) -> None:
         self.client = client
         self.store = store
@@ -122,6 +142,7 @@ class FleetWorker:
         self.poll = float(poll)
         self.fault = fault if fault is not None else FaultInjector()
         self.stats_path = Path(stats_path) if stats_path is not None else None
+        self.max_eval_attempts = int(max_eval_attempts)
         self.stats: dict[str, int] = {
             "claims": 0,
             "evaluations": 0,
@@ -129,8 +150,14 @@ class FleetWorker:
             "store_hits": 0,
             "lease_skips": 0,
             "failures": 0,
+            "retries": 0,
+            "quarantine_skips": 0,
         }
         self._objectives: dict[str, ObjectiveFunction] = {}
+        #: transient-vs-deterministic classification (policy defaults)
+        self._classifier = RetryPolicy()
+        #: per-point attempt counts for this worker's retry budget
+        self._eval_attempts: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # bookkeeping
@@ -168,8 +195,9 @@ class FleetWorker:
     # ------------------------------------------------------------------ #
     def handle_task(self, task: dict[str, Any]) -> bool:
         """Race for one task; returns True when this worker settled it
-        (published a value or reported a failure), False when it was
-        leased to someone else (or already resolved)."""
+        (published a value, reported a failure, or relayed a quarantine),
+        False when it was leased to someone else (or already resolved) or
+        when a transient evaluation error left it open for a retry."""
         fingerprint = str(task["fingerprint"])
         values = {str(k): float(v) for k, v in task["values"].items()}
         claim = self.store.claim(fingerprint, values, owner=self.owner, ttl=self.lease_ttl)
@@ -185,29 +213,72 @@ class FleetWorker:
             self._bump("store_hits")
             self._publish(str(task["id"]), float(claim.value or 0.0), 0.0)
             return True
+        if claim.status == StoreClaim.QUARANTINED:
+            # Some worker already proved this point bad: relay the stored
+            # diagnosis instead of burning an evaluation re-proving it.
+            self._bump("quarantine_skips")
+            diagnosis = claim.failure.error if claim.failure is not None else "quarantined"
+            try:
+                self.client.fail(str(task["id"]), f"quarantined: {diagnosis}")
+            except FleetClientError:
+                pass  # the quarantine record persists; any worker can relay it
+            return True
         self._bump("claims")
         self.fault.on_claim()  # may never return
         try:
             objective = self._objective_for(dict(task.get("spec") or {}))
             started = time.perf_counter()
+            self.fault.on_evaluate()  # may raise or hang
             value = float(objective(values))
             duration = time.perf_counter() - started
         except Exception as exc:
-            # The evaluation itself is broken (not the worker): release
-            # the lease so nobody waits out the TTL, and fail the task
-            # loudly so the owning job errors instead of hanging.
-            self.store.release(fingerprint, values, owner=self.owner)
-            self._bump("failures")
-            try:
-                self.client.fail(str(task["id"]), f"{type(exc).__name__}: {exc}")
-            except FleetClientError:
-                pass  # the lease is released; the task will be re-claimed
-            return True
+            return self._settle_failure(task, fingerprint, values, exc)
         self._bump("evaluations")
+        self._eval_attempts.pop(evaluation_key(fingerprint, values), None)
         self.fault.on_publish()  # may sleep, may never return
         self.store.put(fingerprint, values, value)  # also drops our lease
         if self._publish(str(task["id"]), value, duration):
             self._bump("publishes")
+        return True
+
+    def _settle_failure(
+        self,
+        task: dict[str, Any],
+        fingerprint: str,
+        values: dict[str, float],
+        exc: Exception,
+    ) -> bool:
+        """Classify one evaluation failure and decide the point's fate.
+
+        Transient errors with retry budget left release the lease and
+        leave the task open — this or another worker re-claims and
+        retries.  Deterministic errors (and exhausted budgets) quarantine
+        the point in the store and fail the task with the diagnosis.
+        """
+        key = evaluation_key(fingerprint, values)
+        attempts = self._eval_attempts.get(key, 0) + 1
+        self._eval_attempts[key] = attempts
+        kind = self._classifier.classify(exc)
+        if kind != KIND_DETERMINISTIC and attempts < self.max_eval_attempts:
+            # Worth retrying: free the point immediately (no TTL wait).
+            self.store.release(fingerprint, values, owner=self.owner)
+            self._bump("retries")
+            return False
+        self._eval_attempts.pop(key, None)
+        # record_failure also releases the lease, so nobody waits out
+        # the TTL on a point the fleet has given up on.
+        self.store.record_failure(
+            fingerprint,
+            values,
+            f"{type(exc).__name__}: {exc}",
+            kind=kind,
+            attempts=attempts,
+        )
+        self._bump("failures")
+        try:
+            self.client.fail(str(task["id"]), f"{type(exc).__name__}: {exc}")
+        except FleetClientError:
+            pass  # the quarantine record persists; the task poller reports it
         return True
 
     def _publish(self, task_id: str, value: float, duration: float) -> bool:

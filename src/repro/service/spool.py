@@ -33,6 +33,7 @@ in-memory format of :meth:`repro.core.calibrator.Calibrator.checkpoint`.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
@@ -46,6 +47,8 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 from repro.core.result import CalibrationResult
 from repro.core.serialization import load_result, save_result
+
+_log = logging.getLogger("repro.service.spool")
 
 __all__ = ["JobSpool"]
 
@@ -91,6 +94,11 @@ class JobSpool:
     def checkpoint_history_path(self, job_id: str) -> Path:
         """The append-only history sidecar of a job's checkpoints."""
         return self.checkpoints_dir / f"{job_id}.history.jsonl"
+
+    def checkpoint_prev_path(self, job_id: str) -> Path:
+        """The previous snapshot, kept as the fallback for a latest
+        snapshot corrupted by a crash (see :meth:`read_checkpoint`)."""
+        return self.checkpoints_dir / f"{job_id}.prev.json"
 
     # ------------------------------------------------------------------ #
     # submission
@@ -224,8 +232,14 @@ class JobSpool:
         spool's previous checkpoint of the job are written, and the
         snapshot JSON — rewritten atomically as before — shrinks to the
         algorithm/rng state plus a ``history_count`` pointer.
+
+        The outgoing snapshot is demoted to ``<job>.prev.json`` first, so
+        there is always one known-good snapshot to fall back to if the
+        latest one is lost to a crash or disk fault.
         """
         path = self.checkpoint_path(job_id)
+        if path.exists():
+            os.replace(path, self.checkpoint_prev_path(job_id))
         history = state.get("history")
         if history is None:
             self._write_json(path, state)
@@ -259,7 +273,7 @@ class JobSpool:
         return path
 
     def read_checkpoint(self, job_id: str) -> dict[str, Any] | None:
-        """The last persisted snapshot, or ``None`` if there is none.
+        """The last *readable* snapshot, or ``None`` if there is none.
 
         Splices the history sidecar back into the returned state, so
         callers see the plain :meth:`Calibrator.checkpoint` format
@@ -267,10 +281,43 @@ class JobSpool:
         snapshot's ``history_count`` (a crash between the sidecar append
         and the snapshot rename) is truncated to the count — the snapshot
         is the source of truth.
+
+        If the latest snapshot is unreadable (corrupted JSON, or a
+        sidecar shorter than its ``history_count``), the previous
+        snapshot demoted by :meth:`write_checkpoint` is tried with a
+        warning — resuming one checkpoint interval back beats restarting
+        the whole job.  Only if both are unreadable does the job restart
+        from scratch (with a second warning).
         """
         path = self.checkpoint_path(job_id)
-        if not path.exists():
+        prev = self.checkpoint_prev_path(job_id)
+        if path.exists():
+            try:
+                return self._load_snapshot(job_id, path)
+            except ValueError as error:
+                _log.warning(
+                    "latest checkpoint of %s is unreadable (%s); "
+                    "falling back to the previous snapshot",
+                    job_id,
+                    error,
+                )
+        elif not prev.exists():
             return None
+        if prev.exists():
+            try:
+                return self._load_snapshot(job_id, prev)
+            except ValueError as error:
+                _log.warning(
+                    "previous checkpoint of %s is unreadable too (%s); "
+                    "the job restarts from scratch",
+                    job_id,
+                    error,
+                )
+        return None
+
+    def _load_snapshot(self, job_id: str, path: Path) -> dict[str, Any]:
+        """Load one snapshot file and splice its sidecar history back in
+        (raises ``ValueError`` on corrupted JSON or a short sidecar)."""
         state = json.loads(path.read_text())
         count = state.pop("history_count", None)
         state.pop("history_sidecar", None)
@@ -294,9 +341,13 @@ class JobSpool:
         return state
 
     def clear_checkpoint(self, job_id: str) -> None:
-        """Drop a job's snapshot and sidecar (called once the job is done)."""
+        """Drop a job's snapshots and sidecar (called once the job is done)."""
         self._sidecar_counts.pop(job_id, None)
-        for path in (self.checkpoint_path(job_id), self.checkpoint_history_path(job_id)):
+        for path in (
+            self.checkpoint_path(job_id),
+            self.checkpoint_prev_path(job_id),
+            self.checkpoint_history_path(job_id),
+        ):
             path.unlink(missing_ok=True)
 
     # ------------------------------------------------------------------ #

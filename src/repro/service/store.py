@@ -39,6 +39,18 @@ without the hold-and-wait deadlocks of a blocking single-flight design.
 Lease state is kept in memory for :class:`InMemoryStore` and
 :class:`JsonlStore` (cross-job dedupe within one server process) and in a
 ``leases`` table for :class:`SqliteStore` (cross-process dedupe).
+
+Evaluation *failures* are first-class records too: when a point fails
+deterministically (or exhausts its retries), :meth:`EvaluationStore.record_failure`
+quarantines it — subsequent :meth:`~EvaluationStore.claim` calls return
+``"quarantined"`` with the stored diagnosis instead of granting the
+computation, so resumed and concurrent jobs skip known-bad points instead
+of re-failing on them.  Recording a failure also *releases* the point's
+lease immediately (rather than letting it expire), so drivers deferring
+behind the lease observe the failure at their next poll instead of
+waiting out the TTL.  A later successful :meth:`~EvaluationStore.put`
+clears the quarantine (transient infrastructure faults heal).  See
+``docs/robustness.md`` for the full failure model.
 """
 
 from __future__ import annotations
@@ -46,6 +58,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import sqlite3
 import threading
 import time
@@ -56,8 +69,11 @@ from repro.telemetry.metrics import registry as _metrics_registry
 
 _REGISTRY = _metrics_registry()
 
+_log = logging.getLogger("repro.service.store")
+
 __all__ = [
     "StoredEvaluation",
+    "StoredFailure",
     "StoreClaim",
     "EvaluationStore",
     "InMemoryStore",
@@ -82,7 +98,43 @@ _METRIC_HELP = {
         "Claims that found an unexpired lease held by another owner "
         "(single-flight contention)."
     ),
+    "repro_store_failures_total": (
+        "Evaluation failures recorded into the store (points quarantined)."
+    ),
 }
+
+
+def _read_jsonl_tolerant(path: Path, label: str) -> list[dict[str, object]]:
+    """Parse a JSON Lines file, tolerating one truncated *final* line.
+
+    A crash mid-append leaves at most one partial record at the end of an
+    append-only log; that trailing fragment is dropped with a warning so a
+    restarted process keeps the work already persisted.  Corruption
+    anywhere *before* the final line is not a crash signature — it still
+    raises, because silently skipping interior records would un-publish
+    evaluations other jobs may have already observed.
+    """
+    with path.open() as handle:
+        lines = handle.readlines()
+    last = len(lines) - 1
+    records: list[dict[str, object]] = []
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            data = json.loads(stripped)
+        except json.JSONDecodeError as error:
+            if index == last:
+                _log.warning(
+                    "%s: dropping truncated final line of %s (%s)", label, path, error
+                )
+                break
+            raise ValueError(
+                f"corrupt {label} record at {path}:{index + 1}: {error}"
+            ) from error
+        records.append(data)
+    return records
 
 
 def canonical_params(values: Mapping[str, float]) -> tuple[tuple[str, float], ...]:
@@ -135,23 +187,67 @@ class StoredEvaluation:
 
 
 @dataclasses.dataclass(frozen=True)
+class StoredFailure:
+    """One quarantined (scenario, parameter vector) -> failure record.
+
+    ``kind`` mirrors :mod:`repro.core.faults` — ``"transient"``,
+    ``"deterministic"`` or ``"timeout"`` — and ``attempts`` is how many
+    times the recording driver tried the point before giving up.
+    """
+
+    key: str
+    fingerprint: str
+    values: dict[str, float]
+    error: str
+    kind: str = "deterministic"
+    attempts: int = 1
+    created_at: float = 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "key": self.key,
+            "fingerprint": self.fingerprint,
+            "values": dict(self.values),
+            "error": self.error,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "created_at": self.created_at,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> StoredFailure:
+        return StoredFailure(
+            key=str(data["key"]),
+            fingerprint=str(data["fingerprint"]),
+            values={k: float(v) for k, v in dict(data["values"]).items()},
+            error=str(data.get("error", "")),
+            kind=str(data.get("kind", "deterministic")),
+            attempts=int(data.get("attempts", 1)),
+            created_at=float(data.get("created_at", 0.0)),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
 class StoreClaim:
     """Outcome of :meth:`EvaluationStore.claim` — see the module docstring.
 
     ``status`` is ``"hit"`` (``value`` carries the stored result),
-    ``"claimed"`` (the caller owns the computation) or ``"leased"``
+    ``"claimed"`` (the caller owns the computation), ``"leased"``
     (``owner``/``expires_at`` describe the concurrent computation to poll
-    for).
+    for) or ``"quarantined"`` (``failure`` carries the recorded failure —
+    the point is known-bad and should not be recomputed).
     """
 
     status: str
     value: float | None = None
     owner: str | None = None
     expires_at: float | None = None
+    failure: StoredFailure | None = None
 
     HIT = "hit"
     CLAIMED = "claimed"
     LEASED = "leased"
+    QUARANTINED = "quarantined"
 
 
 class EvaluationStore:
@@ -174,9 +270,14 @@ class EvaluationStore:
         #: claims that found an unexpired lease held by a different owner —
         #: the single-flight protocol's contention signal
         self.lease_conflicts = 0
+        #: failures recorded via :meth:`record_failure` (quarantine events)
+        self.failures_recorded = 0
         #: default in-memory lease table (overridden by SqliteStore):
         #: key -> (owner, expires_at)
         self._leases: dict[str, tuple[str, float]] = {}
+        #: default in-memory failure-quarantine table (JsonlStore persists
+        #: it to a sidecar file, SqliteStore to a table)
+        self._failures: dict[str, StoredFailure] = {}
 
     # -- backend interface --------------------------------------------- #
     def _load_entry(self, key: str) -> StoredEvaluation | None:
@@ -225,6 +326,22 @@ class EvaluationStore:
         if lease is not None and lease[0] == owner:
             self._drop_lease(key)
 
+    # -- failure backend (in-memory default; Jsonl/Sqlite override) ------ #
+    def _load_failure(self, key: str) -> StoredFailure | None:
+        return self._failures.get(key)
+
+    def _save_failure(self, failure: StoredFailure) -> None:
+        self._failures[failure.key] = failure
+
+    def _drop_failure(self, key: str) -> None:
+        self._failures.pop(key, None)
+
+    def _iter_failures(self) -> Iterable[StoredFailure]:
+        return list(self._failures.values())
+
+    def _count_failures(self) -> int:
+        return len(self._failures)
+
     # -- public API ---------------------------------------------------- #
     def get(self, fingerprint: str, values: Mapping[str, float]) -> float | None:
         """Look up the objective value for a (scenario, point), or ``None``."""
@@ -260,9 +377,69 @@ class EvaluationStore:
         with self._lock:
             self._save_entry(entry)
             self._drop_lease(key)  # publishing a value finishes its claim
+            self._drop_failure(key)  # a success un-quarantines the point
             self.puts += 1
             self._count("repro_store_puts_total")
         return entry
+
+    # -- failure quarantine -------------------------------------------- #
+    def record_failure(
+        self,
+        fingerprint: str,
+        values: Mapping[str, float],
+        error: str,
+        kind: str = "deterministic",
+        attempts: int = 1,
+    ) -> StoredFailure:
+        """Quarantine one point: record its failure and release its lease.
+
+        The lease is *released*, not waited out — any driver deferring
+        behind it sees the point free at its next poll and (if it checks
+        :meth:`get_failure` or re-:meth:`claim`\\ s) learns the diagnosis
+        instead of recomputing a known-bad point.  Idempotent: re-recording
+        overwrites equal keys with the newest diagnosis.
+        """
+        key = evaluation_key(fingerprint, values)
+        failure = StoredFailure(
+            key=key,
+            fingerprint=fingerprint,
+            values={str(k): float(v) for k, v in values.items()},
+            error=str(error),
+            kind=str(kind),
+            attempts=int(attempts),
+            created_at=time.time(),
+        )
+        with self._lock:
+            self._save_failure(failure)
+            self._drop_lease(key)
+            self.failures_recorded += 1
+            self._count("repro_store_failures_total")
+        return failure
+
+    def get_failure(self, fingerprint: str, values: Mapping[str, float]) -> StoredFailure | None:
+        """The quarantine record for a point, or ``None`` (no hit/miss
+        accounting — callers poll this alongside :meth:`peek`)."""
+        with self._lock:
+            return self._load_failure(evaluation_key(fingerprint, values))
+
+    def clear_failure(self, fingerprint: str, values: Mapping[str, float]) -> None:
+        """Lift a point's quarantine (e.g. after the faulty dependency is
+        fixed) so the next claim recomputes it."""
+        with self._lock:
+            self._drop_failure(evaluation_key(fingerprint, values))
+
+    def failure_count(self) -> int:
+        """Number of currently quarantined points."""
+        with self._lock:
+            return self._count_failures()
+
+    def failures(self, fingerprint: str | None = None) -> list[StoredFailure]:
+        """All quarantine records, optionally restricted to one scenario."""
+        with self._lock:
+            return [
+                f for f in self._iter_failures()
+                if fingerprint is None or f.fingerprint == fingerprint
+            ]
 
     # -- claim/lease protocol ------------------------------------------ #
     def claim(
@@ -275,6 +452,8 @@ class EvaluationStore:
         """Atomically claim the computation of one point (never blocks).
 
         * stored already -> ``hit`` with the value;
+        * quarantined -> ``quarantined`` with the recorded failure (the
+          caller should treat the point as failed, not recompute it);
         * unexpired lease held by a *different* owner -> ``leased`` (poll
           :meth:`get` for the published value, or re-``claim`` after
           ``expires_at`` to take the computation over);
@@ -290,6 +469,9 @@ class EvaluationStore:
                 self.hits += 1
                 self._count("repro_store_hits_total")
                 return StoreClaim(StoreClaim.HIT, value=entry.value)
+            known = self._load_failure(key)
+            if known is not None:
+                return StoreClaim(StoreClaim.QUARANTINED, failure=known)
             blocker = self._try_acquire_lease(key, owner, now, now + float(ttl))
             if blocker is not None:
                 self.lease_conflicts += 1
@@ -371,6 +553,7 @@ class EvaluationStore:
                 "misses": self.misses,
                 "puts": self.puts,
                 "lease_conflicts": self.lease_conflicts,
+                "failures": self._count_failures(),
             }
 
     def _count(self, name: str) -> None:
@@ -417,31 +600,49 @@ class JsonlStore(EvaluationStore):
     Reads are served from an in-memory index; every put appends one line to
     the file, so the on-disk state is a log that can be tailed, grepped and
     concatenated.  ``reload()`` merges lines written by other processes
-    since the file was last read.
+    since the file was last read; a truncated *final* line (the signature
+    of a crash mid-append) is dropped with a warning instead of poisoning
+    the whole store.
+
+    Failure-quarantine records live in an append-only sidecar next to the
+    main file (``<stem>.failures<suffix>``): recording appends the failure
+    dict, clearing appends a ``{"key": ..., "cleared": true}`` tombstone,
+    and reload folds the log in order.
     """
 
     def __init__(self, path: str | Path) -> None:
         super().__init__()
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        #: append-only quarantine log next to the main file
+        self.failures_path = self.path.with_name(
+            self.path.stem + ".failures" + self.path.suffix
+        )
         self._data: dict[str, StoredEvaluation] = {}
-        if self.path.exists():
-            self.reload()
+        self.reload()
 
     def reload(self) -> int:
-        """Re-read the file, merging entries from concurrent writers.
+        """Re-read the files, merging records from concurrent writers.
 
         Returns the number of entries now indexed.
         """
         with self._lock:
             if self.path.exists():
-                with self.path.open() as handle:
-                    for line in handle:
-                        line = line.strip()
-                        if not line:
-                            continue
-                        entry = StoredEvaluation.from_dict(json.loads(line))
-                        self._data[entry.key] = entry
+                for data in _read_jsonl_tolerant(self.path, "evaluation store"):
+                    entry = StoredEvaluation.from_dict(data)
+                    self._data[entry.key] = entry
+            if self.failures_path.exists():
+                for data in _read_jsonl_tolerant(self.failures_path, "failure quarantine"):
+                    if data.get("cleared"):
+                        self._failures.pop(str(data["key"]), None)
+                    else:
+                        failure = StoredFailure.from_dict(data)
+                        self._failures[failure.key] = failure
+            # A published value beats a stale quarantine record regardless
+            # of the order the two logs were read in.
+            for key in list(self._failures):
+                if key in self._data:
+                    self._failures.pop(key)
             return len(self._data)
 
     def _load_entry(self, key: str) -> StoredEvaluation | None:
@@ -460,6 +661,18 @@ class JsonlStore(EvaluationStore):
 
     def _count_entries(self) -> int:
         return len(self._data)
+
+    def _save_failure(self, failure: StoredFailure) -> None:
+        self._failures[failure.key] = failure
+        with self.failures_path.open("a") as handle:
+            handle.write(json.dumps(failure.to_dict()) + "\n")
+
+    def _drop_failure(self, key: str) -> None:
+        # Only write a tombstone when the key was actually quarantined —
+        # every put() drops failures, and successes must not bloat the log.
+        if self._failures.pop(key, None) is not None:
+            with self.failures_path.open("a") as handle:
+                handle.write(json.dumps({"key": key, "cleared": True}) + "\n")
 
 
 class SqliteStore(EvaluationStore):
@@ -496,6 +709,21 @@ class SqliteStore(EvaluationStore):
                 key        TEXT PRIMARY KEY,
                 owner      TEXT NOT NULL,
                 expires_at REAL NOT NULL
+            )
+            """
+        )
+        # Quarantined points share the database so concurrent calibration
+        # *processes* skip each other's known-bad points too.
+        self._conn.execute(
+            """
+            CREATE TABLE IF NOT EXISTS failures (
+                key         TEXT PRIMARY KEY,
+                fingerprint TEXT NOT NULL,
+                params      TEXT NOT NULL,
+                error       TEXT NOT NULL,
+                kind        TEXT NOT NULL,
+                attempts    INTEGER NOT NULL,
+                created_at  REAL NOT NULL
             )
             """
         )
@@ -542,6 +770,60 @@ class SqliteStore(EvaluationStore):
 
     def _count_entries(self) -> int:
         (count,) = self._conn.execute("SELECT COUNT(*) FROM evaluations").fetchone()
+        return int(count)
+
+    @staticmethod
+    def _row_to_failure(
+        row: tuple[str, str, str, str, str, int, float]
+    ) -> StoredFailure:
+        key, fingerprint, params, error, kind, attempts, created_at = row
+        return StoredFailure(
+            key=key,
+            fingerprint=fingerprint,
+            values={k: float(v) for k, v in json.loads(params).items()},
+            error=str(error),
+            kind=str(kind),
+            attempts=int(attempts),
+            created_at=float(created_at),
+        )
+
+    def _load_failure(self, key: str) -> StoredFailure | None:
+        row = self._conn.execute(
+            "SELECT key, fingerprint, params, error, kind, attempts, created_at "
+            "FROM failures WHERE key = ?",
+            (key,),
+        ).fetchone()
+        return None if row is None else self._row_to_failure(row)
+
+    def _save_failure(self, failure: StoredFailure) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO failures "
+            "(key, fingerprint, params, error, kind, attempts, created_at) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                failure.key,
+                failure.fingerprint,
+                json.dumps(failure.values, sort_keys=True),
+                failure.error,
+                failure.kind,
+                failure.attempts,
+                failure.created_at,
+            ),
+        )
+        self._conn.commit()
+
+    def _drop_failure(self, key: str) -> None:
+        self._conn.execute("DELETE FROM failures WHERE key = ?", (key,))
+        self._conn.commit()
+
+    def _iter_failures(self) -> Iterable[StoredFailure]:
+        rows = self._conn.execute(
+            "SELECT key, fingerprint, params, error, kind, attempts, created_at FROM failures"
+        ).fetchall()
+        return [self._row_to_failure(row) for row in rows]
+
+    def _count_failures(self) -> int:
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM failures").fetchone()
         return int(count)
 
     def _load_lease(self, key: str) -> tuple[str, float] | None:

@@ -49,7 +49,8 @@ class TestInMemoryStore:
         assert store.get("fp", {"x": 1}) == 42.0
         assert len(store) == 1
         assert store.stats() == {
-            "entries": 1, "hits": 1, "misses": 1, "puts": 1, "lease_conflicts": 0,
+            "entries": 1, "hits": 1, "misses": 1, "puts": 1,
+            "lease_conflicts": 0, "failures": 0,
         }
 
     def test_cross_job_hit_with_reordered_dict(self):
